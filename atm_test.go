@@ -1,0 +1,133 @@
+package atm
+
+import (
+	"testing"
+)
+
+func fastSystem(spd int, opts ...Option) *System {
+	base := []Option{WithSeasonalNaive(), WithTrainDays(2), WithHorizonDays(1)}
+	return New(spd, append(base, opts...)...)
+}
+
+func TestNewDefaults(t *testing.T) {
+	s := New(96)
+	cfg := s.Config()
+	if cfg.TrainWindows != 5*96 {
+		t.Errorf("TrainWindows = %d, want 480", cfg.TrainWindows)
+	}
+	if cfg.Horizon != 96 {
+		t.Errorf("Horizon = %d, want 96", cfg.Horizon)
+	}
+	if cfg.Threshold != 0.6 {
+		t.Errorf("Threshold = %v, want 0.6", cfg.Threshold)
+	}
+	if cfg.Epsilon != 5 {
+		t.Errorf("Epsilon = %v, want 5", cfg.Epsilon)
+	}
+	if cfg.Spatial.Method != MethodCBC {
+		t.Errorf("Method = %v, want CBC", cfg.Spatial.Method)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	s := New(48,
+		WithMethod(MethodDTW),
+		WithTrainDays(3),
+		WithHorizonDays(2),
+		WithThreshold(0.8),
+		WithEpsilon(10),
+		WithLowerBounds(),
+	)
+	cfg := s.Config()
+	if cfg.Spatial.Method != MethodDTW {
+		t.Error("WithMethod ignored")
+	}
+	if cfg.TrainWindows != 144 || cfg.Horizon != 96 {
+		t.Errorf("train/horizon = %d/%d, want 144/96", cfg.TrainWindows, cfg.Horizon)
+	}
+	if cfg.Threshold != 0.8 || cfg.Epsilon != 10 || !cfg.UseLowerBounds {
+		t.Error("threshold/epsilon/lower-bound options ignored")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Boxes: 4, Days: 3, SamplesPerDay: 32, Seed: 17, GapFraction: 1e-9})
+	sys := fastSystem(tr.SamplesPerDay)
+	results, err := sys.Run(tr.GapFree())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	sum := Summarize(results)
+	if sum.Boxes != 4 {
+		t.Errorf("summary boxes = %d, want 4", sum.Boxes)
+	}
+	if sum.MeanMAPE <= 0 || sum.MeanMAPE > 1.5 {
+		t.Errorf("MeanMAPE = %v, implausible", sum.MeanMAPE)
+	}
+	if sum.SignatureRatio <= 0 || sum.SignatureRatio > 1 {
+		t.Errorf("SignatureRatio = %v, want in (0,1]", sum.SignatureRatio)
+	}
+}
+
+func TestSummarizeEmptyAndNil(t *testing.T) {
+	if got := Summarize(nil); got.Boxes != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+	if got := Summarize([]*Result{nil, nil}); got.Boxes != 0 {
+		t.Errorf("nil-only summary = %+v", got)
+	}
+}
+
+func TestGenerateTraceFacade(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Boxes: 2, Days: 1, SamplesPerDay: 24, Seed: 5})
+	if len(tr.Boxes) != 2 || tr.Samples() != 24 {
+		t.Errorf("trace geometry wrong: %d boxes, %d samples", len(tr.Boxes), tr.Samples())
+	}
+}
+
+func TestWithTemporalCustomModel(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Boxes: 1, Days: 2, SamplesPerDay: 24, Seed: 8, GapFraction: 1e-9})
+	calls := 0
+	sys := New(24,
+		WithTrainDays(1),
+		WithHorizonDays(1),
+		WithTemporal(func() TemporalModel {
+			calls++
+			return &countingModel{horizonValue: 10}
+		}),
+	)
+	res, err := sys.RunBox(&tr.Boxes[0])
+	if err != nil {
+		t.Fatalf("RunBox: %v", err)
+	}
+	if calls == 0 {
+		t.Error("custom temporal factory never invoked")
+	}
+	if calls != len(res.Prediction.Model.Signatures) {
+		t.Errorf("factory calls = %d, signatures = %d", calls, len(res.Prediction.Model.Signatures))
+	}
+}
+
+// countingModel is a trivial Model for factory-wiring tests.
+type countingModel struct {
+	horizonValue float64
+	fitted       bool
+}
+
+func (c *countingModel) Name() string { return "counting" }
+
+func (c *countingModel) Fit(history Series) error {
+	c.fitted = true
+	return nil
+}
+
+func (c *countingModel) Forecast(horizon int) (Series, error) {
+	out := make(Series, horizon)
+	for i := range out {
+		out[i] = c.horizonValue
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Command atmbench regenerates the paper's evaluation figures on the
+// synthetic substrate and prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	atmbench [-fig all|1,2,3,5,6,7,8,9,10,12,13,methods,stability,epsilon] [-boxes N] [-seed S] [-days D] [-svg DIR]
+//
+// With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
+// 13) are additionally written as standalone SVG files into DIR.
+//
+// Figure 4 is the signature-search flow (implemented as
+// spatial.Search) and Figure 11 is the testbed topology (implemented
+// as testbed.DefaultTopology); neither has numbers to regenerate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"atm/internal/experiments"
+)
+
+// exitOn aborts on a figure error.
+func exitOn(name string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// printTable renders one figure's table to stdout.
+func printTable(name string, t *experiments.Table) {
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "figure %s: render: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figure numbers, or 'all'")
+	boxes := flag.Int("boxes", 200, "number of synthetic boxes (paper: 6000)")
+	seed := flag.Int64("seed", 1, "trace generator seed")
+	days := flag.Int("days", 7, "trace length in days")
+	svgDir := flag.String("svg", "", "directory to write figure SVGs into (optional)")
+	flag.Parse()
+
+	writeSVG := func(name string, render func() (string, error)) {
+		if *svgDir == "" {
+			return
+		}
+		svg, err := render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svg %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "svg dir: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "svg %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", path)
+	}
+
+	opts := experiments.Options{Boxes: *boxes, Seed: *seed, Days: *days}
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"1", "2", "3", "5", "6", "7", "8", "9", "10", "12", "13", "methods", "stability", "epsilon"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	run := func(name string, f func() (interface{ Render() *experiments.Table }, error)) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if _, err := r.Render().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: render: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [figure %s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if want["1"] {
+		r, err := experiments.Fig1(opts)
+		exitOn("1", err)
+		printTable("1", r.Render())
+		writeSVG("fig1", r.RenderSVG)
+	}
+	run("2", func() (interface{ Render() *experiments.Table }, error) { return experiments.Fig2(opts) })
+	if want["3"] {
+		r, err := experiments.Fig3(opts)
+		exitOn("3", err)
+		printTable("3", r.Render())
+		writeSVG("fig3", r.RenderSVG)
+	}
+	run("5", func() (interface{ Render() *experiments.Table }, error) { return experiments.Fig5(opts) })
+	run("6", func() (interface{ Render() *experiments.Table }, error) { return experiments.Fig6(opts) })
+	run("7", func() (interface{ Render() *experiments.Table }, error) { return experiments.Fig7(opts) })
+	if want["8"] {
+		r, err := experiments.Fig8(opts)
+		exitOn("8", err)
+		printTable("8", r.Render())
+		writeSVG("fig8", r.RenderSVG)
+	}
+
+	// Figures 9 and 10 share the expensive full-ATM runs.
+	var fig9 *experiments.Fig9Result
+	if want["9"] || want["10"] {
+		start := time.Now()
+		var err error
+		fig9, err = experiments.Fig9(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure 9: %v\n", err)
+			os.Exit(1)
+		}
+		if want["9"] {
+			if _, err := fig9.Render().WriteTo(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "figure 9: render: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  [figure 9 took %v]\n\n", time.Since(start).Round(time.Millisecond))
+			writeSVG("fig9", fig9.RenderSVG)
+		}
+	}
+	if want["10"] {
+		r, err := experiments.Fig10(opts, fig9)
+		exitOn("10", err)
+		printTable("10", r.Render())
+		writeSVG("fig10", r.RenderSVG)
+	}
+
+	var fig12 *experiments.Fig12Result
+	if want["12"] || want["13"] {
+		start := time.Now()
+		var err error
+		fig12, err = experiments.Fig12(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure 12: %v\n", err)
+			os.Exit(1)
+		}
+		if want["12"] {
+			if _, err := fig12.Render().WriteTo(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "figure 12: render: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  [figure 12 took %v]\n\n", time.Since(start).Round(time.Millisecond))
+			writeSVG("fig12", fig12.RenderSVG)
+		}
+	}
+	if want["13"] {
+		r, err := experiments.Fig13(opts, fig12)
+		exitOn("13", err)
+		printTable("13", r.Render())
+		writeSVG("fig13", r.RenderSVG)
+	}
+	if want["methods"] {
+		r, err := experiments.Methods(opts)
+		exitOn("methods", err)
+		printTable("methods", r.Render())
+	}
+	if want["stability"] {
+		r, err := experiments.Stability(opts)
+		exitOn("stability", err)
+		printTable("stability", r.Render())
+	}
+	if want["epsilon"] {
+		r, err := experiments.Epsilon(opts, nil)
+		exitOn("epsilon", err)
+		printTable("epsilon", r.Render())
+	}
+}

@@ -1,0 +1,161 @@
+// Command atmcli inspects a trace CSV (as written by tracegen): fleet
+// statistics, per-box ticket breakdowns and culprit VMs — the
+// first-response tooling an operator would want next to ATM.
+//
+// Usage:
+//
+//	atmcli stats   -trace trace.csv [-threshold 0.6]
+//	atmcli box     -trace trace.csv -id box-0003 [-threshold 0.6]
+//	atmcli culprits -trace trace.csv [-threshold 0.6] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"atm/internal/ticket"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace CSV file (required)")
+	threshold := fs.Float64("threshold", 0.6, "ticket threshold")
+	boxID := fs.String("id", "", "box id (for 'box')")
+	top := fs.Int("top", 10, "number of rows (for 'culprits')")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "atmcli: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd {
+	case "stats":
+		stats(tr, *threshold)
+	case "box":
+		boxDetail(tr, *boxID, *threshold)
+	case "culprits":
+		culprits(tr, *threshold, *top)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: atmcli <stats|box|culprits> -trace file.csv [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "atmcli: %v\n", err)
+	os.Exit(1)
+}
+
+// stats prints fleet-level numbers.
+func stats(tr *trace.Trace, th float64) {
+	fmt.Printf("boxes: %d  VMs: %d  samples/series: %d (%d/day x %d days)\n",
+		len(tr.Boxes), tr.NumVMs(), tr.Samples(), tr.SamplesPerDay, tr.Days)
+	fmt.Printf("gap-free boxes: %d\n\n", len(tr.GapFree()))
+	for _, r := range [...]trace.Resource{trace.CPU, trace.RAM} {
+		var perBox []float64
+		ticketed := 0
+		for i := range tr.Boxes {
+			b := &tr.Boxes[i]
+			st, err := ticket.Analyze(b.Demands(r), b.Capacities(r), th)
+			if err != nil {
+				fail(err)
+			}
+			perBox = append(perBox, float64(st.Total))
+			if st.Total > 0 {
+				ticketed++
+			}
+		}
+		mean, std := timeseries.MeanStd(perBox)
+		fmt.Printf("%s tickets @%.0f%%: %.1f±%.1f per box; %.1f%% of boxes ticketed\n",
+			r, th*100, mean, std, 100*float64(ticketed)/float64(len(tr.Boxes)))
+	}
+}
+
+// boxDetail prints one box's per-VM breakdown.
+func boxDetail(tr *trace.Trace, id string, th float64) {
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "atmcli: box requires -id")
+		os.Exit(2)
+	}
+	for i := range tr.Boxes {
+		b := &tr.Boxes[i]
+		if b.ID != id {
+			continue
+		}
+		fmt.Printf("box %s: %d VMs, capacity %.1f GHz / %.1f GB, gaps: %v\n\n",
+			b.ID, len(b.VMs), b.CPUCapGHz, b.RAMCapGB, b.HasGaps())
+
+		for v := range b.VMs {
+			vm := &b.VMs[v]
+			cpuT := ticket.Count(vm.Demand(trace.CPU), vm.CPUCapGHz, th)
+			ramT := ticket.Count(vm.Demand(trace.RAM), vm.RAMCapGB, th)
+			fmt.Printf("%-14s cpu: mean %5.1f%% peak %6.1f%% tickets %3d | ram: mean %5.1f%% peak %6.1f%% tickets %3d\n",
+				vm.ID,
+				vm.CPU.Mean(), vm.CPU.Max(), cpuT,
+				vm.RAM.Mean(), vm.RAM.Max(), ramT)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "atmcli: box %q not found\n", id)
+	os.Exit(1)
+}
+
+// culprits prints the fleet's worst VMs.
+func culprits(tr *trace.Trace, th float64, top int) {
+	type row struct {
+		vm      string
+		box     string
+		tickets int
+	}
+	var rows []row
+	for i := range tr.Boxes {
+		b := &tr.Boxes[i]
+		for v := range b.VMs {
+			vm := &b.VMs[v]
+			n := ticket.Count(vm.Demand(trace.CPU), vm.CPUCapGHz, th) +
+				ticket.Count(vm.Demand(trace.RAM), vm.RAMCapGB, th)
+			if n > 0 {
+				rows = append(rows, row{vm.ID, b.ID, n})
+			}
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].tickets != rows[b].tickets {
+			return rows[a].tickets > rows[b].tickets
+		}
+		return rows[a].vm < rows[b].vm
+	})
+	fmt.Printf("top culprit VMs @%.0f%% threshold:\n", th*100)
+	for i, r := range rows {
+		if i >= top {
+			break
+		}
+		fmt.Printf("%3d. %-16s (%s)  %d tickets\n", i+1, r.vm, r.box, r.tickets)
+	}
+	if len(rows) == 0 {
+		fmt.Println("  (none)")
+	}
+}

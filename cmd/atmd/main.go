@@ -1,0 +1,44 @@
+// Command atmd is the per-hypervisor actuation daemon from the paper's
+// Section IV-C: it exposes cgroup-style per-VM resource limits over a
+// web API so an ATM controller can resize VMs on the fly without
+// restarting guests.
+//
+// Usage:
+//
+//	atmd [-addr :8023]
+//
+// API:
+//
+//	GET    /cgroups        list all VM limits
+//	GET    /cgroups/<vm>   read one VM's limits
+//	PUT    /cgroups/<vm>   set limits, body {"cpu_ghz": 7.2, "ram_gb": 4}
+//	DELETE /cgroups/<vm>   remove a VM's cgroup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"atm/internal/actuator"
+)
+
+func main() {
+	addr := flag.String("addr", ":8023", "listen address")
+	flag.Parse()
+
+	reg := actuator.NewRegistry()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           reg.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("atmd: serving cgroup API on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
+		os.Exit(1)
+	}
+}

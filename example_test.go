@@ -1,0 +1,66 @@
+package atm_test
+
+import (
+	"fmt"
+
+	"atm"
+)
+
+// ExampleNew shows the paper's evaluation configuration.
+func ExampleNew() {
+	sys := atm.New(96,
+		atm.WithMethod(atm.MethodCBC),
+		atm.WithTrainDays(5),
+		atm.WithHorizonDays(1),
+		atm.WithThreshold(0.6),
+	)
+	cfg := sys.Config()
+	fmt.Println(cfg.TrainWindows, cfg.Horizon, cfg.Threshold)
+	// Output: 480 96 0.6
+}
+
+// ExampleGenerateTrace builds a small deterministic trace.
+func ExampleGenerateTrace() {
+	tr := atm.GenerateTrace(atm.TraceConfig{Boxes: 3, Days: 1, SamplesPerDay: 24, Seed: 7})
+	fmt.Println(len(tr.Boxes), tr.Samples())
+	// Output: 3 24
+}
+
+// ExampleSystem_RunBox runs the full pipeline on one box and prints
+// the structure of the outcome.
+func ExampleSystem_RunBox() {
+	tr := atm.GenerateTrace(atm.TraceConfig{
+		Boxes: 1, Days: 3, SamplesPerDay: 24, Seed: 5, GapFraction: 1e-9,
+	})
+	sys := atm.New(24,
+		atm.WithSeasonalNaive(), // cheap model keeps the example fast
+		atm.WithTrainDays(2),
+		atm.WithHorizonDays(1),
+	)
+	res, err := sys.RunBox(&tr.Boxes[0])
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(res.CPU.Sizes) == len(tr.Boxes[0].VMs))
+	fmt.Println(res.Prediction.Model.Ratio() > 0)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleSummarize aggregates a fleet run.
+func ExampleSummarize() {
+	tr := atm.GenerateTrace(atm.TraceConfig{
+		Boxes: 2, Days: 3, SamplesPerDay: 24, Seed: 9, GapFraction: 1e-9,
+	})
+	sys := atm.New(24, atm.WithSeasonalNaive(), atm.WithTrainDays(2), atm.WithHorizonDays(1))
+	results, err := sys.Run(tr.GapFree())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sum := atm.Summarize(results)
+	fmt.Println(sum.Boxes)
+	// Output: 2
+}

@@ -1,0 +1,83 @@
+// Datacenter: a trace-wide study in the style of the paper's
+// evaluation. It generates a synthetic data center, characterizes its
+// usage tickets, runs the full ATM pipeline on every gap-free box and
+// prints fleet-level results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"atm"
+)
+
+func main() {
+	boxes := flag.Int("boxes", 60, "number of boxes to simulate")
+	seed := flag.Int64("seed", 7, "trace seed")
+	flag.Parse()
+
+	tr := atm.GenerateTrace(atm.TraceConfig{Boxes: *boxes, Days: 7, Seed: *seed})
+	gapFree := tr.GapFree()
+	fmt.Printf("generated %d boxes (%d VMs); %d are gap-free\n",
+		len(tr.Boxes), tr.NumVMs(), len(gapFree))
+
+	// Characterization: how many boxes ticket at the 60% threshold?
+	ticketed := 0
+	for _, b := range gapFree {
+		hasTicket := false
+		for i := range b.VMs {
+			if b.VMs[i].CPU.CountAbove(60) > 0 {
+				hasTicket = true
+				break
+			}
+		}
+		if hasTicket {
+			ticketed++
+		}
+	}
+	fmt.Printf("boxes with >= 1 CPU ticket: %d of %d (paper: ~57%%)\n", ticketed, len(gapFree))
+
+	// Full ATM across the fleet. Seasonal-naive keeps this example
+	// fast; swap in the default MLP for the paper's temporal model.
+	sys := atm.New(tr.SamplesPerDay,
+		atm.WithMethod(atm.MethodCBC),
+		atm.WithSeasonalNaive(),
+		atm.WithTrainDays(5),
+		atm.WithHorizonDays(1),
+		atm.WithLowerBounds(),
+	)
+	results, err := sys.Run(gapFree)
+	if err != nil {
+		log.Fatalf("datacenter: %v", err)
+	}
+	sum := atm.Summarize(results)
+	fmt.Printf("\nfleet summary over %d boxes:\n", sum.Boxes)
+	fmt.Printf("  signature ratio:      %5.1f%% of series need temporal models\n", 100*sum.SignatureRatio)
+	fmt.Printf("  mean prediction APE:  %5.1f%% (peaks: %.1f%%)\n", 100*sum.MeanMAPE, 100*sum.MeanPeakMAPE)
+	fmt.Printf("  CPU ticket reduction: %5.1f%%\n", 100*sum.CPUReduction)
+	fmt.Printf("  RAM ticket reduction: %5.1f%%\n", 100*sum.RAMReduction)
+
+	// The five most improved boxes.
+	type scored struct {
+		id  string
+		red float64
+	}
+	var best []scored
+	for _, r := range results {
+		if r.CPU.TicketsBefore > 0 {
+			best = append(best, scored{r.Box.ID, r.CPU.Reduction()})
+		}
+	}
+	for i := 0; i < len(best); i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].red > best[i].red {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	fmt.Println("\nmost improved boxes (CPU):")
+	for i := 0; i < len(best) && i < 5; i++ {
+		fmt.Printf("  %s  %.0f%%\n", best[i].id, 100*best[i].red)
+	}
+}

@@ -1,0 +1,64 @@
+// Mediawiki: the paper's Section V-B experiment on the simulated
+// testbed — two 3-tier wiki applications on three nodes, load
+// alternating hourly between low and high intensity. The example runs
+// the cluster twice (static limits vs the ATM controller actuating
+// through the cgroup daemon's HTTP API) and prints the Figure 12/13
+// comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"atm/internal/actuator"
+	"atm/internal/testbed"
+)
+
+const windows = 24 // six hours of 15-minute windows
+
+func main() {
+	// Run 1: static limits.
+	static, err := testbed.DefaultTopology().Run(windows, nil)
+	if err != nil {
+		log.Fatalf("static run: %v", err)
+	}
+
+	// Run 2: the ATM controller, actuating over the daemon's real
+	// HTTP API exactly as a production deployment would.
+	cluster := testbed.DefaultTopology()
+	daemon := httptest.NewServer(cluster.Limits.Handler())
+	defer daemon.Close()
+	client := actuator.NewClient(daemon.URL, daemon.Client())
+	ctrl := testbed.NewDefaultController(client)
+	managed, err := cluster.Run(windows, ctrl)
+	if err != nil {
+		log.Fatalf("managed run: %v", err)
+	}
+
+	from := ctrl.TrainWindows + ctrl.ResizeEvery
+	fmt.Printf("comparison window: %d..%d (after %d training windows)\n\n", from, windows, from)
+
+	fmt.Println("per-VM peak CPU utilization (static vs ATM):")
+	for _, vm := range cluster.VMs {
+		s := static.Usage[vm.ID].Slice(from, windows)
+		m := managed.Usage[vm.ID].Slice(from, windows)
+		marker := " "
+		if s.Max() > 60 {
+			marker = "!"
+		}
+		fmt.Printf("  %s %-22s %6.1f%% -> %5.1f%%\n", marker, vm.ID, s.Max(), m.Max())
+	}
+
+	before := static.Tickets(from, windows, 0.6)
+	after := managed.Tickets(from, windows, 0.6)
+	fmt.Printf("\nusage tickets: %d -> %d (paper: 49 -> 1)\n\n", before, after)
+
+	for _, app := range []string{"wiki-one", "wiki-two"} {
+		fmt.Printf("%s: RT %.0f ms -> %.0f ms, throughput %.1f -> %.1f req/s\n",
+			app,
+			1000*static.MeanRT(app, from, windows), 1000*managed.MeanRT(app, from, windows),
+			static.MeanServed(app, from, windows), managed.MeanServed(app, from, windows))
+	}
+	fmt.Printf("\ncontroller applied %d resizing rounds over the cgroup HTTP API\n", ctrl.Resizes)
+}

@@ -1,0 +1,72 @@
+// Signatures: a deep dive into the paper's Section III signature
+// search on a single box. It shows what DTW and CBC clustering find,
+// what the VIF/stepwise step removes, and how well the dependent
+// series are reconstructed from the signatures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atm"
+	"atm/internal/regress"
+	"atm/internal/spatial"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+func main() {
+	tr := atm.GenerateTrace(atm.TraceConfig{Boxes: 3, Days: 1, Seed: 11, GapFraction: 1e-9})
+	box := &tr.Boxes[0]
+	series := box.DemandSeries()
+	fmt.Printf("box %s: %d VMs -> %d demand series (CPU+RAM interleaved)\n\n",
+		box.ID, len(box.VMs), len(series))
+
+	for _, method := range []atm.Method{atm.MethodDTW, atm.MethodCBC} {
+		fmt.Printf("--- %v clustering ---\n", method)
+
+		// Step 1 only.
+		step1, err := spatial.Search(series, spatial.Config{Method: method, SkipStepwise: true})
+		if err != nil {
+			log.Fatalf("step 1: %v", err)
+		}
+		fmt.Printf("step 1: %d clusters, %d initial signatures\n",
+			step1.ClusterK, len(step1.InitialSignatures))
+
+		// VIFs of the initial signature set show any multicollinearity
+		// left for step 2 to remove.
+		sigSeries := make([]timeseries.Series, len(step1.InitialSignatures))
+		for i, idx := range step1.InitialSignatures {
+			sigSeries[i] = series[idx]
+		}
+		vifs, err := regress.VIF(sigSeries)
+		if err != nil {
+			log.Fatalf("vif: %v", err)
+		}
+		over := 0
+		for _, v := range vifs {
+			if v > regress.DefaultVIFCutoff {
+				over++
+			}
+		}
+		fmt.Printf("        %d of them have VIF > %d (collinear)\n", over, regress.DefaultVIFCutoff)
+
+		// Both steps.
+		full, err := spatial.Search(series, spatial.Config{Method: method})
+		if err != nil {
+			log.Fatalf("step 2: %v", err)
+		}
+		fitErr, err := full.FitError(series)
+		if err != nil {
+			log.Fatalf("fit error: %v", err)
+		}
+		fmt.Printf("step 2: %d final signatures (%.0f%% of all series), fit APE %.1f%%\n",
+			len(full.Signatures), 100*full.Ratio(), 100*fitErr)
+
+		for _, idx := range full.Signatures {
+			vm := trace.SeriesVM(idx)
+			fmt.Printf("        signature: %s/%v\n", box.VMs[vm].ID, trace.SeriesResource(idx))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,110 @@
+package actuator
+
+import (
+	"sync"
+	"time"
+)
+
+// Change is one recorded limits update.
+type Change struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq uint64
+	// Time is when the change was applied.
+	Time time.Time
+	// ID is the cgroup name.
+	ID string
+	// Old holds the previous limits; Existed is false for creations.
+	Old     Limits
+	Existed bool
+	// New holds the applied limits; Deleted is true for removals.
+	New     Limits
+	Deleted bool
+}
+
+// AuditLog records every limits change applied through it — the
+// forensic trail an operator needs when a resizing decision is itself
+// the suspected root cause of a ticket. It wraps a Registry and keeps
+// the most recent Cap changes in memory.
+type AuditLog struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	seq     uint64
+	entries []Change
+	cap     int
+	now     func() time.Time
+}
+
+// NewAuditLog wraps the registry, retaining up to cap changes
+// (cap <= 0 selects 1024).
+func NewAuditLog(reg *Registry, cap int) *AuditLog {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &AuditLog{reg: reg, cap: cap, now: time.Now}
+}
+
+// Set applies the limits through the underlying registry and records
+// the change.
+func (a *AuditLog) Set(id string, l Limits) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old, err := a.reg.Get(id)
+	existed := err == nil
+	if err := a.reg.Set(id, l); err != nil {
+		return err
+	}
+	a.append(Change{ID: id, Old: old, Existed: existed, New: l})
+	return nil
+}
+
+// Delete removes the cgroup and records the removal (a delete of a
+// missing cgroup records nothing, matching Registry semantics).
+func (a *AuditLog) Delete(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old, err := a.reg.Get(id)
+	if err != nil {
+		return
+	}
+	a.reg.Delete(id)
+	a.append(Change{ID: id, Old: old, Existed: true, Deleted: true})
+}
+
+// append records a change under a.mu.
+func (a *AuditLog) append(c Change) {
+	a.seq++
+	c.Seq = a.seq
+	c.Time = a.now()
+	a.entries = append(a.entries, c)
+	if len(a.entries) > a.cap {
+		a.entries = a.entries[len(a.entries)-a.cap:]
+	}
+}
+
+// History returns the retained changes for one cgroup, oldest first.
+// An empty id returns every retained change.
+func (a *AuditLog) History(id string) []Change {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Change
+	for _, c := range a.entries {
+		if id == "" || c.ID == id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LastChange returns the most recent change for the cgroup and whether
+// one is retained.
+func (a *AuditLog) LastChange(id string) (Change, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.entries) - 1; i >= 0; i-- {
+		if a.entries[i].ID == id {
+			return a.entries[i], true
+		}
+	}
+	return Change{}, false
+}

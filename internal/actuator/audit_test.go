@@ -1,0 +1,111 @@
+package actuator
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAuditLogRecordsChanges(t *testing.T) {
+	reg := NewRegistry()
+	log := NewAuditLog(reg, 0)
+	fake := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	log.now = func() time.Time { return fake }
+
+	if err := log.Set("vm-1", Limits{CPUGHz: 2, RAMGB: 4}); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := log.Set("vm-1", Limits{CPUGHz: 3, RAMGB: 4}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	log.Delete("vm-1")
+
+	hist := log.History("vm-1")
+	if len(hist) != 3 {
+		t.Fatalf("history = %d entries, want 3", len(hist))
+	}
+	if hist[0].Existed || hist[0].New.CPUGHz != 2 {
+		t.Errorf("creation entry wrong: %+v", hist[0])
+	}
+	if !hist[1].Existed || hist[1].Old.CPUGHz != 2 || hist[1].New.CPUGHz != 3 {
+		t.Errorf("update entry wrong: %+v", hist[1])
+	}
+	if !hist[2].Deleted || hist[2].Old.CPUGHz != 3 {
+		t.Errorf("delete entry wrong: %+v", hist[2])
+	}
+	for i, c := range hist {
+		if c.Seq != uint64(i+1) || !c.Time.Equal(fake) {
+			t.Errorf("entry %d seq/time wrong: %+v", i, c)
+		}
+	}
+	// Registry state matches: gone.
+	if _, err := reg.Get("vm-1"); err == nil {
+		t.Error("registry still has deleted cgroup")
+	}
+}
+
+func TestAuditLogInvalidSetNotRecorded(t *testing.T) {
+	log := NewAuditLog(NewRegistry(), 0)
+	if err := log.Set("vm", Limits{CPUGHz: -1, RAMGB: 1}); err == nil {
+		t.Fatal("invalid limits accepted")
+	}
+	if got := log.History(""); len(got) != 0 {
+		t.Errorf("rejected set was recorded: %v", got)
+	}
+	// Delete of a missing cgroup records nothing.
+	log.Delete("missing")
+	if got := log.History(""); len(got) != 0 {
+		t.Errorf("no-op delete was recorded: %v", got)
+	}
+}
+
+func TestAuditLogCapEviction(t *testing.T) {
+	log := NewAuditLog(NewRegistry(), 3)
+	for i := 0; i < 5; i++ {
+		if err := log.Set("vm", Limits{CPUGHz: float64(i + 1), RAMGB: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := log.History("vm")
+	if len(hist) != 3 {
+		t.Fatalf("history = %d, want capped at 3", len(hist))
+	}
+	if hist[0].Seq != 3 || hist[2].Seq != 5 {
+		t.Errorf("kept wrong entries: %+v", hist)
+	}
+	last, ok := log.LastChange("vm")
+	if !ok || last.New.CPUGHz != 5 {
+		t.Errorf("LastChange = %+v, %v", last, ok)
+	}
+	if _, ok := log.LastChange("other"); ok {
+		t.Error("LastChange for unknown id returned true")
+	}
+}
+
+func TestAuditLogConcurrent(t *testing.T) {
+	log := NewAuditLog(NewRegistry(), 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := string(rune('a' + i%2))
+			for j := 0; j < 50; j++ {
+				_ = log.Set(id, Limits{CPUGHz: float64(j + 1), RAMGB: 1})
+				log.History(id)
+				log.LastChange(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(log.History("")); got != 400 {
+		t.Errorf("total entries = %d, want 400", got)
+	}
+	// Sequence numbers are unique and increasing.
+	hist := log.History("")
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Seq <= hist[i-1].Seq {
+			t.Fatalf("sequence not increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package actuator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client talks to a hypervisor daemon's cgroup API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://hypervisor-7:8080"). httpClient may be nil to use
+// http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// SetLimits creates or updates a VM cgroup's limits on the daemon.
+func (c *Client) SetLimits(ctx context.Context, id string, l Limits) error {
+	body, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("actuator: marshal limits: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.groupURL(id), bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("actuator: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("actuator: put %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("actuator: put %s: %s", id, readError(resp))
+	}
+	return nil
+}
+
+// GetLimits reads a VM cgroup's limits from the daemon.
+func (c *Client) GetLimits(ctx context.Context, id string) (Limits, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.groupURL(id), nil)
+	if err != nil {
+		return Limits{}, fmt.Errorf("actuator: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return Limits{}, fmt.Errorf("actuator: get %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return Limits{}, fmt.Errorf("%q: %w", id, ErrNotFound)
+	default:
+		return Limits{}, fmt.Errorf("actuator: get %s: %s", id, readError(resp))
+	}
+	var l Limits
+	if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+		return Limits{}, fmt.Errorf("actuator: decode limits: %w", err)
+	}
+	return l, nil
+}
+
+// ListLimits reads the daemon's full cgroup tree.
+func (c *Client) ListLimits(ctx context.Context) (map[string]Limits, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/cgroups", nil)
+	if err != nil {
+		return nil, fmt.Errorf("actuator: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("actuator: list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("actuator: list: %s", readError(resp))
+	}
+	var out map[string]Limits
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("actuator: decode list: %w", err)
+	}
+	return out, nil
+}
+
+// DeleteGroup removes a VM cgroup on the daemon.
+func (c *Client) DeleteGroup(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.groupURL(id), nil)
+	if err != nil {
+		return fmt.Errorf("actuator: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("actuator: delete %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("actuator: delete %s: %s", id, readError(resp))
+	}
+	return nil
+}
+
+func (c *Client) groupURL(id string) string {
+	return c.base + "/cgroups/" + url.PathEscape(id)
+}
+
+func readError(resp *http.Response) string {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+}

@@ -1,0 +1,172 @@
+// Package actuator models the paper's actuation layer (Section IV-C):
+// per-VM resource limits enforced through Linux cgroups, exposed by "a
+// small daemon at each hypervisor" over a web-based API so limits can
+// change on the fly without restarting guests. The Registry is the
+// in-memory cgroup tree; Handler serves the HTTP API; Client is the
+// controller-side accessor.
+package actuator
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Limits are the enforced capacity caps for one VM's cgroup.
+type Limits struct {
+	// CPUGHz caps CPU bandwidth (cgroup cpu.cfs_quota equivalent,
+	// expressed in GHz). Cgroups give almost continuous CPU control,
+	// unlike adding/removing whole virtual cores.
+	CPUGHz float64 `json:"cpu_ghz"`
+	// RAMGB caps memory (cgroup memory.limit_in_bytes equivalent).
+	RAMGB float64 `json:"ram_gb"`
+}
+
+// Validate rejects non-positive limits.
+func (l Limits) Validate() error {
+	if l.CPUGHz <= 0 || l.RAMGB <= 0 {
+		return fmt.Errorf("actuator: non-positive limits %+v", l)
+	}
+	return nil
+}
+
+// ErrNotFound indicates the named cgroup does not exist.
+var ErrNotFound = errors.New("actuator: cgroup not found")
+
+// Registry is a concurrency-safe map of cgroup name → limits. The
+// zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	groups map[string]Limits
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{groups: make(map[string]Limits)}
+}
+
+// Set creates or updates a cgroup's limits.
+func (r *Registry) Set(id string, l Limits) error {
+	if id == "" {
+		return errors.New("actuator: empty cgroup id")
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups[id] = l
+	return nil
+}
+
+// Get returns a cgroup's limits.
+func (r *Registry) Get(id string) (Limits, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l, ok := r.groups[id]
+	if !ok {
+		return Limits{}, fmt.Errorf("%q: %w", id, ErrNotFound)
+	}
+	return l, nil
+}
+
+// Delete removes a cgroup. Deleting a missing cgroup is a no-op, as
+// with rmdir-style cgroup teardown it models.
+func (r *Registry) Delete(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.groups, id)
+}
+
+// List returns all cgroup ids in sorted order.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.groups))
+	for id := range r.groups {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of the whole tree.
+func (r *Registry) Snapshot() map[string]Limits {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Limits, len(r.groups))
+	for id, l := range r.groups {
+		out[id] = l
+	}
+	return out
+}
+
+// Handler serves the daemon's HTTP API:
+//
+//	GET    /cgroups        → {"<id>": {"cpu_ghz": x, "ram_gb": y}, ...}
+//	GET    /cgroups/<id>   → {"cpu_ghz": x, "ram_gb": y}
+//	PUT    /cgroups/<id>   ← {"cpu_ghz": x, "ram_gb": y}
+//	DELETE /cgroups/<id>
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cgroups", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/cgroups/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/cgroups/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "bad cgroup id", http.StatusBadRequest)
+			return
+		}
+		switch req.Method {
+		case http.MethodGet:
+			l, err := r.Get(id)
+			if errors.Is(err, ErrNotFound) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, l)
+		case http.MethodPut:
+			var l Limits
+			if err := json.NewDecoder(req.Body).Decode(&l); err != nil {
+				http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := r.Set(id, l); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			r.Delete(id)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do.
+		return
+	}
+}
+
+// SetLimits adapts the registry to the controller-facing interface
+// shared with Client, letting in-process callers skip HTTP. The
+// context is accepted for symmetry and ignored.
+func (r *Registry) SetLimits(_ context.Context, id string, l Limits) error {
+	return r.Set(id, l)
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"atm/internal/timeseries"
+)
+
+// Result is the outcome of a clustering-based signature search step:
+// a flat cluster assignment plus one signature index per cluster.
+type Result struct {
+	// Assign maps each input series index to a cluster label 0..K-1.
+	Assign []int
+	// K is the number of clusters.
+	K int
+	// Signatures holds the input indices chosen to represent each
+	// cluster, in increasing index order.
+	Signatures []int
+}
+
+// DefaultRhoTh is the correlation threshold used by CBC to call a pair
+// of series strongly correlated; 0.7 is the common rule-of-thumb the
+// paper adopts.
+const DefaultRhoTh = 0.7
+
+// CorrelationMatrix returns the pairwise Pearson correlation matrix of
+// the series (diagonal = 1).
+func CorrelationMatrix(series []timeseries.Series) (*DistMatrix, error) {
+	n := len(series)
+	m := NewDistMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			r, err := timeseries.Pearson(series[i], series[j])
+			if err != nil {
+				return nil, fmt.Errorf("corr(%d,%d): %w", i, j, err)
+			}
+			m.Set(i, j, r)
+		}
+	}
+	return m, nil
+}
+
+// CBC performs the paper's correlation-based clustering. Series are
+// ranked first by the number of pairwise correlations above rhoTh and
+// second by the mean of those above-threshold correlations. The
+// top-ranked series becomes a signature; it and every series correlated
+// with it above rhoTh form a cluster and leave the ranking. The process
+// repeats until no series remains. Series with no strong correlation
+// end up as singleton clusters (their own signatures).
+func CBC(series []timeseries.Series, rhoTh float64) (Result, error) {
+	n := len(series)
+	if n == 0 {
+		return Result{}, nil
+	}
+	corr, err := CorrelationMatrix(series)
+	if err != nil {
+		return Result{}, err
+	}
+	return cbcFromCorr(corr, rhoTh), nil
+}
+
+func cbcFromCorr(corr *DistMatrix, rhoTh float64) Result {
+	n := corr.Len()
+	type rank struct {
+		idx   int
+		count int
+		mean  float64
+	}
+	ranks := make([]rank, n)
+	for i := 0; i < n; i++ {
+		cnt, sum := 0, 0.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if r := corr.At(i, j); r > rhoTh {
+				cnt++
+				sum += r
+			}
+		}
+		m := 0.0
+		if cnt > 0 {
+			m = sum / float64(cnt)
+		}
+		ranks[i] = rank{idx: i, count: cnt, mean: m}
+	}
+	sort.Slice(ranks, func(a, b int) bool {
+		if ranks[a].count != ranks[b].count {
+			return ranks[a].count > ranks[b].count
+		}
+		if ranks[a].mean != ranks[b].mean {
+			return ranks[a].mean > ranks[b].mean
+		}
+		return ranks[a].idx < ranks[b].idx // deterministic tie-break
+	})
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var sigs []int
+	k := 0
+	for _, r := range ranks {
+		if assign[r.idx] != -1 {
+			continue // already absorbed into an earlier cluster
+		}
+		assign[r.idx] = k
+		sigs = append(sigs, r.idx)
+		for j := 0; j < n; j++ {
+			if assign[j] == -1 && corr.At(r.idx, j) > rhoTh {
+				assign[j] = k
+			}
+		}
+		k++
+	}
+	sort.Ints(sigs)
+	return Result{Assign: assign, K: k, Signatures: sigs}
+}
+
+// DTWSearch runs the paper's step-1 DTW path end to end: pairwise DTW
+// dissimilarities, average-linkage hierarchical clustering, silhouette
+// model selection over k in [2, len(series)/2] and medoid signature
+// extraction. window is the Sakoe-Chiba half-width (negative for
+// unconstrained).
+func DTWSearch(series []timeseries.Series, window int) (Result, error) {
+	n := len(series)
+	switch n {
+	case 0:
+		return Result{}, nil
+	case 1:
+		return Result{Assign: []int{0}, K: 1, Signatures: []int{0}}, nil
+	}
+	d, err := DTWMatrix(series, window)
+	if err != nil {
+		return Result{}, err
+	}
+	dend := Agglomerative(d)
+	kmax := n / 2
+	if kmax < 2 {
+		kmax = 2
+	}
+	assign, k, _ := OptimalCut(dend, d, 2, kmax)
+	return Result{Assign: assign, K: k, Signatures: Medoids(d, assign)}, nil
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/timeseries"
+)
+
+func TestCorrelationMatrix(t *testing.T) {
+	series := []timeseries.Series{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{4, 3, 2, 1},
+	}
+	c, err := CorrelationMatrix(series)
+	if err != nil {
+		t.Fatalf("CorrelationMatrix: %v", err)
+	}
+	if c.At(0, 0) != 1 {
+		t.Errorf("diagonal = %v, want 1", c.At(0, 0))
+	}
+	if got := c.At(0, 1); got < 0.999 {
+		t.Errorf("corr(0,1) = %v, want ~1", got)
+	}
+	if got := c.At(0, 2); got > -0.999 {
+		t.Errorf("corr(0,2) = %v, want ~-1", got)
+	}
+	if _, err := CorrelationMatrix([]timeseries.Series{{1, 2}, {1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// paperExample reproduces the Fig 1 situation: D1 and D4 are affine
+// transforms of D3 (strongly correlated); D2 is independent.
+func paperExample(t *testing.T) []timeseries.Series {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	n := 96
+	d3 := make(timeseries.Series, n)
+	for i := range d3 {
+		d3[i] = 40 + 25*sin(float64(i)/7) + r.NormFloat64()
+	}
+	d1 := make(timeseries.Series, n)
+	d4 := make(timeseries.Series, n)
+	d2 := make(timeseries.Series, n)
+	for i := range d3 {
+		d1[i] = 5 + 0.9*d3[i] + r.NormFloat64()
+		d4[i] = -3 + 1.2*d3[i] + r.NormFloat64()
+		d2[i] = 30 + 10*sin(float64(i)/2) + r.NormFloat64()
+	}
+	return []timeseries.Series{d1, d2, d3, d4}
+}
+
+func TestCBCPaperExample(t *testing.T) {
+	series := paperExample(t)
+	res, err := CBC(series, DefaultRhoTh)
+	if err != nil {
+		t.Fatalf("CBC: %v", err)
+	}
+	// D1, D3, D4 (indices 0,2,3) belong together; D2 (index 1) alone.
+	if res.Assign[0] != res.Assign[2] || res.Assign[0] != res.Assign[3] {
+		t.Errorf("correlated trio split: %v", res.Assign)
+	}
+	if res.Assign[1] == res.Assign[0] {
+		t.Errorf("independent series joined: %v", res.Assign)
+	}
+	if res.K != 2 {
+		t.Errorf("K = %d, want 2", res.K)
+	}
+	if len(res.Signatures) != 2 {
+		t.Errorf("signatures = %v, want 2 entries", res.Signatures)
+	}
+}
+
+func TestCBCNoStrongCorrelation(t *testing.T) {
+	// Orthogonal-ish series: every series its own cluster.
+	series := []timeseries.Series{
+		{1, 0, 0, 0, 1, 0, 0, 0},
+		{0, 1, 0, 0, 0, -1, 0, 0},
+		{0, 0, 1, -1, 0, 0, 1, -1},
+	}
+	res, err := CBC(series, DefaultRhoTh)
+	if err != nil {
+		t.Fatalf("CBC: %v", err)
+	}
+	if res.K != 3 {
+		t.Errorf("K = %d, want 3 singletons: %v", res.K, res.Assign)
+	}
+	if len(res.Signatures) != 3 {
+		t.Errorf("signatures = %v, want all three", res.Signatures)
+	}
+}
+
+func TestCBCEmpty(t *testing.T) {
+	res, err := CBC(nil, DefaultRhoTh)
+	if err != nil || res.K != 0 {
+		t.Errorf("empty CBC = %+v, %v", res, err)
+	}
+}
+
+func TestCBCThresholdMonotonicity(t *testing.T) {
+	// A lower threshold can only merge more, never split: K(0.5) <= K(0.9).
+	series := paperExample(t)
+	lo, err := CBC(series, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := CBC(series, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.K > hi.K {
+		t.Errorf("K(rho=0.5)=%d > K(rho=0.95)=%d", lo.K, hi.K)
+	}
+}
+
+// Properties of CBC results: complete assignment, labels 0..K-1, one
+// signature per cluster, each signature inside its own cluster, and
+// every non-signature member of a cluster correlates with its signature
+// above the threshold.
+func TestCBCInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		length := 16 + r.Intn(32)
+		series := make([]timeseries.Series, n)
+		// Generate from a couple of latent factors to get interesting
+		// correlation structure.
+		f1 := make(timeseries.Series, length)
+		f2 := make(timeseries.Series, length)
+		for i := 0; i < length; i++ {
+			f1[i] = r.NormFloat64()
+			f2[i] = r.NormFloat64()
+		}
+		for k := range series {
+			s := make(timeseries.Series, length)
+			w := r.Float64()
+			for i := 0; i < length; i++ {
+				s[i] = w*f1[i] + (1-w)*f2[i] + 0.1*r.NormFloat64()
+			}
+			series[k] = s
+		}
+		res, err := CBC(series, DefaultRhoTh)
+		if err != nil {
+			return false
+		}
+		if len(res.Assign) != n || len(res.Signatures) != res.K {
+			return false
+		}
+		corr, err := CorrelationMatrix(series)
+		if err != nil {
+			return false
+		}
+		sigOf := map[int]int{}
+		for _, s := range res.Signatures {
+			sigOf[res.Assign[s]] = s
+		}
+		if len(sigOf) != res.K {
+			return false // two signatures in one cluster
+		}
+		for i, c := range res.Assign {
+			if c < 0 || c >= res.K {
+				return false
+			}
+			sig, ok := sigOf[c]
+			if !ok {
+				return false
+			}
+			if i != sig && !(corr.At(i, sig) > DefaultRhoTh) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package cluster implements the two time-series clustering techniques
+// ATM's signature search uses (paper Section III-A):
+//
+//   - Dynamic Time Warping distance with agglomerative hierarchical
+//     clustering, the cluster count selected by the average silhouette
+//     value, and the per-cluster series with the lowest average
+//     dissimilarity taken as that cluster's signature.
+//   - Correlation-Based Clustering (CBC), the paper's own scheme: rank
+//     series by how many strong correlations (ρ > ρTh) they have, peel
+//     off the topmost series together with everything strongly
+//     correlated to it, repeat.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"atm/internal/timeseries"
+)
+
+// DTW returns the dynamic-time-warping dissimilarity between two series
+// using squared pointwise distance d(p_i, q_j) = (p_i - q_j)^2 and the
+// standard cumulative recurrence (paper Eq. 2). Either series being
+// empty yields +Inf (no warping path exists).
+func DTW(p, q timeseries.Series) float64 {
+	return DTWWindow(p, q, -1)
+}
+
+// DTWWindow is DTW constrained to a Sakoe-Chiba band of half-width w
+// (|i-j| <= w). A negative w means unconstrained. The band is widened
+// to at least |len(p)-len(q)| so a path always exists.
+func DTWWindow(p, q timeseries.Series, w int) float64 {
+	n, m := len(p), len(q)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	if w >= 0 {
+		if d := n - m; d < 0 {
+			if w < -d {
+				w = -d
+			}
+		} else if w < d {
+			w = d
+		}
+	}
+	// Two rolling rows of the cumulative-cost matrix.
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = math.Inf(1)
+		}
+		lo, hi := 1, m
+		if w >= 0 {
+			if lo < i-w {
+				lo = i - w
+			}
+			if hi > i+w {
+				hi = i + w
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			d := p[i-1] - q[j-1]
+			d *= d
+			best := prev[j-1] // match
+			if prev[j] < best {
+				best = prev[j] // insertion
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// DistMatrix is a symmetric matrix of pairwise dissimilarities with
+// zero diagonal.
+type DistMatrix struct {
+	n    int
+	data []float64 // full n×n for simple indexing
+}
+
+// NewDistMatrix returns an n×n zero distance matrix.
+func NewDistMatrix(n int) *DistMatrix {
+	return &DistMatrix{n: n, data: make([]float64, n*n)}
+}
+
+// Len returns the number of items.
+func (d *DistMatrix) Len() int { return d.n }
+
+// At returns the dissimilarity between items i and j.
+func (d *DistMatrix) At(i, j int) float64 { return d.data[i*d.n+j] }
+
+// Set assigns the symmetric dissimilarity between items i and j.
+func (d *DistMatrix) Set(i, j int, v float64) {
+	d.data[i*d.n+j] = v
+	d.data[j*d.n+i] = v
+}
+
+// DTWMatrix computes all pairwise DTW dissimilarities between the
+// series. Series are z-normalized first so that DTW groups by shape
+// rather than by level, which is what makes co-moving usage series
+// cluster together. The window parameter is passed to DTWWindow.
+func DTWMatrix(series []timeseries.Series, window int) (*DistMatrix, error) {
+	n := len(series)
+	d := NewDistMatrix(n)
+	if n == 0 {
+		return d, nil
+	}
+	norm := make([]timeseries.Series, n)
+	for i, s := range series {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("series %d: %w", i, timeseries.ErrEmpty)
+		}
+		norm[i] = s.Normalize()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d.Set(i, j, DTWWindow(norm[i], norm[j], window))
+		}
+	}
+	return d, nil
+}

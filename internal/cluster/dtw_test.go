@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/timeseries"
+)
+
+func TestDTWIdentical(t *testing.T) {
+	s := timeseries.Series{1, 2, 3, 2, 1}
+	if got := DTW(s, s); got != 0 {
+		t.Errorf("DTW(s,s) = %v, want 0", got)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	// Hand-computed: p={0,1}, q={0,0,1}.
+	// Optimal path aligns p1 with q1,q2 and p2 with q3: cost 0.
+	p := timeseries.Series{0, 1}
+	q := timeseries.Series{0, 0, 1}
+	if got := DTW(p, q); got != 0 {
+		t.Errorf("DTW = %v, want 0 (warping absorbs the repeat)", got)
+	}
+	// p={0,2}, q={1}: every alignment pairs both with 1 → 1+1 = 2.
+	if got := DTW(timeseries.Series{0, 2}, timeseries.Series{1}); got != 2 {
+		t.Errorf("DTW = %v, want 2", got)
+	}
+}
+
+func TestDTWShiftTolerance(t *testing.T) {
+	// DTW must see through a small phase shift that Euclidean distance
+	// would punish.
+	n := 50
+	a := make(timeseries.Series, n)
+	b := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		a[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+		b[i] = math.Sin(2 * math.Pi * float64(i+2) / 25)
+	}
+	var euclid float64
+	for i := range a {
+		d := a[i] - b[i]
+		euclid += d * d
+	}
+	if got := DTW(a, b); got >= euclid/2 {
+		t.Errorf("DTW = %v not much below Euclidean %v for shifted sines", got, euclid)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if got := DTW(timeseries.Series{}, timeseries.Series{1}); !math.IsInf(got, 1) {
+		t.Errorf("DTW with empty series = %v, want +Inf", got)
+	}
+}
+
+func TestDTWWindowWidensForLengthGap(t *testing.T) {
+	p := timeseries.Series{1, 2, 3, 4, 5, 6}
+	q := timeseries.Series{1, 6}
+	got := DTWWindow(p, q, 0) // band must widen to len gap or no path exists
+	if math.IsInf(got, 1) {
+		t.Error("DTWWindow(0) returned +Inf; band should widen to the length gap")
+	}
+}
+
+// Properties: DTW is symmetric, non-negative, and zero on identical
+// inputs; windowed DTW is >= unconstrained DTW.
+func TestDTWProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := 2+r.Intn(20), 2+r.Intn(20)
+		p := make(timeseries.Series, n)
+		q := make(timeseries.Series, m)
+		for i := range p {
+			p[i] = r.NormFloat64()
+		}
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		d1, d2 := DTW(p, q), DTW(q, p)
+		if math.Abs(d1-d2) > 1e-9 || d1 < 0 {
+			return false
+		}
+		if DTW(p, p) != 0 {
+			return false
+		}
+		return DTWWindow(p, q, 3) >= d1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWMatrix(t *testing.T) {
+	series := []timeseries.Series{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8}, // same shape as 0 after z-norm → distance 0
+		{9, 1, 9, 1}, // different shape
+	}
+	d, err := DTWMatrix(series, -1)
+	if err != nil {
+		t.Fatalf("DTWMatrix: %v", err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if got := d.At(0, 1); got > 1e-9 {
+		t.Errorf("z-normalized identical shapes distance = %v, want ~0", got)
+	}
+	if got := d.At(0, 2); got < 1 {
+		t.Errorf("distinct shapes distance = %v, want large", got)
+	}
+	if d.At(1, 2) != d.At(2, 1) {
+		t.Error("matrix not symmetric")
+	}
+	if _, err := DTWMatrix([]timeseries.Series{{}}, -1); err == nil {
+		t.Error("empty series accepted, want error")
+	}
+}

@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"atm/internal/timeseries"
+)
+
+// Features is the fixed-length descriptor extracted from one series —
+// the "extracted features" route to time-series clustering the paper
+// cites (Fulcher & Jones) as the alternative to operating on the raw
+// series with DTW.
+type Features struct {
+	// Mean and Std describe the level.
+	Mean, Std float64
+	// Skewness and Kurtosis describe the sample distribution's shape.
+	Skewness, Kurtosis float64
+	// ACF1, ACF2 and ACFSeason are autocorrelations at lags 1, 2 and
+	// the seasonal period (0 when no period is given).
+	ACF1, ACF2, ACFSeason float64
+	// TrendStrength is the R² of a linear fit over time.
+	TrendStrength float64
+	// SeasonalStrength is the fraction of variance explained by
+	// per-slot seasonal means (0 when no period is given).
+	SeasonalStrength float64
+	// Burstiness is the fraction of samples above the 90th percentile
+	// plus one std — how spiky the series is.
+	Burstiness float64
+	// CrossingRate is the mean-crossing rate, a cheap frequency proxy.
+	CrossingRate float64
+}
+
+// vector flattens the features for distance computations.
+func (f Features) vector() []float64 {
+	return []float64{
+		f.Mean, f.Std, f.Skewness, f.Kurtosis,
+		f.ACF1, f.ACF2, f.ACFSeason,
+		f.TrendStrength, f.SeasonalStrength, f.Burstiness, f.CrossingRate,
+	}
+}
+
+const numFeatures = 11
+
+// ExtractFeatures computes the descriptor of one series. period is
+// the seasonal length in samples (0 to skip seasonal features). An
+// empty series yields the zero descriptor.
+func ExtractFeatures(s timeseries.Series, period int) Features {
+	n := len(s)
+	if n == 0 {
+		return Features{}
+	}
+	var f Features
+	f.Mean = s.Mean()
+	f.Std = s.Std()
+
+	// Central moments for shape.
+	if f.Std > 0 && n > 2 {
+		var m3, m4 float64
+		for _, v := range s {
+			d := (v - f.Mean) / f.Std
+			m3 += d * d * d
+			m4 += d * d * d * d
+		}
+		f.Skewness = m3 / float64(n)
+		f.Kurtosis = m4/float64(n) - 3
+	}
+
+	f.ACF1 = acf(s, 1)
+	f.ACF2 = acf(s, 2)
+	if period > 0 && period < n {
+		f.ACFSeason = acf(s, period)
+		f.SeasonalStrength = seasonalStrength(s, period)
+	}
+	f.TrendStrength = trendStrength(s)
+
+	// Burstiness: samples above q90 + sigma.
+	hi := timeseries.Quantile(s, 0.9) + f.Std
+	cnt := 0
+	for _, v := range s {
+		if v > hi {
+			cnt++
+		}
+	}
+	f.Burstiness = float64(cnt) / float64(n)
+
+	// Mean-crossing rate.
+	cross := 0
+	for i := 1; i < n; i++ {
+		if (s[i] >= f.Mean) != (s[i-1] >= f.Mean) {
+			cross++
+		}
+	}
+	f.CrossingRate = float64(cross) / float64(n-1)
+	return f
+}
+
+// acf returns the lag-k autocorrelation.
+func acf(s timeseries.Series, k int) float64 {
+	n := len(s)
+	if k <= 0 || k >= n {
+		return 0
+	}
+	m := s.Mean()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := s[i] - m
+		den += d * d
+		if i+k < n {
+			num += d * (s[i+k] - m)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// trendStrength is the R² of the OLS line through (i, s[i]).
+func trendStrength(s timeseries.Series) float64 {
+	n := len(s)
+	if n < 3 {
+		return 0
+	}
+	mx := float64(n-1) / 2
+	my := s.Mean()
+	var sxy, sxx, syy float64
+	for i, v := range s {
+		dx := float64(i) - mx
+		dy := v - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return (sxy * sxy) / (sxx * syy)
+}
+
+// seasonalStrength is the variance fraction explained by per-slot
+// means over the period.
+func seasonalStrength(s timeseries.Series, period int) float64 {
+	means := make([]float64, period)
+	counts := make([]int, period)
+	for i, v := range s {
+		means[i%period] += v
+		counts[i%period]++
+	}
+	for i := range means {
+		if counts[i] > 0 {
+			means[i] /= float64(counts[i])
+		}
+	}
+	grand := s.Mean()
+	var ssBetween, ssTotal float64
+	for i, v := range s {
+		d := v - grand
+		ssTotal += d * d
+		e := means[i%period] - grand
+		ssBetween += e * e
+	}
+	if ssTotal == 0 {
+		return 0
+	}
+	r := ssBetween / ssTotal
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// FeatureSearch clusters series by k-means over z-scored feature
+// vectors, choosing k by the silhouette criterion (like DTWSearch) and
+// returning the series nearest each centroid as the signatures. It is
+// dramatically cheaper than DTW — feature extraction is linear in the
+// series length and clustering no longer depends on it at all.
+func FeatureSearch(series []timeseries.Series, period int) (Result, error) {
+	n := len(series)
+	switch n {
+	case 0:
+		return Result{}, nil
+	case 1:
+		return Result{Assign: []int{0}, K: 1, Signatures: []int{0}}, nil
+	}
+	vecs := make([][]float64, n)
+	for i, s := range series {
+		if len(s) == 0 {
+			return Result{}, fmt.Errorf("cluster: series %d: %w", i, timeseries.ErrEmpty)
+		}
+		vecs[i] = ExtractFeatures(s, period).vector()
+	}
+	normalizeColumns(vecs)
+
+	// Distance matrix in feature space reuses the silhouette/medoid
+	// machinery.
+	d := NewDistMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d.Set(i, j, euclid(vecs[i], vecs[j]))
+		}
+	}
+
+	kmax := n / 2
+	if kmax < 2 {
+		kmax = 2
+	}
+	bestAssign, bestScore := []int(nil), math.Inf(-1)
+	rng := rand.New(rand.NewSource(1))
+	for k := 2; k <= kmax; k++ {
+		assign := kmeans(vecs, k, rng)
+		score, err := MeanSilhouette(d, assign)
+		if err != nil {
+			return Result{}, err
+		}
+		if score > bestScore {
+			bestScore, bestAssign = score, assign
+		}
+	}
+	// Relabel to 0..K-1 (k-means can leave empty clusters).
+	relabel := map[int]int{}
+	for _, c := range bestAssign {
+		if _, ok := relabel[c]; !ok {
+			relabel[c] = len(relabel)
+		}
+	}
+	assign := make([]int, n)
+	for i, c := range bestAssign {
+		assign[i] = relabel[c]
+	}
+	return Result{Assign: assign, K: len(relabel), Signatures: Medoids(d, assign)}, nil
+}
+
+// normalizeColumns z-scores each feature dimension in place so no
+// single feature dominates the Euclidean metric.
+func normalizeColumns(vecs [][]float64) {
+	if len(vecs) == 0 {
+		return
+	}
+	for j := 0; j < numFeatures; j++ {
+		var mean float64
+		for _, v := range vecs {
+			mean += v[j]
+		}
+		mean /= float64(len(vecs))
+		var ss float64
+		for _, v := range vecs {
+			d := v[j] - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(len(vecs)))
+		for _, v := range vecs {
+			if std > 0 {
+				v[j] = (v[j] - mean) / std
+			} else {
+				v[j] = 0
+			}
+		}
+	}
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// kmeans is Lloyd's algorithm with k-means++-style seeding, fixed
+// iteration budget and a deterministic rng.
+func kmeans(vecs [][]float64, k int, rng *rand.Rand) []int {
+	n := len(vecs)
+	if k > n {
+		k = n
+	}
+	// Seeding: first centroid uniform, the rest proportional to
+	// squared distance from the nearest chosen centroid.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), vecs[rng.Intn(n)]...))
+	for len(centroids) < k {
+		weights := make([]float64, n)
+		var total float64
+		for i, v := range vecs {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := euclid(v, c); d < best {
+					best = d
+				}
+			}
+			weights[i] = best * best
+			total += weights[i]
+		}
+		pick := 0
+		if total > 0 {
+			r := rng.Float64() * total
+			for i, w := range weights {
+				r -= w
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(n)
+		}
+		centroids = append(centroids, append([]float64(nil), vecs[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := euclid(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, numFeatures)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for j := range v {
+				sums[c][j] += v[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the old centroid; cluster may refill
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/timeseries"
+)
+
+func TestExtractFeaturesBasics(t *testing.T) {
+	n := 96
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = 50 + 20*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	f := ExtractFeatures(s, 24)
+	if math.Abs(f.Mean-50) > 0.5 {
+		t.Errorf("Mean = %v, want ~50", f.Mean)
+	}
+	if f.SeasonalStrength < 0.9 {
+		t.Errorf("SeasonalStrength = %v, want ~1 for a pure sine", f.SeasonalStrength)
+	}
+	if f.ACF1 < 0.8 {
+		t.Errorf("ACF1 = %v, want high for a smooth series", f.ACF1)
+	}
+	if f.TrendStrength > 0.2 {
+		t.Errorf("TrendStrength = %v, want ~0 for a stationary sine", f.TrendStrength)
+	}
+}
+
+func TestExtractFeaturesTrend(t *testing.T) {
+	s := make(timeseries.Series, 50)
+	for i := range s {
+		s[i] = float64(i) * 2
+	}
+	f := ExtractFeatures(s, 0)
+	if f.TrendStrength < 0.99 {
+		t.Errorf("TrendStrength = %v, want ~1 for a line", f.TrendStrength)
+	}
+	if f.SeasonalStrength != 0 || f.ACFSeason != 0 {
+		t.Error("seasonal features must be zero without a period")
+	}
+}
+
+func TestExtractFeaturesBursty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	flat := make(timeseries.Series, 200)
+	spiky := make(timeseries.Series, 200)
+	for i := range flat {
+		flat[i] = 20 + r.NormFloat64()
+		spiky[i] = 20 + r.NormFloat64()
+	}
+	for i := 0; i < 200; i += 25 {
+		spiky[i] = 90
+	}
+	ff := ExtractFeatures(flat, 0)
+	fs := ExtractFeatures(spiky, 0)
+	if fs.Kurtosis <= ff.Kurtosis {
+		t.Errorf("spiky kurtosis %v <= flat %v", fs.Kurtosis, ff.Kurtosis)
+	}
+	if fs.Skewness <= ff.Skewness {
+		t.Errorf("spiky skewness %v <= flat %v", fs.Skewness, ff.Skewness)
+	}
+}
+
+func TestExtractFeaturesDegenerate(t *testing.T) {
+	if f := ExtractFeatures(nil, 10); f != (Features{}) {
+		t.Errorf("empty features = %+v, want zero", f)
+	}
+	// Constant series: no NaNs anywhere.
+	c := make(timeseries.Series, 20)
+	for i := range c {
+		c[i] = 7
+	}
+	f := ExtractFeatures(c, 5)
+	for i, v := range f.vector() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d = %v on constant series", i, v)
+		}
+	}
+}
+
+func TestFeatureSearchSeparatesShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := 96
+	mk := func(f func(i int) float64) timeseries.Series {
+		s := make(timeseries.Series, n)
+		for i := range s {
+			s[i] = f(i) + 0.3*r.NormFloat64()
+		}
+		return s
+	}
+	sine := func(i int) float64 { return 40 + 20*math.Sin(2*math.Pi*float64(i)/24) }
+	trendy := func(i int) float64 { return 10 + 0.6*float64(i) }
+	series := []timeseries.Series{
+		mk(sine), mk(sine), mk(sine),
+		mk(trendy), mk(trendy), mk(trendy),
+	}
+	res, err := FeatureSearch(series, 24)
+	if err != nil {
+		t.Fatalf("FeatureSearch: %v", err)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[1] != res.Assign[2] {
+		t.Errorf("sine group split: %v", res.Assign)
+	}
+	if res.Assign[3] != res.Assign[4] || res.Assign[4] != res.Assign[5] {
+		t.Errorf("trend group split: %v", res.Assign)
+	}
+	if res.Assign[0] == res.Assign[3] {
+		t.Errorf("groups merged: %v", res.Assign)
+	}
+	if len(res.Signatures) != res.K {
+		t.Errorf("signatures %v vs K %d", res.Signatures, res.K)
+	}
+}
+
+func TestFeatureSearchDegenerate(t *testing.T) {
+	if res, err := FeatureSearch(nil, 0); err != nil || res.K != 0 {
+		t.Errorf("empty = %+v, %v", res, err)
+	}
+	res, err := FeatureSearch([]timeseries.Series{{1, 2, 3}}, 0)
+	if err != nil || res.K != 1 {
+		t.Errorf("single = %+v, %v", res, err)
+	}
+	if _, err := FeatureSearch([]timeseries.Series{{1}, {}}, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+}
+
+// Invariants: complete assignment with labels 0..K-1, one signature
+// per cluster, deterministic across calls.
+func TestFeatureSearchInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		length := 24 + r.Intn(48)
+		series := make([]timeseries.Series, n)
+		for k := range series {
+			s := make(timeseries.Series, length)
+			base := r.Float64() * 50
+			for i := range s {
+				s[i] = base + 5*r.NormFloat64()
+			}
+			series[k] = s
+		}
+		a, err := FeatureSearch(series, 24)
+		if err != nil {
+			return false
+		}
+		b, err := FeatureSearch(series, 24)
+		if err != nil {
+			return false
+		}
+		if a.K != b.K {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, c := range a.Assign {
+			if c < 0 || c >= a.K || a.Assign[i] != b.Assign[i] {
+				return false
+			}
+			seen[c] = true
+		}
+		if len(seen) != a.K || len(a.Signatures) != a.K {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// merge records one agglomeration step: clusters a and b (identified by
+// their current representative ids) fused at the given height.
+type merge struct {
+	a, b   int
+	height float64
+}
+
+// Dendrogram is the merge history of an agglomerative clustering run.
+// Cut(k) replays the history to obtain a flat assignment into k
+// clusters.
+type Dendrogram struct {
+	n      int
+	merges []merge
+}
+
+// Agglomerative performs average-linkage hierarchical clustering over
+// the dissimilarity matrix (UPGMA). It is O(n^3), which is ample for
+// per-box series counts (tens of series).
+func Agglomerative(d *DistMatrix) *Dendrogram {
+	n := d.Len()
+	dend := &Dendrogram{n: n}
+	if n <= 1 {
+		return dend
+	}
+	// active[i] reports whether cluster id i still exists; size[i] its
+	// cardinality. Cluster ids are the smallest member index.
+	active := make([]bool, n)
+	size := make([]int, n)
+	// dist holds current inter-cluster average-linkage distances.
+	dist := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		dist[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			dist[i][j] = d.At(i, j)
+		}
+	}
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					best, bi, bj = dist[i][j], i, j
+				}
+			}
+		}
+		// Merge bj into bi (Lance-Williams update for average linkage).
+		dend.merges = append(dend.merges, merge{a: bi, b: bj, height: best})
+		si, sj := float64(size[bi]), float64(size[bj])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			nd := (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+	}
+	return dend
+}
+
+// Cut returns a flat assignment of the n items into k clusters by
+// replaying merges until exactly k clusters remain. Labels are
+// 0..k-1 in order of each cluster's smallest member index. k is
+// clamped into [1, n].
+func (dg *Dendrogram) Cut(k int) []int {
+	n := dg.n
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for step := 0; step < n-k; step++ {
+		m := dg.merges[step]
+		ra, rb := find(m.a), find(m.b)
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	// Relabel roots to 0..k-1 ordered by smallest member.
+	label := map[int]int{}
+	assign := make([]int, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		r := find(i)
+		l, ok := label[r]
+		if !ok {
+			l = next
+			label[r] = l
+			next++
+		}
+		assign[i] = l
+	}
+	return assign
+}
+
+// Silhouette returns the per-item silhouette values for a flat
+// assignment (paper Eq. 3): s(i) = (b(i)-a(i)) / max(a(i), b(i)), where
+// a(i) is the mean dissimilarity of i to its own cluster and b(i) the
+// lowest mean dissimilarity to another cluster. Items in singleton
+// clusters get 0, the standard convention. If there is a single
+// cluster, every value is 0.
+func Silhouette(d *DistMatrix, assign []int) ([]float64, error) {
+	n := d.Len()
+	if len(assign) != n {
+		return nil, fmt.Errorf("cluster: assignment size %d for %d items", len(assign), n)
+	}
+	k := 0
+	for _, c := range assign {
+		if c < 0 {
+			return nil, fmt.Errorf("cluster: negative label %d", c)
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	counts := make([]int, k)
+	for _, c := range assign {
+		counts[c]++
+	}
+	out := make([]float64, n)
+	if k <= 1 {
+		return out, nil
+	}
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				sums[assign[j]] += d.At(i, j)
+			}
+		}
+		own := assign[i]
+		if counts[own] <= 1 {
+			out[i] = 0
+			continue
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		denom := math.Max(a, b)
+		if denom == 0 {
+			out[i] = 0
+		} else {
+			out[i] = (b - a) / denom
+		}
+	}
+	return out, nil
+}
+
+// MeanSilhouette returns the average silhouette value of the
+// assignment.
+func MeanSilhouette(d *DistMatrix, assign []int) (float64, error) {
+	s, err := Silhouette(d, assign)
+	if err != nil {
+		return 0, err
+	}
+	if len(s) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s)), nil
+}
+
+// OptimalCut evaluates cuts for k in [kmin, kmax] and returns the
+// assignment with the maximal mean silhouette, following the paper:
+// candidate cluster counts range from 2 to (M*N)/2 so the signature set
+// shrinks to at most half the series. Ties favor the smaller k (fewer
+// signatures means fewer expensive temporal models). If kmax < kmin
+// the single cut at kmin clamped to n is returned.
+func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k int, score float64) {
+	n := d.Len()
+	if n == 0 {
+		return nil, 0, 0
+	}
+	if kmin < 1 {
+		kmin = 1
+	}
+	if kmax > n {
+		kmax = n
+	}
+	if kmax < kmin {
+		kmax = kmin
+	}
+	bestK, bestScore := kmin, math.Inf(-1)
+	var bestAssign []int
+	for k := kmin; k <= kmax; k++ {
+		a := dg.Cut(k)
+		s, err := MeanSilhouette(d, a)
+		if err != nil {
+			continue
+		}
+		if s > bestScore {
+			bestScore, bestK, bestAssign = s, k, a
+		}
+	}
+	if bestAssign == nil {
+		bestAssign = dg.Cut(kmin)
+		bestK = kmin
+		bestScore = 0
+	}
+	return bestAssign, bestK, bestScore
+}
+
+// Medoids returns, for each cluster label in the assignment, the index
+// of the member with the lowest average dissimilarity to its cluster
+// mates — the paper's choice of per-cluster signature series. The
+// result is sorted by cluster label.
+func Medoids(d *DistMatrix, assign []int) []int {
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	medoid := make([]int, k)
+	bestAvg := make([]float64, k)
+	for c := range medoid {
+		medoid[c] = -1
+		bestAvg[c] = math.Inf(1)
+	}
+	for i, c := range assign {
+		var sum float64
+		cnt := 0
+		for j, cj := range assign {
+			if cj == c && j != i {
+				sum += d.At(i, j)
+				cnt++
+			}
+		}
+		avg := 0.0
+		if cnt > 0 {
+			avg = sum / float64(cnt)
+		}
+		if avg < bestAvg[c] || (avg == bestAvg[c] && (medoid[c] == -1 || i < medoid[c])) {
+			bestAvg[c] = avg
+			medoid[c] = i
+		}
+	}
+	sort.Ints(medoid)
+	return medoid
+}

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/timeseries"
+)
+
+// twoBlobs builds a distance matrix with two well-separated groups:
+// items [0,half) and [half,n).
+func twoBlobs(n, half int) *DistMatrix {
+	d := NewDistMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same := (i < half) == (j < half)
+			if same {
+				d.Set(i, j, 1)
+			} else {
+				d.Set(i, j, 10)
+			}
+		}
+	}
+	return d
+}
+
+func TestAgglomerativeTwoBlobs(t *testing.T) {
+	d := twoBlobs(6, 3)
+	dend := Agglomerative(d)
+	assign := dend.Cut(2)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Errorf("first blob split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Errorf("second blob split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Errorf("blobs merged at k=2: %v", assign)
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	d := twoBlobs(5, 2)
+	dend := Agglomerative(d)
+	one := dend.Cut(1)
+	for _, c := range one {
+		if c != 0 {
+			t.Errorf("Cut(1) = %v, want all zeros", one)
+		}
+	}
+	all := dend.Cut(5)
+	seen := map[int]bool{}
+	for _, c := range all {
+		seen[c] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Cut(n) has %d clusters, want 5", len(seen))
+	}
+	// Clamping.
+	if got := dend.Cut(0); len(got) != 5 {
+		t.Errorf("Cut(0) len = %d", len(got))
+	}
+	if got := dend.Cut(99); len(got) != 5 {
+		t.Errorf("Cut(99) len = %d", len(got))
+	}
+}
+
+func TestCutEmptyAndSingle(t *testing.T) {
+	if got := Agglomerative(NewDistMatrix(0)).Cut(2); got != nil {
+		t.Errorf("empty Cut = %v, want nil", got)
+	}
+	if got := Agglomerative(NewDistMatrix(1)).Cut(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single Cut = %v, want [0]", got)
+	}
+}
+
+// Property: every Cut(k) yields exactly min(k, n) labels numbered
+// 0..k-1, and cuts are nested (refinements never split previously
+// separate clusters back together... i.e. Cut(k+1) refines Cut(k)).
+func TestCutNestedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		d := NewDistMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d.Set(i, j, r.Float64()*10)
+			}
+		}
+		dend := Agglomerative(d)
+		for k := 1; k <= n; k++ {
+			a := dend.Cut(k)
+			labels := map[int]bool{}
+			for _, c := range a {
+				labels[c] = true
+			}
+			if len(labels) != k {
+				return false
+			}
+			if k > 1 {
+				// Nestedness: items together at k must have been together at k-1.
+				prev := dend.Cut(k - 1)
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						if a[i] == a[j] && prev[i] != prev[j] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSilhouetteSeparatedBlobs(t *testing.T) {
+	d := twoBlobs(6, 3)
+	assign := []int{0, 0, 0, 1, 1, 1}
+	s, err := Silhouette(d, assign)
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	for i, v := range s {
+		if v < 0.8 {
+			t.Errorf("s[%d] = %v, want high for well-separated blobs", i, v)
+		}
+	}
+	// A bad assignment scores worse.
+	bad := []int{0, 1, 0, 1, 0, 1}
+	mGood, _ := MeanSilhouette(d, assign)
+	mBad, _ := MeanSilhouette(d, bad)
+	if mBad >= mGood {
+		t.Errorf("bad assignment silhouette %v >= good %v", mBad, mGood)
+	}
+}
+
+func TestSilhouetteSingletonAndSingleCluster(t *testing.T) {
+	d := twoBlobs(4, 2)
+	s, err := Silhouette(d, []int{0, 0, 0, 1}) // item 3 is a singleton
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	if s[3] != 0 {
+		t.Errorf("singleton silhouette = %v, want 0", s[3])
+	}
+	one, err := Silhouette(d, []int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	for _, v := range one {
+		if v != 0 {
+			t.Errorf("single-cluster silhouette = %v, want all 0", one)
+		}
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	d := NewDistMatrix(3)
+	if _, err := Silhouette(d, []int{0, 1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Silhouette(d, []int{0, -1, 0}); err == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+// Property: silhouette values always lie in [-1, 1].
+func TestSilhouetteBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		d := NewDistMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d.Set(i, j, r.Float64()*5)
+			}
+		}
+		k := 1 + r.Intn(n)
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = r.Intn(k)
+		}
+		s, err := Silhouette(d, assign)
+		if err != nil {
+			return false
+		}
+		for _, v := range s {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalCutFindsTwoBlobs(t *testing.T) {
+	d := twoBlobs(8, 4)
+	dend := Agglomerative(d)
+	assign, k, score := OptimalCut(dend, d, 2, 4)
+	if k != 2 {
+		t.Errorf("OptimalCut k = %d, want 2", k)
+	}
+	if score <= 0 {
+		t.Errorf("score = %v, want positive", score)
+	}
+	if assign[0] == assign[7] {
+		t.Errorf("blobs merged: %v", assign)
+	}
+}
+
+func TestOptimalCutDegenerate(t *testing.T) {
+	if assign, k, _ := OptimalCut(&Dendrogram{}, NewDistMatrix(0), 2, 4); assign != nil || k != 0 {
+		t.Errorf("empty OptimalCut = %v, %d", assign, k)
+	}
+	d := NewDistMatrix(2)
+	d.Set(0, 1, 1)
+	dend := Agglomerative(d)
+	assign, k, _ := OptimalCut(dend, d, 2, 1) // kmax < kmin clamps up
+	if k != 2 || len(assign) != 2 {
+		t.Errorf("clamped OptimalCut = %v, %d", assign, k)
+	}
+}
+
+func TestMedoids(t *testing.T) {
+	// Three items in a line: 0 --1-- 1 --1-- 2 (d(0,2)=2). Medoid is 1.
+	d := NewDistMatrix(3)
+	d.Set(0, 1, 1)
+	d.Set(1, 2, 1)
+	d.Set(0, 2, 2)
+	got := Medoids(d, []int{0, 0, 0})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Medoids = %v, want [1]", got)
+	}
+	// Two clusters, one singleton.
+	got = Medoids(d, []int{0, 0, 1})
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("Medoids = %v, want [x 2]", got)
+	}
+}
+
+func TestMedoidsCoverEveryCluster(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		d := NewDistMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d.Set(i, j, r.Float64())
+			}
+		}
+		k := 1 + r.Intn(n)
+		assign := make([]int, n)
+		// Ensure every label 0..k-1 appears at least once.
+		for i := range assign {
+			if i < k {
+				assign[i] = i
+			} else {
+				assign[i] = r.Intn(k)
+			}
+		}
+		med := Medoids(d, assign)
+		if len(med) != k {
+			return false
+		}
+		// Each medoid must belong to a distinct cluster.
+		seen := map[int]bool{}
+		for _, m := range med {
+			if m < 0 || m >= n || seen[assign[m]] {
+				return false
+			}
+			seen[assign[m]] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWSearchGroupsCorrelatedShapes(t *testing.T) {
+	// Mirror the paper's Fig 1/Sec III example: VM1, VM3, VM4 co-move;
+	// VM2 is flat-ish noise with a different shape.
+	n := 96
+	base := make(timeseries.Series, n)
+	for i := range base {
+		base[i] = 50 + 30*sin(float64(i)/8)
+	}
+	r := rand.New(rand.NewSource(3))
+	mk := func(scale, off float64) timeseries.Series {
+		s := make(timeseries.Series, n)
+		for i := range s {
+			s[i] = off + scale*base[i] + r.NormFloat64()*0.5
+		}
+		return s
+	}
+	odd := make(timeseries.Series, n)
+	for i := range odd {
+		odd[i] = 20 + 15*sin(float64(i)/2.5) // much faster oscillation
+	}
+	series := []timeseries.Series{mk(1, 0), odd, mk(0.5, 10), mk(0.8, -5)}
+	res, err := DTWSearch(series, -1)
+	if err != nil {
+		t.Fatalf("DTWSearch: %v", err)
+	}
+	if res.K < 2 {
+		t.Fatalf("K = %d, want >= 2", res.K)
+	}
+	if res.Assign[0] != res.Assign[2] || res.Assign[0] != res.Assign[3] {
+		t.Errorf("co-moving series split: %v", res.Assign)
+	}
+	if res.Assign[1] == res.Assign[0] {
+		t.Errorf("odd series joined the co-moving cluster: %v", res.Assign)
+	}
+	if len(res.Signatures) != res.K {
+		t.Errorf("signatures %v != K %d", res.Signatures, res.K)
+	}
+}
+
+func TestDTWSearchDegenerate(t *testing.T) {
+	if res, err := DTWSearch(nil, -1); err != nil || res.K != 0 {
+		t.Errorf("empty search = %+v, %v", res, err)
+	}
+	res, err := DTWSearch([]timeseries.Series{{1, 2, 3}}, -1)
+	if err != nil || res.K != 1 || res.Signatures[0] != 0 {
+		t.Errorf("single search = %+v, %v", res, err)
+	}
+}
+
+func sin(x float64) float64 { return math.Sin(x) }

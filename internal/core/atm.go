@@ -1,0 +1,366 @@
+// Package core implements the ATM (Active Ticket Managing) pipeline —
+// the paper's end-to-end system (Section V). Per box and per resizing
+// window it:
+//
+//  1. runs the two-step signature search on the training history of
+//     all M×N demand series (spatial models, Section III);
+//  2. predicts every signature series with an expensive temporal model
+//     and every dependent series with its cheap linear spatial model;
+//  3. solves the per-resource MCKP resizing problem on the predicted
+//     demands (Section IV) to set each VM's capacity for the next
+//     resizing window;
+//  4. evaluates prediction error and ticket counts against the actual
+//     demands.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"atm/internal/predict"
+	"atm/internal/resize"
+	"atm/internal/spatial"
+	"atm/internal/ticket"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+// TemporalFactory builds a fresh temporal model for one signature
+// series. Each signature gets its own model instance (models are
+// stateful).
+type TemporalFactory func() predict.Model
+
+// Config parameterizes an ATM run.
+type Config struct {
+	// Spatial configures the signature search (clustering method,
+	// thresholds).
+	Spatial spatial.Config
+	// Temporal builds the per-signature prediction model. Nil selects
+	// the paper's neural network (predict.DefaultMLP) with the
+	// trace's samples-per-day as the seasonal period.
+	Temporal TemporalFactory
+	// TrainWindows is the history length used to fit spatial and
+	// temporal models (paper: 5 days = 480 windows).
+	TrainWindows int
+	// Horizon is the prediction and resizing window in ticketing
+	// windows (paper: 1 day = 96 windows).
+	Horizon int
+	// Threshold is the usage-ticket threshold α (paper evaluation:
+	// 0.6).
+	Threshold float64
+	// Epsilon is the resizing discretization factor (paper: 5).
+	Epsilon float64
+	// UseLowerBounds, when true, floors each VM's new capacity at its
+	// peak demand over the training history, preventing spill-over of
+	// unfinished demand (paper Section IV-A1).
+	UseLowerBounds bool
+}
+
+// Errors returned by the pipeline.
+var (
+	// ErrShortTrace indicates the box's series cannot cover
+	// TrainWindows+Horizon samples.
+	ErrShortTrace = errors.New("core: trace shorter than train+horizon")
+	// ErrBadConfig indicates invalid configuration.
+	ErrBadConfig = errors.New("core: invalid config")
+)
+
+func (c Config) validate() error {
+	if c.TrainWindows <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("train %d / horizon %d: %w", c.TrainWindows, c.Horizon, ErrBadConfig)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("threshold %v: %w", c.Threshold, ErrBadConfig)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("epsilon %v: %w", c.Epsilon, ErrBadConfig)
+	}
+	return nil
+}
+
+// BoxPrediction is the spatial-temporal forecast for one box.
+type BoxPrediction struct {
+	// Model is the fitted spatial model (signature set and dependent
+	// fits).
+	Model *spatial.Model
+	// Demand holds the predicted demand series for every box series
+	// (trace.SeriesIndex order), each Horizon samples long.
+	Demand []timeseries.Series
+	// MAPE is the mean absolute percentage error per series against
+	// the actual horizon, set by Evaluate.
+	MAPE []float64
+	// PeakMAPE is the error restricted to actual demand above the
+	// ticket threshold, set by Evaluate.
+	PeakMAPE []float64
+}
+
+// PredictBox fits spatial + temporal models on the first TrainWindows
+// samples of the box's demand series and forecasts the next Horizon
+// samples for every series. The period passed to the default temporal
+// model is samplesPerDay.
+func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*BoxPrediction, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(demands) == 0 {
+		return nil, spatial.ErrNoSeries
+	}
+	need := cfg.TrainWindows + cfg.Horizon
+	for i, d := range demands {
+		if len(d) < need {
+			return nil, fmt.Errorf("series %d has %d samples, need %d: %w", i, len(d), need, ErrShortTrace)
+		}
+	}
+	factory := cfg.Temporal
+	if factory == nil {
+		factory = func() predict.Model { return predict.DefaultMLP(samplesPerDay) }
+	}
+
+	train := make([]timeseries.Series, len(demands))
+	for i, d := range demands {
+		train[i] = d.Slice(0, cfg.TrainWindows)
+	}
+
+	model, err := spatial.Search(train, cfg.Spatial)
+	if err != nil {
+		return nil, fmt.Errorf("core: signature search: %w", err)
+	}
+
+	// Temporal forecasts for the signature series only — this is the
+	// entire point of the signature reduction.
+	sigForecasts := make([]timeseries.Series, len(model.Signatures))
+	for i, idx := range model.Signatures {
+		m := factory()
+		if err := m.Fit(train[idx]); err != nil {
+			return nil, fmt.Errorf("core: fit temporal model for series %d: %w", idx, err)
+		}
+		fc, err := m.Forecast(cfg.Horizon)
+		if err != nil {
+			return nil, fmt.Errorf("core: forecast series %d: %w", idx, err)
+		}
+		sigForecasts[i] = fc
+	}
+
+	// Dependents via the spatial linear models.
+	all, err := model.Reconstruct(sigForecasts)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruct dependents: %w", err)
+	}
+	// Demands are physical quantities: clamp forecasts at zero.
+	for i := range all {
+		all[i] = all[i].Clamp(0, maxFloat)
+	}
+	return &BoxPrediction{Model: model, Demand: all}, nil
+}
+
+const maxFloat = 1e300
+
+// Evaluate fills the prediction-error fields against the actual demand
+// series (full-length, TrainWindows+Horizon or longer). peakOf[i] is
+// the demand level above which a sample counts as a peak for series i
+// (the paper uses the ticket threshold times the allocated capacity).
+func (p *BoxPrediction) Evaluate(demands []timeseries.Series, cfg Config, peakOf []float64) error {
+	if len(demands) != len(p.Demand) {
+		return fmt.Errorf("core: evaluate with %d series, predicted %d: %w",
+			len(demands), len(p.Demand), timeseries.ErrLengthMismatch)
+	}
+	p.MAPE = make([]float64, len(demands))
+	p.PeakMAPE = make([]float64, len(demands))
+	for i, d := range demands {
+		actual := d.Slice(cfg.TrainWindows, cfg.TrainWindows+cfg.Horizon)
+		mape, err := timeseries.MAPE(actual, p.Demand[i])
+		if err != nil {
+			return err
+		}
+		p.MAPE[i] = mape
+		peak := 0.0
+		if peakOf != nil {
+			peak = peakOf[i]
+		}
+		pm, err := timeseries.PeakMAPE(actual, p.Demand[i], peak)
+		if err != nil {
+			return err
+		}
+		p.PeakMAPE[i] = pm
+	}
+	return nil
+}
+
+// BoxRun is the outcome of the full ATM pipeline on one box for one
+// resource.
+type BoxRun struct {
+	// Resource is the resized resource.
+	Resource trace.Resource
+	// Sizes holds the new per-VM capacities.
+	Sizes []float64
+	// TicketsBefore counts tickets over the evaluation horizon under
+	// the original allocated capacities.
+	TicketsBefore int
+	// TicketsAfter counts tickets over the same horizon under Sizes.
+	TicketsAfter int
+}
+
+// Reduction returns the relative ticket reduction of the run.
+func (r *BoxRun) Reduction() float64 { return ticket.Reduction(r.TicketsBefore, r.TicketsAfter) }
+
+// ResizeBox solves the resizing problem for one resource of a box,
+// using predicted demands to choose sizes and actual demands to
+// evaluate them. The box's total capacity for the resource is the
+// constraint C.
+func ResizeBox(b *trace.Box, pred *BoxPrediction, r trace.Resource, cfg Config) (*BoxRun, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := len(b.VMs)
+	capacity := b.CPUCapGHz
+	if r == trace.RAM {
+		capacity = b.RAMCapGB
+	}
+	vms := make([]resize.VM, m)
+	var lbSum float64
+	for v := 0; v < m; v++ {
+		predicted := pred.Demand[trace.SeriesIndex(v, r)]
+		lb := 0.0
+		if cfg.UseLowerBounds {
+			// Peak demand over the training history: satisfied usage
+			// cannot spill into the resizing window.
+			hist := b.VMs[v].Demand(r).Slice(0, cfg.TrainWindows)
+			lb = hist.Max()
+		}
+		lbSum += lb
+		vms[v] = resize.VM{Demand: predicted, LowerBound: lb}
+	}
+	if lbSum > capacity {
+		// Burst peaks on an overcommitted box can sum past the box
+		// capacity; insisting on them would make every allocation
+		// infeasible. Scale the floors into the budget instead.
+		f := capacity / lbSum * (1 - 1e-9)
+		for v := range vms {
+			vms[v].LowerBound *= f
+		}
+	}
+	prob := &resize.Problem{
+		VMs:       vms,
+		Capacity:  capacity,
+		Threshold: cfg.Threshold,
+		Epsilon:   cfg.Epsilon,
+	}
+	alloc, err := prob.Greedy()
+	if err != nil {
+		return nil, fmt.Errorf("core: resize %s of %s: %w", r, b.ID, err)
+	}
+
+	// Do no harm: if the current allocation already fits the box and
+	// is predicted to ticket no more than the optimized one, keep it.
+	// Prediction error can otherwise talk the optimizer into shrinking
+	// a perfectly healthy box.
+	current := b.Capacities(r)
+	var curSum float64
+	for _, c := range current {
+		curSum += c
+	}
+	if curSum <= capacity {
+		curTickets, err := prob.Tickets(current)
+		if err == nil && curTickets <= alloc.Tickets {
+			alloc = resize.Allocation{Sizes: current, Tickets: curTickets}
+		}
+	}
+
+	run := &BoxRun{Resource: r, Sizes: alloc.Sizes}
+	for v := 0; v < m; v++ {
+		actual := b.VMs[v].Demand(r).Slice(cfg.TrainWindows, cfg.TrainWindows+cfg.Horizon)
+		run.TicketsBefore += ticket.Count(actual, b.VMs[v].Capacity(r), cfg.Threshold)
+		run.TicketsAfter += ticket.Count(actual, alloc.Sizes[v], cfg.Threshold)
+	}
+	return run, nil
+}
+
+// BoxResult bundles everything ATM produced for one box.
+type BoxResult struct {
+	// Box identifies the input.
+	Box *trace.Box
+	// Prediction is the spatial-temporal forecast with errors filled.
+	Prediction *BoxPrediction
+	// CPU and RAM are the per-resource resizing outcomes.
+	CPU *BoxRun
+	RAM *BoxRun
+}
+
+// MeanMAPE returns the box-level mean prediction error across all
+// series.
+func (r *BoxResult) MeanMAPE() float64 {
+	m, _ := timeseries.MeanStd(r.Prediction.MAPE)
+	return m
+}
+
+// MeanPeakMAPE returns the box-level mean peak prediction error across
+// series that had peaks.
+func (r *BoxResult) MeanPeakMAPE() float64 {
+	var vals []float64
+	for _, v := range r.Prediction.PeakMAPE {
+		if v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	m, _ := timeseries.MeanStd(vals)
+	return m
+}
+
+// RunBox executes the full ATM pipeline (predict + resize CPU and RAM)
+// on one box.
+func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
+	demands := b.DemandSeries()
+	pred, err := PredictBox(demands, samplesPerDay, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.ID, err)
+	}
+	// Peak level for series i: ticket threshold times allocated
+	// capacity of the owning VM.
+	peaks := make([]float64, len(demands))
+	for i := range peaks {
+		vm := &b.VMs[trace.SeriesVM(i)]
+		peaks[i] = cfg.Threshold * vm.Capacity(trace.SeriesResource(i))
+	}
+	if err := pred.Evaluate(demands, cfg, peaks); err != nil {
+		return nil, fmt.Errorf("core: %s: evaluate: %w", b.ID, err)
+	}
+	res := &BoxResult{Box: b, Prediction: pred}
+	if res.CPU, err = ResizeBox(b, pred, trace.CPU, cfg); err != nil {
+		return nil, err
+	}
+	if res.RAM, err = ResizeBox(b, pred, trace.RAM, cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run executes ATM over many boxes concurrently (one goroutine per
+// core; boxes are independent, mirroring per-hypervisor deployment).
+// Per-box failures abort the run with the first error.
+func Run(boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error) {
+	results := make([]*BoxResult, len(boxes))
+	errs := make([]error, len(boxes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, b := range boxes {
+		wg.Add(1)
+		go func(i int, b *trace.Box) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunBox(b, samplesPerDay, cfg)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"atm/internal/trace"
+)
+
+// RollingResult is the outcome of one resizing window in an online
+// run.
+type RollingResult struct {
+	// Step is the zero-based resizing-window index.
+	Step int
+	// Result is the full per-box outcome for this window (prediction,
+	// CPU and RAM runs), evaluated against that window's actuals.
+	Result *BoxResult
+}
+
+// RunRolling drives ATM online over a long trace, the paper's stated
+// future-work direction ("use ATM's prediction abilities to drive
+// online dynamic workload management"): after the initial training
+// history, each successive Horizon-sized window is predicted and
+// resized using the most recent TrainWindows samples, sliding forward
+// window by window. The number of steps is
+//
+//	floor((samples - TrainWindows) / Horizon).
+func RunRolling(b *trace.Box, samplesPerDay int, cfg Config) ([]RollingResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	total := 0
+	if len(b.VMs) > 0 {
+		total = len(b.VMs[0].CPU)
+	}
+	steps := (total - cfg.TrainWindows) / cfg.Horizon
+	if steps <= 0 {
+		return nil, fmt.Errorf("core: %d samples for train %d + horizon %d: %w",
+			total, cfg.TrainWindows, cfg.Horizon, ErrShortTrace)
+	}
+	out := make([]RollingResult, 0, steps)
+	for step := 0; step < steps; step++ {
+		from := step * cfg.Horizon
+		to := cfg.TrainWindows + (step+1)*cfg.Horizon
+		wb, err := windowBox(b, from, to)
+		if err != nil {
+			return nil, fmt.Errorf("core: rolling step %d: %w", step, err)
+		}
+		res, err := RunBox(wb, samplesPerDay, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: rolling step %d: %w", step, err)
+		}
+		out = append(out, RollingResult{Step: step, Result: res})
+	}
+	return out, nil
+}
+
+// windowBox returns a copy of the box restricted to sample range
+// [from, to).
+func windowBox(b *trace.Box, from, to int) (*trace.Box, error) {
+	out := &trace.Box{ID: b.ID, CPUCapGHz: b.CPUCapGHz, RAMCapGB: b.RAMCapGB}
+	out.VMs = make([]trace.VM, len(b.VMs))
+	for i := range b.VMs {
+		vm := &b.VMs[i]
+		if from < 0 || to > len(vm.CPU) || from >= to {
+			return nil, fmt.Errorf("core: window [%d,%d) out of range [0,%d)", from, to, len(vm.CPU))
+		}
+		out.VMs[i] = trace.VM{
+			ID:        vm.ID,
+			CPUCapGHz: vm.CPUCapGHz,
+			RAMCapGB:  vm.RAMCapGB,
+			CPU:       vm.CPU.Slice(from, to).Clone(),
+			RAM:       vm.RAM.Slice(from, to).Clone(),
+		}
+	}
+	return out, nil
+}
+
+// RollingSummary aggregates an online run.
+type RollingSummary struct {
+	// Steps is the number of resizing windows executed.
+	Steps int
+	// MeanMAPE is the average prediction error across steps.
+	MeanMAPE float64
+	// CPUReduction and RAMReduction aggregate tickets across all steps
+	// (total before vs total after), which is robust to zero-ticket
+	// windows.
+	CPUReduction float64
+	RAMReduction float64
+	// TicketsBefore and TicketsAfter are the aggregate CPU+RAM counts.
+	TicketsBefore, TicketsAfter int
+}
+
+// SummarizeRolling aggregates the per-step results.
+func SummarizeRolling(results []RollingResult) RollingSummary {
+	var s RollingSummary
+	var mape float64
+	var cpuBefore, cpuAfter, ramBefore, ramAfter int
+	for _, r := range results {
+		s.Steps++
+		mape += r.Result.MeanMAPE()
+		cpuBefore += r.Result.CPU.TicketsBefore
+		cpuAfter += r.Result.CPU.TicketsAfter
+		ramBefore += r.Result.RAM.TicketsBefore
+		ramAfter += r.Result.RAM.TicketsAfter
+	}
+	if s.Steps == 0 {
+		return s
+	}
+	s.MeanMAPE = mape / float64(s.Steps)
+	if cpuBefore > 0 {
+		s.CPUReduction = float64(cpuBefore-cpuAfter) / float64(cpuBefore)
+	}
+	if ramBefore > 0 {
+		s.RAMReduction = float64(ramBefore-ramAfter) / float64(ramBefore)
+	}
+	s.TicketsBefore = cpuBefore + ramBefore
+	s.TicketsAfter = cpuAfter + ramAfter
+	return s
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atm/internal/ticket"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+// Fig1Result is the paper's motivating example: the CPU usage series
+// of co-located VMs that move up and down synchronously.
+type Fig1Result struct {
+	// BoxID identifies the chosen box.
+	BoxID string
+	// VMIDs names the displayed VMs.
+	VMIDs []string
+	// Usage holds each VM's CPU utilization-percent series (one day).
+	Usage []timeseries.Series
+	// MaxPairCorrelation is the highest pairwise correlation among
+	// the displayed VMs, evidencing spatial dependency.
+	MaxPairCorrelation float64
+}
+
+// Fig1 reproduces the motivating example: it scans the trace for the
+// box whose top-4 VMs show the strongest pairwise CPU correlation and
+// returns their one-day series.
+func Fig1(opts Options) (*Fig1Result, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	tr := opts.genTrace()
+
+	best := &Fig1Result{MaxPairCorrelation: -1}
+	for bi := range tr.Boxes {
+		b := &tr.Boxes[bi]
+		if len(b.VMs) < 4 || b.HasGaps() {
+			continue
+		}
+		// Anchor on the box's hottest VM and take the three VMs most
+		// correlated with it — the paper's figure shows exactly this
+		// shape (three synchronized VMs plus one odd one out).
+		hot := 0
+		for i := range b.VMs {
+			if b.VMs[i].CPU.Mean() > b.VMs[hot].CPU.Mean() {
+				hot = i
+			}
+		}
+		type cand struct {
+			idx  int
+			corr float64
+		}
+		var cands []cand
+		for i := range b.VMs {
+			if i == hot {
+				continue
+			}
+			r, err := timeseries.Pearson(b.VMs[hot].CPU, b.VMs[i].CPU)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, cand{i, r})
+		}
+		for x := 0; x < len(cands); x++ {
+			for y := x + 1; y < len(cands); y++ {
+				if cands[y].corr > cands[x].corr {
+					cands[x], cands[y] = cands[y], cands[x]
+				}
+			}
+		}
+		med := timeseries.Median([]float64{cands[0].corr, cands[1].corr, cands[2].corr})
+		if med > best.MaxPairCorrelation {
+			best = &Fig1Result{BoxID: b.ID, MaxPairCorrelation: med}
+			picks := []int{hot, cands[0].idx, cands[1].idx, cands[2].idx}
+			for _, idx := range picks {
+				vm := &b.VMs[idx]
+				best.VMIDs = append(best.VMIDs, vm.ID)
+				best.Usage = append(best.Usage, vm.CPU.Clone())
+			}
+		}
+	}
+	if best.MaxPairCorrelation < 0 {
+		return nil, fmt.Errorf("experiments: no box with >= 4 gap-free VMs")
+	}
+	return best, nil
+}
+
+// Render produces the Fig1 table: hourly means of each VM series.
+func (r *Fig1Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 1 — spatial dependency of co-located VM CPU usage (box " + r.BoxID + ")",
+		Header: []string{"hour"},
+	}
+	for _, id := range r.VMIDs {
+		t.Header = append(t.Header, id)
+	}
+	if len(r.Usage) == 0 || len(r.Usage[0]) == 0 {
+		return t
+	}
+	perHour := len(r.Usage[0]) / 24
+	if perHour == 0 {
+		perHour = 1
+	}
+	for h := 0; h*perHour < len(r.Usage[0]); h++ {
+		row := []string{fmt.Sprintf("%02d:00", h)}
+		for _, u := range r.Usage {
+			lo, hi := h*perHour, (h+1)*perHour
+			if hi > len(u) {
+				hi = len(u)
+			}
+			row = append(row, num1(u.Slice(lo, hi).Mean()))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("median pairwise correlation of the shown VMs: %.2f", r.MaxPairCorrelation)
+	t.AddNote("paper: VMs 1, 3, 4 move synchronously and ticket together around hour 19")
+	return t
+}
+
+// Fig2Cell is one (resource, threshold) characterization.
+type Fig2Cell struct {
+	Resource         trace.Resource
+	Threshold        float64
+	PctBoxesTicketed float64 // fraction of boxes with >= 1 ticket
+	MeanTickets      float64 // tickets per box per day (all boxes)
+	StdTickets       float64
+	MeanCulprits     float64 // culprit VMs covering 80% of tickets
+}
+
+// Fig2Result covers Figures 2a, 2b and 2c.
+type Fig2Result struct {
+	Cells []Fig2Cell
+}
+
+// Fig2 reproduces the usage-ticket characterization at thresholds
+// 60/70/80% for CPU and RAM over one day.
+func Fig2(opts Options) (*Fig2Result, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	tr := opts.genTrace()
+
+	res := &Fig2Result{}
+	for _, th := range []float64{ticket.Threshold60, ticket.Threshold70, ticket.Threshold80} {
+		for _, r := range [...]trace.Resource{trace.CPU, trace.RAM} {
+			var perBox []float64
+			var culprits []float64
+			ticketed := 0
+			for bi := range tr.Boxes {
+				b := &tr.Boxes[bi]
+				st, err := ticket.Analyze(b.Demands(r), b.Capacities(r), th)
+				if err != nil {
+					return nil, err
+				}
+				perBox = append(perBox, float64(st.Total))
+				if st.Total > 0 {
+					ticketed++
+					culprits = append(culprits, float64(st.Culprits(0.8)))
+				}
+			}
+			mean, std := timeseries.MeanStd(perBox)
+			mc, _ := timeseries.MeanStd(culprits)
+			res.Cells = append(res.Cells, Fig2Cell{
+				Resource:         r,
+				Threshold:        th,
+				PctBoxesTicketed: float64(ticketed) / float64(len(tr.Boxes)),
+				MeanTickets:      mean,
+				StdTickets:       std,
+				MeanCulprits:     mc,
+			})
+		}
+	}
+	return res, nil
+}
+
+// paperFig2 holds the published values for the note lines:
+// {pct boxes, tickets/box} per (threshold, resource); culprits 1-2.
+var paperFig2 = map[string]map[float64][2]float64{
+	"cpu": {0.60: {57, 39}, 0.70: {49, 33}, 0.80: {40, 29}},
+	"ram": {0.60: {38, 15}, 0.70: {20, 11}, 0.80: {10, 9}},
+}
+
+// Render produces the Fig2 table.
+func (r *Fig2Result) Render() *Table {
+	t := &Table{
+		Title: "Figure 2 — usage-ticket characterization (one day)",
+		Header: []string{
+			"resource", "threshold", "boxes w/ tickets", "tickets/box (mean±std)", "culprit VMs",
+			"paper: boxes", "paper: tickets/box",
+		},
+	}
+	for _, c := range r.Cells {
+		paper := paperFig2[c.Resource.String()][c.Threshold]
+		t.AddRow(
+			c.Resource.String(),
+			pct(c.Threshold),
+			pct(c.PctBoxesTicketed),
+			fmt.Sprintf("%s±%s", num1(c.MeanTickets), num1(c.StdTickets)),
+			num(c.MeanCulprits),
+			fmt.Sprintf("%.0f%%", paper[0]),
+			fmt.Sprintf("%.0f", paper[1]),
+		)
+	}
+	t.AddNote("paper Figure 2c: one to two culprit VMs per box at every threshold")
+	return t
+}
+
+// Fig3Result covers the four correlation families of Figure 3.
+type Fig3Result struct {
+	// IntraCPU etc. hold per-box median correlation coefficients.
+	IntraCPU, IntraRAM, InterAll, InterPair []float64
+}
+
+// Fig3 reproduces the spatial-dependency CDFs: per box, the median
+// pairwise Pearson correlation of (i) CPU-CPU pairs, (ii) RAM-RAM
+// pairs, (iii) all CPU-RAM pairs and (iv) same-VM CPU-RAM pairs.
+func Fig3(opts Options) (*Fig3Result, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	tr := opts.genTrace()
+
+	res := &Fig3Result{}
+	for bi := range tr.Boxes {
+		b := &tr.Boxes[bi]
+		if b.HasGaps() {
+			continue
+		}
+		var cc, rr, ia, pp []float64
+		for x := range b.VMs {
+			p, err := timeseries.Pearson(b.VMs[x].CPU, b.VMs[x].RAM)
+			if err != nil {
+				return nil, err
+			}
+			pp = append(pp, p)
+			for y := range b.VMs {
+				if y == x {
+					continue
+				}
+				v, err := timeseries.Pearson(b.VMs[x].CPU, b.VMs[y].RAM)
+				if err != nil {
+					return nil, err
+				}
+				ia = append(ia, v)
+			}
+			for y := x + 1; y < len(b.VMs); y++ {
+				v, err := timeseries.Pearson(b.VMs[x].CPU, b.VMs[y].CPU)
+				if err != nil {
+					return nil, err
+				}
+				cc = append(cc, v)
+				v, err = timeseries.Pearson(b.VMs[x].RAM, b.VMs[y].RAM)
+				if err != nil {
+					return nil, err
+				}
+				rr = append(rr, v)
+			}
+		}
+		if len(cc) > 0 {
+			res.IntraCPU = append(res.IntraCPU, timeseries.Median(cc))
+			res.IntraRAM = append(res.IntraRAM, timeseries.Median(rr))
+		}
+		// Inter-all includes same-VM pairs, which is why its mean sits
+		// above the intra families in the paper.
+		ia = append(ia, pp...)
+		res.InterAll = append(res.InterAll, timeseries.Median(ia))
+		res.InterPair = append(res.InterPair, timeseries.Median(pp))
+	}
+	return res, nil
+}
+
+// Render produces the Fig3 table with CDF quantiles per family.
+func (r *Fig3Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 3 — CDF of per-box median correlation coefficients",
+		Header: []string{"family", "p10", "p25", "p50", "p75", "p90", "mean", "paper mean"},
+	}
+	add := func(name string, vals []float64, paperMean float64) {
+		if len(vals) == 0 {
+			return
+		}
+		c := timeseries.NewCDF(vals)
+		t.AddRow(name,
+			num(c.Quantile(0.10)), num(c.Quantile(0.25)), num(c.Quantile(0.50)),
+			num(c.Quantile(0.75)), num(c.Quantile(0.90)), num(c.Mean()), num(paperMean))
+	}
+	add("intra-CPU", r.IntraCPU, 0.26)
+	add("intra-RAM", r.IntraRAM, 0.24)
+	add("inter-all", r.InterAll, 0.30)
+	add("inter-pair", r.InterPair, 0.62)
+	t.AddNote("paper: CPU-RAM pairs of the same VM are by far the most correlated family")
+	return t
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"atm/internal/spatial"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+// forEachBox runs fn over the trace's gap-free boxes concurrently and
+// returns the first error.
+func forEachBox(tr *trace.Trace, fn func(b *trace.Box) error) error {
+	boxes := tr.GapFree()
+	errs := make([]error, len(boxes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, b := range boxes {
+		wg.Add(1)
+		go func(i int, b *trace.Box) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig5Result summarizes clustering outcomes per method.
+type Fig5Result struct {
+	// ClusterCounts maps method name to the per-box cluster counts.
+	ClusterCounts map[string][]int
+	// CPUSignatureShare maps method name to the fraction of signature
+	// series that are CPU series.
+	CPUSignatureShare map[string]float64
+}
+
+// fig5Buckets are the paper's histogram buckets.
+var fig5Buckets = [][2]int{{2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 15}, {16, 31}, {32, 64}}
+
+// Fig5 compares DTW and CBC clustering: number of clusters per box and
+// the CPU/RAM composition of the signature sets.
+func Fig5(opts Options) (*Fig5Result, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	tr := opts.genTrace()
+
+	res := &Fig5Result{
+		ClusterCounts:     map[string][]int{},
+		CPUSignatureShare: map[string]float64{},
+	}
+	var mu sync.Mutex
+	sigTotal := map[string]int{}
+	sigCPU := map[string]int{}
+	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
+		method := method
+		err := forEachBox(tr, func(b *trace.Box) error {
+			m, err := spatial.Search(b.DemandSeries(), spatial.Config{Method: method, SkipStepwise: true})
+			if err != nil {
+				return fmt.Errorf("box %s %v: %w", b.ID, method, err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			res.ClusterCounts[method.String()] = append(res.ClusterCounts[method.String()], m.ClusterK)
+			for _, s := range m.InitialSignatures {
+				sigTotal[method.String()]++
+				if trace.SeriesResource(s) == trace.CPU {
+					sigCPU[method.String()]++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for name, total := range sigTotal {
+		if total > 0 {
+			res.CPUSignatureShare[name] = float64(sigCPU[name]) / float64(total)
+		}
+	}
+	return res, nil
+}
+
+// Render produces the Fig5 histogram table.
+func (r *Fig5Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 5 — cluster-count distribution, DTW vs CBC (% of boxes)",
+		Header: []string{"clusters", "dtw", "cbc"},
+	}
+	share := func(counts []int, lo, hi int) float64 {
+		if len(counts) == 0 {
+			return 0
+		}
+		n := 0
+		for _, c := range counts {
+			if c >= lo && c <= hi {
+				n++
+			}
+		}
+		return float64(n) / float64(len(counts))
+	}
+	for _, b := range fig5Buckets {
+		t.AddRow(
+			fmt.Sprintf("%d-%d", b[0], b[1]),
+			pct(share(r.ClusterCounts["dtw"], b[0], b[1])),
+			pct(share(r.ClusterCounts["cbc"], b[0], b[1])),
+		)
+	}
+	t.AddRow("CPU share of signatures",
+		pct(r.CPUSignatureShare["dtw"]), pct(r.CPUSignatureShare["cbc"]))
+	t.AddNote("paper: ~70%% of DTW boxes land in 2-3 clusters; CBC produces more clusters")
+	t.AddNote("paper: DTW signatures split ~50/50 CPU/RAM; CBC signatures are mostly CPU")
+	return t
+}
+
+// StepStats summarizes one (method, step) configuration across boxes.
+type StepStats struct {
+	// Ratios holds the per-box signature-to-total ratios.
+	Ratios []float64
+	// Errors holds the per-box mean spatial-fit APEs.
+	Errors []float64
+}
+
+func (s *StepStats) add(ratio, fitErr float64) {
+	s.Ratios = append(s.Ratios, ratio)
+	s.Errors = append(s.Errors, fitErr)
+}
+
+// quartiles formats p25/p50/p75 plus the mean.
+func quartiles(vals []float64) string {
+	if len(vals) == 0 {
+		return "n/a"
+	}
+	c := timeseries.NewCDF(vals)
+	return fmt.Sprintf("%.0f/%.0f/%.0f%% (mean %.0f%%)",
+		100*c.Quantile(0.25), 100*c.Quantile(0.5), 100*c.Quantile(0.75), 100*c.Mean())
+}
+
+// Fig6Result compares clustering-only against the full two-step
+// signature search.
+type Fig6Result struct {
+	// Stats is keyed by "<method>/<step>" with step in
+	// {"clustering", "stepwise"}.
+	Stats map[string]*StepStats
+}
+
+// Fig6 reproduces the two-step effectiveness study: signature-set
+// reduction (6a) and spatial-fit error (6b) after step 1 alone and
+// after step 1 + step 2.
+func Fig6(opts Options) (*Fig6Result, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	tr := opts.genTrace()
+
+	res := &Fig6Result{Stats: map[string]*StepStats{}}
+	var mu sync.Mutex
+	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
+		for _, skipStepwise := range []bool{true, false} {
+			method, skip := method, skipStepwise
+			key := method.String() + "/stepwise"
+			if skip {
+				key = method.String() + "/clustering"
+			}
+			mu.Lock()
+			res.Stats[key] = &StepStats{}
+			mu.Unlock()
+			err := forEachBox(tr, func(b *trace.Box) error {
+				series := b.DemandSeries()
+				m, err := spatial.Search(series, spatial.Config{Method: method, SkipStepwise: skip})
+				if err != nil {
+					return fmt.Errorf("box %s %s: %w", b.ID, key, err)
+				}
+				fitErr, err := m.FitError(series)
+				if err != nil {
+					return fmt.Errorf("box %s %s fit: %w", b.ID, key, err)
+				}
+				mu.Lock()
+				res.Stats[key].add(m.Ratio(), fitErr)
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render produces the Fig6 table.
+func (r *Fig6Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 6 — effectiveness of clustering and stepwise regression",
+		Header: []string{"config", "signature ratio p25/p50/p75", "fit APE p25/p50/p75"},
+	}
+	keys := make([]string, 0, len(r.Stats))
+	for k := range r.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := r.Stats[k]
+		t.AddRow(k, quartiles(s.Ratios), quartiles(s.Errors))
+	}
+	t.AddNote("paper 6a: DTW reduces to 26%% (stepwise adds nothing); CBC 82%% -> 66%% after stepwise")
+	t.AddNote("paper 6b: mean APE ~28%% (DTW) and ~20%% (CBC); stepwise costs <= 1%% accuracy")
+	return t
+}
+
+// Fig7Result compares inter-resource and intra-resource spatial
+// models.
+type Fig7Result struct {
+	// Stats is keyed by "<method>/<mode>" with mode in {"inter",
+	// "intra-cpu", "intra-ram"}.
+	Stats map[string]*StepStats
+}
+
+// Fig7 reproduces the inter- vs intra-resource comparison: the inter
+// model pools CPU and RAM series as mutual predictors; the intra
+// models treat each resource separately.
+func Fig7(opts Options) (*Fig7Result, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	tr := opts.genTrace()
+
+	res := &Fig7Result{Stats: map[string]*StepStats{}}
+	var mu sync.Mutex
+	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
+		for _, mode := range []string{"inter", "intra-cpu", "intra-ram"} {
+			method, mode := method, mode
+			key := method.String() + "/" + mode
+			res.Stats[key] = &StepStats{}
+			err := forEachBox(tr, func(b *trace.Box) error {
+				var groups [][]timeseries.Series
+				switch mode {
+				case "inter":
+					groups = [][]timeseries.Series{b.DemandSeries()}
+				case "intra-cpu":
+					groups = [][]timeseries.Series{b.Demands(trace.CPU)}
+				case "intra-ram":
+					groups = [][]timeseries.Series{b.Demands(trace.RAM)}
+				}
+				var sigs, total int
+				var errSum float64
+				for _, series := range groups {
+					m, err := spatial.Search(series, spatial.Config{Method: method})
+					if err != nil {
+						return fmt.Errorf("box %s %s: %w", b.ID, key, err)
+					}
+					fitErr, err := m.FitError(series)
+					if err != nil {
+						return err
+					}
+					sigs += len(m.Signatures)
+					total += m.N
+					errSum += fitErr
+				}
+				mu.Lock()
+				res.Stats[key].add(float64(sigs)/float64(total), errSum/float64(len(groups)))
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render produces the Fig7 table.
+func (r *Fig7Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 7 — inter- vs intra-resource spatial models",
+		Header: []string{"config", "signature ratio p25/p50/p75", "fit APE p25/p50/p75"},
+	}
+	keys := make([]string, 0, len(r.Stats))
+	for k := range r.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := r.Stats[k]
+		t.AddRow(k, quartiles(s.Ratios), quartiles(s.Errors))
+	}
+	t.AddNote("paper: inter ratio 66%%(CBC)/26%%(DTW) vs intra-CPU 81/41 and intra-RAM 90/45")
+	t.AddNote("paper: inter APE 20%%(CBC)/28%%(DTW) vs intra-CPU 21/26 and intra-RAM 23/31")
+	return t
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atm/internal/report"
+	"atm/internal/trace"
+)
+
+// RenderSVG draws the motivating co-located usage series (Figure 1).
+func (r *Fig1Result) RenderSVG() (string, error) {
+	series := make([]report.LineSeries, len(r.Usage))
+	for i := range r.Usage {
+		series[i] = report.LineSeries{Name: r.VMIDs[i], Y: r.Usage[i]}
+	}
+	return report.LineChart(
+		"Figure 1 — CPU usage of co-located VMs (box "+r.BoxID+")",
+		"15-minute window", "CPU used (%)", series, 60)
+}
+
+// RenderSVG draws the four correlation CDFs (Figure 3).
+func (r *Fig3Result) RenderSVG() (string, error) {
+	return report.CDFChart(
+		"Figure 3 — per-box median correlation CDFs",
+		"median correlation coefficient",
+		map[string][]float64{
+			"intra-CPU":  r.IntraCPU,
+			"intra-RAM":  r.IntraRAM,
+			"inter-all":  r.InterAll,
+			"inter-pair": r.InterPair,
+		},
+		[]string{"intra-CPU", "intra-RAM", "inter-all", "inter-pair"})
+}
+
+// RenderSVG draws the per-policy ticket-reduction bars (Figure 8).
+func (r *Fig8Result) RenderSVG() (string, error) {
+	groups := make([]report.BarGroup, 0, len(r.Policies))
+	for _, p := range r.Policies {
+		groups = append(groups, report.BarGroup{
+			Label:  p.Policy,
+			Values: []float64{clampBar(p.Mean[trace.CPU]), clampBar(p.Mean[trace.RAM])},
+		})
+	}
+	return report.BarChart("Figure 8 — ticket reduction by resizing policy",
+		"mean reduction", []string{"cpu", "ram"}, groups)
+}
+
+// RenderSVG draws the full-ATM prediction-error CDFs (Figure 9).
+func (r *Fig9Result) RenderSVG() (string, error) {
+	samples := map[string][]float64{}
+	var order []string
+	for _, m := range r.Methods {
+		allName := "atm-" + m.Method + " (all)"
+		peakName := "atm-" + m.Method + " (peak)"
+		samples[allName] = m.AllMAPE
+		samples[peakName] = m.PeakMAPE
+		order = append(order, allName, peakName)
+	}
+	return report.CDFChart("Figure 9 — full-ATM prediction error CDFs",
+		"mean absolute percentage error", samples, order)
+}
+
+// RenderSVG draws the full-ATM ticket-reduction bars (Figure 10).
+func (r *Fig10Result) RenderSVG() (string, error) {
+	groups := make([]report.BarGroup, 0, len(r.Policies))
+	for _, p := range r.Policies {
+		groups = append(groups, report.BarGroup{
+			Label:  p.Policy,
+			Values: []float64{clampBar(p.Mean[trace.CPU]), clampBar(p.Mean[trace.RAM])},
+		})
+	}
+	return report.BarChart("Figure 10 — full-ATM ticket reduction vs baselines",
+		"mean reduction", []string{"cpu", "ram"}, groups)
+}
+
+// RenderSVG draws per-VM utilization with and without ATM (Figure 12):
+// one panel-style chart with static (dashed threshold) vs managed for
+// the two hottest VMs plus the cluster's total ticket counts in the
+// title.
+func (r *Fig12Result) RenderSVG() (string, error) {
+	// Pick the two VMs with the highest static peak.
+	type hot struct {
+		id   string
+		peak float64
+	}
+	var hots []hot
+	for _, id := range r.VMIDs {
+		hots = append(hots, hot{id, r.Static.Usage[id].Max()})
+	}
+	for i := 0; i < len(hots); i++ {
+		for j := i + 1; j < len(hots); j++ {
+			if hots[j].peak > hots[i].peak {
+				hots[i], hots[j] = hots[j], hots[i]
+			}
+		}
+	}
+	n := 2
+	if len(hots) < n {
+		n = len(hots)
+	}
+	var series []report.LineSeries
+	for _, h := range hots[:n] {
+		series = append(series,
+			report.LineSeries{Name: h.id + " static", Y: r.Static.Usage[h.id]},
+			report.LineSeries{Name: h.id + " atm", Y: r.Managed.Usage[h.id]},
+		)
+	}
+	title := fmt.Sprintf("Figure 12 — testbed CPU utilization (tickets %d -> %d)",
+		r.TicketsStatic, r.TicketsManaged)
+	return report.LineChart(title, "15-minute window", "CPU used (%)", series, 60)
+}
+
+// RenderSVG draws the wiki RT/throughput comparison (Figure 13).
+func (r *Fig13Result) RenderSVG() (string, error) {
+	groups := make([]report.BarGroup, 0, 2*len(r.Apps))
+	for _, a := range r.Apps {
+		groups = append(groups,
+			report.BarGroup{Label: a.App + " RT(s)", Values: []float64{a.RTStatic / 1000, a.RTManaged / 1000}},
+			report.BarGroup{Label: a.App + " tput", Values: []float64{a.TPUTStatic, a.TPUTManaged}},
+		)
+	}
+	return report.BarChart("Figure 13 — wiki performance, original vs ATM",
+		"seconds / req-per-s", []string{"original", "atm"}, groups)
+}
+
+// clampBar keeps pathological negative reductions from flattening the
+// whole chart.
+func clampBar(v float64) float64 {
+	if v < -1.5 {
+		return -1.5
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atm/internal/testbed"
+	"atm/internal/ticket"
+)
+
+// Fig12Result is the testbed resizing study: per-VM utilization and
+// ticket counts with and without the ATM controller.
+type Fig12Result struct {
+	// Windows simulated and the comparison window range start (after
+	// the controller's training prefix + one adaptation round).
+	Windows, From int
+	// Static and Managed are the two runs' metrics.
+	Static, Managed *testbed.Metrics
+	// TicketsStatic and TicketsManaged count tickets over [From,
+	// Windows).
+	TicketsStatic, TicketsManaged int
+	// VMIDs lists the VM order for rendering.
+	VMIDs []string
+}
+
+// fig12Windows simulates six hours of 15-minute windows (three
+// low/high cycles), matching the paper's experiment length.
+const fig12Windows = 24
+
+// Fig12 runs the MediaWiki testbed twice — static limits vs the ATM
+// controller — and reports utilization and ticket counts.
+func Fig12(opts Options) (*Fig12Result, error) {
+	static, err := testbed.DefaultTopology().Run(fig12Windows, nil)
+	if err != nil {
+		return nil, fmt.Errorf("static testbed run: %w", err)
+	}
+	c := testbed.DefaultTopology()
+	ctrl := testbed.NewDefaultController(c.Limits)
+	managed, err := c.Run(fig12Windows, ctrl)
+	if err != nil {
+		return nil, fmt.Errorf("managed testbed run: %w", err)
+	}
+	from := ctrl.TrainWindows + ctrl.ResizeEvery
+	res := &Fig12Result{
+		Windows:        fig12Windows,
+		From:           from,
+		Static:         static,
+		Managed:        managed,
+		TicketsStatic:  static.Tickets(from, fig12Windows, ticket.Threshold60),
+		TicketsManaged: managed.Tickets(from, fig12Windows, ticket.Threshold60),
+	}
+	for _, vm := range c.VMs {
+		res.VMIDs = append(res.VMIDs, vm.ID)
+	}
+	return res, nil
+}
+
+// Render produces the Fig12 table: per-VM peak utilization in the
+// comparison window, original vs resized, plus the ticket totals.
+func (r *Fig12Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 12 — testbed CPU utilization with and without ATM resizing",
+		Header: []string{"vm", "peak util (static)", "peak util (atm)", "tickets static", "tickets atm"},
+	}
+	for _, id := range r.VMIDs {
+		s := r.Static.Usage[id].Slice(r.From, r.Windows)
+		m := r.Managed.Usage[id].Slice(r.From, r.Windows)
+		ts := s.CountAbove(60)
+		tm := m.CountAbove(60)
+		t.AddRow(id,
+			num1(s.Max())+"%", num1(m.Max())+"%",
+			fmt.Sprintf("%d", ts), fmt.Sprintf("%d", tm))
+	}
+	t.AddRow("TOTAL", "", "",
+		fmt.Sprintf("%d", r.TicketsStatic), fmt.Sprintf("%d", r.TicketsManaged))
+	t.AddNote("paper: resizing keeps every VM below the 60%% threshold; tickets drop 49 -> 1")
+	return t
+}
+
+// Fig13App is one application's performance comparison.
+type Fig13App struct {
+	App string
+	// RTStatic/RTManaged are mean response times in ms; TPUTStatic/
+	// TPUTManaged are mean served throughputs in req/s, over the
+	// comparison window.
+	RTStatic, RTManaged     float64
+	TPUTStatic, TPUTManaged float64
+}
+
+// Fig13Result is the testbed performance comparison.
+type Fig13Result struct {
+	Apps []Fig13App
+}
+
+// Fig13 reports mean response time and throughput for both wikis with
+// and without ATM resizing, from the same runs as Fig12.
+func Fig13(opts Options, fig12 *Fig12Result) (*Fig13Result, error) {
+	if fig12 == nil {
+		var err error
+		fig12, err = Fig12(opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig13Result{}
+	for _, app := range []string{"wiki-one", "wiki-two"} {
+		res.Apps = append(res.Apps, Fig13App{
+			App:         app,
+			RTStatic:    1000 * fig12.Static.MeanRT(app, fig12.From, fig12.Windows),
+			RTManaged:   1000 * fig12.Managed.MeanRT(app, fig12.From, fig12.Windows),
+			TPUTStatic:  fig12.Static.MeanServed(app, fig12.From, fig12.Windows),
+			TPUTManaged: fig12.Managed.MeanServed(app, fig12.From, fig12.Windows),
+		})
+	}
+	return res, nil
+}
+
+// Render produces the Fig13 table.
+func (r *Fig13Result) Render() *Table {
+	t := &Table{
+		Title:  "Figure 13 — wiki performance, original vs ATM-resized",
+		Header: []string{"app", "RT ms (orig)", "RT ms (atm)", "ΔRT", "tput r/s (orig)", "tput r/s (atm)", "Δtput"},
+	}
+	for _, a := range r.Apps {
+		t.AddRow(a.App,
+			num1(a.RTStatic), num1(a.RTManaged),
+			pct(a.RTManaged/a.RTStatic-1),
+			num1(a.TPUTStatic), num1(a.TPUTManaged),
+			pct(a.TPUTManaged/a.TPUTStatic-1),
+		)
+	}
+	t.AddNote("paper: wiki-one RT 582 -> 454 ms (-20%%), throughput flat;")
+	t.AddNote("wiki-two throughput 14 -> 17 r/s (+20%%), RT +7%% (closed-loop client effect;")
+	t.AddNote("our open-loop queueing model lets wiki-two's RT improve instead)")
+	return t
+}

@@ -1,0 +1,288 @@
+// Package linalg implements the small amount of dense linear algebra
+// ATM needs: a row-major matrix type and Householder-QR least squares.
+// It exists because the reproduction is stdlib-only; the paper's
+// regression steps (OLS fits of dependent series on signature series,
+// variance inflation factors, stepwise elimination) all reduce to
+// solving min ||Ax - b||2.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by linalg operations.
+var (
+	// ErrShape indicates incompatible matrix dimensions.
+	ErrShape = errors.New("linalg: incompatible shapes")
+	// ErrSingular indicates a rank-deficient system with no unique
+	// least-squares solution.
+	ErrSingular = errors.New("linalg: singular (rank-deficient) matrix")
+)
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix. It panics if either
+// dimension is negative.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length. The data is copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("row %d has %d cols, want %d: %w", i, len(r), cols, ErrShape)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("mulvec %dx%d by %d-vector: %w", m.rows, m.cols, len(x), ErrShape)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// LeastSquares solves min ||Ax - b||2 by Householder QR with column
+// checks for rank deficiency. A must have at least as many rows as
+// columns. It returns ErrSingular when a diagonal element of R falls
+// below a relative tolerance, meaning the predictors are (numerically)
+// linearly dependent — the condition the paper's VIF/stepwise step
+// exists to remove.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("lstsq %dx%d with %d-vector: %w", a.rows, a.cols, len(b), ErrShape)
+	}
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("lstsq underdetermined %dx%d: %w", a.rows, a.cols, ErrShape)
+	}
+	if a.cols == 0 {
+		return []float64{}, nil
+	}
+	// Work on copies: QR factorization is in place.
+	r := a.Clone()
+	qtb := make([]float64, len(b))
+	copy(qtb, b)
+
+	// Scale tolerance by the largest column norm.
+	maxNorm := 0.0
+	for j := 0; j < r.cols; j++ {
+		n := norm2(r.Col(j))
+		if n > maxNorm {
+			maxNorm = n
+		}
+	}
+	tol := 1e-10 * maxNorm
+	if tol == 0 {
+		tol = 1e-300
+	}
+
+	for k := 0; k < r.cols; k++ {
+		// Householder reflector for column k, rows k..rows-1.
+		var alpha float64
+		for i := k; i < r.rows; i++ {
+			v := r.At(i, k)
+			alpha += v * v
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha < tol {
+			return nil, fmt.Errorf("column %d: %w", k, ErrSingular)
+		}
+		if r.At(k, k) > 0 {
+			alpha = -alpha
+		}
+		// v = x - alpha*e1 (stored in place below the diagonal scratch).
+		v := make([]float64, r.rows-k)
+		v[0] = r.At(k, k) - alpha
+		for i := k + 1; i < r.rows; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vnorm2 := 0.0
+		for _, x := range v {
+			vnorm2 += x * x
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2 v v^T / (v^T v) to remaining columns and qtb.
+		for j := k; j < r.cols; j++ {
+			var dot float64
+			for i := k; i < r.rows; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < r.rows; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i-k])
+			}
+		}
+		var dot float64
+		for i := k; i < r.rows; i++ {
+			dot += v[i-k] * qtb[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < r.rows; i++ {
+			qtb[i] -= f * v[i-k]
+		}
+	}
+
+	// Back substitution on the upper triangle.
+	x := make([]float64, r.cols)
+	for i := r.cols - 1; i >= 0; i-- {
+		sum := qtb[i]
+		for j := i + 1; j < r.cols; j++ {
+			sum -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < tol {
+			return nil, fmt.Errorf("diagonal %d: %w", i, ErrSingular)
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Ridge solves the regularized least-squares problem
+// min ||Ax - b||2 + lambda*||x||2 via the normal equations
+// (A'A + lambda I) x = A'b using Cholesky factorization. With
+// lambda > 0 the system is always positive definite, so Ridge succeeds
+// where LeastSquares reports ErrSingular; it is the graceful fallback
+// for (near-)collinear predictors.
+func Ridge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("ridge %dx%d with %d-vector: %w", a.rows, a.cols, len(b), ErrShape)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("ridge lambda %v: must be non-negative", lambda)
+	}
+	p := a.cols
+	if p == 0 {
+		return []float64{}, nil
+	}
+	// Gram matrix G = A'A + lambda I and moment vector m = A'b.
+	g := NewMatrix(p, p)
+	m := make([]float64, p)
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			var s float64
+			for r := 0; r < a.rows; r++ {
+				s += a.At(r, i) * a.At(r, j)
+			}
+			if i == j {
+				s += lambda
+			}
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+		var s float64
+		for r := 0; r < a.rows; r++ {
+			s += a.At(r, i) * b[r]
+		}
+		m[i] = s
+	}
+	// Cholesky: G = L L'.
+	l := NewMatrix(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j <= i; j++ {
+			s := g.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("gram diagonal %d: %w", i, ErrSingular)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	// Forward substitution L y = m, then back substitution L' x = y.
+	y := make([]float64, p)
+	for i := 0; i < p; i++ {
+		s := m[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < p; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

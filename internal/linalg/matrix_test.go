@@ -1,0 +1,235 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrix(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("new matrix not zeroed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dimension did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged rows err = %v, want ErrShape", err)
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Errorf("empty FromRows = %v, %v", empty, err)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	c := m.Col(1)
+	if r[0] != 1 || r[1] != 2 {
+		t.Errorf("Row(0) = %v", r)
+	}
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Col(1) = %v", c)
+	}
+	r[0] = 99
+	c[0] = 99
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 {
+		t.Error("Row/Col returned views, want copies")
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("shape err = %v, want ErrShape", err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system: exact solve.
+	a, _ := FromRows([][]float64{{2, 0}, {0, 3}})
+	x, err := LeastSquares(a, []float64{4, 9})
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(x[0], 2, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 1 + 2t through noisy-free samples: exact recovery.
+	ts := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(ts))
+	b := make([]float64, len(ts))
+	for i, tt := range ts {
+		rows[i] = []float64{1, tt}
+		b[i] = 1 + 2*tt
+	}
+	a, _ := FromRows(rows)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 2, 1e-9) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 12+r.Intn(20), 2+r.Intn(3)
+		a := NewMatrix(n, p)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			b[i] = r.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // singular random draw: skip
+		}
+		fit, _ := a.MulVec(x)
+		for j := 0; j < p; j++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += (b[i] - fit[i]) * a.At(i, j)
+			}
+			if math.Abs(dot) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresSingular(t *testing.T) {
+	// Two identical columns: rank deficient.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	// Zero matrix.
+	z := NewMatrix(3, 2)
+	if _, err := LeastSquares(z, []float64{0, 0, 0}); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero-matrix err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLeastSquaresShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("underdetermined err = %v, want ErrShape", err)
+	}
+	a2 := NewMatrix(3, 2)
+	if _, err := LeastSquares(a2, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("mismatched b err = %v, want ErrShape", err)
+	}
+	// Zero columns: trivial empty solution.
+	a3 := NewMatrix(3, 0)
+	x, err := LeastSquares(a3, []float64{1, 2, 3})
+	if err != nil || len(x) != 0 {
+		t.Errorf("zero-col solve = %v, %v; want empty, nil", x, err)
+	}
+}
+
+func TestRidgeMatchesOLSWhenWellConditioned(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	b := []float64{1, 2, 3.1, 4.9}
+	x1, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	x2, err := Ridge(a, b, 1e-12)
+	if err != nil {
+		t.Fatalf("Ridge: %v", err)
+	}
+	for i := range x1 {
+		if !almostEqual(x1[i], x2[i], 1e-6) {
+			t.Errorf("x[%d]: ols %v vs ridge %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestRidgeHandlesCollinear(t *testing.T) {
+	// Identical columns: OLS fails, ridge splits the weight evenly.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	x, err := Ridge(a, []float64{2, 4, 6}, 1e-8)
+	if err != nil {
+		t.Fatalf("Ridge: %v", err)
+	}
+	if !almostEqual(x[0]+x[1], 2, 1e-4) {
+		t.Errorf("sum of collinear coefs = %v, want ~2", x[0]+x[1])
+	}
+	if !almostEqual(x[0], x[1], 1e-4) {
+		t.Errorf("ridge should split evenly: %v", x)
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	a := NewMatrix(2, 2)
+	if _, err := Ridge(a, []float64{1}, 0.1); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	if _, err := Ridge(a, []float64{1, 2}, -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	// Zero matrix with lambda 0: singular.
+	if _, err := Ridge(a, []float64{1, 2}, 0); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	// Zero columns: trivial.
+	x, err := Ridge(NewMatrix(2, 0), []float64{1, 2}, 0.1)
+	if err != nil || len(x) != 0 {
+		t.Errorf("zero-col ridge = %v, %v", x, err)
+	}
+}

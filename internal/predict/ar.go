@@ -1,0 +1,103 @@
+package predict
+
+import (
+	"fmt"
+
+	"atm/internal/regress"
+	"atm/internal/timeseries"
+)
+
+// AR is an autoregressive model of order P, optionally augmented with a
+// seasonal lag: y[t] ≈ c + Σ φ_k·y[t-k] (+ φ_s·y[t-Period]). The
+// coefficients are fitted by ordinary least squares. Multi-step
+// forecasts are produced iteratively, feeding predictions back as lags.
+type AR struct {
+	// P is the autoregressive order (number of immediate lags). It
+	// must be positive.
+	P int
+	// Period, if positive, adds a single seasonal lag y[t-Period],
+	// which captures daily periodicity cheaply.
+	Period int
+
+	fit     *regress.Fit
+	history timeseries.Series
+}
+
+// Name implements Model.
+func (a *AR) Name() string {
+	if a.Period > 0 {
+		return fmt.Sprintf("ar(%d)+s%d", a.P, a.Period)
+	}
+	return fmt.Sprintf("ar(%d)", a.P)
+}
+
+// maxLag returns the furthest-back sample index the model reads.
+func (a *AR) maxLag() int {
+	if a.Period > a.P {
+		return a.Period
+	}
+	return a.P
+}
+
+// Fit implements Model.
+func (a *AR) Fit(history timeseries.Series) error {
+	if a.P <= 0 {
+		return fmt.Errorf("predict: ar order %d: must be positive", a.P)
+	}
+	lag := a.maxLag()
+	nPred := a.P
+	if a.Period > 0 {
+		nPred++
+	}
+	n := len(history) - lag
+	if n <= nPred+1 {
+		return fmt.Errorf("predict: %d samples for ar(%d) seasonal %d: %w",
+			len(history), a.P, a.Period, ErrShortHistory)
+	}
+	y := make(timeseries.Series, n)
+	preds := make([]timeseries.Series, nPred)
+	for j := range preds {
+		preds[j] = make(timeseries.Series, n)
+	}
+	for i := 0; i < n; i++ {
+		t := i + lag
+		y[i] = history[t]
+		for k := 1; k <= a.P; k++ {
+			preds[k-1][i] = history[t-k]
+		}
+		if a.Period > 0 {
+			preds[a.P][i] = history[t-a.Period]
+		}
+	}
+	// OLS with ridge fallback: a perfectly periodic history makes the
+	// seasonal lag an exact linear combination of the short lags.
+	fit, err := regress.OLSRidge(y, preds, regress.DefaultRidgeLambda)
+	if err != nil {
+		return fmt.Errorf("predict: ar fit: %w", err)
+	}
+	a.fit = fit
+	a.history = history.Clone()
+	return nil
+}
+
+// Forecast implements Model.
+func (a *AR) Forecast(horizon int) (timeseries.Series, error) {
+	if a.fit == nil {
+		return nil, ErrNotFitted
+	}
+	// Extended buffer: history followed by forecasts.
+	buf := make(timeseries.Series, len(a.history), len(a.history)+horizon)
+	copy(buf, a.history)
+	for t := 0; t < horizon; t++ {
+		pos := len(buf)
+		v := a.fit.Intercept
+		for k := 1; k <= a.P; k++ {
+			v += a.fit.Coef[k-1] * buf[pos-k]
+		}
+		if a.Period > 0 {
+			v += a.fit.Coef[a.P] * buf[pos-a.Period]
+		}
+		buf = append(buf, v)
+	}
+	return buf[len(a.history):], nil
+}

@@ -1,0 +1,216 @@
+package predict
+
+import (
+	"fmt"
+
+	"atm/internal/regress"
+	"atm/internal/timeseries"
+)
+
+// ARIMA is an autoregressive integrated moving-average model
+// ARIMA(p,d,q), optionally with one round of seasonal differencing at
+// the given period — the classical temporal model the paper contrasts
+// with neural networks ("temporal models such as ARIMA are not able to
+// capture well bursty behaviors"). Coefficients are estimated by the
+// Hannan-Rissanen two-stage regression: a long autoregression first
+// recovers innovation estimates, then y is regressed jointly on its own
+// lags and the lagged innovations.
+type ARIMA struct {
+	// P and Q are the AR and MA orders; at least one must be positive.
+	P, Q int
+	// D is the order of plain differencing (0 or 1 are typical).
+	D int
+	// SeasonalPeriod, if positive, applies one round of seasonal
+	// differencing (y[t] - y[t-s]) before the ARMA fit — the cheap way
+	// to absorb the daily cycle.
+	SeasonalPeriod int
+
+	arCoef    []float64
+	maCoef    []float64
+	intercept float64
+	// tail state retained for forecasting
+	diffTail timeseries.Series // recent differenced values
+	errTail  timeseries.Series // recent innovation estimates
+	history  timeseries.Series
+}
+
+// Name implements Model.
+func (a *ARIMA) Name() string {
+	if a.SeasonalPeriod > 0 {
+		return fmt.Sprintf("arima(%d,%d,%d)s%d", a.P, a.D, a.Q, a.SeasonalPeriod)
+	}
+	return fmt.Sprintf("arima(%d,%d,%d)", a.P, a.D, a.Q)
+}
+
+// difference applies the model's differencing pipeline and returns the
+// transformed series.
+func (a *ARIMA) difference(s timeseries.Series) timeseries.Series {
+	out := s.Clone()
+	if a.SeasonalPeriod > 0 {
+		next := make(timeseries.Series, 0, len(out))
+		for i := a.SeasonalPeriod; i < len(out); i++ {
+			next = append(next, out[i]-out[i-a.SeasonalPeriod])
+		}
+		out = next
+	}
+	for d := 0; d < a.D; d++ {
+		next := make(timeseries.Series, 0, len(out))
+		for i := 1; i < len(out); i++ {
+			next = append(next, out[i]-out[i-1])
+		}
+		out = next
+	}
+	return out
+}
+
+// Fit implements Model.
+func (a *ARIMA) Fit(history timeseries.Series) error {
+	if a.P < 0 || a.Q < 0 || a.D < 0 || a.P+a.Q == 0 {
+		return fmt.Errorf("predict: arima orders p=%d d=%d q=%d invalid", a.P, a.D, a.Q)
+	}
+	w := a.difference(history)
+	longAR := a.P + a.Q + 3
+	need := longAR + a.Q + a.P + a.Q + 4
+	if len(w) <= need {
+		return fmt.Errorf("predict: %d differenced samples for arima(%d,%d,%d): %w",
+			len(w), a.P, a.D, a.Q, ErrShortHistory)
+	}
+
+	// Stage 1: long autoregression to estimate innovations.
+	resid := make(timeseries.Series, len(w))
+	{
+		n := len(w) - longAR
+		y := make(timeseries.Series, n)
+		preds := make([]timeseries.Series, longAR)
+		for j := range preds {
+			preds[j] = make(timeseries.Series, n)
+		}
+		for i := 0; i < n; i++ {
+			t := i + longAR
+			y[i] = w[t]
+			for k := 1; k <= longAR; k++ {
+				preds[k-1][i] = w[t-k]
+			}
+		}
+		fit, err := regress.OLSRidge(y, preds, regress.DefaultRidgeLambda)
+		if err != nil {
+			return fmt.Errorf("predict: arima stage-1: %w", err)
+		}
+		fitted := fit.Apply(preds)
+		for i := 0; i < n; i++ {
+			resid[i+longAR] = y[i] - fitted[i]
+		}
+	}
+
+	// Stage 2: regress w on its own lags and the lagged innovations.
+	start := longAR + a.Q
+	if a.P > start {
+		start = a.P
+	}
+	n := len(w) - start
+	y := make(timeseries.Series, n)
+	preds := make([]timeseries.Series, a.P+a.Q)
+	for j := range preds {
+		preds[j] = make(timeseries.Series, n)
+	}
+	for i := 0; i < n; i++ {
+		t := i + start
+		y[i] = w[t]
+		for k := 1; k <= a.P; k++ {
+			preds[k-1][i] = w[t-k]
+		}
+		for k := 1; k <= a.Q; k++ {
+			preds[a.P+k-1][i] = resid[t-k]
+		}
+	}
+	fit, err := regress.OLSRidge(y, preds, regress.DefaultRidgeLambda)
+	if err != nil {
+		return fmt.Errorf("predict: arima stage-2: %w", err)
+	}
+	a.intercept = fit.Intercept
+	a.arCoef = append([]float64(nil), fit.Coef[:a.P]...)
+	a.maCoef = append([]float64(nil), fit.Coef[a.P:]...)
+
+	// Retain tails for forecasting.
+	a.history = history.Clone()
+	keep := a.P
+	if a.Q > keep {
+		keep = a.Q
+	}
+	if keep == 0 {
+		keep = 1
+	}
+	a.diffTail = w[len(w)-keep:].Clone()
+	a.errTail = resid[len(resid)-keep:].Clone()
+	return nil
+}
+
+// Forecast implements Model. Future innovations are their expectation
+// (zero); differencing is inverted to return forecasts on the original
+// scale.
+func (a *ARIMA) Forecast(horizon int) (timeseries.Series, error) {
+	if a.history == nil {
+		return nil, ErrNotFitted
+	}
+	// Forecast the differenced series.
+	diffs := a.diffTail.Clone()
+	errs := a.errTail.Clone()
+	wfc := make(timeseries.Series, horizon)
+	for t := 0; t < horizon; t++ {
+		v := a.intercept
+		for k := 1; k <= a.P; k++ {
+			v += a.arCoef[k-1] * diffs[len(diffs)-k]
+		}
+		for k := 1; k <= a.Q; k++ {
+			v += a.maCoef[k-1] * errs[len(errs)-k]
+		}
+		wfc[t] = v
+		diffs = append(diffs, v)
+		errs = append(errs, 0)
+	}
+
+	// Invert differencing: integrate the plain differences one order
+	// at a time (innermost first), each against the level of the
+	// history differenced to the matching order, then undo the
+	// seasonal difference.
+	out := wfc
+	for d := a.D; d >= 1; d-- {
+		base := a.history.Clone()
+		if a.SeasonalPeriod > 0 {
+			tmp := make(timeseries.Series, 0, len(base))
+			for i := a.SeasonalPeriod; i < len(base); i++ {
+				tmp = append(tmp, base[i]-base[i-a.SeasonalPeriod])
+			}
+			base = tmp
+		}
+		for k := 0; k < d-1; k++ {
+			tmp := make(timeseries.Series, 0, len(base))
+			for i := 1; i < len(base); i++ {
+				tmp = append(tmp, base[i]-base[i-1])
+			}
+			base = tmp
+		}
+		level := base[len(base)-1]
+		integrated := make(timeseries.Series, len(out))
+		for i, v := range out {
+			level += v
+			integrated[i] = level
+		}
+		out = integrated
+	}
+	if a.SeasonalPeriod > 0 {
+		s := a.SeasonalPeriod
+		integrated := make(timeseries.Series, len(out))
+		for i, v := range out {
+			var prev float64
+			if i < s {
+				prev = a.history[len(a.history)-s+i]
+			} else {
+				prev = integrated[i-s]
+			}
+			integrated[i] = v + prev
+		}
+		out = integrated
+	}
+	return out, nil
+}

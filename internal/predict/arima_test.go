@@ -1,0 +1,153 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+func TestARIMARecoversARProcess(t *testing.T) {
+	// y[t] = 5 + 0.7 y[t-1] + e: ARIMA(1,0,0) should converge toward
+	// the stationary mean 16.67.
+	rng := rand.New(rand.NewSource(2))
+	hist := make(timeseries.Series, 400)
+	hist[0] = 10
+	for i := 1; i < len(hist); i++ {
+		hist[i] = 5 + 0.7*hist[i-1] + 0.3*rng.NormFloat64()
+	}
+	m := &ARIMA{P: 1}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(30)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	if math.Abs(fc[29]-5/0.3) > 1.5 {
+		t.Errorf("long-run forecast = %v, want ~16.7", fc[29])
+	}
+}
+
+func TestARIMAMAProcess(t *testing.T) {
+	// Pure MA(1): y = 10 + e + 0.6 e[t-1]. One-step forecast uses the
+	// last innovation; long-run converges to the mean.
+	rng := rand.New(rand.NewSource(3))
+	n := 600
+	e := make([]float64, n)
+	hist := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		e[i] = rng.NormFloat64()
+		hist[i] = 10 + e[i]
+		if i > 0 {
+			hist[i] += 0.6 * e[i-1]
+		}
+	}
+	m := &ARIMA{Q: 1}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(10)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	if math.Abs(fc[9]-10) > 0.5 {
+		t.Errorf("long-run MA forecast = %v, want ~10", fc[9])
+	}
+	if math.Abs(m.maCoef[0]-0.6) > 0.2 {
+		t.Errorf("theta = %v, want ~0.6", m.maCoef[0])
+	}
+}
+
+func TestARIMADifferencingTracksTrend(t *testing.T) {
+	// Linear trend + noise: ARIMA(1,1,0) forecasts must keep climbing.
+	rng := rand.New(rand.NewSource(4))
+	hist := make(timeseries.Series, 300)
+	for i := range hist {
+		hist[i] = 3 + 0.5*float64(i) + 0.5*rng.NormFloat64()
+	}
+	m := &ARIMA{P: 1, D: 1}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(20)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	last := hist[len(hist)-1]
+	if fc[19] < last+5 {
+		t.Errorf("trend lost: fc[19] = %v vs last obs %v", fc[19], last)
+	}
+	// Roughly the right slope (0.5/step).
+	slope := (fc[19] - fc[0]) / 19
+	if math.Abs(slope-0.5) > 0.25 {
+		t.Errorf("slope = %v, want ~0.5", slope)
+	}
+}
+
+func TestARIMASeasonalDifferencing(t *testing.T) {
+	period := 24
+	hist := seasonal(6, period, sinPattern(period))
+	m := &ARIMA{P: 2, SeasonalPeriod: period}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(period)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	want := seasonal(1, period, sinPattern(period))
+	mape, err := timeseries.MAPE(want, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 0.05 {
+		t.Errorf("seasonal ARIMA MAPE = %v, want < 5%%", mape)
+	}
+}
+
+func TestARIMAErrors(t *testing.T) {
+	if err := (&ARIMA{}).Fit(make(timeseries.Series, 100)); err == nil {
+		t.Error("p=q=0 accepted")
+	}
+	if err := (&ARIMA{P: -1, Q: 1}).Fit(make(timeseries.Series, 100)); err == nil {
+		t.Error("negative order accepted")
+	}
+	m := &ARIMA{P: 2, Q: 2}
+	if err := m.Fit(make(timeseries.Series, 10)); !errors.Is(err, ErrShortHistory) {
+		t.Errorf("err = %v, want ErrShortHistory", err)
+	}
+	if _, err := m.Forecast(3); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestARIMAImplementsModel(t *testing.T) {
+	var m Model = &ARIMA{P: 1, D: 1, Q: 1}
+	if m.Name() != "arima(1,1,1)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	s := &ARIMA{P: 1, SeasonalPeriod: 96}
+	if s.Name() != "arima(1,0,0)s96" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	rng := rand.New(rand.NewSource(6))
+	hist := make(timeseries.Series, 200)
+	for i := range hist {
+		hist[i] = 50 + 5*rng.NormFloat64()
+	}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(12)
+	if err != nil || len(fc) != 12 {
+		t.Fatalf("Forecast: %v len %d", err, len(fc))
+	}
+	for _, v := range fc {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bad forecast value %v", v)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"fmt"
+
+	"atm/internal/timeseries"
+)
+
+// HoltWinters is additive triple exponential smoothing: level, trend
+// and a seasonal component of the given period. It sits between the
+// seasonal baselines and the MLP in both cost and fidelity, and like
+// them plugs into the ATM framework unchanged.
+type HoltWinters struct {
+	// Period is the season length in samples. Must be positive.
+	Period int
+	// Alpha, Beta and Gamma are the level, trend and seasonal
+	// smoothing factors in (0, 1). Zero values select 0.3/0.05/0.3.
+	Alpha, Beta, Gamma float64
+
+	level    float64
+	trend    float64
+	seasonal timeseries.Series
+	phase    int // within-season slot of the first forecast step
+	fitted   bool
+}
+
+// Name implements Model.
+func (h *HoltWinters) Name() string { return fmt.Sprintf("holt-winters(%d)", h.Period) }
+
+func (h *HoltWinters) params() (a, b, g float64) {
+	a, b, g = h.Alpha, h.Beta, h.Gamma
+	if a == 0 {
+		a = 0.3
+	}
+	if b == 0 {
+		b = 0.05
+	}
+	if g == 0 {
+		g = 0.3
+	}
+	return a, b, g
+}
+
+// Fit implements Model.
+func (h *HoltWinters) Fit(history timeseries.Series) error {
+	if h.Period <= 0 {
+		return fmt.Errorf("predict: holt-winters period %d: must be positive", h.Period)
+	}
+	a, b, g := h.params()
+	for _, p := range [...]float64{a, b, g} {
+		if p <= 0 || p >= 1 {
+			return fmt.Errorf("predict: holt-winters smoothing factor %v outside (0,1)", p)
+		}
+	}
+	if len(history) < 2*h.Period {
+		return fmt.Errorf("predict: %d samples for period %d (need two seasons): %w",
+			len(history), h.Period, ErrShortHistory)
+	}
+
+	// Initialization: level and trend from the first two seasons,
+	// seasonal indices from the first season's deviations.
+	m := h.Period
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += history[i]
+		s2 += history[m+i]
+	}
+	s1 /= float64(m)
+	s2 /= float64(m)
+	level := s1
+	trend := (s2 - s1) / float64(m)
+	seasonal := make(timeseries.Series, m)
+	for i := 0; i < m; i++ {
+		seasonal[i] = history[i] - s1
+	}
+
+	for t := 0; t < len(history); t++ {
+		idx := t % m
+		prevLevel := level
+		level = a*(history[t]-seasonal[idx]) + (1-a)*(level+trend)
+		trend = b*(level-prevLevel) + (1-b)*trend
+		seasonal[idx] = g*(history[t]-level) + (1-g)*seasonal[idx]
+	}
+
+	h.level = level
+	h.trend = trend
+	h.seasonal = seasonal
+	// Forecast phase starts right after the history.
+	h.phase = len(history) % m
+	h.fitted = true
+	return nil
+}
+
+// Forecast implements Model.
+func (h *HoltWinters) Forecast(horizon int) (timeseries.Series, error) {
+	if !h.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make(timeseries.Series, horizon)
+	for t := 0; t < horizon; t++ {
+		idx := (h.phase + t) % h.Period
+		out[t] = h.level + float64(t+1)*h.trend + h.seasonal[idx]
+	}
+	return out, nil
+}

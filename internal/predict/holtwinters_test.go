@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+func TestHoltWintersSeasonalRecovery(t *testing.T) {
+	period := 24
+	hist := seasonal(5, period, sinPattern(period))
+	m := &HoltWinters{Period: period}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(period)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	want := seasonal(1, period, sinPattern(period))
+	mape, err := timeseries.MAPE(want, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 0.08 {
+		t.Errorf("MAPE = %v, want < 8%% on clean seasonal data", mape)
+	}
+}
+
+func TestHoltWintersTrend(t *testing.T) {
+	// Seasonal pattern on a rising trend: forecasts must keep climbing.
+	period := 12
+	hist := make(timeseries.Series, 6*period)
+	for i := range hist {
+		hist[i] = 20 + 0.2*float64(i) + 5*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	m := &HoltWinters{Period: period}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(2 * period)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	// Mean of the second forecast season exceeds the first: the trend
+	// survives.
+	first := fc.Slice(0, period).Mean()
+	second := fc.Slice(period, 2*period).Mean()
+	if second <= first {
+		t.Errorf("trend lost: season means %v then %v", first, second)
+	}
+	// And the forecast stays in a sane range.
+	lastTrue := hist[len(hist)-1]
+	if math.Abs(fc[0]-lastTrue) > 15 {
+		t.Errorf("fc[0] = %v far from last observation %v", fc[0], lastTrue)
+	}
+}
+
+func TestHoltWintersErrors(t *testing.T) {
+	if err := (&HoltWinters{Period: 0}).Fit(timeseries.Series{1, 2}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := (&HoltWinters{Period: 4, Alpha: 1.5}).Fit(make(timeseries.Series, 20)); err == nil {
+		t.Error("alpha >= 1 accepted")
+	}
+	m := &HoltWinters{Period: 10}
+	if err := m.Fit(make(timeseries.Series, 15)); !errors.Is(err, ErrShortHistory) {
+		t.Errorf("err = %v, want ErrShortHistory", err)
+	}
+	if _, err := m.Forecast(5); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestHoltWintersImplementsModel(t *testing.T) {
+	var m Model = &HoltWinters{Period: 8}
+	hist := seasonal(4, 8, sinPattern(8))
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(8)
+	if err != nil || len(fc) != 8 {
+		t.Fatalf("Forecast: %v len %d", err, len(fc))
+	}
+	if m.Name() != "holt-winters(8)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}

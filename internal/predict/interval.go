@@ -1,0 +1,93 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"atm/internal/timeseries"
+)
+
+// Band is a forecast with symmetric uncertainty bounds. Upper is what
+// a risk-averse resizer would provision against — an empirical
+// alternative to the paper's fixed discretization safety margin ε.
+type Band struct {
+	// Forecast is the point forecast.
+	Forecast timeseries.Series
+	// Lower and Upper are the z·σ bounds around it (Lower clamped at
+	// zero: demands are physical).
+	Lower, Upper timeseries.Series
+	// Sigma is the residual standard deviation estimated by backtest.
+	Sigma float64
+}
+
+// ForecastWithBand fits a fresh model from the factory on the history
+// minus a holdout of horizon samples, measures its residual standard
+// deviation on the holdout, then refits on the full history and
+// forecasts with ±z·σ bounds. z = 1.64 gives ~95% one-sided coverage
+// under roughly normal residuals.
+func ForecastWithBand(factory func() Model, history timeseries.Series, horizon int, z float64) (*Band, error) {
+	if horizon <= 0 || z < 0 {
+		return nil, fmt.Errorf("predict: horizon %d / z %v invalid", horizon, z)
+	}
+	if len(history) <= horizon+2 {
+		return nil, fmt.Errorf("predict: %d samples with holdout %d: %w", len(history), horizon, ErrShortHistory)
+	}
+
+	// Backtest for sigma.
+	cut := len(history) - horizon
+	m := factory()
+	if err := m.Fit(history.Slice(0, cut)); err != nil {
+		return nil, fmt.Errorf("predict: band backtest fit: %w", err)
+	}
+	fc, err := m.Forecast(horizon)
+	if err != nil {
+		return nil, fmt.Errorf("predict: band backtest forecast: %w", err)
+	}
+	var ss float64
+	for i := 0; i < horizon; i++ {
+		d := history[cut+i] - fc[i]
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(horizon))
+
+	// Refit on everything and forecast forward.
+	m = factory()
+	if err := m.Fit(history); err != nil {
+		return nil, fmt.Errorf("predict: band refit: %w", err)
+	}
+	point, err := m.Forecast(horizon)
+	if err != nil {
+		return nil, fmt.Errorf("predict: band forecast: %w", err)
+	}
+	band := &Band{Forecast: point, Sigma: sigma}
+	band.Lower = make(timeseries.Series, horizon)
+	band.Upper = make(timeseries.Series, horizon)
+	for i, v := range point {
+		lo := v - z*sigma
+		if lo < 0 {
+			lo = 0
+		}
+		band.Lower[i] = lo
+		band.Upper[i] = v + z*sigma
+	}
+	return band, nil
+}
+
+// Coverage reports the fraction of actual samples falling inside the
+// band — the empirical check that z was chosen sensibly.
+func (b *Band) Coverage(actual timeseries.Series) (float64, error) {
+	if len(actual) != len(b.Forecast) {
+		return 0, fmt.Errorf("predict: coverage with %d actuals for %d forecasts: %w",
+			len(actual), len(b.Forecast), timeseries.ErrLengthMismatch)
+	}
+	if len(actual) == 0 {
+		return 0, timeseries.ErrEmpty
+	}
+	in := 0
+	for i, v := range actual {
+		if v >= b.Lower[i] && v <= b.Upper[i] {
+			in++
+		}
+	}
+	return float64(in) / float64(len(actual)), nil
+}

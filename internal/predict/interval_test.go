@@ -1,0 +1,91 @@
+package predict
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+func noisySeasonal(seed int64, days, period int, sigma float64) timeseries.Series {
+	r := rand.New(rand.NewSource(seed))
+	s := seasonal(days, period, sinPattern(period))
+	for i := range s {
+		s[i] += sigma * r.NormFloat64()
+	}
+	return s
+}
+
+func TestForecastWithBandCoverage(t *testing.T) {
+	period := 24
+	hist := noisySeasonal(3, 6, period, 2)
+	factory := func() Model { return &SeasonalNaive{Period: period} }
+	band, err := ForecastWithBand(factory, hist.Slice(0, 5*period), period, 1.64)
+	if err != nil {
+		t.Fatalf("ForecastWithBand: %v", err)
+	}
+	if band.Sigma <= 0 {
+		t.Fatalf("Sigma = %v", band.Sigma)
+	}
+	actual := hist.Slice(5*period, 6*period)
+	cov, err := band.Coverage(actual)
+	if err != nil {
+		t.Fatalf("Coverage: %v", err)
+	}
+	if cov < 0.75 {
+		t.Errorf("coverage = %v, want >= 75%% at z=1.64", cov)
+	}
+	// Bounds bracket the point forecast and stay non-negative.
+	for i := range band.Forecast {
+		if band.Lower[i] > band.Forecast[i] || band.Upper[i] < band.Forecast[i] {
+			t.Fatalf("bounds do not bracket at %d", i)
+		}
+		if band.Lower[i] < 0 {
+			t.Fatalf("negative lower bound at %d", i)
+		}
+	}
+}
+
+func TestForecastWithBandWiderZ(t *testing.T) {
+	period := 12
+	hist := noisySeasonal(4, 6, period, 3)
+	factory := func() Model { return &SeasonalNaive{Period: period} }
+	narrow, err := ForecastWithBand(factory, hist, period, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := ForecastWithBand(factory, hist, period, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Upper[0]-wide.Lower[0] <= narrow.Upper[0]-narrow.Lower[0] {
+		t.Error("larger z did not widen the band")
+	}
+}
+
+func TestForecastWithBandErrors(t *testing.T) {
+	factory := func() Model { return &SeasonalNaive{Period: 4} }
+	if _, err := ForecastWithBand(factory, make(timeseries.Series, 10), 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := ForecastWithBand(factory, make(timeseries.Series, 5), 4, 1); !errors.Is(err, ErrShortHistory) {
+		t.Errorf("err = %v, want ErrShortHistory", err)
+	}
+	// Factory whose model cannot fit the truncated history.
+	bad := func() Model { return &SeasonalNaive{Period: 1000} }
+	if _, err := ForecastWithBand(bad, make(timeseries.Series, 50), 8, 1); err == nil {
+		t.Error("unfittable model accepted")
+	}
+}
+
+func TestBandCoverageErrors(t *testing.T) {
+	b := &Band{Forecast: timeseries.Series{1, 2}, Lower: timeseries.Series{0, 0}, Upper: timeseries.Series{2, 3}}
+	if _, err := b.Coverage(timeseries.Series{1}); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	cov, err := b.Coverage(timeseries.Series{1, 5})
+	if err != nil || cov != 0.5 {
+		t.Errorf("coverage = %v, %v; want 0.5", cov, err)
+	}
+}

@@ -1,0 +1,173 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"atm/internal/timeseries"
+)
+
+// MLP is a feed-forward neural-network model over lagged samples plus a
+// sinusoidal time-of-day encoding — the reproduction of the paper's
+// PRACTISE-style temporal model. Training is orders of magnitude more
+// expensive than the spatial linear models, which is exactly the cost
+// asymmetry that motivates ATM's signature-set reduction.
+//
+// With Period > 0 the lag window is taken one season earlier (the same
+// time yesterday), so multi-step forecasts up to a full season consume
+// only real history: long-horizon prediction stays stable instead of
+// compounding its own errors — the property a one-day resizing horizon
+// needs. With Period == 0 the model is a classic recursive
+// autoregressor.
+//
+// The zero value is not usable; fill in the exported fields or use
+// DefaultMLP.
+type MLP struct {
+	// Lags is the number of lagged samples used as inputs. Must be
+	// positive.
+	Lags int
+	// Period, if positive, takes the lag window from one season
+	// earlier and appends sin/cos time-of-day features.
+	Period int
+	// Hidden lists hidden-layer widths. Empty means one linear layer.
+	Hidden []int
+	// Epochs is the number of SGD passes.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Momentum is the SGD momentum coefficient.
+	Momentum float64
+	// Seed makes training deterministic.
+	Seed int64
+
+	net     *network
+	history timeseries.Series
+	mean    float64
+	std     float64
+}
+
+// DefaultMLP returns an MLP configured for the paper's 15-minute
+// usage series: one day of lags is excessive, so it uses a short lag
+// window plus the seasonal encoding, one hidden layer, and a seed for
+// reproducibility.
+func DefaultMLP(period int) *MLP {
+	return &MLP{
+		Lags:         8,
+		Period:       period,
+		Hidden:       []int{16},
+		Epochs:       60,
+		LearningRate: 0.01,
+		Momentum:     0.9,
+		Seed:         1,
+	}
+}
+
+// Name implements Model.
+func (m *MLP) Name() string { return fmt.Sprintf("mlp(lags=%d,hidden=%v)", m.Lags, m.Hidden) }
+
+// featureLen returns the input dimension.
+func (m *MLP) featureLen() int {
+	n := m.Lags
+	if m.Period > 0 {
+		n += 2
+	}
+	return n
+}
+
+// lagStart returns the index of the first (most recent) lag used to
+// predict position t: t-1 for the recursive model, the same slot one
+// season earlier for the seasonal model.
+func (m *MLP) lagStart(t int) int {
+	if m.Period > 0 {
+		return t - m.Period + m.Lags/2 // window centered on last season's slot
+	}
+	return t - 1
+}
+
+// features builds the input vector for predicting position t of series
+// buf. Values are normalized by the fitted mean/std.
+func (m *MLP) features(buf timeseries.Series, t int) []float64 {
+	x := make([]float64, 0, m.featureLen())
+	start := m.lagStart(t)
+	for k := 0; k < m.Lags; k++ {
+		x = append(x, m.normalize(buf[start-k]))
+	}
+	if m.Period > 0 {
+		ang := 2 * math.Pi * float64(t%m.Period) / float64(m.Period)
+		x = append(x, math.Sin(ang), math.Cos(ang))
+	}
+	return x
+}
+
+// minHistory returns the first trainable position.
+func (m *MLP) minHistory() int {
+	if m.Period > 0 {
+		// lagStart(t)-Lags+1 >= 0 and the centered window must not
+		// reach past t-1.
+		return m.Period + m.Lags
+	}
+	return m.Lags
+}
+
+func (m *MLP) normalize(v float64) float64 {
+	if m.std > 0 {
+		return (v - m.mean) / m.std
+	}
+	return v - m.mean
+}
+
+func (m *MLP) denormalize(v float64) float64 {
+	if m.std > 0 {
+		return v*m.std + m.mean
+	}
+	return v + m.mean
+}
+
+// Fit implements Model.
+func (m *MLP) Fit(history timeseries.Series) error {
+	if m.Lags <= 0 {
+		return fmt.Errorf("predict: mlp lags %d: must be positive", m.Lags)
+	}
+	if m.Epochs <= 0 || m.LearningRate <= 0 {
+		return fmt.Errorf("predict: mlp epochs %d / lr %v: must be positive", m.Epochs, m.LearningRate)
+	}
+	if len(history) < m.minHistory()+2 {
+		return fmt.Errorf("predict: %d samples for %d lags (period %d): %w",
+			len(history), m.Lags, m.Period, ErrShortHistory)
+	}
+	m.history = history.Clone()
+	m.mean = history.Mean()
+	m.std = history.Std()
+
+	var xs, ys [][]float64
+	for t := m.minHistory(); t < len(history); t++ {
+		xs = append(xs, m.features(history, t))
+		ys = append(ys, []float64{m.normalize(history[t])})
+	}
+	sizes := []int{m.featureLen()}
+	sizes = append(sizes, m.Hidden...)
+	sizes = append(sizes, 1)
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.net = newNetwork(sizes, rng)
+	m.net.train(xs, ys, m.Epochs, m.LearningRate, m.Momentum, rng)
+	return nil
+}
+
+// Forecast implements Model. The seasonal model (Period > 0) reads its
+// lag windows from the recorded history for the first Period steps and
+// from its own forecasts beyond; the recursive model always feeds
+// forecasts back.
+func (m *MLP) Forecast(horizon int) (timeseries.Series, error) {
+	if m.net == nil {
+		return nil, ErrNotFitted
+	}
+	buf := make(timeseries.Series, len(m.history), len(m.history)+horizon)
+	copy(buf, m.history)
+	for t := 0; t < horizon; t++ {
+		pos := len(buf)
+		out := m.net.predict(m.features(buf, pos))
+		buf = append(buf, m.denormalize(out[0]))
+	}
+	return buf[len(m.history):], nil
+}

@@ -1,0 +1,144 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// network is a small feed-forward neural network with tanh hidden
+// layers and a linear output, trained by stochastic gradient descent
+// with momentum on squared error. It is deliberately minimal: the paper
+// only needs "a neural network temporal model" as the expensive, high
+// accuracy member of the model family.
+type network struct {
+	sizes   []int       // layer widths, input first
+	weights [][]float64 // weights[l][j*in+i]: layer l, unit j, input i
+	biases  [][]float64
+	velW    [][]float64 // momentum buffers
+	velB    [][]float64
+}
+
+// newNetwork builds a network with the given layer sizes (input size
+// first, output size last) and Xavier-style initial weights drawn from
+// rng.
+func newNetwork(sizes []int, rng *rand.Rand) *network {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("predict: network needs >= 2 layers, got %v", sizes))
+	}
+	n := &network{sizes: sizes}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.weights = append(n.weights, w)
+		n.biases = append(n.biases, make([]float64, out))
+		n.velW = append(n.velW, make([]float64, in*out))
+		n.velB = append(n.velB, make([]float64, out))
+	}
+	return n
+}
+
+// forward runs the network, returning the activations of every layer
+// (activations[0] is the input itself).
+func (n *network) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(n.sizes))
+	acts[0] = x
+	for l := 0; l < len(n.weights); l++ {
+		in, out := n.sizes[l], n.sizes[l+1]
+		a := make([]float64, out)
+		for j := 0; j < out; j++ {
+			sum := n.biases[l][j]
+			row := n.weights[l][j*in : (j+1)*in]
+			for i, w := range row {
+				sum += w * acts[l][i]
+			}
+			if l < len(n.weights)-1 {
+				a[j] = math.Tanh(sum) // hidden: tanh
+			} else {
+				a[j] = sum // output: linear
+			}
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// predict returns the network output for input x.
+func (n *network) predict(x []float64) []float64 {
+	acts := n.forward(x)
+	return acts[len(acts)-1]
+}
+
+// step performs one SGD-with-momentum update on a single (x, target)
+// pair and returns the squared error before the update.
+func (n *network) step(x, target []float64, lr, momentum float64) float64 {
+	acts := n.forward(x)
+	out := acts[len(acts)-1]
+	// delta at output: dE/dz = (out - target) for linear output + MSE.
+	delta := make([]float64, len(out))
+	var loss float64
+	for j := range out {
+		e := out[j] - target[j]
+		delta[j] = e
+		loss += e * e
+	}
+	// Backpropagate layer by layer.
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		in, outSz := n.sizes[l], n.sizes[l+1]
+		var prevDelta []float64
+		if l > 0 {
+			prevDelta = make([]float64, in)
+		}
+		for j := 0; j < outSz; j++ {
+			d := delta[j]
+			row := n.weights[l][j*in : (j+1)*in]
+			velRow := n.velW[l][j*in : (j+1)*in]
+			for i := 0; i < in; i++ {
+				if prevDelta != nil {
+					prevDelta[i] += row[i] * d
+				}
+				g := d * acts[l][i]
+				velRow[i] = momentum*velRow[i] - lr*g
+				row[i] += velRow[i]
+			}
+			n.velB[l][j] = momentum*n.velB[l][j] - lr*d
+			n.biases[l][j] += n.velB[l][j]
+		}
+		if l > 0 {
+			// Apply tanh derivative of the hidden activation.
+			for i := 0; i < in; i++ {
+				a := acts[l][i]
+				prevDelta[i] *= 1 - a*a
+			}
+			delta = prevDelta
+		}
+	}
+	return loss
+}
+
+// train runs epochs passes of SGD over the sample set in a shuffled
+// order and returns the final mean squared error. The rng drives the
+// shuffles so training is deterministic for a fixed seed.
+func (n *network) train(xs, ys [][]float64, epochs int, lr, momentum float64, rng *rand.Rand) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, i := range order {
+			sum += n.step(xs[i], ys[i], lr, momentum)
+		}
+		last = sum / float64(len(xs))
+	}
+	return last
+}

@@ -1,0 +1,151 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"atm/internal/timeseries"
+)
+
+// Candidate pairs a model factory with a display name for selection.
+type Candidate struct {
+	// Name identifies the candidate in reports.
+	Name string
+	// New builds a fresh model instance (models are stateful, so each
+	// evaluation fold needs its own).
+	New func() Model
+}
+
+// DefaultCandidates returns the library's model family configured for
+// the given seasonal period — the menu ATM can choose from per
+// signature series.
+func DefaultCandidates(period int) []Candidate {
+	return []Candidate{
+		{Name: "seasonal-naive", New: func() Model { return &SeasonalNaive{Period: period} }},
+		{Name: "seasonal-mean", New: func() Model { return &SeasonalMean{Period: period} }},
+		{Name: "ar", New: func() Model { return &AR{P: 4, Period: period} }},
+		{Name: "holt-winters", New: func() Model { return &HoltWinters{Period: period} }},
+		{Name: "mlp", New: func() Model { return DefaultMLP(period) }},
+	}
+}
+
+// Selection reports the outcome of SelectBest.
+type Selection struct {
+	// Best is the winning candidate.
+	Best Candidate
+	// Scores maps candidate name to its mean validation MAPE; models
+	// that failed to fit are absent.
+	Scores map[string]float64
+}
+
+// ErrNoCandidate indicates every candidate failed on the given history.
+var ErrNoCandidate = errors.New("predict: no candidate model could be evaluated")
+
+// SelectBest picks the candidate with the lowest rolling-origin
+// validation error: the history's tail is split into folds of horizon
+// samples; each fold is forecast from the data before it and scored by
+// MAPE. folds and horizon must be positive and small enough that at
+// least half the history remains for the first training window.
+func SelectBest(history timeseries.Series, candidates []Candidate, folds, horizon int) (*Selection, error) {
+	if folds <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("predict: folds %d / horizon %d must be positive", folds, horizon)
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidate
+	}
+	valid := folds * horizon
+	if len(history)-valid < valid || len(history)-valid < 2 {
+		return nil, fmt.Errorf("predict: %d samples cannot hold %d folds of %d: %w",
+			len(history), folds, horizon, ErrShortHistory)
+	}
+
+	sel := &Selection{Scores: map[string]float64{}}
+	bestScore := -1.0
+	for _, c := range candidates {
+		var sum float64
+		n := 0
+		failed := false
+		for f := 0; f < folds; f++ {
+			cut := len(history) - (folds-f)*horizon
+			m := c.New()
+			if err := m.Fit(history.Slice(0, cut)); err != nil {
+				failed = true
+				break
+			}
+			fc, err := m.Forecast(horizon)
+			if err != nil {
+				failed = true
+				break
+			}
+			actual := history.Slice(cut, cut+horizon)
+			mape, err := timeseries.MAPE(actual, fc)
+			if err != nil {
+				failed = true
+				break
+			}
+			sum += mape
+			n++
+		}
+		if failed || n == 0 {
+			continue
+		}
+		score := sum / float64(n)
+		sel.Scores[c.Name] = score
+		if bestScore < 0 || score < bestScore {
+			bestScore = score
+			sel.Best = c
+		}
+	}
+	if bestScore < 0 {
+		return nil, ErrNoCandidate
+	}
+	return sel, nil
+}
+
+// Auto is a Model that picks the best candidate for each series at Fit
+// time via rolling-origin validation and then delegates to it — per-
+// series model selection as a drop-in temporal model for the ATM
+// pipeline.
+type Auto struct {
+	// Candidates is the model family; empty means
+	// DefaultCandidates(Horizon... ) cannot be inferred, so it is
+	// required.
+	Candidates []Candidate
+	// Folds and Horizon parameterize the validation split.
+	Folds, Horizon int
+
+	chosen Model
+	name   string
+}
+
+// Name implements Model; before Fit it is "auto", afterwards it names
+// the winner.
+func (a *Auto) Name() string {
+	if a.name == "" {
+		return "auto"
+	}
+	return "auto->" + a.name
+}
+
+// Fit implements Model.
+func (a *Auto) Fit(history timeseries.Series) error {
+	sel, err := SelectBest(history, a.Candidates, a.Folds, a.Horizon)
+	if err != nil {
+		return err
+	}
+	m := sel.Best.New()
+	if err := m.Fit(history); err != nil {
+		return fmt.Errorf("predict: auto refit %s: %w", sel.Best.Name, err)
+	}
+	a.chosen = m
+	a.name = sel.Best.Name
+	return nil
+}
+
+// Forecast implements Model.
+func (a *Auto) Forecast(horizon int) (timeseries.Series, error) {
+	if a.chosen == nil {
+		return nil, ErrNotFitted
+	}
+	return a.chosen.Forecast(horizon)
+}

@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+func TestSelectBestPrefersSeasonalOnSeasonalData(t *testing.T) {
+	period := 24
+	hist := seasonal(8, period, sinPattern(period))
+	// Add mild noise so no model is exactly perfect.
+	r := rand.New(rand.NewSource(3))
+	for i := range hist {
+		hist[i] += 0.4 * r.NormFloat64()
+	}
+	cands := []Candidate{
+		{Name: "seasonal-naive", New: func() Model { return &SeasonalNaive{Period: period} }},
+		{Name: "ar1", New: func() Model { return &AR{P: 1} }}, // no seasonal lag: should lose
+	}
+	sel, err := SelectBest(hist, cands, 2, period)
+	if err != nil {
+		t.Fatalf("SelectBest: %v", err)
+	}
+	if sel.Best.Name != "seasonal-naive" {
+		t.Errorf("Best = %s (scores %v), want seasonal-naive", sel.Best.Name, sel.Scores)
+	}
+	if sel.Scores["seasonal-naive"] >= sel.Scores["ar1"] {
+		t.Errorf("scores inverted: %v", sel.Scores)
+	}
+}
+
+func TestSelectBestSkipsFailingCandidates(t *testing.T) {
+	period := 8
+	hist := seasonal(6, period, sinPattern(period))
+	cands := []Candidate{
+		{Name: "broken", New: func() Model { return &SeasonalNaive{Period: 10_000} }}, // can't fit
+		{Name: "works", New: func() Model { return &SeasonalNaive{Period: period} }},
+	}
+	sel, err := SelectBest(hist, cands, 2, period)
+	if err != nil {
+		t.Fatalf("SelectBest: %v", err)
+	}
+	if sel.Best.Name != "works" {
+		t.Errorf("Best = %s", sel.Best.Name)
+	}
+	if _, ok := sel.Scores["broken"]; ok {
+		t.Error("failing candidate got a score")
+	}
+}
+
+func TestSelectBestErrors(t *testing.T) {
+	hist := seasonal(4, 8, sinPattern(8))
+	if _, err := SelectBest(hist, nil, 2, 8); !errors.Is(err, ErrNoCandidate) {
+		t.Errorf("err = %v, want ErrNoCandidate", err)
+	}
+	if _, err := SelectBest(hist, DefaultCandidates(8), 0, 8); err == nil {
+		t.Error("zero folds accepted")
+	}
+	short := make(timeseries.Series, 10)
+	if _, err := SelectBest(short, DefaultCandidates(8), 3, 8); !errors.Is(err, ErrShortHistory) {
+		t.Errorf("err = %v, want ErrShortHistory", err)
+	}
+	// Every candidate fails: ErrNoCandidate.
+	bad := []Candidate{{Name: "x", New: func() Model { return &SeasonalNaive{Period: 10_000} }}}
+	if _, err := SelectBest(hist, bad, 1, 8); !errors.Is(err, ErrNoCandidate) {
+		t.Errorf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestDefaultCandidatesAllRunnable(t *testing.T) {
+	period := 16
+	hist := seasonal(8, period, sinPattern(period))
+	sel, err := SelectBest(hist, DefaultCandidates(period), 2, period)
+	if err != nil {
+		t.Fatalf("SelectBest over default family: %v", err)
+	}
+	if len(sel.Scores) < 4 {
+		t.Errorf("only %d of 5 default candidates scored: %v", len(sel.Scores), sel.Scores)
+	}
+}
+
+func TestAutoModel(t *testing.T) {
+	period := 16
+	hist := seasonal(8, period, sinPattern(period))
+	m := &Auto{Candidates: DefaultCandidates(period), Folds: 2, Horizon: period}
+	if m.Name() != "auto" {
+		t.Errorf("pre-fit Name = %q", m.Name())
+	}
+	if _, err := m.Forecast(4); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v, want ErrNotFitted", err)
+	}
+	if err := m.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if len(m.Name()) <= len("auto->") {
+		t.Errorf("post-fit Name = %q", m.Name())
+	}
+	fc, err := m.Forecast(period)
+	if err != nil || len(fc) != period {
+		t.Fatalf("Forecast: %v len %d", err, len(fc))
+	}
+}

@@ -1,0 +1,214 @@
+// Package queueing provides the classical steady-state queueing
+// formulas behind the testbed's performance model: M/M/1 and M/M/c
+// queues, the M/G/1 processor-sharing queue (the model of a
+// CPU-limited VM tier), and open tandem (Jackson-style) compositions
+// for multi-tier applications. Every quantity is in consistent units:
+// arrival rate λ and service rate μ per second, times in seconds.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable indicates the offered load meets or exceeds capacity, so
+// no steady state exists.
+var ErrUnstable = errors.New("queueing: utilization >= 1 (unstable)")
+
+// MM1 describes an M/M/1 queue.
+type MM1 struct {
+	// Lambda is the arrival rate (req/s).
+	Lambda float64
+	// Mu is the service rate (req/s).
+	Mu float64
+}
+
+// Utilization returns ρ = λ/μ.
+func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// validate rejects non-positive rates and unstable load.
+func (q MM1) validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 {
+		return fmt.Errorf("queueing: lambda %v mu %v invalid", q.Lambda, q.Mu)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("rho %.3f: %w", q.Utilization(), ErrUnstable)
+	}
+	return nil
+}
+
+// MeanResponseTime returns E[T] = 1/(μ-λ).
+func (q MM1) MeanResponseTime() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	return 1 / (q.Mu - q.Lambda), nil
+}
+
+// MeanQueueLength returns E[N] = ρ/(1-ρ) (jobs in system).
+func (q MM1) MeanQueueLength() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	rho := q.Utilization()
+	return rho / (1 - rho), nil
+}
+
+// ResponseTimeQuantile returns the p-quantile of the (exponential)
+// response-time distribution: T_p = E[T] · ln(1/(1-p)).
+func (q MM1) ResponseTimeQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queueing: quantile %v outside (0,1)", p)
+	}
+	et, err := q.MeanResponseTime()
+	if err != nil {
+		return 0, err
+	}
+	return et * math.Log(1/(1-p)), nil
+}
+
+// MMc describes an M/M/c queue (c parallel servers, shared queue) —
+// the model of a tier with c identical VMs behind one balancer.
+type MMc struct {
+	Lambda  float64
+	Mu      float64 // per-server service rate
+	Servers int
+}
+
+// Utilization returns ρ = λ/(cμ).
+func (q MMc) Utilization() float64 {
+	return q.Lambda / (float64(q.Servers) * q.Mu)
+}
+
+func (q MMc) validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 || q.Servers <= 0 {
+		return fmt.Errorf("queueing: lambda %v mu %v servers %d invalid", q.Lambda, q.Mu, q.Servers)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("rho %.3f: %w", q.Utilization(), ErrUnstable)
+	}
+	return nil
+}
+
+// ErlangC returns the probability an arriving job must wait.
+func (q MMc) ErlangC() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	c := q.Servers
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Compute with running terms to avoid factorial overflow.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	termC := term * a / float64(c) // a^c / c!
+	rho := q.Utilization()
+	pWait := termC / (1 - rho) / (sum + termC/(1-rho))
+	return pWait, nil
+}
+
+// MeanResponseTime returns E[T] = 1/μ + C(c,a)/(cμ - λ).
+func (q MMc) MeanResponseTime() (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return 1/q.Mu + pw/(float64(q.Servers)*q.Mu-q.Lambda), nil
+}
+
+// PS describes an M/G/1 processor-sharing queue — the natural model of
+// a CPU-capped VM: the limit serves all in-progress requests
+// concurrently, and mean response time depends on the service
+// distribution only through its mean (PS insensitivity).
+type PS struct {
+	// Lambda is the arrival rate (req/s).
+	Lambda float64
+	// ServiceDemand is the mean CPU demand per request (GHz·s).
+	ServiceDemand float64
+	// CapacityGHz is the cgroup CPU limit.
+	CapacityGHz float64
+}
+
+// Utilization returns ρ = λ·D / C.
+func (q PS) Utilization() float64 {
+	return q.Lambda * q.ServiceDemand / q.CapacityGHz
+}
+
+func (q PS) validate() error {
+	if q.Lambda < 0 || q.ServiceDemand <= 0 || q.CapacityGHz <= 0 {
+		return fmt.Errorf("queueing: ps %+v invalid", q)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("rho %.3f: %w", q.Utilization(), ErrUnstable)
+	}
+	return nil
+}
+
+// MeanResponseTime returns E[T] = S/(1-ρ) with S = D/C — the formula
+// the testbed simulator uses per tier.
+func (q PS) MeanResponseTime() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	s := q.ServiceDemand / q.CapacityGHz
+	return s / (1 - q.Utilization()), nil
+}
+
+// Tier is one stage of an open tandem network.
+type Tier struct {
+	// Name labels the stage in reports.
+	Name string
+	// Visit is the fraction of requests that visit this stage (e.g.
+	// cache misses for a database tier).
+	Visit float64
+	// Queue is the stage's PS model at visit-adjusted arrival rate;
+	// Lambda here is per full request, the composition scales it.
+	ServiceDemand float64
+	CapacityGHz   float64
+}
+
+// Tandem computes the end-to-end mean response time of an open tandem
+// of PS stages at the given request rate: Σ visit_i · E[T_i]. It
+// returns ErrUnstable if any stage saturates.
+func Tandem(lambda float64, tiers []Tier) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: lambda %v invalid", lambda)
+	}
+	var total float64
+	for _, t := range tiers {
+		if t.Visit < 0 || t.Visit > 1 {
+			return 0, fmt.Errorf("queueing: tier %q visit %v outside [0,1]", t.Name, t.Visit)
+		}
+		if t.Visit == 0 {
+			continue
+		}
+		q := PS{Lambda: lambda * t.Visit, ServiceDemand: t.ServiceDemand, CapacityGHz: t.CapacityGHz}
+		rt, err := q.MeanResponseTime()
+		if err != nil {
+			return 0, fmt.Errorf("tier %q: %w", t.Name, err)
+		}
+		total += t.Visit * rt
+	}
+	return total, nil
+}
+
+// Capacity returns the highest sustainable request rate of the tandem:
+// the minimum over stages of C_i/(D_i·visit_i).
+func Capacity(tiers []Tier) float64 {
+	cap := math.Inf(1)
+	for _, t := range tiers {
+		if t.Visit <= 0 || t.ServiceDemand <= 0 {
+			continue
+		}
+		if c := t.CapacityGHz / (t.ServiceDemand * t.Visit); c < cap {
+			cap = c
+		}
+	}
+	return cap
+}

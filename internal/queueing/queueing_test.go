@@ -1,0 +1,214 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMM1KnownValues(t *testing.T) {
+	// λ=8, μ=10: ρ=0.8, E[T]=1/(10-8)=0.5s, E[N]=4.
+	q := MM1{Lambda: 8, Mu: 10}
+	rt, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatalf("E[T]: %v", err)
+	}
+	if !almostEqual(rt, 0.5, 1e-12) {
+		t.Errorf("E[T] = %v, want 0.5", rt)
+	}
+	n, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatalf("E[N]: %v", err)
+	}
+	if !almostEqual(n, 4, 1e-12) {
+		t.Errorf("E[N] = %v, want 4", n)
+	}
+	// Little's law: N = λT.
+	if !almostEqual(n, q.Lambda*rt, 1e-9) {
+		t.Errorf("Little's law violated: N=%v, λT=%v", n, q.Lambda*rt)
+	}
+}
+
+func TestMM1Quantile(t *testing.T) {
+	q := MM1{Lambda: 5, Mu: 10}
+	med, err := q.ResponseTimeQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, _ := q.MeanResponseTime()
+	if !almostEqual(med, et*math.Ln2, 1e-12) {
+		t.Errorf("median = %v, want E[T]·ln2 = %v", med, et*math.Ln2)
+	}
+	if _, err := q.ResponseTimeQuantile(1.5); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 10, Mu: 10}
+	if _, err := q.MeanResponseTime(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+	bad := MM1{Lambda: 1, Mu: 0}
+	if _, err := bad.MeanQueueLength(); err == nil {
+		t.Error("zero mu accepted")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	mm1 := MM1{Lambda: 6, Mu: 10}
+	mmc := MMc{Lambda: 6, Mu: 10, Servers: 1}
+	rt1, err := mm1.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtc, err := mmc.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rt1, rtc, 1e-9) {
+		t.Errorf("M/M/1 %v vs M/M/c(1) %v", rt1, rtc)
+	}
+}
+
+func TestMMcErlangCKnown(t *testing.T) {
+	// Classic Erlang-C value: c=2, a=1 (ρ=0.5) → C = 1/3.
+	q := MMc{Lambda: 10, Mu: 10, Servers: 2}
+	pw, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pw, 1.0/3, 1e-9) {
+		t.Errorf("ErlangC = %v, want 1/3", pw)
+	}
+}
+
+func TestMMcPoolingBeatsSplit(t *testing.T) {
+	// A pooled 4-server queue beats four separate M/M/1s at equal load.
+	pooled := MMc{Lambda: 32, Mu: 10, Servers: 4}
+	single := MM1{Lambda: 8, Mu: 10}
+	rtPooled, err := pooled.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtSingle, err := single.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtPooled >= rtSingle {
+		t.Errorf("pooled %v >= split %v; pooling must win", rtPooled, rtSingle)
+	}
+}
+
+func TestPSFormula(t *testing.T) {
+	// D=0.3 GHz·s, C=6 GHz, λ=10/s: S=0.05s, ρ=0.5, E[T]=0.1s.
+	q := PS{Lambda: 10, ServiceDemand: 0.3, CapacityGHz: 6}
+	rt, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rt, 0.1, 1e-12) {
+		t.Errorf("E[T] = %v, want 0.1", rt)
+	}
+	// Doubling the capacity at fixed load more than halves E[T].
+	fast := PS{Lambda: 10, ServiceDemand: 0.3, CapacityGHz: 12}
+	rtFast, err := fast.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtFast >= rt/2 {
+		t.Errorf("uncapping did not help enough: %v vs %v", rtFast, rt)
+	}
+}
+
+func TestPSUnstable(t *testing.T) {
+	q := PS{Lambda: 10, ServiceDemand: 1, CapacityGHz: 5}
+	if _, err := q.MeanResponseTime(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestTandemComposition(t *testing.T) {
+	// A wiki-like 3-tier app: apache (every request), memcached (every
+	// request), DB (20% miss traffic).
+	tiers := []Tier{
+		{Name: "apache", Visit: 1, ServiceDemand: 0.4, CapacityGHz: 14},
+		{Name: "memcached", Visit: 1, ServiceDemand: 0.05, CapacityGHz: 7},
+		{Name: "db", Visit: 0.2, ServiceDemand: 0.6, CapacityGHz: 7},
+	}
+	rt, err := Tandem(10, tiers)
+	if err != nil {
+		t.Fatalf("Tandem: %v", err)
+	}
+	if rt <= 0 || rt > 1 {
+		t.Errorf("E[T] = %v, implausible", rt)
+	}
+	// Monotone in load.
+	rt2, err := Tandem(20, tiers)
+	if err != nil {
+		t.Fatalf("Tandem(20): %v", err)
+	}
+	if rt2 <= rt {
+		t.Errorf("RT not increasing with load: %v then %v", rt, rt2)
+	}
+	// Saturating the bottleneck errors out.
+	if _, err := Tandem(40, tiers); !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+	// Bad visit ratio.
+	if _, err := Tandem(1, []Tier{{Visit: 2, ServiceDemand: 1, CapacityGHz: 10}}); err == nil {
+		t.Error("visit > 1 accepted")
+	}
+}
+
+func TestCapacityBottleneck(t *testing.T) {
+	tiers := []Tier{
+		{Name: "a", Visit: 1, ServiceDemand: 0.4, CapacityGHz: 14},  // 35 r/s
+		{Name: "b", Visit: 0.2, ServiceDemand: 0.6, CapacityGHz: 7}, // 58.3 r/s
+	}
+	if got := Capacity(tiers); !almostEqual(got, 35, 1e-9) {
+		t.Errorf("Capacity = %v, want 35 (apache-bound)", got)
+	}
+	if got := Capacity(nil); !math.IsInf(got, 1) {
+		t.Errorf("empty capacity = %v, want +Inf", got)
+	}
+}
+
+// Property: Tandem response time is always at least the zero-load
+// service time and Capacity is consistent with stability.
+func TestTandemProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nt := 1 + r.Intn(4)
+		tiers := make([]Tier, nt)
+		var base float64
+		for i := range tiers {
+			tiers[i] = Tier{
+				Name:          "t",
+				Visit:         0.2 + 0.8*r.Float64(),
+				ServiceDemand: 0.05 + r.Float64(),
+				CapacityGHz:   2 + 10*r.Float64(),
+			}
+			base += tiers[i].Visit * tiers[i].ServiceDemand / tiers[i].CapacityGHz
+		}
+		cap := Capacity(tiers)
+		lam := cap * (0.1 + 0.8*r.Float64()) // strictly inside stability
+		rt, err := Tandem(lam, tiers)
+		if err != nil {
+			return false
+		}
+		if rt < base-1e-9 {
+			return false
+		}
+		// Just above capacity must be unstable.
+		_, err = Tandem(cap*1.01, tiers)
+		return errors.Is(err, ErrUnstable)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

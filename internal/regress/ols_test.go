@@ -1,0 +1,397 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/linalg"
+	"atm/internal/timeseries"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func linearSeries(n int, f func(i int) float64) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = f(i)
+	}
+	return s
+}
+
+func TestOLSExactRecovery(t *testing.T) {
+	n := 30
+	x1 := linearSeries(n, func(i int) float64 { return float64(i) })
+	x2 := linearSeries(n, func(i int) float64 { return math.Sin(float64(i)) })
+	y := make(timeseries.Series, n)
+	for i := range y {
+		y[i] = 3 + 2*x1[i] - 0.5*x2[i]
+	}
+	fit, err := OLS(y, []timeseries.Series{x1, x2})
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !almostEqual(fit.Intercept, 3, 1e-8) {
+		t.Errorf("intercept = %v, want 3", fit.Intercept)
+	}
+	if !almostEqual(fit.Coef[0], 2, 1e-8) || !almostEqual(fit.Coef[1], -0.5, 1e-8) {
+		t.Errorf("coef = %v, want [2 -0.5]", fit.Coef)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestOLSNoisyFit(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 200
+	x := linearSeries(n, func(i int) float64 { return float64(i) / 10 })
+	y := make(timeseries.Series, n)
+	for i := range y {
+		y[i] = 1 + 4*x[i] + r.NormFloat64()*0.1
+	}
+	fit, err := OLS(y, []timeseries.Series{x})
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !almostEqual(fit.Coef[0], 4, 0.05) {
+		t.Errorf("slope = %v, want ~4", fit.Coef[0])
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	y := timeseries.Series{1, 2, 3}
+	if _, err := OLS(y, nil); !errors.Is(err, ErrNoPredictors) {
+		t.Errorf("err = %v, want ErrNoPredictors", err)
+	}
+	// Too few samples.
+	if _, err := OLS(y, []timeseries.Series{{1, 2, 3}, {4, 5, 6}}); !errors.Is(err, linalg.ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	// Length mismatch.
+	long := linearSeries(10, func(i int) float64 { return float64(i) })
+	if _, err := OLS(long, []timeseries.Series{{1, 2}}); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	// Collinear predictors.
+	x := linearSeries(10, func(i int) float64 { return float64(i) })
+	if _, err := OLS(long, []timeseries.Series{x, x}); !errors.Is(err, linalg.ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFitApplyPanicsOnWrongArity(t *testing.T) {
+	fit := &Fit{Intercept: 1, Coef: []float64{2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply with wrong predictor count did not panic")
+		}
+	}()
+	fit.Apply([]timeseries.Series{{1}, {2}})
+}
+
+func TestFitApply(t *testing.T) {
+	fit := &Fit{Intercept: 1, Coef: []float64{2, 3}}
+	got := fit.Apply([]timeseries.Series{{1, 2}, {10, 20}})
+	want := timeseries.Series{1 + 2 + 30, 1 + 4 + 60}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Apply[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: OLS R2 never decreases when a predictor is added (on the
+// same data, nested models).
+func TestOLSR2Monotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 30 + r.Intn(40)
+		x1 := make(timeseries.Series, n)
+		x2 := make(timeseries.Series, n)
+		y := make(timeseries.Series, n)
+		for i := 0; i < n; i++ {
+			x1[i] = r.NormFloat64()
+			x2[i] = r.NormFloat64()
+			y[i] = r.NormFloat64() + 0.5*x1[i]
+		}
+		f1, err1 := OLS(y, []timeseries.Series{x1})
+		f2, err2 := OLS(y, []timeseries.Series{x1, x2})
+		if err1 != nil || err2 != nil {
+			return true // rare singular draws: skip
+		}
+		return f2.R2 >= f1.R2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVIFIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 100
+	series := make([]timeseries.Series, 3)
+	for k := range series {
+		s := make(timeseries.Series, n)
+		for i := range s {
+			s[i] = r.NormFloat64()
+		}
+		series[k] = s
+	}
+	vifs, err := VIF(series)
+	if err != nil {
+		t.Fatalf("VIF: %v", err)
+	}
+	for i, v := range vifs {
+		if v > 1.5 {
+			t.Errorf("VIF[%d] = %v for independent series, want ~1", i, v)
+		}
+		if v < 1 {
+			t.Errorf("VIF[%d] = %v < 1; impossible by definition", i, v)
+		}
+	}
+}
+
+func TestVIFCollinear(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	n := 60
+	a := make(timeseries.Series, n)
+	b := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	// c is an exact linear combination of a and b.
+	c := make(timeseries.Series, n)
+	for i := range c {
+		c[i] = 2*a[i] - b[i] + 1
+	}
+	vifs, err := VIF([]timeseries.Series{a, b, c})
+	if err != nil {
+		t.Fatalf("VIF: %v", err)
+	}
+	if !math.IsInf(vifs[2], 1) && vifs[2] < 1e6 {
+		t.Errorf("VIF of exact combination = %v, want huge/Inf", vifs[2])
+	}
+}
+
+func TestVIFFewSeries(t *testing.T) {
+	vifs, err := VIF([]timeseries.Series{{1, 2, 3}})
+	if err != nil || len(vifs) != 1 || vifs[0] != 1 {
+		t.Errorf("single-series VIF = %v, %v; want [1]", vifs, err)
+	}
+	vifs, err = VIF(nil)
+	if err != nil || len(vifs) != 0 {
+		t.Errorf("empty VIF = %v, %v", vifs, err)
+	}
+}
+
+func TestStepwiseVIFRemovesCollinear(t *testing.T) {
+	// The paper's multicollinearity example: three "clusters" where one
+	// is a linear combination of the other two. Stepwise must drop
+	// exactly one series.
+	r := rand.New(rand.NewSource(11))
+	n := 80
+	a := make(timeseries.Series, n)
+	b := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	c := make(timeseries.Series, n)
+	for i := range c {
+		c[i] = a[i] + b[i] + 0.01*r.NormFloat64()
+	}
+	keep, removed, err := StepwiseVIF([]timeseries.Series{a, b, c}, DefaultVIFCutoff)
+	if err != nil {
+		t.Fatalf("StepwiseVIF: %v", err)
+	}
+	if len(keep) != 2 || len(removed) != 1 {
+		t.Fatalf("keep=%v removed=%v, want 2/1 split", keep, removed)
+	}
+	// The survivors must no longer be collinear.
+	vifs, err := VIF([]timeseries.Series{
+		[]timeseries.Series{a, b, c}[keep[0]],
+		[]timeseries.Series{a, b, c}[keep[1]],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vifs {
+		if v > DefaultVIFCutoff {
+			t.Errorf("post-stepwise VIF = %v, want <= %v", v, DefaultVIFCutoff)
+		}
+	}
+}
+
+func TestStepwiseVIFKeepsIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	n := 80
+	series := make([]timeseries.Series, 4)
+	for k := range series {
+		s := make(timeseries.Series, n)
+		for i := range s {
+			s[i] = r.NormFloat64()
+		}
+		series[k] = s
+	}
+	keep, removed, err := StepwiseVIF(series, DefaultVIFCutoff)
+	if err != nil {
+		t.Fatalf("StepwiseVIF: %v", err)
+	}
+	if len(keep) != 4 || len(removed) != 0 {
+		t.Errorf("independent series eliminated: keep=%v removed=%v", keep, removed)
+	}
+}
+
+func TestStepwiseVIFInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(5)
+		n := 40 + r.Intn(40)
+		series := make([]timeseries.Series, m)
+		base := make(timeseries.Series, n)
+		for i := range base {
+			base[i] = r.NormFloat64()
+		}
+		for k := range series {
+			s := make(timeseries.Series, n)
+			w := r.Float64()
+			for i := range s {
+				s[i] = w*base[i] + (1-w)*r.NormFloat64()
+			}
+			series[k] = s
+		}
+		keep, removed, err := StepwiseVIF(series, DefaultVIFCutoff)
+		if err != nil {
+			return false
+		}
+		if len(keep)+len(removed) != m || len(keep) < 1 {
+			return false
+		}
+		// keep is sorted and disjoint from removed.
+		seen := map[int]bool{}
+		prev := -1
+		for _, i := range keep {
+			if i <= prev || seen[i] {
+				return false
+			}
+			prev = i
+			seen[i] = true
+		}
+		for _, i := range removed {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLSRidgeFallsBackOnCollinear(t *testing.T) {
+	// Identical predictors: OLS is singular, ridge splits the weight.
+	n := 20
+	x := linearSeries(n, func(i int) float64 { return float64(i) })
+	y := make(timeseries.Series, n)
+	for i := range y {
+		y[i] = 1 + 3*x[i]
+	}
+	fit, err := OLSRidge(y, []timeseries.Series{x, x}, DefaultRidgeLambda)
+	if err != nil {
+		t.Fatalf("OLSRidge: %v", err)
+	}
+	if !almostEqual(fit.Coef[0]+fit.Coef[1], 3, 1e-3) {
+		t.Errorf("coef sum = %v, want ~3", fit.Coef[0]+fit.Coef[1])
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestOLSRidgeMatchesOLSWhenRegular(t *testing.T) {
+	n := 30
+	x1 := linearSeries(n, func(i int) float64 { return float64(i) })
+	x2 := linearSeries(n, func(i int) float64 { return math.Cos(float64(i)) })
+	y := make(timeseries.Series, n)
+	for i := range y {
+		y[i] = 2 - x1[i] + 0.5*x2[i]
+	}
+	plain, err := OLS(y, []timeseries.Series{x1, x2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := OLSRidge(y, []timeseries.Series{x1, x2}, DefaultRidgeLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Coef {
+		if !almostEqual(plain.Coef[i], ridge.Coef[i], 1e-9) {
+			t.Errorf("coef %d: %v vs %v", i, plain.Coef[i], ridge.Coef[i])
+		}
+	}
+}
+
+func TestOLSRidgePropagatesNonSingularErrors(t *testing.T) {
+	// Shape errors must NOT be silently absorbed by the fallback.
+	y := timeseries.Series{1, 2, 3}
+	if _, err := OLSRidge(y, []timeseries.Series{{1, 2}}, DefaultRidgeLambda); !errors.Is(err, timeseries.ErrLengthMismatch) {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := OLSRidge(y, nil, DefaultRidgeLambda); !errors.Is(err, ErrNoPredictors) {
+		t.Errorf("err = %v, want ErrNoPredictors", err)
+	}
+}
+
+func TestR2ConstantActual(t *testing.T) {
+	// Constant target fitted exactly: R2 = 1; fitted wrongly: 0.
+	c := timeseries.Series{5, 5, 5, 5}
+	if got := r2(c, timeseries.Series{5, 5, 5, 5}); got != 1 {
+		t.Errorf("exact constant R2 = %v, want 1", got)
+	}
+	if got := r2(c, timeseries.Series{4, 6, 4, 6}); got != 0 {
+		t.Errorf("wrong constant R2 = %v, want 0", got)
+	}
+	// Worse-than-mean fit clamps at 0.
+	y := timeseries.Series{1, 2, 3}
+	if got := r2(y, timeseries.Series{30, -10, 50}); got != 0 {
+		t.Errorf("terrible-fit R2 = %v, want clamped 0", got)
+	}
+}
+
+func TestVIFBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		n := 30 + r.Intn(30)
+		series := make([]timeseries.Series, k)
+		for i := range series {
+			s := make(timeseries.Series, n)
+			for j := range s {
+				s[j] = r.NormFloat64()
+			}
+			series[i] = s
+		}
+		vifs, err := VIF(series)
+		if err != nil {
+			return false
+		}
+		for _, v := range vifs {
+			if v < 1 { // VIF >= 1 by definition
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

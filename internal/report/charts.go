@@ -1,0 +1,160 @@
+package report
+
+import (
+	"fmt"
+	"math"
+
+	"atm/internal/timeseries"
+)
+
+// LineSeries is one named curve in a line chart.
+type LineSeries struct {
+	// Name appears in the legend.
+	Name string
+	// Y holds the sample values; X is implicit (0..len-1) unless XS is
+	// set.
+	Y timeseries.Series
+	// XS optionally supplies explicit x coordinates (same length as
+	// Y).
+	XS []float64
+}
+
+// LineChart renders named curves with shared axes. hline, if non-zero,
+// draws a dashed horizontal reference line (e.g. the 60% ticket
+// threshold).
+func LineChart(title, xLabel, yLabel string, series []LineSeries, hline float64) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: no series")
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Y) == 0 {
+			return "", fmt.Errorf("report: series %q empty", s.Name)
+		}
+		if s.XS != nil && len(s.XS) != len(s.Y) {
+			return "", fmt.Errorf("report: series %q has %d xs for %d ys", s.Name, len(s.XS), len(s.Y))
+		}
+		for i, v := range s.Y {
+			x := float64(i)
+			if s.XS != nil {
+				x = s.XS[i]
+			}
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, v), math.Max(yMax, v)
+		}
+	}
+	if hline != 0 {
+		yMin, yMax = math.Min(yMin, hline), math.Max(yMax, hline)
+	}
+	if yMin > 0 && yMin < yMax/3 {
+		yMin = 0 // anchor usage-style plots at zero
+	}
+
+	b := newSVG(title)
+	xs := scale{dataMin: xMin, dataMax: xMax, pixMin: marginLeft, pixMax: chartWidth - marginRight}
+	ys := scale{dataMin: yMin, dataMax: yMax, pixMin: chartHeight - marginBottom, pixMax: marginTop}
+	b.axes(xs, ys, xLabel, yLabel)
+	if hline != 0 {
+		y := ys.at(hline)
+		b.line(xs.pixMin, y, xs.pixMax, y, "#cc3311", 1.5, true)
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+		pts := make([]point, len(s.Y))
+		for j, v := range s.Y {
+			x := float64(j)
+			if s.XS != nil {
+				x = s.XS[j]
+			}
+			pts[j] = point{xs.at(x), ys.at(v)}
+		}
+		b.polyline(pts, palette[i%len(palette)], 1.8)
+	}
+	b.legend(names)
+	return b.finish(), nil
+}
+
+// CDFChart renders empirical CDFs of the named samples.
+func CDFChart(title, xLabel string, samples map[string][]float64, order []string) (string, error) {
+	if len(order) == 0 {
+		return "", fmt.Errorf("report: no samples")
+	}
+	var series []LineSeries
+	for _, name := range order {
+		vals := samples[name]
+		if len(vals) == 0 {
+			return "", fmt.Errorf("report: sample %q empty", name)
+		}
+		cdf := timeseries.NewCDF(vals)
+		xsv, ps := cdf.Points(64)
+		series = append(series, LineSeries{Name: name, Y: timeseries.Series(ps), XS: xsv})
+	}
+	return LineChart(title, xLabel, "P(X <= x)", series, 0)
+}
+
+// BarGroup is one cluster of bars (e.g. one policy with a CPU and a
+// RAM bar).
+type BarGroup struct {
+	// Label names the group on the x axis.
+	Label string
+	// Values holds one bar height per category.
+	Values []float64
+}
+
+// BarChart renders grouped bars; categories names the per-group bars
+// and drives the legend.
+func BarChart(title, yLabel string, categories []string, groups []BarGroup) (string, error) {
+	if len(groups) == 0 || len(categories) == 0 {
+		return "", fmt.Errorf("report: empty bar chart")
+	}
+	yMin, yMax := 0.0, math.Inf(-1)
+	for _, g := range groups {
+		if len(g.Values) != len(categories) {
+			return "", fmt.Errorf("report: group %q has %d values for %d categories",
+				g.Label, len(g.Values), len(categories))
+		}
+		for _, v := range g.Values {
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if yMax < 0 {
+		yMax = 0
+	}
+
+	b := newSVG(title)
+	plotLeft, plotRight := float64(marginLeft), float64(chartWidth-marginRight)
+	ys := scale{dataMin: yMin, dataMax: yMax, pixMin: chartHeight - marginBottom, pixMax: marginTop}
+
+	// Y axis with ticks.
+	b.line(plotLeft, ys.pixMin, plotLeft, ys.pixMax, "#333333", 1, false)
+	for _, t := range niceTicks(yMin, yMax, 6) {
+		y := ys.at(t)
+		b.line(plotLeft-4, y, plotLeft, y, "#333333", 1, false)
+		b.text(plotLeft-8, y+4, formatTick(t), "end", 11, "#333333", false)
+		b.line(plotLeft, y, plotRight, y, "#eeeeee", 1, false)
+	}
+	b.text(plotLeft, float64(marginTop)-10, yLabel, "start", 12, "#333333", false)
+
+	groupWidth := (plotRight - plotLeft) / float64(len(groups))
+	barWidth := groupWidth * 0.7 / float64(len(categories))
+	zeroY := ys.at(0)
+	b.line(plotLeft, zeroY, plotRight, zeroY, "#333333", 1, false)
+	for gi, g := range groups {
+		gx := plotLeft + float64(gi)*groupWidth + groupWidth*0.15
+		for ci, v := range g.Values {
+			x := gx + float64(ci)*barWidth
+			y := ys.at(v)
+			top, h := y, zeroY-y
+			if v < 0 {
+				top, h = zeroY, y-zeroY
+			}
+			b.rect(x, top, barWidth-2, h, palette[ci%len(palette)])
+		}
+		b.text(gx+groupWidth*0.35, float64(chartHeight-marginBottom)+18, g.Label, "middle", 11, "#333333", false)
+	}
+	b.legend(categories)
+	return b.finish(), nil
+}

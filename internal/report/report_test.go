@@ -1,0 +1,135 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+// assertValidSVG parses the output as XML and checks basic structure.
+func assertValidSVG(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an svg document: %.60s...", svg)
+	}
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg, err := LineChart("Usage over time", "window", "cpu %", []LineSeries{
+		{Name: "vm-1", Y: timeseries.Series{10, 50, 70, 40}},
+		{Name: "vm-2", Y: timeseries.Series{20, 25, 22, 28}},
+	}, 60)
+	if err != nil {
+		t.Fatalf("LineChart: %v", err)
+	}
+	assertValidSVG(t, svg)
+	for _, want := range []string{"Usage over time", "vm-1", "vm-2", "polyline", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestLineChartExplicitXS(t *testing.T) {
+	svg, err := LineChart("t", "x", "y", []LineSeries{
+		{Name: "a", Y: timeseries.Series{1, 2}, XS: []float64{0, 10}},
+	}, 0)
+	if err != nil {
+		t.Fatalf("LineChart: %v", err)
+	}
+	assertValidSVG(t, svg)
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := LineChart("t", "x", "y", nil, 0); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := LineChart("t", "x", "y", []LineSeries{{Name: "a"}}, 0); err == nil {
+		t.Error("empty Y accepted")
+	}
+	if _, err := LineChart("t", "x", "y", []LineSeries{
+		{Name: "a", Y: timeseries.Series{1, 2}, XS: []float64{0}},
+	}, 0); err == nil {
+		t.Error("mismatched XS accepted")
+	}
+}
+
+func TestCDFChart(t *testing.T) {
+	svg, err := CDFChart("Prediction error", "APE", map[string][]float64{
+		"dtw": {0.1, 0.2, 0.3, 0.5},
+		"cbc": {0.05, 0.15, 0.25},
+	}, []string{"dtw", "cbc"})
+	if err != nil {
+		t.Fatalf("CDFChart: %v", err)
+	}
+	assertValidSVG(t, svg)
+	if !strings.Contains(svg, "dtw") || !strings.Contains(svg, "cbc") {
+		t.Error("legend entries missing")
+	}
+	if _, err := CDFChart("t", "x", nil, nil); err == nil {
+		t.Error("empty CDF chart accepted")
+	}
+	if _, err := CDFChart("t", "x", map[string][]float64{"a": nil}, []string{"a"}); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg, err := BarChart("Ticket reduction", "reduction", []string{"cpu", "ram"}, []BarGroup{
+		{Label: "atm", Values: []float64{0.95, 0.96}},
+		{Label: "max-min", Values: []float64{0.7, 0.7}},
+		{Label: "stingy", Values: []float64{0.54, -0.3}}, // negative bar
+	})
+	if err != nil {
+		t.Fatalf("BarChart: %v", err)
+	}
+	assertValidSVG(t, svg)
+	for _, want := range []string{"atm", "max-min", "stingy", "cpu", "ram", "rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if _, err := BarChart("t", "y", nil, nil); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	if _, err := BarChart("t", "y", []string{"a"}, []BarGroup{{Label: "g", Values: []float64{1, 2}}}); err == nil {
+		t.Error("ragged group accepted")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || len(ticks) > 12 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg, err := LineChart(`a<b>&"c"`, "x", "y", []LineSeries{
+		{Name: "s", Y: timeseries.Series{1, 2}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidSVG(t, svg) // would fail to parse if unescaped
+}

@@ -1,0 +1,171 @@
+// Package report renders experiment results as standalone SVG figures
+// (time-series plots, CDF curves, grouped bar charts) using nothing but
+// the standard library, so `atmbench -svg` can regenerate the paper's
+// figures as images and not only as tables.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette is a color-blind-friendly categorical palette.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// Chart geometry shared by all chart kinds.
+const (
+	chartWidth   = 640
+	chartHeight  = 400
+	marginLeft   = 64
+	marginRight  = 24
+	marginTop    = 40
+	marginBottom = 56
+)
+
+// svgBuilder accumulates SVG elements.
+type svgBuilder struct {
+	sb strings.Builder
+}
+
+func newSVG(title string) *svgBuilder {
+	b := &svgBuilder{}
+	fmt.Fprintf(&b.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	b.sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	b.text(chartWidth/2, 22, title, "middle", 14, "#222222", true)
+	return b
+}
+
+func (b *svgBuilder) finish() string {
+	b.sb.WriteString(`</svg>`)
+	return b.sb.String()
+}
+
+func (b *svgBuilder) line(x1, y1, x2, y2 float64, color string, width float64, dashed bool) {
+	dash := ""
+	if dashed {
+		dash = ` stroke-dasharray="6,4"`
+	}
+	fmt.Fprintf(&b.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"%s/>`,
+		x1, y1, x2, y2, color, width, dash)
+}
+
+func (b *svgBuilder) polyline(points []point, color string, width float64) {
+	if len(points) == 0 {
+		return
+	}
+	var pts strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", p.x, p.y)
+	}
+	fmt.Fprintf(&b.sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`,
+		pts.String(), color, width)
+}
+
+func (b *svgBuilder) rect(x, y, w, h float64, color string) {
+	fmt.Fprintf(&b.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+		x, y, w, h, color)
+}
+
+func (b *svgBuilder) text(x, y float64, s, anchor string, size int, color string, bold bool) {
+	weight := ""
+	if bold {
+		weight = ` font-weight="bold"`
+	}
+	fmt.Fprintf(&b.sb,
+		`<text x="%.1f" y="%.1f" text-anchor="%s" font-family="sans-serif" font-size="%d" fill="%s"%s>%s</text>`,
+		x, y, anchor, size, color, weight, escape(s))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type point struct{ x, y float64 }
+
+// scale maps a data range onto a pixel range.
+type scale struct {
+	dataMin, dataMax float64
+	pixMin, pixMax   float64
+}
+
+func (s scale) at(v float64) float64 {
+	if s.dataMax == s.dataMin {
+		return (s.pixMin + s.pixMax) / 2
+	}
+	return s.pixMin + (v-s.dataMin)/(s.dataMax-s.dataMin)*(s.pixMax-s.pixMin)
+}
+
+// niceTicks returns ~n rounded tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch norm := raw / mag; {
+	case norm < 1.5:
+		step = mag
+	case norm < 3:
+		step = 2 * mag
+	case norm < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+// axes draws the frame, ticks and labels for the plot area.
+func (b *svgBuilder) axes(xs, ys scale, xLabel, yLabel string) {
+	left, right := xs.pixMin, xs.pixMax
+	// Y pixel space is inverted (pixMin = bottom).
+	bottom, top := ys.pixMin, ys.pixMax
+	b.line(left, bottom, right, bottom, "#333333", 1, false)
+	b.line(left, bottom, left, top, "#333333", 1, false)
+	for _, t := range niceTicks(xs.dataMin, xs.dataMax, 6) {
+		x := xs.at(t)
+		b.line(x, bottom, x, bottom+4, "#333333", 1, false)
+		b.text(x, bottom+18, formatTick(t), "middle", 11, "#333333", false)
+	}
+	for _, t := range niceTicks(ys.dataMin, ys.dataMax, 6) {
+		y := ys.at(t)
+		b.line(left-4, y, left, y, "#333333", 1, false)
+		b.text(left-8, y+4, formatTick(t), "end", 11, "#333333", false)
+		b.line(left, y, right, y, "#eeeeee", 1, false) // gridline
+	}
+	b.text((left+right)/2, float64(chartHeight)-12, xLabel, "middle", 12, "#333333", false)
+	// Y label drawn horizontally above the axis to avoid transforms.
+	b.text(left, top-10, yLabel, "start", 12, "#333333", false)
+}
+
+// legend draws series names in the top-right corner of the plot area.
+func (b *svgBuilder) legend(names []string) {
+	x := float64(chartWidth - marginRight - 150)
+	y := float64(marginTop + 8)
+	for i, name := range names {
+		c := palette[i%len(palette)]
+		b.rect(x, y-9, 12, 10, c)
+		b.text(x+18, y, name, "start", 11, "#333333", false)
+		y += 16
+	}
+}

@@ -1,0 +1,84 @@
+package resize
+
+import (
+	"sort"
+)
+
+// Stingy returns the paper's "stingy" baseline: each VM is allocated
+// exactly the lower bound — its peak demand — regardless of the ticket
+// threshold ("only allocates the capacity according to the lower
+// bound, i.e., the maximum demand regardless of the ticket threshold,
+// often used in practice"). Allocations are clamped to the box
+// capacity. The allocation may be infeasible in aggregate; like the
+// practice it models, Stingy does not check.
+func Stingy(p *Problem) (Allocation, error) {
+	if err := p.validate(); err != nil {
+		return Allocation{}, err
+	}
+	sizes := make([]float64, len(p.VMs))
+	for i, vm := range p.VMs {
+		s := vm.Demand.Max()
+		if s < vm.LowerBound {
+			s = vm.LowerBound
+		}
+		if s > p.Capacity {
+			s = p.Capacity
+		}
+		sizes[i] = s
+	}
+	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
+}
+
+// MaxMinFairness returns the classic water-filling allocation. Each
+// VM's target is the ticket-free capacity max(Demand)/Threshold ("the
+// demand of the smallest VM, considering its ticket threshold").
+// Targets are served in increasing order: every unsatisfied VM receives
+// an equal share of the remaining capacity, capped at its own target,
+// so small VMs are fully protected while large VMs absorb the
+// shortfall — the behaviour that lets max-min *increase* tickets on
+// boxes dominated by one big VM (paper Figure 10).
+func MaxMinFairness(p *Problem) (Allocation, error) {
+	if err := p.validate(); err != nil {
+		return Allocation{}, err
+	}
+	n := len(p.VMs)
+	sizes := make([]float64, n)
+	if n == 0 {
+		return Allocation{Sizes: sizes}, nil
+	}
+	type req struct {
+		idx    int
+		target float64
+	}
+	reqs := make([]req, n)
+	for i, vm := range p.VMs {
+		// The (1+1e-12) nudge mirrors the candidate construction in
+		// Greedy: a fully funded VM must not ticket at its own peak
+		// due to floating-point rounding.
+		target := vm.Demand.Max() / p.Threshold * (1 + 1e-12)
+		if target < vm.LowerBound {
+			target = vm.LowerBound
+		}
+		if target > p.Capacity {
+			target = p.Capacity
+		}
+		reqs[i] = req{idx: i, target: target}
+	}
+	sort.Slice(reqs, func(a, b int) bool {
+		if reqs[a].target != reqs[b].target {
+			return reqs[a].target < reqs[b].target
+		}
+		return reqs[a].idx < reqs[b].idx
+	})
+	remaining := p.Capacity
+	for k, r := range reqs {
+		share := remaining / float64(n-k)
+		alloc := r.target
+		if alloc > share {
+			alloc = share
+		}
+		sizes[r.idx] = alloc
+		remaining -= alloc
+	}
+	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
+}

@@ -1,0 +1,170 @@
+package resize
+
+import (
+	"math/rand"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+func TestStingyAllocatesPeak(t *testing.T) {
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{10, 50, 30}},
+			{Demand: timeseries.Series{5, 5, 80}},
+		},
+		Capacity:  1000,
+		Threshold: 0.6,
+	}
+	a, err := Stingy(p)
+	if err != nil {
+		t.Fatalf("Stingy: %v", err)
+	}
+	if a.Sizes[0] != 50 || a.Sizes[1] != 80 {
+		t.Errorf("Sizes = %v, want [50 80]", a.Sizes)
+	}
+	// Peak-demand sizing still tickets: demand > 0.6*peak near peaks.
+	if a.Tickets == 0 {
+		t.Error("Stingy unexpectedly ticket-free; it ignores the threshold")
+	}
+}
+
+func TestStingyRespectsLowerBound(t *testing.T) {
+	p := &Problem{
+		VMs:       []VM{{Demand: timeseries.Series{10}, LowerBound: 30}},
+		Capacity:  100,
+		Threshold: 0.6,
+	}
+	a, err := Stingy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sizes[0] != 30 {
+		t.Errorf("size = %v, want lower bound 30", a.Sizes[0])
+	}
+}
+
+func TestMaxMinProtectsSmallVMs(t *testing.T) {
+	// One huge VM and two small ones under tight capacity: small VMs
+	// must get their full ticket-free targets.
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{300, 300, 300}},
+			{Demand: timeseries.Series{6, 6, 6}},
+			{Demand: timeseries.Series{12, 12, 12}},
+		},
+		Capacity:  200,
+		Threshold: 0.6,
+	}
+	a, err := MaxMinFairness(p)
+	if err != nil {
+		t.Fatalf("MaxMinFairness: %v", err)
+	}
+	if a.Sizes[1] < 6/0.6-1e-9 {
+		t.Errorf("small VM 1 shortchanged: %v", a.Sizes[1])
+	}
+	if a.Sizes[2] < 12/0.6-1e-9 {
+		t.Errorf("small VM 2 shortchanged: %v", a.Sizes[2])
+	}
+	// The big VM absorbs the shortfall and keeps ticketing.
+	if a.Sizes[0] >= 300/0.6 {
+		t.Errorf("big VM fully satisfied under tight capacity: %v", a.Sizes[0])
+	}
+	if a.Tickets == 0 {
+		t.Error("expected residual tickets on the big VM")
+	}
+}
+
+func TestMaxMinAbundant(t *testing.T) {
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{30, 40}},
+			{Demand: timeseries.Series{10, 20}},
+		},
+		Capacity:  1000,
+		Threshold: 0.6,
+	}
+	a, err := MaxMinFairness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tickets != 0 {
+		t.Errorf("Tickets = %d, want 0 with abundant capacity", a.Tickets)
+	}
+}
+
+func TestMaxMinEmpty(t *testing.T) {
+	p := &Problem{Capacity: 10, Threshold: 0.6}
+	a, err := MaxMinFairness(p)
+	if err != nil || len(a.Sizes) != 0 {
+		t.Errorf("empty = %+v, %v", a, err)
+	}
+}
+
+// TestPolicyOrdering checks the paper's Figure 8 ordering in
+// aggregate over many random boxes: ATM's greedy incurs the fewest
+// tickets, max-min fairness next, stingy the most. Greedy is a
+// heuristic, so individual instances may deviate slightly; the
+// aggregate ordering and the per-instance optimality gap against the
+// exact solver are the meaningful properties.
+func TestPolicyOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var sumG, sumMM, sumST, sumEx int
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(5)
+		vms := make([]VM, n)
+		var peakSum float64
+		for i := range vms {
+			T := 5 + r.Intn(8)
+			d := make(timeseries.Series, T)
+			base := r.Float64() * 50
+			for t := range d {
+				d[t] = base + r.Float64()*30
+			}
+			vms[i] = VM{Demand: d}
+			peakSum += d.Max()
+		}
+		p := &Problem{
+			VMs:       vms,
+			Capacity:  peakSum * (1 + r.Float64()),
+			Threshold: 0.6,
+		}
+		g, err := p.Greedy()
+		if err != nil {
+			t.Fatalf("Greedy: %v", err) // no lower bounds: must be feasible
+		}
+		mm, err := MaxMinFairness(p)
+		if err != nil {
+			t.Fatalf("MaxMinFairness: %v", err)
+		}
+		st, err := Stingy(p)
+		if err != nil {
+			t.Fatalf("Stingy: %v", err)
+		}
+		ex, err := p.Exact()
+		if err != nil {
+			t.Fatalf("Exact: %v", err)
+		}
+		var mmSum float64
+		for _, s := range mm.Sizes {
+			mmSum += s
+		}
+		if mmSum > p.Capacity+1e-6 {
+			t.Fatalf("max-min over capacity: %v > %v", mmSum, p.Capacity)
+		}
+		if g.Tickets < ex.Tickets {
+			t.Fatalf("greedy %d beat exact %d — exact solver is broken", g.Tickets, ex.Tickets)
+		}
+		sumG += g.Tickets
+		sumMM += mm.Tickets
+		sumST += st.Tickets
+		sumEx += ex.Tickets
+	}
+	if !(sumG <= sumMM && sumMM <= sumST) {
+		t.Errorf("aggregate ordering violated: greedy=%d maxmin=%d stingy=%d", sumG, sumMM, sumST)
+	}
+	// Greedy should stay near-optimal in aggregate (within 15%).
+	if float64(sumG) > 1.15*float64(sumEx)+3 {
+		t.Errorf("greedy aggregate %d too far from exact %d", sumG, sumEx)
+	}
+}

@@ -1,0 +1,102 @@
+package resize
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynamicProgram solves the MCKP by dynamic programming over a
+// discretized capacity axis with the given number of bins: dp[i][w] is
+// the minimum ticket count for VMs 0..i-1 using capacity at most w
+// grid units. Candidate sizes are quantized UP to the grid, so any
+// returned allocation is feasible against the true capacity; with
+// enough bins the result converges to Exact's. It is the second
+// independent optimality oracle (pseudo-polynomial instead of
+// exhaustive), used to cross-check both Exact and Greedy.
+func (p *Problem) DynamicProgram(bins int) (Allocation, error) {
+	if err := p.validate(); err != nil {
+		return Allocation{}, err
+	}
+	if bins <= 0 {
+		return Allocation{}, fmt.Errorf("resize: %d bins: %w", bins, ErrBadProblem)
+	}
+	n := len(p.VMs)
+	if n == 0 {
+		return Allocation{Sizes: []float64{}}, nil
+	}
+	grid := p.Capacity / float64(bins)
+	if grid == 0 {
+		grid = 1 // zero-capacity box: every weight collapses to bin 0
+	}
+
+	type item struct {
+		weight  int // grid units, rounded up
+		size    float64
+		tickets int
+	}
+	groups := make([][]item, n)
+	for i := 0; i < n; i++ {
+		sizes, tickets := p.candidates(i)
+		seen := map[int]bool{}
+		for k := range sizes {
+			w := int(math.Ceil(sizes[k]/grid - 1e-12))
+			if w > bins {
+				continue // cannot fit even alone
+			}
+			// Candidates arrive ticket-sorted ascending, so the first
+			// candidate seen per weight is the best one.
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			groups[i] = append(groups[i], item{weight: w, size: sizes[k], tickets: tickets[k]})
+		}
+		if len(groups[i]) == 0 {
+			return Allocation{}, fmt.Errorf("vm %d: no candidate fits %v: %w", i, p.Capacity, ErrInfeasible)
+		}
+	}
+
+	const inf = math.MaxInt32
+	dp := make([][]int, n+1)
+	dp[0] = make([]int, bins+1) // zero VMs: zero tickets at any budget
+	for i := 0; i < n; i++ {
+		dp[i+1] = make([]int, bins+1)
+		for w := 0; w <= bins; w++ {
+			best := inf
+			for _, it := range groups[i] {
+				if it.weight > w {
+					continue
+				}
+				if prev := dp[i][w-it.weight]; prev < inf && prev+it.tickets < best {
+					best = prev + it.tickets
+				}
+			}
+			dp[i+1][w] = best
+		}
+	}
+	if dp[n][bins] >= inf {
+		return Allocation{}, ErrInfeasible
+	}
+
+	// Reconstruct the choices from the table.
+	sizes := make([]float64, n)
+	w := bins
+	for i := n - 1; i >= 0; i-- {
+		found := false
+		for _, it := range groups[i] {
+			if it.weight > w {
+				continue
+			}
+			if prev := dp[i][w-it.weight]; prev < inf && prev+it.tickets == dp[i+1][w] {
+				sizes[i] = it.size
+				w -= it.weight
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Allocation{}, fmt.Errorf("resize: dp reconstruction failed at vm %d", i)
+		}
+	}
+	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
+}

@@ -1,0 +1,49 @@
+package resize
+
+import (
+	"errors"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+// FuzzGreedy feeds arbitrary demand values into the solver and checks
+// the core invariants: no panic, capacity respected, lower bounds
+// honored, reported tickets true.
+func FuzzGreedy(f *testing.F) {
+	f.Add(10.0, 20.0, 30.0, 50.0, 0.6, 0.0)
+	f.Add(0.0, 0.0, 0.0, 1.0, 0.9, 1.0)
+	f.Add(100.0, 1.0, 100.0, 90.0, 0.5, 5.0)
+
+	f.Fuzz(func(t *testing.T, d1, d2, d3, capacity, threshold, eps float64) {
+		p := &Problem{
+			VMs: []VM{
+				{Demand: timeseries.Series{d1, d2}},
+				{Demand: timeseries.Series{d3}, LowerBound: d3 / 2},
+			},
+			Capacity:  capacity,
+			Threshold: threshold,
+			Epsilon:   eps,
+		}
+		a, err := p.Greedy()
+		if err != nil {
+			if errors.Is(err, ErrBadProblem) || errors.Is(err, ErrInfeasible) {
+				return
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		var sum float64
+		for i, s := range a.Sizes {
+			sum += s
+			if s < p.VMs[i].LowerBound-1e-9 {
+				t.Fatalf("size %v below lower bound %v", s, p.VMs[i].LowerBound)
+			}
+		}
+		if sum > capacity*(1+1e-6)+1e-6 {
+			t.Fatalf("allocated %v > capacity %v", sum, capacity)
+		}
+		if got := p.tickets(a.Sizes); got != a.Tickets {
+			t.Fatalf("reported tickets %d != recomputed %d", a.Tickets, got)
+		}
+	})
+}

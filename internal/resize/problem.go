@@ -1,0 +1,387 @@
+// Package resize implements ATM's proactive VM resizing (paper Section
+// IV): given predicted demand series for the VMs co-located on one box,
+// choose per-VM capacity limits that minimize the number of usage
+// tickets subject to the box's total capacity. The MILP formulation (R)
+// is reduced via Lemma 4.1 to a multi-choice knapsack problem (R') —
+// each VM's optimal size is one of its demand values or 0 — and solved
+// greedily by marginal-ticket-reduction-value descent. A discretization
+// factor ε trims the candidate sets and adds a safety margin. The
+// package also provides the paper's two baselines (max-min fairness and
+// the "stingy" peak-demand allocation) and an exact solver used to
+// validate the greedy on small instances.
+package resize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"atm/internal/ticket"
+	"atm/internal/timeseries"
+)
+
+// Errors returned by the solvers.
+var (
+	// ErrInfeasible indicates the per-VM lower bounds alone exceed the
+	// box capacity, so no allocation satisfies the constraints.
+	ErrInfeasible = errors.New("resize: infeasible (lower bounds exceed capacity)")
+	// ErrBadProblem indicates invalid problem parameters.
+	ErrBadProblem = errors.New("resize: invalid problem")
+)
+
+// VM describes one co-located VM in a resizing problem.
+type VM struct {
+	// Demand is the (predicted) demand series over the resizing
+	// window, one value per ticketing window, in capacity units
+	// (GHz for CPU, GB for RAM).
+	Demand timeseries.Series
+	// LowerBound, if positive, is the minimum capacity the VM must
+	// receive — the paper uses the VM's peak usage before resizing so
+	// unfinished demand cannot spill over.
+	LowerBound float64
+}
+
+// Problem is a single-resource resizing instance for one box.
+type Problem struct {
+	// VMs are the co-located VMs.
+	VMs []VM
+	// Capacity is the total available virtual capacity C at the box.
+	Capacity float64
+	// Threshold is the ticket threshold α (fraction of allocated
+	// capacity, e.g. 0.6).
+	Threshold float64
+	// Epsilon is the discretization factor ε: candidate demand values
+	// are rounded up to the next multiple of ε. Zero disables
+	// discretization. Rounding up both trims the candidate set and
+	// adds a safety margin (paper Section IV-A1).
+	Epsilon float64
+}
+
+// Allocation is a solver's output.
+type Allocation struct {
+	// Sizes holds the chosen capacity per VM, aligned with
+	// Problem.VMs.
+	Sizes []float64
+	// Tickets is the number of tickets the allocation incurs against
+	// the problem's demand series.
+	Tickets int
+}
+
+// validate checks the problem's static parameters.
+func (p *Problem) validate() error {
+	if p.Capacity < 0 {
+		return fmt.Errorf("capacity %v: %w", p.Capacity, ErrBadProblem)
+	}
+	if p.Threshold <= 0 || p.Threshold > 1 {
+		return fmt.Errorf("threshold %v not in (0,1]: %w", p.Threshold, ErrBadProblem)
+	}
+	if p.Epsilon < 0 {
+		return fmt.Errorf("epsilon %v: %w", p.Epsilon, ErrBadProblem)
+	}
+	for i, vm := range p.VMs {
+		if len(vm.Demand) == 0 {
+			return fmt.Errorf("vm %d has empty demand: %w", i, ErrBadProblem)
+		}
+		for t, d := range vm.Demand {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return fmt.Errorf("vm %d demand[%d] = %v: %w", i, t, d, ErrBadProblem)
+			}
+		}
+		if vm.LowerBound < 0 {
+			return fmt.Errorf("vm %d lower bound %v: %w", i, vm.LowerBound, ErrBadProblem)
+		}
+		// A single lower bound above the box capacity can never be
+		// honored; candidate clamping would otherwise mask it.
+		if vm.LowerBound > p.Capacity {
+			return fmt.Errorf("vm %d lower bound %v exceeds capacity %v: %w",
+				i, vm.LowerBound, p.Capacity, ErrInfeasible)
+		}
+	}
+	return nil
+}
+
+// tickets counts tickets across all VMs for the given sizes.
+func (p *Problem) tickets(sizes []float64) int {
+	total := 0
+	for i, vm := range p.VMs {
+		total += ticket.Count(vm.Demand, sizes[i], p.Threshold)
+	}
+	return total
+}
+
+// Tickets exposes the allocation cost of arbitrary sizes against the
+// problem's demands — used to evaluate allocations produced by
+// external policies on the same footing.
+func (p *Problem) Tickets(sizes []float64) (int, error) {
+	if len(sizes) != len(p.VMs) {
+		return 0, fmt.Errorf("resize: %d sizes for %d VMs: %w", len(sizes), len(p.VMs), ErrBadProblem)
+	}
+	return p.tickets(sizes), nil
+}
+
+// candidates returns VM i's reduced candidate capacity set D'_i.
+//
+// The paper's Lemma 4.1 states the optimal size lies in Di ∪ {0}, but
+// its own ticket-count example (Pi = {0,4,6,8,9,10} for D'i =
+// {60,40,30,25,23,0}) counts a ticket when demand exceeds the
+// candidate itself, which under the formulation R (ticket iff
+// D_{i,t} > α·C_i) corresponds to candidates C = D/α: the ticket count
+// #{t : D_{i,t} > αC} is a step function of C whose breakpoints are
+// exactly the values D_{i,t}/α. We therefore build candidates as the
+// unique α-scaled demand values — the rigorous version of the lemma —
+// ε-rounded up, clamped into [LowerBound, Capacity], in strictly
+// decreasing order, with the smallest admissible value (LowerBound, or
+// 0 when unbounded) appended. Ticket counts are always evaluated
+// against the ORIGINAL demands: ε applies only to the candidate sizes
+// (paper: "ε is only applied on the predicted series").
+func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
+	vm := p.VMs[i]
+	seen := map[float64]bool{}
+	var vals []float64
+	add := func(v float64) {
+		if v < vm.LowerBound {
+			v = vm.LowerBound
+		}
+		if v > p.Capacity {
+			v = p.Capacity
+		}
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	for _, d := range vm.Demand {
+		// Breakpoint capacity: tickets step here. The (1+1e-12) nudge
+		// keeps threshold*c >= d under floating-point rounding, so a
+		// capacity sitting exactly on its breakpoint never tickets.
+		c := d / p.Threshold * (1 + 1e-12)
+		if p.Epsilon > 0 {
+			c = math.Ceil(c/p.Epsilon) * p.Epsilon
+		}
+		add(c)
+	}
+	// The minimum admissible size: the lower bound (or 0).
+	add(vm.LowerBound)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	tickets = make([]int, len(vals))
+	for k, v := range vals {
+		tickets[k] = ticket.Count(vm.Demand, v, p.Threshold)
+	}
+	return vals, tickets
+}
+
+// Greedy solves the MCKP with the paper's minimal-algorithm-style
+// heuristic. Every VM starts at its largest candidate (fewest
+// tickets); while the total exceeds the box capacity, each VM offers
+// its best multi-step move — the candidate k below its current
+// position o minimizing the marginal ticket reduction value
+//
+//	MTRV = (P[k] - P[o]) / (D'[o] - D'[k])
+//
+// (the hull edge from the current position; a plain one-step MTRV is
+// blind to a cheap large capacity release hidden behind an expensive
+// small one) — and the VM with the lowest MTRV jumps. Ties break
+// toward the VM freeing more capacity, then by index, keeping the
+// algorithm deterministic. Promotion/exchange repair passes then
+// reinvest leftover slack.
+func (p *Problem) Greedy() (Allocation, error) {
+	if err := p.validate(); err != nil {
+		return Allocation{}, err
+	}
+	n := len(p.VMs)
+	if n == 0 {
+		return Allocation{Sizes: []float64{}}, nil
+	}
+	cand := make([][]float64, n)
+	pen := make([][]int, n)
+	pos := make([]int, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		cand[i], pen[i] = p.candidates(i)
+		total += cand[i][0]
+	}
+	// Capacity comparisons tolerate accumulated floating-point error:
+	// candidate sums like 16.6_ + 83.3_ can land epsilon above an exact
+	// capacity of 100 and must not trigger an extra (ticket-costing)
+	// step-down.
+	capTol := p.Capacity + 1e-9*math.Max(1, p.Capacity)
+
+	// Feasibility: even the smallest candidates (lower bounds) may not
+	// fit.
+	var minTotal float64
+	for i := 0; i < n; i++ {
+		minTotal += cand[i][len(cand[i])-1]
+	}
+	if minTotal > capTol {
+		return Allocation{}, fmt.Errorf("need %v, have %v: %w", minTotal, p.Capacity, ErrInfeasible)
+	}
+
+	for total > capTol {
+		best, bestTarget := -1, -1
+		bestMTRV := math.Inf(1)
+		bestFree := 0.0
+		for i := 0; i < n; i++ {
+			o := pos[i]
+			// Best multi-step move for VM i: hull edge from o.
+			for k := o + 1; k < len(cand[i]); k++ {
+				free := cand[i][o] - cand[i][k]
+				if free <= 0 {
+					continue
+				}
+				mtrv := float64(pen[i][k]-pen[i][o]) / free
+				if mtrv < bestMTRV || (mtrv == bestMTRV && free > bestFree) {
+					best, bestTarget, bestMTRV, bestFree = i, k, mtrv, free
+				}
+			}
+		}
+		if best == -1 {
+			// No VM can step down; feasibility was checked, so this
+			// cannot happen — defend anyway.
+			return Allocation{}, fmt.Errorf("stuck at total %v: %w", total, ErrInfeasible)
+		}
+		total -= cand[best][pos[best]] - cand[best][bestTarget]
+		pos[best] = bestTarget
+	}
+
+	// Repair pass ("shuffling capacity across VMs" in the paper's
+	// description of the minimal algorithm). Two move kinds, applied
+	// best-first until none improves:
+	//
+	//   - promotion: step a VM back up using leftover slack;
+	//   - exchange: demote VM i one step to fund promoting VM j, when
+	//     j's ticket gain exceeds i's ticket loss.
+	//
+	// Every applied move strictly decreases total tickets, so the loop
+	// terminates.
+	tol := 1e-9 * math.Max(1, p.Capacity)
+	for {
+		slack := p.Capacity - total
+		bestGain := 0
+		bestCost := math.Inf(1)
+		bestDemote, bestPromote := -1, -1
+		consider := func(demote, promote, gain int, cost float64) {
+			if gain > bestGain || (gain == bestGain && gain > 0 && cost < bestCost) {
+				bestGain, bestCost = gain, cost
+				bestDemote, bestPromote = demote, promote
+			}
+		}
+		for j := 0; j < n; j++ {
+			if pos[j] == 0 {
+				continue
+			}
+			cost := cand[j][pos[j]-1] - cand[j][pos[j]]
+			gain := pen[j][pos[j]] - pen[j][pos[j]-1]
+			// Pure promotion from slack.
+			if cost <= slack+tol {
+				consider(-1, j, gain, cost)
+			}
+			// Exchange funded by demoting some other VM one step.
+			for i := 0; i < n; i++ {
+				if i == j || pos[i]+1 >= len(cand[i]) {
+					continue
+				}
+				freed := cand[i][pos[i]] - cand[i][pos[i]+1]
+				loss := pen[i][pos[i]+1] - pen[i][pos[i]]
+				if cost <= slack+freed+tol {
+					consider(i, j, gain-loss, cost-freed)
+				}
+			}
+		}
+		if bestPromote == -1 || bestGain <= 0 {
+			break
+		}
+		if bestDemote >= 0 {
+			total -= cand[bestDemote][pos[bestDemote]] - cand[bestDemote][pos[bestDemote]+1]
+			pos[bestDemote]++
+		}
+		total += cand[bestPromote][pos[bestPromote]-1] - cand[bestPromote][pos[bestPromote]]
+		pos[bestPromote]--
+	}
+
+	sizes := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = cand[i][pos[i]]
+	}
+	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
+}
+
+// Exact solves the MCKP by exhaustive search over candidate choices.
+// It is exponential in the number of VMs and exists to validate the
+// greedy heuristic on small instances (the role CPLEX plays in the
+// paper). Instances above maxExactStates candidate combinations are
+// rejected.
+func (p *Problem) Exact() (Allocation, error) {
+	if err := p.validate(); err != nil {
+		return Allocation{}, err
+	}
+	n := len(p.VMs)
+	if n == 0 {
+		return Allocation{Sizes: []float64{}}, nil
+	}
+	const maxExactStates = 5_000_000
+	cand := make([][]float64, n)
+	pen := make([][]int, n)
+	states := 1
+	for i := 0; i < n; i++ {
+		cand[i], pen[i] = p.candidates(i)
+		states *= len(cand[i])
+		if states > maxExactStates {
+			return Allocation{}, fmt.Errorf("resize: exact solver limit exceeded (%d+ states)", maxExactStates)
+		}
+	}
+	// Suffix minima of the smallest candidate sizes, for feasibility
+	// pruning. Same floating-point tolerance as Greedy.
+	capTol := p.Capacity + 1e-9*math.Max(1, p.Capacity)
+	minTail := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		minTail[i] = minTail[i+1] + cand[i][len(cand[i])-1]
+	}
+	if minTail[0] > capTol {
+		return Allocation{}, fmt.Errorf("need %v, have %v: %w", minTail[0], p.Capacity, ErrInfeasible)
+	}
+
+	bestTickets := math.MaxInt
+	bestChoice := make([]int, n)
+	choice := make([]int, n)
+	var rec func(i int, used float64, tickets int)
+	rec = func(i int, used float64, tickets int) {
+		if tickets >= bestTickets {
+			return // cannot improve
+		}
+		if i == n {
+			bestTickets = tickets
+			copy(bestChoice, choice)
+			return
+		}
+		for v := range cand[i] {
+			sz := cand[i][v]
+			if used+sz+minTail[i+1] > capTol {
+				continue
+			}
+			choice[i] = v
+			rec(i+1, used+sz, tickets+pen[i][v])
+		}
+	}
+	rec(0, 0, 0)
+	if bestTickets == math.MaxInt {
+		return Allocation{}, ErrInfeasible
+	}
+	sizes := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = cand[i][bestChoice[i]]
+	}
+	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
+}
+
+// CandidateCount returns the total number of MCKP candidates across all
+// VMs under the problem's current ε — the complexity measure the
+// discretization factor exists to control.
+func (p *Problem) CandidateCount() int {
+	total := 0
+	for i := range p.VMs {
+		sizes, _ := p.candidates(i)
+		total += len(sizes)
+	}
+	return total
+}

@@ -1,0 +1,437 @@
+package resize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atm/internal/timeseries"
+)
+
+func TestGreedyAbundantCapacity(t *testing.T) {
+	// With enough capacity every VM gets its ticket-free size: zero
+	// tickets.
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{30, 30, 40, 40, 23, 25, 60, 60, 60, 60}},
+			{Demand: timeseries.Series{10, 20, 10, 20, 10, 20, 10, 20, 10, 20}},
+		},
+		Capacity:  1000,
+		Threshold: 0.6,
+	}
+	a, err := p.Greedy()
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if a.Tickets != 0 {
+		t.Errorf("Tickets = %d, want 0 with abundant capacity", a.Tickets)
+	}
+	// Each size must be at least peak/threshold.
+	if a.Sizes[0] < 60/0.6-1e-9 {
+		t.Errorf("size[0] = %v, want >= 100", a.Sizes[0])
+	}
+	if a.Sizes[1] < 20/0.6-1e-9 {
+		t.Errorf("size[1] = %v, want >= 33.3", a.Sizes[1])
+	}
+}
+
+func TestGreedyTightCapacityPrefersCheapTickets(t *testing.T) {
+	// VM0 peaks rarely (one spike), VM1 peaks constantly. With capacity
+	// for only one ticket-free allocation, the solver should squeeze
+	// VM0 (losing 1 ticket) rather than VM1 (losing many).
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{10, 10, 10, 10, 60, 10, 10, 10, 10, 10}},
+			{Demand: timeseries.Series{50, 50, 50, 50, 50, 50, 50, 50, 50, 50}},
+		},
+		Capacity:  100, // VM1 ticket-free needs 83.3; VM0 needs 100
+		Threshold: 0.6,
+	}
+	a, err := p.Greedy()
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if a.Tickets > 1 {
+		t.Errorf("Tickets = %d, want <= 1 (drop only the spike)", a.Tickets)
+	}
+	if a.Sizes[1] < 50/0.6-1e-9 {
+		t.Errorf("constant-load VM squeezed: size = %v", a.Sizes[1])
+	}
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{40, 50, 60}},
+			{Demand: timeseries.Series{30, 35, 45}},
+			{Demand: timeseries.Series{20, 25, 28}},
+		},
+		Capacity:  90,
+		Threshold: 0.6,
+	}
+	a, err := p.Greedy()
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	var sum float64
+	for _, s := range a.Sizes {
+		sum += s
+	}
+	if sum > p.Capacity+1e-9 {
+		t.Errorf("allocated %v > capacity %v", sum, p.Capacity)
+	}
+}
+
+func TestGreedyLowerBound(t *testing.T) {
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{10, 10, 10}, LowerBound: 42},
+			{Demand: timeseries.Series{10, 10, 10}},
+		},
+		Capacity:  100,
+		Threshold: 0.6,
+	}
+	a, err := p.Greedy()
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if a.Sizes[0] < 42 {
+		t.Errorf("size[0] = %v violates lower bound 42", a.Sizes[0])
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{10}, LowerBound: 60},
+			{Demand: timeseries.Series{10}, LowerBound: 60},
+		},
+		Capacity:  100,
+		Threshold: 0.6,
+	}
+	if _, err := p.Greedy(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := p.Exact(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("exact err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := func() *Problem {
+		return &Problem{
+			VMs:       []VM{{Demand: timeseries.Series{1, 2}}},
+			Capacity:  10,
+			Threshold: 0.6,
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"negative capacity", func(p *Problem) { p.Capacity = -1 }},
+		{"zero threshold", func(p *Problem) { p.Threshold = 0 }},
+		{"threshold above 1", func(p *Problem) { p.Threshold = 1.5 }},
+		{"negative epsilon", func(p *Problem) { p.Epsilon = -1 }},
+		{"empty demand", func(p *Problem) { p.VMs[0].Demand = nil }},
+		{"negative demand", func(p *Problem) { p.VMs[0].Demand = timeseries.Series{-1} }},
+		{"NaN demand", func(p *Problem) { p.VMs[0].Demand = timeseries.Series{math.NaN()} }},
+		{"negative lower bound", func(p *Problem) { p.VMs[0].LowerBound = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base()
+			tt.mutate(p)
+			if _, err := p.Greedy(); !errors.Is(err, ErrBadProblem) {
+				t.Errorf("Greedy err = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := &Problem{Capacity: 10, Threshold: 0.6}
+	a, err := p.Greedy()
+	if err != nil || len(a.Sizes) != 0 || a.Tickets != 0 {
+		t.Errorf("empty Greedy = %+v, %v", a, err)
+	}
+	a, err = p.Exact()
+	if err != nil || len(a.Sizes) != 0 {
+		t.Errorf("empty Exact = %+v, %v", a, err)
+	}
+}
+
+func TestEpsilonDiscretization(t *testing.T) {
+	p := &Problem{
+		VMs:       []VM{{Demand: timeseries.Series{23, 25, 30, 40, 60}}},
+		Capacity:  1000,
+		Threshold: 0.6,
+		Epsilon:   5,
+	}
+	a, err := p.Greedy()
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	// Sizes must be multiples of epsilon (rounded up), and at least the
+	// ticket-free 60/0.6 = 100.
+	if rem := math.Mod(a.Sizes[0], 5); rem > 1e-9 && rem < 5-1e-9 {
+		t.Errorf("size %v not a multiple of epsilon", a.Sizes[0])
+	}
+	if a.Sizes[0] < 100 {
+		t.Errorf("size %v below ticket-free 100", a.Sizes[0])
+	}
+	if a.Tickets != 0 {
+		t.Errorf("Tickets = %d, want 0", a.Tickets)
+	}
+}
+
+func TestEpsilonReducesCandidates(t *testing.T) {
+	demand := timeseries.Series{23, 25, 30, 30, 40, 40, 60, 60, 60, 60}
+	fine := &Problem{VMs: []VM{{Demand: demand}}, Capacity: 1000, Threshold: 0.6}
+	coarse := &Problem{VMs: []VM{{Demand: demand}}, Capacity: 1000, Threshold: 0.6, Epsilon: 20}
+	fc, _ := fine.candidates(0)
+	cc, _ := coarse.candidates(0)
+	if len(cc) >= len(fc) {
+		t.Errorf("epsilon did not shrink candidates: %d vs %d", len(cc), len(fc))
+	}
+}
+
+// Paper running example: Di = {30,30,40,40,23,25,60,60,60,60} reduces
+// to 6 unique candidates (5 unique demands + the zero/lower bound).
+func TestCandidatesPaperExample(t *testing.T) {
+	p := &Problem{
+		VMs:       []VM{{Demand: timeseries.Series{30, 30, 40, 40, 23, 25, 60, 60, 60, 60}}},
+		Capacity:  1e9,
+		Threshold: 0.6,
+	}
+	sizes, tickets := p.candidates(0)
+	if len(sizes) != 6 {
+		t.Fatalf("candidates = %v, want 6 values", sizes)
+	}
+	// Strictly decreasing, ending at 0.
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] >= sizes[i-1] {
+			t.Errorf("candidates not strictly decreasing: %v", sizes)
+		}
+	}
+	if sizes[len(sizes)-1] != 0 {
+		t.Errorf("last candidate = %v, want 0", sizes[len(sizes)-1])
+	}
+	// Ticket counts match the paper's Pi = {0,4,6,8,9,10}.
+	wantP := []int{0, 4, 6, 8, 9, 10}
+	for i := range wantP {
+		if tickets[i] != wantP[i] {
+			t.Errorf("tickets = %v, want %v", tickets, wantP)
+			break
+		}
+	}
+	// Tickets non-decreasing as candidates shrink (paper's P ordering).
+	for i := 1; i < len(tickets); i++ {
+		if tickets[i] < tickets[i-1] {
+			t.Errorf("tickets not monotone: %v", tickets)
+		}
+	}
+}
+
+func TestGreedyMatchesExactOnSmallInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		vms := make([]VM, n)
+		var peakSum float64
+		for i := range vms {
+			T := 3 + r.Intn(4)
+			d := make(timeseries.Series, T)
+			for t := range d {
+				d[t] = float64(10 + r.Intn(50))
+			}
+			vms[i] = VM{Demand: d}
+			peakSum += d.Max()
+		}
+		p := &Problem{
+			VMs:       vms,
+			Capacity:  peakSum * (0.8 + r.Float64()),
+			Threshold: 0.6,
+		}
+		g, errG := p.Greedy()
+		e, errE := p.Exact()
+		if errG != nil || errE != nil {
+			return errors.Is(errG, ErrInfeasible) == errors.Is(errE, ErrInfeasible)
+		}
+		// Greedy is a heuristic: never better than exact, and on these
+		// tiny instances it should stay close (within 3 tickets).
+		return g.Tickets >= e.Tickets && g.Tickets <= e.Tickets+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both solvers respect the capacity constraint and lower
+// bounds, and report the true ticket count of their allocation.
+func TestSolverInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		vms := make([]VM, n)
+		var lbSum float64
+		for i := range vms {
+			T := 3 + r.Intn(5)
+			d := make(timeseries.Series, T)
+			for t := range d {
+				d[t] = r.Float64() * 60
+			}
+			lb := 0.0
+			if r.Intn(2) == 0 {
+				lb = d.Max() // peak usage lower bound, as in the paper
+			}
+			vms[i] = VM{Demand: d, LowerBound: lb}
+			lbSum += lb
+		}
+		p := &Problem{
+			VMs:       vms,
+			Capacity:  lbSum + r.Float64()*100,
+			Threshold: 0.5 + r.Float64()*0.4,
+			Epsilon:   float64(r.Intn(3)) * 2.5,
+		}
+		for _, solve := range []func() (Allocation, error){p.Greedy, p.Exact} {
+			a, err := solve()
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for i, s := range a.Sizes {
+				sum += s
+				if s < p.VMs[i].LowerBound-1e-9 {
+					return false
+				}
+			}
+			if sum > p.Capacity+1e-6 {
+				return false
+			}
+			if got := p.tickets(a.Sizes); got != a.Tickets {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTicketsLengthCheck(t *testing.T) {
+	p := &Problem{
+		VMs:       []VM{{Demand: timeseries.Series{1}}},
+		Capacity:  10,
+		Threshold: 0.6,
+	}
+	if _, err := p.Tickets([]float64{1, 2}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("err = %v, want ErrBadProblem", err)
+	}
+	got, err := p.Tickets([]float64{0.5})
+	if err != nil || got != 1 {
+		t.Errorf("Tickets = %d, %v; want 1", got, err)
+	}
+}
+
+func TestDynamicProgramMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		vms := make([]VM, n)
+		var peakSum float64
+		for i := range vms {
+			T := 3 + r.Intn(4)
+			d := make(timeseries.Series, T)
+			for t := range d {
+				d[t] = float64(10 + r.Intn(50))
+			}
+			vms[i] = VM{Demand: d}
+			peakSum += d.Max()
+		}
+		p := &Problem{
+			VMs:       vms,
+			Capacity:  peakSum * (0.8 + r.Float64()),
+			Threshold: 0.6,
+		}
+		e, errE := p.Exact()
+		dp, errDP := p.DynamicProgram(4000)
+		if errE != nil || errDP != nil {
+			return errors.Is(errE, ErrInfeasible) == errors.Is(errDP, ErrInfeasible)
+		}
+		// Fine grid: DP within one ticket of the exhaustive optimum and
+		// never better (quantization only loses capacity).
+		return dp.Tickets >= e.Tickets && dp.Tickets <= e.Tickets+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicProgramFeasibility(t *testing.T) {
+	p := &Problem{
+		VMs: []VM{
+			{Demand: timeseries.Series{30, 40, 60}},
+			{Demand: timeseries.Series{20, 25, 28}},
+		},
+		Capacity:  120,
+		Threshold: 0.6,
+	}
+	a, err := p.DynamicProgram(500)
+	if err != nil {
+		t.Fatalf("DynamicProgram: %v", err)
+	}
+	var sum float64
+	for _, s := range a.Sizes {
+		sum += s
+	}
+	if sum > p.Capacity+1e-9 {
+		t.Errorf("allocation %v exceeds capacity %v", sum, p.Capacity)
+	}
+	if got := p.tickets(a.Sizes); got != a.Tickets {
+		t.Errorf("reported tickets %d != recomputed %d", a.Tickets, got)
+	}
+}
+
+func TestDynamicProgramErrors(t *testing.T) {
+	p := &Problem{
+		VMs:       []VM{{Demand: timeseries.Series{10}}},
+		Capacity:  100,
+		Threshold: 0.6,
+	}
+	if _, err := p.DynamicProgram(0); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("zero bins err = %v", err)
+	}
+	// Lower bound above capacity: infeasible.
+	inf := &Problem{
+		VMs:       []VM{{Demand: timeseries.Series{10}, LowerBound: 200}},
+		Capacity:  100,
+		Threshold: 0.6,
+	}
+	if _, err := inf.DynamicProgram(100); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible err = %v", err)
+	}
+	// Empty problem.
+	empty := &Problem{Capacity: 10, Threshold: 0.6}
+	if a, err := empty.DynamicProgram(10); err != nil || len(a.Sizes) != 0 {
+		t.Errorf("empty = %+v, %v", a, err)
+	}
+}
+
+func TestCandidateCount(t *testing.T) {
+	demand := timeseries.Series{23, 25, 30, 30, 40, 40, 60, 60, 60, 60}
+	fine := &Problem{VMs: []VM{{Demand: demand}}, Capacity: 1000, Threshold: 0.6}
+	coarse := &Problem{VMs: []VM{{Demand: demand}}, Capacity: 1000, Threshold: 0.6, Epsilon: 20}
+	if fine.CandidateCount() != 6 {
+		t.Errorf("fine count = %d, want 6", fine.CandidateCount())
+	}
+	if coarse.CandidateCount() >= fine.CandidateCount() {
+		t.Errorf("epsilon did not shrink: %d vs %d", coarse.CandidateCount(), fine.CandidateCount())
+	}
+}

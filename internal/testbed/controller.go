@@ -1,0 +1,157 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+
+	"atm/internal/actuator"
+	"atm/internal/predict"
+	"atm/internal/resize"
+)
+
+// LimitSetter is the actuation interface the controller drives —
+// satisfied by both *actuator.Registry (in-process) and
+// *actuator.Client (over the daemon's HTTP API), mirroring the paper's
+// per-hypervisor daemon deployment.
+type LimitSetter interface {
+	SetLimits(ctx context.Context, id string, l actuator.Limits) error
+}
+
+// ATMController resizes cgroup CPU limits with the ATM pipeline:
+// every ResizeEvery windows it predicts each VM's demand for the next
+// window span (temporal model over the monitored delivered-CPU
+// series) and solves the per-node MCKP resizing problem.
+type ATMController struct {
+	// Actuator applies the limits (registry or HTTP client).
+	Actuator LimitSetter
+	// TrainWindows is the minimum history before the first resize.
+	TrainWindows int
+	// ResizeEvery is the resizing window in monitoring windows
+	// (paper: resizing window >> ticketing window).
+	ResizeEvery int
+	// Period is the workload's seasonal period in windows, used by
+	// the default temporal model.
+	Period int
+	// Threshold is the ticket threshold (0.6).
+	Threshold float64
+	// Epsilon is the resizing discretization factor in GHz.
+	Epsilon float64
+	// Overcommit scales each node's physical capacity into the
+	// virtual-capacity budget C of the resizing problem (cgroup
+	// limits may overcommit the physical node; the default testbed
+	// starts at 2x). Zero means 2.
+	Overcommit float64
+	// Temporal overrides the per-VM prediction model (default:
+	// seasonal naive with the configured Period).
+	Temporal func() predict.Model
+
+	// Resizes counts applied resizing rounds (for tests/reports).
+	Resizes int
+}
+
+func (a *ATMController) overcommit() float64 {
+	if a.Overcommit == 0 {
+		return 2
+	}
+	return a.Overcommit
+}
+
+func (a *ATMController) model() predict.Model {
+	if a.Temporal != nil {
+		return a.Temporal()
+	}
+	return &predict.SeasonalNaive{Period: a.Period}
+}
+
+// BeforeWindow implements Controller.
+func (a *ATMController) BeforeWindow(c *Cluster, window int, history *Metrics) error {
+	if window < a.TrainWindows || a.ResizeEvery <= 0 || window%a.ResizeEvery != 0 {
+		return nil
+	}
+	ctx := context.Background()
+	for _, node := range c.Nodes {
+		idxs := c.VMsOnNode(node.ID)
+		if len(idxs) == 0 {
+			continue
+		}
+		vms := make([]resize.VM, len(idxs))
+		for k, i := range idxs {
+			id := c.VMs[i].ID
+			// A saturated VM's monitored usage underestimates its true
+			// demand (delivered == limit in force at that window).
+			// Inflate those samples so the solver keeps uncapping until
+			// the VM's real demand becomes observable.
+			hist := history.DeliveredGHz[id].Slice(0, window).Clone()
+			limits := history.LimitGHz[id]
+			for t := range hist {
+				if hist[t] >= 0.99*limits[t] {
+					hist[t] *= 1.4
+				}
+			}
+			m := a.model()
+			if err := m.Fit(hist); err != nil {
+				return fmt.Errorf("fit %s: %w", id, err)
+			}
+			fc, err := m.Forecast(a.ResizeEvery)
+			if err != nil {
+				return fmt.Errorf("forecast %s: %w", id, err)
+			}
+			// Lower bound (paper Section IV-A1): the VM's recent peak
+			// consumption must stay satisfiable so unfinished demand
+			// cannot spill over — and no VM is ever zeroed out.
+			lb := 0.0
+			if window > 0 {
+				recent := window - a.Period
+				if recent < 0 {
+					recent = 0
+				}
+				lb = hist.Slice(recent, window).Max()
+			}
+			vms[k] = resize.VM{Demand: fc.Clamp(0, 1e12), LowerBound: lb}
+		}
+		prob := &resize.Problem{
+			VMs:       vms,
+			Capacity:  node.CapacityGHz * a.overcommit(),
+			Threshold: a.Threshold,
+			Epsilon:   a.Epsilon,
+		}
+		alloc, err := prob.Greedy()
+		if err != nil {
+			return fmt.Errorf("resize node %s: %w", node.ID, err)
+		}
+		for k, i := range idxs {
+			id := c.VMs[i].ID
+			cur, err := c.Limits.Get(id)
+			if err != nil {
+				return fmt.Errorf("limits %s: %w", id, err)
+			}
+			newCPU := alloc.Sizes[k]
+			// Keep a minimal floor: a zero limit would wedge the VM.
+			if newCPU < 0.5 {
+				newCPU = 0.5
+			}
+			if err := a.Actuator.SetLimits(ctx, id, actuator.Limits{CPUGHz: newCPU, RAMGB: cur.RAMGB}); err != nil {
+				return fmt.Errorf("actuate %s: %w", id, err)
+			}
+		}
+	}
+	a.Resizes++
+	return nil
+}
+
+// NewDefaultController wires an ATMController for the default
+// topology: 15-minute windows, hourly phases (period = 8 windows =
+// one low+high cycle), first resize after one full cycle, resizing
+// every phase.
+func NewDefaultController(act LimitSetter) *ATMController {
+	return &ATMController{
+		Actuator:     act,
+		TrainWindows: 8,
+		ResizeEvery:  4,
+		Period:       8,
+		Threshold:    0.6,
+		Epsilon:      1,
+	}
+}
+
+var _ Controller = (*ATMController)(nil)

@@ -1,0 +1,286 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"atm/internal/timeseries"
+)
+
+// Metrics collects everything the simulation measures, per window.
+type Metrics struct {
+	// Windows is the number of simulated windows.
+	Windows int
+	// Usage maps VM ID to its utilization-percent series (delivered
+	// CPU over the cgroup limit — what the monitoring system sees and
+	// tickets on, Figure 12).
+	Usage map[string]timeseries.Series
+	// DeliveredGHz maps VM ID to the CPU it actually consumed. This
+	// is the demand series ATM's controller trains on.
+	DeliveredGHz map[string]timeseries.Series
+	// LimitGHz maps VM ID to the cgroup limit in force each window.
+	LimitGHz map[string]timeseries.Series
+	// Offered, Served and RT map application name to offered load
+	// (req/s), served throughput (req/s) and mean response time
+	// (seconds) per window (Figure 13).
+	Offered map[string]timeseries.Series
+	Served  map[string]timeseries.Series
+	RT      map[string]timeseries.Series
+}
+
+// Tickets counts usage tickets across all VMs over window range
+// [from, to) at the threshold fraction.
+func (m *Metrics) Tickets(from, to int, threshold float64) int {
+	n := 0
+	for _, u := range m.Usage {
+		for w := from; w < to && w < len(u); w++ {
+			if u[w] > threshold*100 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MeanRT returns an application's mean response time over [from, to),
+// in seconds.
+func (m *Metrics) MeanRT(app string, from, to int) float64 {
+	return timeseries.Series(m.RT[app][from:to]).Mean()
+}
+
+// MeanServed returns an application's mean served throughput over
+// [from, to), in requests/second.
+func (m *Metrics) MeanServed(app string, from, to int) float64 {
+	return timeseries.Series(m.Served[app][from:to]).Mean()
+}
+
+// Controller is invoked before each simulation window; an ATM
+// controller uses the metrics collected so far to resize cgroup
+// limits. A nil Controller runs the cluster statically.
+type Controller interface {
+	// BeforeWindow may mutate cluster limits. history contains
+	// windows [0, window).
+	BeforeWindow(c *Cluster, window int, history *Metrics) error
+}
+
+// Run simulates the cluster for the given number of windows.
+func (c *Cluster) Run(windows int, ctrl Controller) (*Metrics, error) {
+	if windows <= 0 {
+		return nil, fmt.Errorf("testbed: %d windows", windows)
+	}
+	m := &Metrics{
+		Windows:      windows,
+		Usage:        map[string]timeseries.Series{},
+		DeliveredGHz: map[string]timeseries.Series{},
+		LimitGHz:     map[string]timeseries.Series{},
+		Offered:      map[string]timeseries.Series{},
+		Served:       map[string]timeseries.Series{},
+		RT:           map[string]timeseries.Series{},
+	}
+	for _, vm := range c.VMs {
+		m.Usage[vm.ID] = make(timeseries.Series, windows)
+		m.DeliveredGHz[vm.ID] = make(timeseries.Series, windows)
+		m.LimitGHz[vm.ID] = make(timeseries.Series, windows)
+	}
+	for name := range c.Apps {
+		m.Offered[name] = make(timeseries.Series, windows)
+		m.Served[name] = make(timeseries.Series, windows)
+		m.RT[name] = make(timeseries.Series, windows)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	for w := 0; w < windows; w++ {
+		if ctrl != nil {
+			if err := ctrl.BeforeWindow(c, w, m); err != nil {
+				return nil, fmt.Errorf("testbed: controller at window %d: %w", w, err)
+			}
+		}
+		if err := c.step(w, m, rng); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// step simulates one window: offered load → per-VM CPU demand →
+// limit and node capping → utilization, throughput, response time.
+func (c *Cluster) step(w int, m *Metrics, rng *rand.Rand) error {
+	demand := make([]float64, len(c.VMs)) // offered GHz per VM
+	limit := make([]float64, len(c.VMs))  // cgroup limit
+	offered := map[string]float64{}       // app → offered rps
+
+	// Apps are visited in sorted name order so rng consumption — and
+	// therefore the whole simulation — is deterministic.
+	for _, name := range c.appNames() {
+		offered[name] = c.Apps[name].Load.Rate(w) * (1 + 0.02*rng.NormFloat64())
+	}
+
+	// Per-VM demand from the app's tier loads; Apache load splits by
+	// weight (front-end load balancing is never perfectly even).
+	for i, vm := range c.VMs {
+		app := c.Apps[vm.App]
+		if app == nil {
+			return fmt.Errorf("testbed: vm %s references unknown app %q", vm.ID, vm.App)
+		}
+		lam := offered[vm.App]
+		var d float64
+		switch vm.Tier {
+		case TierApache:
+			weight, total := c.apacheWeight(vm.App, i)
+			d = lam * weight / total * app.ApacheCost
+		case TierMemcached:
+			n := c.tierCount(vm.App, TierMemcached)
+			d = lam / float64(n) * app.MemcachedCost
+		case TierDB:
+			n := c.tierCount(vm.App, TierDB)
+			d = lam * (1 - app.CacheHitRatio) / float64(n) * app.DBCost
+		}
+		demand[i] = d * (1 + 0.03*rng.NormFloat64())
+		if demand[i] < 0 {
+			demand[i] = 0
+		}
+		l, err := c.Limits.Get(vm.ID)
+		if err != nil {
+			return fmt.Errorf("testbed: no limits for %s: %w", vm.ID, err)
+		}
+		limit[i] = l.CPUGHz
+	}
+
+	// Delivered CPU: capped by the cgroup limit, then scaled down
+	// proportionally when a node's physical capacity is exceeded.
+	delivered := make([]float64, len(c.VMs))
+	for i := range c.VMs {
+		delivered[i] = demand[i]
+		if delivered[i] > limit[i] {
+			delivered[i] = limit[i]
+		}
+	}
+	for _, node := range c.Nodes {
+		idxs := c.VMsOnNode(node.ID)
+		var sum float64
+		for _, i := range idxs {
+			sum += delivered[i]
+		}
+		if sum > node.CapacityGHz && sum > 0 {
+			f := node.CapacityGHz / sum
+			for _, i := range idxs {
+				delivered[i] *= f
+			}
+		}
+	}
+
+	for i, vm := range c.VMs {
+		m.DeliveredGHz[vm.ID][w] = delivered[i]
+		m.LimitGHz[vm.ID][w] = limit[i]
+		m.Usage[vm.ID][w] = 100 * delivered[i] / limit[i]
+	}
+
+	// Application-level throughput and response time.
+	for _, name := range c.appNames() {
+		app := c.Apps[name]
+		served := 1.0 // fraction of offered load that completes
+		rt := 0.0
+		for _, tier := range [...]Tier{TierApache, TierMemcached, TierDB} {
+			var dSum, delSum, limSum float64
+			for i, vm := range c.VMs {
+				if vm.App != name || vm.Tier != tier {
+					continue
+				}
+				dSum += demand[i]
+				delSum += delivered[i]
+				limSum += limit[i]
+			}
+			if dSum > 0 {
+				if frac := delSum / dSum; frac < served {
+					served = frac
+				}
+			}
+			// Tier response time: processor-sharing inflation by the
+			// tier's utilization of its limits, capped at 33x when
+			// saturated (queueing/timeout regime).
+			util := 0.0
+			if limSum > 0 {
+				util = delSum / limSum
+			}
+			inflate := 1 / (1 - util)
+			if util > 0.97 {
+				inflate = 33
+			}
+			s := tierService(app, tier)
+			weight := 1.0
+			if tier == TierDB {
+				weight = 1 - app.CacheHitRatio // only misses reach the DB
+			}
+			rt += weight * s * inflate
+		}
+		m.Offered[name][w] = offered[name]
+		m.Served[name][w] = offered[name] * served
+		m.RT[name][w] = rt
+	}
+	return nil
+}
+
+func tierService(app *AppSpec, t Tier) float64 {
+	switch t {
+	case TierApache:
+		return app.ApacheService
+	case TierMemcached:
+		return app.MemcachedService
+	default:
+		return app.DBService
+	}
+}
+
+// tierCount returns how many VMs serve an app's tier.
+func (c *Cluster) tierCount(app string, t Tier) int {
+	n := 0
+	for _, vm := range c.VMs {
+		if vm.App == app && vm.Tier == t {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1 // avoid division by zero for apps without the tier
+	}
+	return n
+}
+
+// apacheWeight returns VM i's load-balancing weight and the app's
+// total front-end weight.
+func (c *Cluster) apacheWeight(app string, i int) (weight, total float64) {
+	for j, vm := range c.VMs {
+		if vm.App != app || vm.Tier != TierApache {
+			continue
+		}
+		w := c.lbWeight(j)
+		total += w
+		if j == i {
+			weight = w
+		}
+	}
+	if total == 0 {
+		return 1, 1
+	}
+	return weight, total
+}
+
+// lbWeight is the front-end balancer weight of VM j. The default
+// topology skews wiki-one's traffic toward its first two Apaches
+// (realistic imbalance; it also concentrates tickets on culprit VMs,
+// matching the trace characterization).
+func (c *Cluster) lbWeight(j int) float64 {
+	if w, ok := c.LBWeights[c.VMs[j].ID]; ok {
+		return w
+	}
+	return 1
+}
+
+// appNames returns application names in sorted order.
+func (c *Cluster) appNames() []string {
+	names := make([]string, 0, len(c.Apps))
+	for n := range c.Apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"atm/internal/timeseries"
+)
+
+// CSV layout: one row per (VM, resource) series.
+//
+//	box_id, box_cpu_ghz, box_ram_gb, vm_id, resource, capacity, v0, v1, ...
+//
+// Gap samples are encoded as "nan". The header row carries the trace
+// geometry: "#atm-trace", samples_per_day, days.
+
+// WriteCSV encodes the trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#atm-trace", strconv.Itoa(t.SamplesPerDay), strconv.Itoa(t.Days)}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for bi := range t.Boxes {
+		b := &t.Boxes[bi]
+		for vi := range b.VMs {
+			vm := &b.VMs[vi]
+			for _, r := range [...]Resource{CPU, RAM} {
+				row := make([]string, 0, 6+t.Samples())
+				row = append(row,
+					b.ID,
+					formatFloat(b.CPUCapGHz),
+					formatFloat(b.RAMCapGB),
+					vm.ID,
+					r.String(),
+					formatFloat(vm.Capacity(r)),
+				)
+				for _, v := range vm.Usage(r) {
+					row = append(row, formatFloat(v))
+				}
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("trace: write %s/%s: %w", vm.ID, r, err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ReadCSV decodes a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != 3 || header[0] != "#atm-trace" {
+		return nil, fmt.Errorf("trace: bad header %q", header)
+	}
+	spd, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("trace: samples_per_day: %w", err)
+	}
+	days, err := strconv.Atoi(header[2])
+	if err != nil {
+		return nil, fmt.Errorf("trace: days: %w", err)
+	}
+	t := &Trace{SamplesPerDay: spd, Days: days}
+	samples := t.Samples()
+
+	boxIdx := map[string]int{}
+	vmIdx := map[string]int{} // key: boxID + "/" + vmID
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if len(row) != 6+samples {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want %d", line, len(row), 6+samples)
+		}
+		boxID := row[0]
+		bi, ok := boxIdx[boxID]
+		if !ok {
+			cpuCap, err := parseFloat(row[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d box cpu: %w", line, err)
+			}
+			ramCap, err := parseFloat(row[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d box ram: %w", line, err)
+			}
+			bi = len(t.Boxes)
+			boxIdx[boxID] = bi
+			t.Boxes = append(t.Boxes, Box{ID: boxID, CPUCapGHz: cpuCap, RAMCapGB: ramCap})
+		}
+		vmKey := boxID + "/" + row[3]
+		vi, ok := vmIdx[vmKey]
+		if !ok {
+			vi = len(t.Boxes[bi].VMs)
+			vmIdx[vmKey] = vi
+			t.Boxes[bi].VMs = append(t.Boxes[bi].VMs, VM{ID: row[3]})
+		}
+		vm := &t.Boxes[bi].VMs[vi]
+		cap, err := parseFloat(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d capacity: %w", line, err)
+		}
+		series := make(timeseries.Series, samples)
+		for i, f := range row[6:] {
+			v, err := parseFloat(f)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d sample %d: %w", line, i, err)
+			}
+			series[i] = v
+		}
+		switch row[4] {
+		case "cpu":
+			vm.CPUCapGHz = cap
+			vm.CPU = series
+		case "ram":
+			vm.RAMCapGB = cap
+			vm.RAM = series
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown resource %q", line, row[4])
+		}
+	}
+	return t, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	if s == "nan" {
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

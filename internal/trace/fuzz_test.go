@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the decoder never panics and that anything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a valid document and several near-misses.
+	var buf bytes.Buffer
+	tr := Generate(GenConfig{Boxes: 2, Days: 1, SamplesPerDay: 4, Seed: 3})
+	if err := tr.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("#atm-trace,4,1\nbox,1,1,vm,cpu,1,1,2,3,4\n")
+	f.Add("#atm-trace,4,1\nbox,1,1,vm,cpu,1,nan,nan,nan,nan\n")
+	f.Add("#atm-trace,x,y\n")
+	f.Add("")
+	f.Add("#atm-trace,1,1\nbox,1,1,vm,disk,1,5\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must re-encode without error.
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted trace fails to encode: %v", err)
+		}
+	})
+}
