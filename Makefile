@@ -1,0 +1,33 @@
+# Build, verification and benchmark entry points. `make verify` is the
+# tier-1 path: build + vet + full tests, plus the race detector on the
+# packages that gained concurrency (the worker pool and the parallel
+# DTW matrix). `make bench` writes the signature-search before/after
+# record consumed by the Performance section in README.md.
+
+GO ?= go
+
+.PHONY: build vet test race verify bench microbench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/...
+
+verify: build vet test race
+
+# End-to-end signature-search benchmark on trace-shaped data; emits
+# BENCH_signature_search.json plus a human-readable table.
+bench:
+	$(GO) run ./cmd/atmbench -sigbench BENCH_signature_search.json
+
+# Go micro-benchmarks for the reworked kernels (allocation counts
+# included; the DTW kernels must stay at 0 allocs/op steady-state).
+microbench:
+	$(GO) test -run NONE -bench 'BenchmarkDTW|BenchmarkOptimalCut' -benchmem ./internal/cluster/ .

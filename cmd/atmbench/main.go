@@ -4,9 +4,16 @@
 // Usage:
 //
 //	atmbench [-fig all|1,2,3,5,6,7,8,9,10,12,13,methods,stability,epsilon] [-boxes N] [-seed S] [-days D] [-svg DIR]
+//	atmbench -sigbench FILE [-boxes N] [-seed S] [-workers W]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
 // 13) are additionally written as standalone SVG files into DIR.
+//
+// With -sigbench, the figure drivers are skipped: atmbench times the
+// signature-search kernels (sequential vs pooled DTW matrix, the
+// LB_Keogh-pruned variant, naive vs incremental silhouette cut),
+// prints the before/after table and writes the JSON record to FILE.
+// -cpuprofile wraps either mode in a runtime/pprof CPU profile.
 //
 // Figure 4 is the signature-search flow (implemented as
 // spatial.Search) and Figure 11 is the testbed topology (implemented
@@ -14,10 +21,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,7 +55,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace generator seed")
 	days := flag.Int("days", 7, "trace length in days")
 	svgDir := flag.String("svg", "", "directory to write figure SVGs into (optional)")
+	workers := flag.Int("workers", 0, "worker-pool size; <= 0 uses one worker per core")
+	sigbench := flag.String("sigbench", "", "run the signature-search benchmark and write its JSON record to this file (skips figures)")
+	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	writeSVG := func(name string, render func() (string, error)) {
 		if *svgDir == "" {
@@ -69,7 +95,22 @@ func main() {
 		fmt.Printf("  [wrote %s]\n", path)
 	}
 
-	opts := experiments.Options{Boxes: *boxes, Seed: *seed, Days: *days}
+	opts := experiments.Options{Boxes: *boxes, Seed: *seed, Days: *days, Workers: *workers}
+
+	if *sigbench != "" {
+		r, err := experiments.SignatureBench(opts)
+		exitOn("sigbench", err)
+		printTable("sigbench", r.Render())
+		data, err := json.MarshalIndent(r, "", "  ")
+		exitOn("sigbench", err)
+		if err := os.WriteFile(*sigbench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sigbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", *sigbench)
+		return
+	}
+
 	want := map[string]bool{}
 	if *figs == "all" {
 		for _, f := range []string{"1", "2", "3", "5", "6", "7", "8", "9", "10", "12", "13", "methods", "stability", "epsilon"} {

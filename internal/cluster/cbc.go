@@ -125,6 +125,26 @@ func cbcFromCorr(corr *DistMatrix, rhoTh float64) Result {
 // extraction. window is the Sakoe-Chiba half-width (negative for
 // unconstrained).
 func DTWSearch(series []timeseries.Series, window int) (Result, error) {
+	return dtwSearch(series, func() (*DistMatrix, error) {
+		return DTWMatrix(series, window)
+	})
+}
+
+// DTWSearchApprox is DTWSearch on the LB_Keogh-pruned distance matrix
+// (DTWMatrixApprox): far pairs keep their admissible lower bound
+// instead of the exact distance, which leaves the agglomeration of
+// near pairs intact while skipping the quadratic recurrence for
+// roughly half the pairs. cutoff <= 0 auto-selects the median bound.
+func DTWSearchApprox(series []timeseries.Series, window int, cutoff float64) (Result, error) {
+	return dtwSearch(series, func() (*DistMatrix, error) {
+		d, _, err := DTWMatrixApprox(series, window, cutoff)
+		return d, err
+	})
+}
+
+// dtwSearch runs clustering + silhouette model selection + medoid
+// extraction over whichever pairwise matrix the caller builds.
+func dtwSearch(series []timeseries.Series, matrix func() (*DistMatrix, error)) (Result, error) {
 	n := len(series)
 	switch n {
 	case 0:
@@ -132,7 +152,7 @@ func DTWSearch(series []timeseries.Series, window int) (Result, error) {
 	case 1:
 		return Result{Assign: []int{0}, K: 1, Signatures: []int{0}}, nil
 	}
-	d, err := DTWMatrix(series, window)
+	d, err := matrix()
 	if err != nil {
 		return Result{}, err
 	}

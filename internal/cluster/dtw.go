@@ -12,11 +12,54 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
+	"atm/internal/parallel"
 	"atm/internal/timeseries"
 )
+
+// ErrSeriesLength indicates DTWMatrix was given series of unequal
+// lengths. Box demand series are aligned windows of the same trace, so
+// a length mismatch means the caller sliced them inconsistently; the
+// old behaviour of silently warping mismatched series produced a
+// degenerate (length-biased) matrix.
+var ErrSeriesLength = errors.New("cluster: series length mismatch")
+
+// BoundsError reports an out-of-range DistMatrix index.
+type BoundsError struct {
+	I, J, N int
+}
+
+// Error implements error.
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("cluster: index (%d,%d) out of range for %d items", e.I, e.J, e.N)
+}
+
+// dtwScratch holds the per-call working memory of the DTW recurrence:
+// the two rolling rows of the cumulative-cost matrix. Pooled so the
+// inner loop performs zero heap allocations per pair.
+type dtwScratch struct {
+	prev, cur []float64
+}
+
+// rows returns the two rolling rows sized to m+1, growing the backing
+// arrays only when a longer series than ever before arrives.
+func (s *dtwScratch) rows(m int) (prev, cur []float64) {
+	if cap(s.prev) < m+1 {
+		s.prev = make([]float64, m+1)
+		s.cur = make([]float64, m+1)
+	}
+	return s.prev[:m+1], s.cur[:m+1]
+}
+
+// scratchPool recycles dtwScratch values across DTW/DTWWindow calls so
+// the public entry points are allocation-free in steady state.
+var scratchPool = sync.Pool{New: func() any { return new(dtwScratch) }}
 
 // DTW returns the dynamic-time-warping dissimilarity between two series
 // using squared pointwise distance d(p_i, q_j) = (p_i - q_j)^2 and the
@@ -30,9 +73,27 @@ func DTW(p, q timeseries.Series) float64 {
 // (|i-j| <= w). A negative w means unconstrained. The band is widened
 // to at least |len(p)-len(q)| so a path always exists.
 func DTWWindow(p, q timeseries.Series, w int) float64 {
+	sc := scratchPool.Get().(*dtwScratch)
+	v, _ := dtwKernel(p, q, w, math.Inf(1), sc)
+	scratchPool.Put(sc)
+	return v
+}
+
+// dtwKernel runs the DTW recurrence on caller-provided scratch. It
+// performs no heap allocations once the scratch has grown to the
+// series length.
+//
+// abandon enables early abandoning: when the minimum cumulative cost of
+// a completed row already exceeds abandon, the true DTW cost must too
+// (costs are non-negative and every warping path crosses every row), so
+// the kernel stops and returns that row minimum with exact=false. The
+// returned value is then a valid lower bound on the full DTW cost. An
+// infinite abandon never triggers and the result is exact — identical,
+// operation for operation, to the unpruned recurrence.
+func dtwKernel(p, q timeseries.Series, w int, abandon float64, sc *dtwScratch) (v float64, exact bool) {
 	n, m := len(p), len(q)
 	if n == 0 || m == 0 {
-		return math.Inf(1)
+		return math.Inf(1), true
 	}
 	if w >= 0 {
 		if d := n - m; d < 0 {
@@ -44,8 +105,7 @@ func DTWWindow(p, q timeseries.Series, w int) float64 {
 		}
 	}
 	// Two rolling rows of the cumulative-cost matrix.
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	prev, cur := sc.rows(m)
 	for j := range prev {
 		prev[j] = math.Inf(1)
 	}
@@ -63,6 +123,7 @@ func DTWWindow(p, q timeseries.Series, w int) float64 {
 				hi = i + w
 			}
 		}
+		rowMin := math.Inf(1)
 		for j := lo; j <= hi; j++ {
 			d := p[i-1] - q[j-1]
 			d *= d
@@ -73,11 +134,89 @@ func DTWWindow(p, q timeseries.Series, w int) float64 {
 			if cur[j-1] < best {
 				best = cur[j-1] // deletion
 			}
-			cur[j] = d + best
+			c := d + best
+			cur[j] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		if rowMin > abandon {
+			return rowMin, false
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m]
+	return prev[m], true
+}
+
+// envelope fills lower/upper with the running min/max of q over the
+// Sakoe-Chiba band [j-w, j+w] — the LB_Keogh envelope. A negative w
+// uses the whole series (the envelope of unconstrained DTW). Both
+// output slices must be len(q) long. Monotonic deques keep it O(m).
+func envelope(q timeseries.Series, w int, lower, upper []float64) {
+	m := len(q)
+	if w < 0 || w >= m {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range q {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for j := 0; j < m; j++ {
+			lower[j], upper[j] = lo, hi
+		}
+		return
+	}
+	// minq/maxq hold indices with monotonically increasing/decreasing
+	// values; the front is the extremum of the current window.
+	minq := make([]int, 0, m)
+	maxq := make([]int, 0, m)
+	for j := 0; j < m+w; j++ {
+		if j < m {
+			for len(minq) > 0 && q[minq[len(minq)-1]] >= q[j] {
+				minq = minq[:len(minq)-1]
+			}
+			minq = append(minq, j)
+			for len(maxq) > 0 && q[maxq[len(maxq)-1]] <= q[j] {
+				maxq = maxq[:len(maxq)-1]
+			}
+			maxq = append(maxq, j)
+		}
+		out := j - w // envelope position whose window [out-w, out+w] is now complete
+		if out < 0 {
+			continue
+		}
+		for minq[0] < out-w {
+			minq = minq[1:]
+		}
+		for maxq[0] < out-w {
+			maxq = maxq[1:]
+		}
+		lower[out] = q[minq[0]]
+		upper[out] = q[maxq[0]]
+	}
+}
+
+// lbKeogh returns the LB_Keogh lower bound on DTWWindow(p, q, w) given
+// q's envelope for half-width w. Both series must be the same length.
+// Every warping path matches each p[i] to some q[j] with |i-j| <= w, at
+// squared cost at least p[i]'s squared distance to the envelope
+// interval [lower[i], upper[i]]; summing over i bounds the path cost
+// from below: LB_Keogh(p, q) <= DTW(p, q).
+func lbKeogh(p timeseries.Series, lower, upper []float64) float64 {
+	var sum float64
+	for i, v := range p {
+		if v > upper[i] {
+			d := v - upper[i]
+			sum += d * d
+		} else if v < lower[i] {
+			d := lower[i] - v
+			sum += d * d
+		}
+	}
+	return sum
 }
 
 // DistMatrix is a symmetric matrix of pairwise dissimilarities with
@@ -89,42 +228,225 @@ type DistMatrix struct {
 
 // NewDistMatrix returns an n×n zero distance matrix.
 func NewDistMatrix(n int) *DistMatrix {
+	if n < 0 {
+		panic(&BoundsError{I: n, J: n, N: n})
+	}
 	return &DistMatrix{n: n, data: make([]float64, n*n)}
 }
 
 // Len returns the number of items.
 func (d *DistMatrix) Len() int { return d.n }
 
+// check panics with a typed *BoundsError on an out-of-range index pair,
+// mirroring slice indexing: an out-of-range access is a caller bug, and
+// the old unchecked arithmetic could silently alias a wrong cell
+// (e.g. At(0, n) reading item (1,0)).
+func (d *DistMatrix) check(i, j int) {
+	if i < 0 || i >= d.n || j < 0 || j >= d.n {
+		panic(&BoundsError{I: i, J: j, N: d.n})
+	}
+}
+
 // At returns the dissimilarity between items i and j.
-func (d *DistMatrix) At(i, j int) float64 { return d.data[i*d.n+j] }
+func (d *DistMatrix) At(i, j int) float64 {
+	d.check(i, j)
+	return d.data[i*d.n+j]
+}
 
 // Set assigns the symmetric dissimilarity between items i and j.
 func (d *DistMatrix) Set(i, j int, v float64) {
+	d.check(i, j)
 	d.data[i*d.n+j] = v
 	d.data[j*d.n+i] = v
+}
+
+// Equal reports whether o has the same size and bit-identical entries.
+func (d *DistMatrix) Equal(o *DistMatrix) bool {
+	if d.n != o.n {
+		return false
+	}
+	for i, v := range d.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatrixOption configures DTWMatrix / DTWMatrixApprox.
+type MatrixOption func(*matrixConfig)
+
+type matrixConfig struct {
+	workers int
+}
+
+// WithWorkers bounds the number of concurrent workers computing matrix
+// cells. n <= 0 (the default) uses one worker per core. One worker
+// reproduces the sequential order exactly; results are bit-identical at
+// any worker count because every cell is an independent computation.
+func WithWorkers(n int) MatrixOption {
+	return func(c *matrixConfig) { c.workers = n }
+}
+
+// normalized validates and z-normalizes the input series for a pairwise
+// matrix: every series must be non-empty and all the same length.
+func normalized(series []timeseries.Series) ([]timeseries.Series, error) {
+	norm := make([]timeseries.Series, len(series))
+	for i, s := range series {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("series %d: %w", i, timeseries.ErrEmpty)
+		}
+		if len(s) != len(series[0]) {
+			return nil, fmt.Errorf("series %d has %d samples, series 0 has %d: %w",
+				i, len(s), len(series[0]), ErrSeriesLength)
+		}
+		norm[i] = s.Normalize()
+	}
+	return norm, nil
+}
+
+// pairAt decodes the t-th upper-triangle pair (row-major) of an n×n
+// matrix without materializing the pair list.
+func pairAt(n, t int) (i, j int) {
+	// Solve t = i*n - i*(i+1)/2 + (j-i-1) for the largest i whose row
+	// starts at or before t, then recover j.
+	i = 0
+	rowLen := n - 1
+	for t >= rowLen {
+		t -= rowLen
+		i++
+		rowLen--
+	}
+	return i, i + 1 + t
 }
 
 // DTWMatrix computes all pairwise DTW dissimilarities between the
 // series. Series are z-normalized first so that DTW groups by shape
 // rather than by level, which is what makes co-moving usage series
 // cluster together. The window parameter is passed to DTWWindow.
-func DTWMatrix(series []timeseries.Series, window int) (*DistMatrix, error) {
+//
+// Upper-triangle cells are computed concurrently on the shared worker
+// pool; each worker reuses its own scratch rows, so the inner loop
+// allocates nothing per pair. Results are bit-identical to the
+// sequential computation regardless of worker count. All series must
+// share one length (ErrSeriesLength otherwise).
+func DTWMatrix(series []timeseries.Series, window int, opts ...MatrixOption) (*DistMatrix, error) {
+	var mc matrixConfig
+	for _, o := range opts {
+		o(&mc)
+	}
 	n := len(series)
 	d := NewDistMatrix(n)
 	if n == 0 {
 		return d, nil
 	}
-	norm := make([]timeseries.Series, n)
-	for i, s := range series {
-		if len(s) == 0 {
-			return nil, fmt.Errorf("series %d: %w", i, timeseries.ErrEmpty)
-		}
-		norm[i] = s.Normalize()
+	norm, err := normalized(series)
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d.Set(i, j, DTWWindow(norm[i], norm[j], window))
-		}
+	pairs := n * (n - 1) / 2
+	scratch := makeScratches(pairs, mc.workers)
+	err = parallel.ForEachWorker(pairs, func(wk, t int) error {
+		i, j := pairAt(n, t)
+		v, _ := dtwKernel(norm[i], norm[j], window, math.Inf(1), scratch[wk])
+		d.Set(i, j, v)
+		return nil
+	}, parallel.WithWorkers(mc.workers))
+	if err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// DTWMatrixApprox is the pruned variant of DTWMatrix used where exact
+// far-pair distances are not needed (clustering only ever compares and
+// merges near pairs): pairs whose LB_Keogh lower bound already exceeds
+// cutoff store the bound itself instead of running the O(n·m)
+// recurrence, and the recurrence early-abandons at cutoff. Stored
+// values never exceed the true distance (the bound is admissible), and
+// every stored value below or at cutoff is exact. cutoff <= 0
+// auto-selects the median lower bound across pairs, pruning roughly
+// the farthest half. The fraction of pairs that skipped the full
+// recurrence is returned for observability.
+func DTWMatrixApprox(series []timeseries.Series, window int, cutoff float64, opts ...MatrixOption) (*DistMatrix, float64, error) {
+	var mc matrixConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	n := len(series)
+	d := NewDistMatrix(n)
+	if n == 0 {
+		return d, 0, nil
+	}
+	norm, err := normalized(series)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := len(norm[0])
+	// Per-series LB_Keogh envelopes, computed once: 2·n·m floats buy
+	// an O(m) bound per pair instead of the O(n·m) recurrence.
+	lower := make([][]float64, n)
+	upper := make([][]float64, n)
+	env := make([]float64, 2*n*m)
+	for i, s := range norm {
+		lower[i] = env[2*i*m : (2*i+1)*m]
+		upper[i] = env[(2*i+1)*m : (2*i+2)*m]
+		envelope(s, window, lower[i], upper[i])
+	}
+	pairs := n * (n - 1) / 2
+	lbs := make([]float64, pairs)
+	perr := parallel.ForEach(pairs, func(t int) error {
+		i, j := pairAt(n, t)
+		// LB_Keogh is asymmetric; the max of both directions is the
+		// tighter admissible bound.
+		lb := lbKeogh(norm[i], lower[j], upper[j])
+		if lb2 := lbKeogh(norm[j], lower[i], upper[i]); lb2 > lb {
+			lb = lb2
+		}
+		lbs[t] = lb
+		return nil
+	}, parallel.WithWorkers(mc.workers))
+	if perr != nil {
+		return nil, 0, perr
+	}
+	if cutoff <= 0 {
+		sorted := append([]float64(nil), lbs...)
+		sort.Float64s(sorted)
+		cutoff = sorted[len(sorted)/2]
+	}
+	var prunedCount atomic.Int64
+	scratch := makeScratches(pairs, mc.workers)
+	perr = parallel.ForEachWorker(pairs, func(wk, t int) error {
+		i, j := pairAt(n, t)
+		if lbs[t] > cutoff {
+			d.Set(i, j, lbs[t])
+			prunedCount.Add(1)
+			return nil
+		}
+		v, exact := dtwKernel(norm[i], norm[j], window, cutoff, scratch[wk])
+		if !exact {
+			// The kernel abandoned past cutoff: keep the strongest
+			// lower bound we hold for the pair.
+			if lbs[t] > v {
+				v = lbs[t]
+			}
+			prunedCount.Add(1)
+		}
+		d.Set(i, j, v)
+		return nil
+	}, parallel.WithWorkers(mc.workers))
+	if perr != nil {
+		return nil, 0, perr
+	}
+	return d, float64(prunedCount.Load()) / float64(pairs), nil
+}
+
+// makeScratches builds one DTW scratch per pool worker for n items.
+func makeScratches(n, workers int) []*dtwScratch {
+	w := parallel.ResolveWorkers(n, workers)
+	out := make([]*dtwScratch, w)
+	for i := range out {
+		out[i] = new(dtwScratch)
+	}
+	return out
 }

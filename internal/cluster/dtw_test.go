@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -117,5 +118,221 @@ func TestDTWMatrix(t *testing.T) {
 	}
 	if _, err := DTWMatrix([]timeseries.Series{{}}, -1); err == nil {
 		t.Error("empty series accepted, want error")
+	}
+}
+
+func TestDTWMatrixLengthMismatch(t *testing.T) {
+	_, err := DTWMatrix([]timeseries.Series{{1, 2, 3}, {1, 2}}, -1)
+	if !errors.Is(err, ErrSeriesLength) {
+		t.Errorf("mismatched lengths: err = %v, want ErrSeriesLength", err)
+	}
+	_, _, err = DTWMatrixApprox([]timeseries.Series{{1, 2, 3}, {1, 2}}, -1, 0)
+	if !errors.Is(err, ErrSeriesLength) {
+		t.Errorf("approx mismatched lengths: err = %v, want ErrSeriesLength", err)
+	}
+}
+
+func TestDistMatrixBounds(t *testing.T) {
+	d := NewDistMatrix(3)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 3}} {
+		func() {
+			defer func() {
+				r := recover()
+				be, ok := r.(*BoundsError)
+				if !ok {
+					t.Errorf("Set(%d,%d): recovered %v, want *BoundsError", idx[0], idx[1], r)
+					return
+				}
+				if be.N != 3 {
+					t.Errorf("BoundsError.N = %d, want 3", be.N)
+				}
+			}()
+			d.Set(idx[0], idx[1], 1)
+		}()
+		func() {
+			defer func() {
+				if _, ok := recover().(*BoundsError); !ok {
+					t.Errorf("At(%d,%d) did not panic with *BoundsError", idx[0], idx[1])
+				}
+			}()
+			d.At(idx[0], idx[1])
+		}()
+	}
+	// In-range stays silent.
+	d.Set(0, 2, 5)
+	if d.At(2, 0) != 5 {
+		t.Error("symmetric Set lost")
+	}
+}
+
+// randomSeriesSet builds n same-length random series.
+func randomSeriesSet(r *rand.Rand, n, m int) []timeseries.Series {
+	out := make([]timeseries.Series, n)
+	for i := range out {
+		s := make(timeseries.Series, m)
+		for t := range s {
+			s[t] = r.NormFloat64()*10 + 5*math.Sin(float64(t)/7+float64(i))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Property: the concurrent upper-triangle computation is bit-identical
+// to the sequential one at any worker count, for windowed and
+// unconstrained DTW alike.
+func TestDTWMatrixParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		series := randomSeriesSet(r, 2+r.Intn(14), 4+r.Intn(60))
+		window := []int{-1, 0, 3, 8}[r.Intn(4)]
+		seq, err := DTWMatrix(series, window, WithWorkers(1))
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{2, 4, 16} {
+			par, err := DTWMatrix(series, window, WithWorkers(workers))
+			if err != nil {
+				return false
+			}
+			for i := 0; i < seq.Len(); i++ {
+				for j := 0; j < seq.Len(); j++ {
+					if seq.At(i, j) != par.At(i, j) { // exact, not approximate
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Admissibility: LB_Keogh never exceeds the true DTW distance. 1000
+// random pairs across windowed and unconstrained configurations.
+func TestLBKeoghAdmissible(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	windows := []int{-1, 2, 5, 12, 40}
+	for trial := 0; trial < 1000; trial++ {
+		m := 8 + r.Intn(72)
+		pair := randomSeriesSet(r, 2, m)
+		p, q := pair[0].Normalize(), pair[1].Normalize()
+		w := windows[trial%len(windows)]
+		lower := make([]float64, m)
+		upper := make([]float64, m)
+		envelope(q, w, lower, upper)
+		lb := lbKeogh(p, lower, upper)
+		dtw := DTWWindow(p, q, w)
+		if lb > dtw+1e-9 {
+			t.Fatalf("trial %d (m=%d w=%d): LB %v > DTW %v", trial, m, w, lb, dtw)
+		}
+	}
+}
+
+// The envelope must be the exact sliding min/max over the band.
+func TestEnvelopeMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + r.Intn(40)
+		q := make(timeseries.Series, m)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		w := r.Intn(m + 3)
+		if trial%5 == 0 {
+			w = -1
+		}
+		lower := make([]float64, m)
+		upper := make([]float64, m)
+		envelope(q, w, lower, upper)
+		for j := 0; j < m; j++ {
+			lo, hi := j-w, j+w
+			if w < 0 {
+				lo, hi = 0, m-1
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > m-1 {
+				hi = m - 1
+			}
+			wantLo, wantHi := math.Inf(1), math.Inf(-1)
+			for x := lo; x <= hi; x++ {
+				wantLo = math.Min(wantLo, q[x])
+				wantHi = math.Max(wantHi, q[x])
+			}
+			if lower[j] != wantLo || upper[j] != wantHi {
+				t.Fatalf("trial %d (m=%d w=%d) j=%d: envelope [%v,%v], want [%v,%v]",
+					trial, m, w, j, lower[j], upper[j], wantLo, wantHi)
+			}
+		}
+	}
+}
+
+// DTWMatrixApprox must never overestimate, must be exact at or below
+// the cutoff, and must report a sane pruned fraction.
+func TestDTWMatrixApproxAdmissible(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		series := randomSeriesSet(r, 3+r.Intn(12), 16+r.Intn(48))
+		window := []int{-1, 4, 10}[trial%3]
+		exact, err := DTWMatrix(series, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, frac, err := DTWMatrixApprox(series, window, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac < 0 || frac > 1 {
+			t.Fatalf("pruned fraction %v out of [0,1]", frac)
+		}
+		for i := 0; i < exact.Len(); i++ {
+			for j := i + 1; j < exact.Len(); j++ {
+				a, e := approx.At(i, j), exact.At(i, j)
+				if a > e+1e-9 {
+					t.Fatalf("trial %d (%d,%d): approx %v overestimates exact %v", trial, i, j, a, e)
+				}
+			}
+		}
+	}
+}
+
+// A generous explicit cutoff prunes nothing and reproduces the exact
+// matrix bit for bit.
+func TestDTWMatrixApproxHighCutoffIsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	series := randomSeriesSet(r, 8, 40)
+	exact, err := DTWMatrix(series, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, frac, err := DTWMatrixApprox(series, -1, math.MaxFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Errorf("pruned fraction %v with MaxFloat64 cutoff, want 0", frac)
+	}
+	for i := 0; i < exact.Len(); i++ {
+		for j := 0; j < exact.Len(); j++ {
+			if exact.At(i, j) != approx.At(i, j) {
+				t.Fatalf("(%d,%d): approx %v != exact %v", i, j, approx.At(i, j), exact.At(i, j))
+			}
+		}
+	}
+}
+
+// The pooled scratch keeps the public DTW entry points allocation-free
+// in steady state (the acceptance bar for the inner kernel).
+func TestDTWZeroAllocSteadyState(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	pair := randomSeriesSet(r, 2, 96)
+	p, q := pair[0], pair[1]
+	DTW(p, q) // warm the pool
+	if allocs := testing.AllocsPerRun(200, func() { DTW(p, q) }); allocs > 0 {
+		t.Errorf("DTW allocates %.1f objects per call, want 0", allocs)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"atm/internal/parallel"
 )
 
 // merge records one agglomeration step: clusters a and b (identified by
@@ -130,12 +132,23 @@ func (dg *Dendrogram) Cut(k int) []int {
 	return assign
 }
 
+// silhouetteParallelThreshold is the item count past which the
+// per-item silhouette loop fans out onto the worker pool; below it the
+// goroutine overhead dwarfs the O(n) per-item work (per-box series
+// counts are tens, fleet-level matrices are thousands).
+const silhouetteParallelThreshold = 256
+
 // Silhouette returns the per-item silhouette values for a flat
 // assignment (paper Eq. 3): s(i) = (b(i)-a(i)) / max(a(i), b(i)), where
 // a(i) is the mean dissimilarity of i to its own cluster and b(i) the
 // lowest mean dissimilarity to another cluster. Items in singleton
 // clusters get 0, the standard convention. If there is a single
 // cluster, every value is 0.
+//
+// The per-item-to-cluster distance sums are computed once per
+// assignment, and the per-item loop runs on the worker pool for large
+// n; each item writes only its own output slot, so the result is
+// bit-identical to the sequential evaluation.
 func Silhouette(d *DistMatrix, assign []int) ([]float64, error) {
 	n := d.Len()
 	if len(assign) != n {
@@ -158,11 +171,15 @@ func Silhouette(d *DistMatrix, assign []int) ([]float64, error) {
 	if k <= 1 {
 		return out, nil
 	}
-	sums := make([]float64, k)
-	for i := 0; i < n; i++ {
-		for c := range sums {
-			sums[c] = 0
-		}
+	// S[i*k+c] = sum of d(i, j) over items j in cluster c — one pass
+	// over the matrix, reused for a(i) and every b-candidate.
+	S := make([]float64, n*k)
+	workers := 1
+	if n >= silhouetteParallelThreshold {
+		workers = 0 // pool default: one per core
+	}
+	_ = parallel.ForEach(n, func(i int) error {
+		sums := S[i*k : (i+1)*k]
 		for j := 0; j < n; j++ {
 			if j != i {
 				sums[assign[j]] += d.At(i, j)
@@ -170,8 +187,7 @@ func Silhouette(d *DistMatrix, assign []int) ([]float64, error) {
 		}
 		own := assign[i]
 		if counts[own] <= 1 {
-			out[i] = 0
-			continue
+			return nil
 		}
 		a := sums[own] / float64(counts[own]-1)
 		b := math.Inf(1)
@@ -183,13 +199,11 @@ func Silhouette(d *DistMatrix, assign []int) ([]float64, error) {
 				b = m
 			}
 		}
-		denom := math.Max(a, b)
-		if denom == 0 {
-			out[i] = 0
-		} else {
+		if denom := math.Max(a, b); denom != 0 {
 			out[i] = (b - a) / denom
 		}
-	}
+		return nil
+	}, parallel.WithWorkers(workers))
 	return out, nil
 }
 
@@ -210,17 +224,9 @@ func MeanSilhouette(d *DistMatrix, assign []int) (float64, error) {
 	return sum / float64(len(s)), nil
 }
 
-// OptimalCut evaluates cuts for k in [kmin, kmax] and returns the
-// assignment with the maximal mean silhouette, following the paper:
-// candidate cluster counts range from 2 to (M*N)/2 so the signature set
-// shrinks to at most half the series. Ties favor the smaller k (fewer
-// signatures means fewer expensive temporal models). If kmax < kmin
-// the single cut at kmin clamped to n is returned.
-func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k int, score float64) {
-	n := d.Len()
-	if n == 0 {
-		return nil, 0, 0
-	}
+// clampCutRange normalizes a [kmin, kmax] silhouette-sweep range for n
+// items, mirroring the documented OptimalCut clamping.
+func clampCutRange(n, kmin, kmax int) (int, int) {
 	if kmin < 1 {
 		kmin = 1
 	}
@@ -230,6 +236,126 @@ func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k 
 	if kmax < kmin {
 		kmax = kmin
 	}
+	return kmin, kmax
+}
+
+// OptimalCut evaluates cuts for k in [kmin, kmax] and returns the
+// assignment with the maximal mean silhouette, following the paper:
+// candidate cluster counts range from 2 to (M*N)/2 so the signature set
+// shrinks to at most half the series. Ties favor the smaller k (fewer
+// signatures means fewer expensive temporal models). If kmax < kmin
+// the single cut at kmin clamped to n is returned.
+//
+// Model selection is one incremental pass over the merge history, not
+// kmax independent silhouette passes: the per-item-to-cluster distance
+// sums S[i][c] are built once for the all-singletons state and updated
+// on each merge by S[i][a] += S[i][b] (O(n) per merge), so evaluating
+// the mean silhouette at every candidate k costs O(n·k) instead of
+// O(n²). OptimalCutNaive keeps the reference implementation; the two
+// agree up to floating-point summation order.
+func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k int, score float64) {
+	n := d.Len()
+	if n == 0 {
+		return nil, 0, 0
+	}
+	kmin, kmax = clampCutRange(n, kmin, kmax)
+
+	// Incremental state: cl[i] is the representative id of item i's
+	// current cluster, counts[c] its cardinality, S[i*n+c] the distance
+	// sum from i to cluster c's members. Representative ids follow the
+	// dendrogram's convention (the smaller id survives a merge), which
+	// matches the union order Cut replays.
+	S := make([]float64, n*n)
+	cl := make([]int, n)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		cl[i] = i
+		counts[i] = 1
+		copy(S[i*n:(i+1)*n], d.data[i*n:(i+1)*n])
+	}
+	actives := make([]int, n)
+	for i := range actives {
+		actives[i] = i
+	}
+
+	// meanSil evaluates the current state's mean silhouette in O(n·k).
+	meanSil := func(k int) float64 {
+		if k <= 1 {
+			return 0
+		}
+		var total float64
+		for i := 0; i < n; i++ {
+			own := cl[i]
+			if counts[own] <= 1 {
+				continue // singleton convention: contributes 0
+			}
+			a := S[i*n+own] / float64(counts[own]-1)
+			b := math.Inf(1)
+			for _, c := range actives {
+				if c == own {
+					continue
+				}
+				if m := S[i*n+c] / float64(counts[c]); m < b {
+					b = m
+				}
+			}
+			if denom := math.Max(a, b); denom != 0 {
+				total += (b - a) / denom
+			}
+		}
+		return total / float64(n)
+	}
+
+	bestK, bestScore := kmin, math.Inf(-1)
+	// The replay walks k downward from n; >= on the comparison keeps
+	// the smallest k among ties, matching the ascending naive sweep.
+	if n >= kmin && n <= kmax {
+		bestK, bestScore = n, meanSil(n)
+	}
+	for step := 0; step < n-1; step++ {
+		m := dg.merges[step]
+		a, b := m.a, m.b // a < b: Agglomerative keeps the smaller id
+		for i := 0; i < n; i++ {
+			S[i*n+a] += S[i*n+b]
+			if cl[i] == b {
+				cl[i] = a
+			}
+		}
+		counts[a] += counts[b]
+		counts[b] = 0
+		for x, c := range actives {
+			if c == b {
+				actives = append(actives[:x], actives[x+1:]...)
+				break
+			}
+		}
+		k := n - step - 1
+		if k < kmin {
+			break // merges only coarsen further; nothing left in range
+		}
+		if k <= kmax {
+			if s := meanSil(k); s >= bestScore {
+				bestScore, bestK = s, k
+			}
+		}
+	}
+	if math.IsInf(bestScore, -1) {
+		bestK, bestScore = kmin, 0
+	}
+	return dg.Cut(bestK), bestK, bestScore
+}
+
+// OptimalCutNaive is the reference model selection: an independent
+// Cut + MeanSilhouette pass per candidate k, O(kmax·n²) total. It
+// exists to validate and benchmark the incremental OptimalCut against;
+// both return the same k and (up to floating-point association) the
+// same score.
+func OptimalCutNaive(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k int, score float64) {
+	n := d.Len()
+	if n == 0 {
+		return nil, 0, 0
+	}
+	kmin, kmax = clampCutRange(n, kmin, kmax)
 	bestK, bestScore := kmin, math.Inf(-1)
 	var bestAssign []int
 	for k := kmin; k <= kmax; k++ {

@@ -229,6 +229,71 @@ func TestOptimalCutDegenerate(t *testing.T) {
 	}
 }
 
+// Property: the incremental OptimalCut agrees with the naive
+// reference — same score (up to floating-point association) and a cut
+// whose silhouette matches the naive optimum.
+func TestOptimalCutIncrementalMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(24)
+		d := NewDistMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d.Set(i, j, r.Float64()*10)
+			}
+		}
+		dend := Agglomerative(d)
+		kmin := 1 + r.Intn(3)
+		kmax := kmin + r.Intn(n)
+		aInc, kInc, sInc := OptimalCut(dend, d, kmin, kmax)
+		aNaive, kNaive, sNaive := OptimalCutNaive(dend, d, kmin, kmax)
+		if math.Abs(sInc-sNaive) > 1e-9 {
+			t.Logf("seed %d: scores differ: inc %v naive %v", seed, sInc, sNaive)
+			return false
+		}
+		// The incremental score must be the real silhouette of the cut
+		// it returns, not an artifact of the incremental sums.
+		check, err := MeanSilhouette(d, aInc)
+		if err != nil || math.Abs(check-sInc) > 1e-9 {
+			t.Logf("seed %d: reported %v, recomputed %v (%v)", seed, sInc, check, err)
+			return false
+		}
+		if kInc != kNaive {
+			// Only a genuine tie may pick a different k.
+			sAtNaive, _ := MeanSilhouette(d, dend.Cut(kNaive))
+			if math.Abs(sAtNaive-sInc) > 1e-9 {
+				t.Logf("seed %d: k differs (%d vs %d) beyond a tie", seed, kInc, kNaive)
+				return false
+			}
+		}
+		if len(aInc) != n || len(aNaive) != n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The full sweep [1, n] must also agree on structured (blob) data
+// where there is one clearly optimal k.
+func TestOptimalCutIncrementalBlobs(t *testing.T) {
+	for _, n := range []int{6, 9, 14} {
+		d := twoBlobs(n, n/2)
+		dend := Agglomerative(d)
+		_, k, score := OptimalCut(dend, d, 1, n)
+		_, kNaive, scoreNaive := OptimalCutNaive(dend, d, 1, n)
+		if k != kNaive || math.Abs(score-scoreNaive) > 1e-12 {
+			t.Errorf("n=%d: incremental (k=%d, s=%v) != naive (k=%d, s=%v)",
+				n, k, score, kNaive, scoreNaive)
+		}
+		if k != 2 {
+			t.Errorf("n=%d: k = %d, want 2 for two blobs", n, k)
+		}
+	}
+}
+
 func TestMedoids(t *testing.T) {
 	// Three items in a line: 0 --1-- 1 --1-- 2 (d(0,2)=2). Medoid is 1.
 	d := NewDistMatrix(3)

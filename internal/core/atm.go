@@ -16,9 +16,8 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"atm/internal/parallel"
 	"atm/internal/predict"
 	"atm/internal/resize"
 	"atm/internal/spatial"
@@ -56,6 +55,9 @@ type Config struct {
 	// peak demand over the training history, preventing spill-over of
 	// unfinished demand (paper Section IV-A1).
 	UseLowerBounds bool
+	// Workers bounds the worker pool used for box fan-out and per-box
+	// temporal-model fitting; <= 0 uses one worker per core.
+	Workers int
 }
 
 // Errors returned by the pipeline.
@@ -129,18 +131,25 @@ func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*Bo
 	}
 
 	// Temporal forecasts for the signature series only — this is the
-	// entire point of the signature reduction.
+	// entire point of the signature reduction. Each signature gets its
+	// own model instance, so the fits are independent and run on the
+	// worker pool (the MLP fit dominates per-box latency).
 	sigForecasts := make([]timeseries.Series, len(model.Signatures))
-	for i, idx := range model.Signatures {
+	err = parallel.ForEach(len(model.Signatures), func(i int) error {
+		idx := model.Signatures[i]
 		m := factory()
 		if err := m.Fit(train[idx]); err != nil {
-			return nil, fmt.Errorf("core: fit temporal model for series %d: %w", idx, err)
+			return fmt.Errorf("core: fit temporal model for series %d: %w", idx, err)
 		}
 		fc, err := m.Forecast(cfg.Horizon)
 		if err != nil {
-			return nil, fmt.Errorf("core: forecast series %d: %w", idx, err)
+			return fmt.Errorf("core: forecast series %d: %w", idx, err)
 		}
 		sigForecasts[i] = fc
+		return nil
+	}, parallel.WithWorkers(cfg.Workers))
+	if err != nil {
+		return nil, err
 	}
 
 	// Dependents via the spatial linear models.
@@ -339,28 +348,16 @@ func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
 	return res, nil
 }
 
-// Run executes ATM over many boxes concurrently (one goroutine per
-// core; boxes are independent, mirroring per-hypervisor deployment).
-// Per-box failures abort the run with the first error.
+// Run executes ATM over many boxes concurrently on the shared worker
+// pool (boxes are independent, mirroring per-hypervisor deployment).
+// Per-box failures abort the run with the first error in box order.
 func Run(boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error) {
-	results := make([]*BoxResult, len(boxes))
-	errs := make([]error, len(boxes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, b := range boxes {
-		wg.Add(1)
-		go func(i int, b *trace.Box) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = RunBox(b, samplesPerDay, cfg)
-		}(i, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	// The pool already saturates the cores at box granularity; the
+	// nested per-box temporal fan-out stays sequential to avoid
+	// oversubscription.
+	boxCfg := cfg
+	boxCfg.Workers = 1
+	return parallel.Map(len(boxes), func(i int) (*BoxResult, error) {
+		return RunBox(boxes[i], samplesPerDay, boxCfg)
+	}, parallel.WithWorkers(cfg.Workers))
 }

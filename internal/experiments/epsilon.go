@@ -3,7 +3,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"atm/internal/resize"
@@ -37,13 +36,16 @@ func Epsilon(opts Options, epsilons []float64) (*EpsilonResult, error) {
 	tr := opts.genTrace()
 
 	res := &EpsilonResult{Epsilons: epsilons}
+	// Per-box sample for one ε; ok distinguishes solved boxes from
+	// skipped ones (quiet baseline or infeasible problem).
+	type epsSample struct {
+		red, cand float64
+		ok        bool
+	}
 	for _, eps := range epsilons {
-		var mu sync.Mutex
-		var reds []float64
-		var candSum float64
-		var candN int
+		eps := eps
 		start := time.Now()
-		err := forEachBox(tr, func(b *trace.Box) error {
+		rows, err := mapBoxes(tr, opts, func(b *trace.Box) (epsSample, error) {
 			demands := b.Demands(trace.CPU)
 			caps := b.Capacities(trace.CPU)
 			baseline := 0
@@ -51,7 +53,7 @@ func Epsilon(opts Options, epsilons []float64) (*EpsilonResult, error) {
 				baseline += ticket.Count(demands[i], caps[i], ticket.Threshold60)
 			}
 			if baseline < 5 {
-				return nil
+				return epsSample{}, nil
 			}
 			vms := make([]resize.VM, len(demands))
 			for i, d := range demands {
@@ -65,21 +67,30 @@ func Epsilon(opts Options, epsilons []float64) (*EpsilonResult, error) {
 			}
 			alloc, err := prob.Greedy()
 			if errors.Is(err, resize.ErrInfeasible) {
-				return nil
+				return epsSample{}, nil
 			}
 			if err != nil {
-				return fmt.Errorf("box %s eps %v: %w", b.ID, eps, err)
+				return epsSample{}, fmt.Errorf("box %s eps %v: %w", b.ID, eps, err)
 			}
-			n := prob.CandidateCount()
-			mu.Lock()
-			reds = append(reds, ticket.Reduction(baseline, alloc.Tickets))
-			candSum += float64(n)
-			candN++
-			mu.Unlock()
-			return nil
+			return epsSample{
+				red:  ticket.Reduction(baseline, alloc.Tickets),
+				cand: float64(prob.CandidateCount()),
+				ok:   true,
+			}, nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		var reds []float64
+		var candSum float64
+		var candN int
+		for _, s := range rows {
+			if !s.ok {
+				continue
+			}
+			reds = append(reds, s.red)
+			candSum += s.cand
+			candN++
 		}
 		mean, _ := timeseries.MeanStd(reds)
 		res.Reduction = append(res.Reduction, mean)

@@ -28,6 +28,9 @@ type Options struct {
 	Days int
 	// SamplesPerDay is the sampling resolution (default 96).
 	SamplesPerDay int
+	// Workers bounds the worker pool the experiment drivers fan out
+	// on; <= 0 (default) uses one worker per core.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

@@ -3,9 +3,9 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"atm/internal/core"
+	"atm/internal/parallel"
 	"atm/internal/predict"
 	"atm/internal/resize"
 	"atm/internal/spatial"
@@ -69,6 +69,7 @@ func Fig9(opts Options) (*Fig9Result, error) {
 	res := &Fig9Result{Results: map[string][]*core.BoxResult{}}
 	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
 		cfg := fullATMConfig(method, opts.SamplesPerDay)
+		cfg.Workers = opts.Workers
 		results, err := core.Run(boxes, opts.SamplesPerDay, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("full ATM %v: %w", method, err)
@@ -171,14 +172,14 @@ func Fig10(opts Options, fig9 *Fig9Result) (*Fig10Result, error) {
 	// consume the same information the ATM runs had: max-min sizes
 	// from the CBC pipeline's *predicted* demands, stingy from the
 	// historical peak (it is prediction-free by definition). Tickets
-	// are always counted against the actual day-6 demands.
-	perPolicy := map[string]map[trace.Resource][]float64{
-		"stingy":  {},
-		"max-min": {},
-	}
-	var mu sync.Mutex
-	for _, res9 := range fig9.Results["cbc"] {
+	// are always counted against the actual day-6 demands. Boxes fan
+	// out on the worker pool; each returns its own samples and the
+	// merge below is sequential.
+	cbcResults := fig9.Results["cbc"]
+	baselineRows, err := parallel.Map(len(cbcResults), func(i int) ([]polSample, error) {
+		res9 := cbcResults[i]
 		b := res9.Box
+		var samples []polSample
 		for _, rr := range [...]trace.Resource{trace.CPU, trace.RAM} {
 			demands := b.Demands(rr)
 			caps := b.Capacities(rr)
@@ -218,10 +219,23 @@ func Fig10(opts Options, fig9 *Fig9Result) (*Fig10Result, error) {
 				for v := range actual {
 					after += ticket.Count(actual[v], alloc.Sizes[v], ticket.Threshold60)
 				}
-				mu.Lock()
-				perPolicy[name][rr] = append(perPolicy[name][rr], ticket.Reduction(baseline, after))
-				mu.Unlock()
+				samples = append(samples, polSample{
+					policy: name, res: rr, red: ticket.Reduction(baseline, after),
+				})
 			}
+		}
+		return samples, nil
+	}, parallel.WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	perPolicy := map[string]map[trace.Resource][]float64{
+		"stingy":  {},
+		"max-min": {},
+	}
+	for _, samples := range baselineRows {
+		for _, s := range samples {
+			perPolicy[s.policy][s.res] = append(perPolicy[s.policy][s.res], s.red)
 		}
 	}
 	for _, name := range []string{"stingy", "max-min"} {

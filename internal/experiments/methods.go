@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"atm/internal/spatial"
@@ -31,33 +30,33 @@ func Methods(opts Options) (*MethodsResult, error) {
 		Stats:   map[string]*StepStats{},
 		Elapsed: map[string]time.Duration{},
 	}
-	var mu sync.Mutex
 	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC, spatial.MethodFeatures} {
 		method := method
 		name := method.String()
-		res.Stats[name] = &StepStats{}
 		start := time.Now()
-		err := forEachBox(tr, func(b *trace.Box) error {
+		rows, err := mapBoxes(tr, opts, func(b *trace.Box) (ratioErr, error) {
 			series := b.DemandSeries()
 			m, err := spatial.Search(series, spatial.Config{
 				Method: method,
 				Period: opts.SamplesPerDay,
 			})
 			if err != nil {
-				return fmt.Errorf("box %s %s: %w", b.ID, name, err)
+				return ratioErr{}, fmt.Errorf("box %s %s: %w", b.ID, name, err)
 			}
 			fitErr, err := m.FitError(series)
 			if err != nil {
-				return err
+				return ratioErr{}, err
 			}
-			mu.Lock()
-			res.Stats[name].add(m.Ratio(), fitErr)
-			mu.Unlock()
-			return nil
+			return ratioErr{ratio: m.Ratio(), fitErr: fitErr}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		stats := &StepStats{}
+		for _, r := range rows {
+			stats.add(r.ratio, r.fitErr)
+		}
+		res.Stats[name] = stats
 		res.Elapsed[name] = time.Since(start)
 	}
 	return res, nil

@@ -3,13 +3,19 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"atm/internal/resize"
 	"atm/internal/ticket"
 	"atm/internal/timeseries"
 	"atm/internal/trace"
 )
+
+// polSample is one (policy, resource) reduction measured on one box.
+type polSample struct {
+	policy string
+	res    trace.Resource
+	red    float64
+}
 
 // PolicyReduction is the mean and standard deviation of the per-box
 // relative ticket reduction for one allocation policy.
@@ -40,17 +46,12 @@ func Fig8(opts Options) (*Fig8Result, error) {
 	opts.Days = 1
 	tr := opts.genTrace()
 
-	type acc struct {
-		perBox map[trace.Resource][]float64
+	type boxOutcome struct {
+		skipped int
+		samples []polSample
 	}
-	accs := map[string]*acc{}
-	for _, p := range fig8Policies {
-		accs[p] = &acc{perBox: map[trace.Resource][]float64{}}
-	}
-	skipped := 0
-	var mu sync.Mutex
-
-	err := forEachBox(tr, func(b *trace.Box) error {
+	rows, err := mapBoxes(tr, opts, func(b *trace.Box) (boxOutcome, error) {
+		var out boxOutcome
 		for _, r := range [...]trace.Resource{trace.CPU, trace.RAM} {
 			demands := b.Demands(r)
 			caps := b.Capacities(r)
@@ -62,9 +63,7 @@ func Fig8(opts Options) (*Fig8Result, error) {
 			// meaningless (one new ticket reads as -100%); the paper's
 			// ticketed boxes average ~39 tickets/day.
 			if baseline < 5 {
-				mu.Lock()
-				skipped++
-				mu.Unlock()
+				out.skipped++
 				continue
 			}
 			capacity := b.CPUCapGHz
@@ -100,21 +99,30 @@ func Fig8(opts Options) (*Fig8Result, error) {
 					continue
 				}
 				if err != nil {
-					return fmt.Errorf("box %s %s %s: %w", b.ID, r, policy, err)
+					return boxOutcome{}, fmt.Errorf("box %s %s %s: %w", b.ID, r, policy, err)
 				}
-				red := ticket.Reduction(baseline, alloc.Tickets)
-				mu.Lock()
-				accs[policy].perBox[r] = append(accs[policy].perBox[r], red)
-				mu.Unlock()
+				out.samples = append(out.samples, polSample{
+					policy: policy, res: r, red: ticket.Reduction(baseline, alloc.Tickets),
+				})
 			}
 		}
-		return nil
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Fig8Result{Skipped: skipped}
+	res := &Fig8Result{}
+	perBox := map[string]map[trace.Resource][]float64{}
+	for _, p := range fig8Policies {
+		perBox[p] = map[trace.Resource][]float64{}
+	}
+	for _, row := range rows {
+		res.Skipped += row.skipped
+		for _, s := range row.samples {
+			perBox[s.policy][s.res] = append(perBox[s.policy][s.res], s.red)
+		}
+	}
 	for _, p := range fig8Policies {
 		pr := PolicyReduction{
 			Policy: p,
@@ -122,7 +130,7 @@ func Fig8(opts Options) (*Fig8Result, error) {
 			Std:    map[trace.Resource]float64{},
 		}
 		for _, r := range [...]trace.Resource{trace.CPU, trace.RAM} {
-			m, s := timeseries.MeanStd(accs[p].perBox[r])
+			m, s := timeseries.MeanStd(perBox[p][r])
 			pr.Mean[r], pr.Std[r] = m, s
 		}
 		res.Policies = append(res.Policies, pr)

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"atm/internal/cluster"
+	"atm/internal/parallel"
+	"atm/internal/timeseries"
+)
+
+// SigBenchResult carries before/after numbers for the signature-search
+// hot path: the pairwise DTW matrix (sequential vs pooled vs
+// LB_Keogh-pruned) and the silhouette model selection (naive
+// re-evaluation vs incremental merge replay). The struct is
+// JSON-marshalable so `make bench` can persist a machine-readable
+// record next to the human table.
+type SigBenchResult struct {
+	// Series, Length and Window describe the benchmarked workload.
+	Series  int `json:"series"`
+	Length  int `json:"length"`
+	Window  int `json:"window"`
+	Workers int `json:"workers"`
+
+	// Matrix timings (milliseconds) and the parallel speedup.
+	MatrixSequentialMS float64 `json:"matrix_sequential_ms"`
+	MatrixParallelMS   float64 `json:"matrix_parallel_ms"`
+	MatrixSpeedup      float64 `json:"matrix_speedup"`
+
+	// Approx timings: the LB_Keogh-pruned matrix with the automatic
+	// median cutoff, and the fraction of pairs it never ran the full
+	// kernel on.
+	MatrixApproxMS       float64 `json:"matrix_approx_ms"`
+	ApproxPrunedFraction float64 `json:"approx_pruned_fraction"`
+
+	// Model-selection timings across the same kmax sweep.
+	Kmax              int     `json:"kmax"`
+	OptimalCutNaiveMS float64 `json:"optimal_cut_naive_ms"`
+	OptimalCutMS      float64 `json:"optimal_cut_ms"`
+	OptimalCutSpeedup float64 `json:"optimal_cut_speedup"`
+
+	// Cross-checks: the parallel matrix must be bit-identical to the
+	// sequential one, and the incremental cut must agree with the
+	// naive sweep's score.
+	ParallelMatchesSequential bool `json:"parallel_matches_sequential"`
+	IncrementalMatchesNaive   bool `json:"incremental_matches_naive"`
+}
+
+// sigBenchSeries collects demand series from the synthetic trace until
+// it has n of them (all boxes share the sampling grid, so lengths
+// agree).
+func sigBenchSeries(opts Options, n int) []timeseries.Series {
+	tr := opts.genTrace()
+	var out []timeseries.Series
+	for _, b := range tr.GapFree() {
+		for _, s := range b.DemandSeries() {
+			out = append(out, s)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// timeMS runs fn once and reports wall time in milliseconds. The
+// matrices here are big enough (thousands of DTW kernels) that a
+// single run is stable; the repeatable path is `go test -bench` on
+// internal/cluster.
+func timeMS(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// SignatureBench measures the signature-search kernels before/after
+// the pooled + pruned rework on trace-shaped data. Boxes/Days from
+// opts scale the workload; Workers bounds the pooled run.
+func SignatureBench(opts Options) (*SigBenchResult, error) {
+	opts = opts.withDefaults()
+	opts.Days = 1
+	const nSeries = 64
+	series := sigBenchSeries(opts, nSeries)
+	if len(series) < 8 {
+		return nil, fmt.Errorf("experiments: sigbench needs >= 8 series, trace yielded %d", len(series))
+	}
+	window := opts.SamplesPerDay / 10 // the classic ~10% Sakoe-Chiba band
+
+	res := &SigBenchResult{
+		Series:  len(series),
+		Length:  series[0].Len(),
+		Window:  window,
+		Workers: parallel.ResolveWorkers(len(series), opts.Workers),
+	}
+
+	var seq, par *cluster.DistMatrix
+	var err error
+	res.MatrixSequentialMS = timeMS(func() {
+		seq, err = cluster.DTWMatrix(series, window, cluster.WithWorkers(1))
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.MatrixParallelMS = timeMS(func() {
+		par, err = cluster.DTWMatrix(series, window, cluster.WithWorkers(opts.Workers))
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.MatrixSpeedup = res.MatrixSequentialMS / res.MatrixParallelMS
+	res.ParallelMatchesSequential = seq.Equal(par)
+
+	res.MatrixApproxMS = timeMS(func() {
+		_, res.ApproxPrunedFraction, err = cluster.DTWMatrixApprox(
+			series, window, 0, cluster.WithWorkers(opts.Workers))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dend := cluster.Agglomerative(seq)
+	kmax := len(series) / 2
+	res.Kmax = kmax
+	var naiveK, incK int
+	var naiveScore, incScore float64
+	res.OptimalCutNaiveMS = timeMS(func() {
+		_, naiveK, naiveScore = cluster.OptimalCutNaive(dend, seq, 2, kmax)
+	})
+	res.OptimalCutMS = timeMS(func() {
+		_, incK, incScore = cluster.OptimalCut(dend, seq, 2, kmax)
+	})
+	res.OptimalCutSpeedup = res.OptimalCutNaiveMS / res.OptimalCutMS
+	res.IncrementalMatchesNaive = naiveK == incK && math.Abs(naiveScore-incScore) < 1e-9
+	return res, nil
+}
+
+// ms formats a millisecond reading.
+func ms(v float64) string { return fmt.Sprintf("%.1fms", v) }
+
+// Render produces the signature-search benchmark table.
+func (r *SigBenchResult) Render() *Table {
+	t := &Table{
+		Title:  "Signature-search benchmark — pooled DTW matrix and incremental silhouette",
+		Header: []string{"kernel", "before", "after", "speedup", "check"},
+	}
+	check := func(ok bool) string {
+		if ok {
+			return "identical"
+		}
+		return "MISMATCH"
+	}
+	t.AddRow("dtw matrix",
+		ms(r.MatrixSequentialMS), ms(r.MatrixParallelMS),
+		fmt.Sprintf("%.2fx", r.MatrixSpeedup), check(r.ParallelMatchesSequential))
+	t.AddRow("dtw matrix (lb-pruned)",
+		ms(r.MatrixSequentialMS), ms(r.MatrixApproxMS),
+		fmt.Sprintf("%.2fx", r.MatrixSequentialMS/r.MatrixApproxMS),
+		fmt.Sprintf("%s pairs pruned", pct(r.ApproxPrunedFraction)))
+	t.AddRow(fmt.Sprintf("optimal cut (k<=%d)", r.Kmax),
+		ms(r.OptimalCutNaiveMS), ms(r.OptimalCutMS),
+		fmt.Sprintf("%.2fx", r.OptimalCutSpeedup), check(r.IncrementalMatchesNaive))
+	t.AddNote("%d series x %d samples, window %d, %d worker(s)",
+		r.Series, r.Length, r.Window, r.Workers)
+	t.AddNote("parallel speedup tracks core count; on 1 core expect ~1.0x for the matrix")
+	return t
+}

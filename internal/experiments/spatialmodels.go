@@ -2,38 +2,24 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"atm/internal/parallel"
 	"atm/internal/spatial"
 	"atm/internal/timeseries"
 	"atm/internal/trace"
 )
 
-// forEachBox runs fn over the trace's gap-free boxes concurrently and
-// returns the first error.
-func forEachBox(tr *trace.Trace, fn func(b *trace.Box) error) error {
+// mapBoxes runs fn over the trace's gap-free boxes on the worker pool
+// and returns the per-box results in box order. It replaces the
+// mutex-guarded append-to-shared-state idiom the drivers used to copy:
+// each box fills only its own slot, and the caller merges the ordered
+// results sequentially (deterministic regardless of worker count).
+func mapBoxes[T any](tr *trace.Trace, o Options, fn func(b *trace.Box) (T, error)) ([]T, error) {
 	boxes := tr.GapFree()
-	errs := make([]error, len(boxes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, b := range boxes {
-		wg.Add(1)
-		go func(i int, b *trace.Box) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = fn(b)
-		}(i, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallel.Map(len(boxes), func(i int) (T, error) {
+		return fn(boxes[i])
+	}, parallel.WithWorkers(o.Workers))
 }
 
 // Fig5Result summarizes clustering outcomes per method.
@@ -59,34 +45,40 @@ func Fig5(opts Options) (*Fig5Result, error) {
 		ClusterCounts:     map[string][]int{},
 		CPUSignatureShare: map[string]float64{},
 	}
-	var mu sync.Mutex
-	sigTotal := map[string]int{}
-	sigCPU := map[string]int{}
+	// Per-box tallies come back in box order; the merge is sequential,
+	// so no shared state is touched from the pool.
+	type boxTally struct {
+		k                int
+		sigTotal, sigCPU int
+	}
 	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
 		method := method
-		err := forEachBox(tr, func(b *trace.Box) error {
+		rows, err := mapBoxes(tr, opts, func(b *trace.Box) (boxTally, error) {
 			m, err := spatial.Search(b.DemandSeries(), spatial.Config{Method: method, SkipStepwise: true})
 			if err != nil {
-				return fmt.Errorf("box %s %v: %w", b.ID, method, err)
+				return boxTally{}, fmt.Errorf("box %s %v: %w", b.ID, method, err)
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			res.ClusterCounts[method.String()] = append(res.ClusterCounts[method.String()], m.ClusterK)
+			t := boxTally{k: m.ClusterK}
 			for _, s := range m.InitialSignatures {
-				sigTotal[method.String()]++
+				t.sigTotal++
 				if trace.SeriesResource(s) == trace.CPU {
-					sigCPU[method.String()]++
+					t.sigCPU++
 				}
 			}
-			return nil
+			return t, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-	}
-	for name, total := range sigTotal {
-		if total > 0 {
-			res.CPUSignatureShare[name] = float64(sigCPU[name]) / float64(total)
+		name := method.String()
+		var sigTotal, sigCPU int
+		for _, t := range rows {
+			res.ClusterCounts[name] = append(res.ClusterCounts[name], t.k)
+			sigTotal += t.sigTotal
+			sigCPU += t.sigCPU
+		}
+		if sigTotal > 0 {
+			res.CPUSignatureShare[name] = float64(sigCPU) / float64(sigTotal)
 		}
 	}
 	return res, nil
@@ -137,6 +129,11 @@ func (s *StepStats) add(ratio, fitErr float64) {
 	s.Errors = append(s.Errors, fitErr)
 }
 
+// ratioErr is the per-box outcome every spatial-model study collects.
+type ratioErr struct {
+	ratio, fitErr float64
+}
+
 // quartiles formats p25/p50/p75 plus the mean.
 func quartiles(vals []float64) string {
 	if len(vals) == 0 {
@@ -164,7 +161,6 @@ func Fig6(opts Options) (*Fig6Result, error) {
 	tr := opts.genTrace()
 
 	res := &Fig6Result{Stats: map[string]*StepStats{}}
-	var mu sync.Mutex
 	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
 		for _, skipStepwise := range []bool{true, false} {
 			method, skip := method, skipStepwise
@@ -172,27 +168,26 @@ func Fig6(opts Options) (*Fig6Result, error) {
 			if skip {
 				key = method.String() + "/clustering"
 			}
-			mu.Lock()
-			res.Stats[key] = &StepStats{}
-			mu.Unlock()
-			err := forEachBox(tr, func(b *trace.Box) error {
+			rows, err := mapBoxes(tr, opts, func(b *trace.Box) (ratioErr, error) {
 				series := b.DemandSeries()
 				m, err := spatial.Search(series, spatial.Config{Method: method, SkipStepwise: skip})
 				if err != nil {
-					return fmt.Errorf("box %s %s: %w", b.ID, key, err)
+					return ratioErr{}, fmt.Errorf("box %s %s: %w", b.ID, key, err)
 				}
 				fitErr, err := m.FitError(series)
 				if err != nil {
-					return fmt.Errorf("box %s %s fit: %w", b.ID, key, err)
+					return ratioErr{}, fmt.Errorf("box %s %s fit: %w", b.ID, key, err)
 				}
-				mu.Lock()
-				res.Stats[key].add(m.Ratio(), fitErr)
-				mu.Unlock()
-				return nil
+				return ratioErr{ratio: m.Ratio(), fitErr: fitErr}, nil
 			})
 			if err != nil {
 				return nil, err
 			}
+			stats := &StepStats{}
+			for _, r := range rows {
+				stats.add(r.ratio, r.fitErr)
+			}
+			res.Stats[key] = stats
 		}
 	}
 	return res, nil
@@ -235,13 +230,11 @@ func Fig7(opts Options) (*Fig7Result, error) {
 	tr := opts.genTrace()
 
 	res := &Fig7Result{Stats: map[string]*StepStats{}}
-	var mu sync.Mutex
 	for _, method := range []spatial.Method{spatial.MethodDTW, spatial.MethodCBC} {
 		for _, mode := range []string{"inter", "intra-cpu", "intra-ram"} {
 			method, mode := method, mode
 			key := method.String() + "/" + mode
-			res.Stats[key] = &StepStats{}
-			err := forEachBox(tr, func(b *trace.Box) error {
+			rows, err := mapBoxes(tr, opts, func(b *trace.Box) (ratioErr, error) {
 				var groups [][]timeseries.Series
 				switch mode {
 				case "inter":
@@ -256,24 +249,29 @@ func Fig7(opts Options) (*Fig7Result, error) {
 				for _, series := range groups {
 					m, err := spatial.Search(series, spatial.Config{Method: method})
 					if err != nil {
-						return fmt.Errorf("box %s %s: %w", b.ID, key, err)
+						return ratioErr{}, fmt.Errorf("box %s %s: %w", b.ID, key, err)
 					}
 					fitErr, err := m.FitError(series)
 					if err != nil {
-						return err
+						return ratioErr{}, err
 					}
 					sigs += len(m.Signatures)
 					total += m.N
 					errSum += fitErr
 				}
-				mu.Lock()
-				res.Stats[key].add(float64(sigs)/float64(total), errSum/float64(len(groups)))
-				mu.Unlock()
-				return nil
+				return ratioErr{
+					ratio:  float64(sigs) / float64(total),
+					fitErr: errSum / float64(len(groups)),
+				}, nil
 			})
 			if err != nil {
 				return nil, err
 			}
+			stats := &StepStats{}
+			for _, r := range rows {
+				stats.add(r.ratio, r.fitErr)
+			}
+			res.Stats[key] = stats
 		}
 	}
 	return res, nil

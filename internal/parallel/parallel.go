@@ -1,0 +1,135 @@
+// Package parallel provides the bounded worker pool shared by ATM's
+// concurrent loops: the pairwise DTW matrix, box-level pipeline fan-out
+// and the experiment drivers. It replaces the ad-hoc
+// semaphore-channel + WaitGroup idiom that used to be copied wherever
+// a loop needed to run on all cores.
+//
+// The pool is work-stealing-free by design: workers pull indices from a
+// single atomic counter, which balances uneven per-item costs (DTW
+// pairs and box pipelines vary wildly) without any channel traffic per
+// item.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// config carries resolved pool options.
+type config struct {
+	workers int
+}
+
+// Option configures a pool invocation.
+type Option func(*config)
+
+// WithWorkers bounds the pool at n concurrent workers. n <= 0 selects
+// the default, runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// resolve applies options and clamps the worker count to [1, n] (no
+// point spawning more workers than items).
+func resolve(n int, opts []Option) int {
+	c := config{}
+	for _, o := range opts {
+		o(&c)
+	}
+	w := c.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ResolveWorkers reports the concurrency ForEachWorker would use for n
+// items with the given WithWorkers value (<= 0 selects the default).
+// Callers sizing per-worker scratch use it to allocate exactly one
+// scratch per worker id.
+func ResolveWorkers(n, workers int) int {
+	return resolve(n, []Option{WithWorkers(workers)})
+}
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded pool of
+// workers and returns the error of the lowest index that failed (nil
+// if all succeeded). Once any item fails, workers stop picking up new
+// items; in-flight items still finish. fn must be safe for concurrent
+// invocation on distinct indices.
+func ForEach(n int, fn func(i int) error, opts ...Option) error {
+	return ForEachWorker(n, func(_, i int) error { return fn(i) }, opts...)
+}
+
+// ForEachWorker is ForEach with the worker id (in [0, workers)) passed
+// to fn, so callers can maintain per-worker scratch state without
+// synchronization: a given worker id never runs two items
+// concurrently.
+func ForEachWorker(n int, fn func(worker, i int) error, opts ...Option) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := resolve(n, opts)
+	if workers == 1 {
+		// Inline fast path: no goroutines, deterministic order.
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results in index order. On error the first failure (lowest index) is
+// returned with a nil slice. It replaces the mutex-guarded
+// append-to-shared-slice idiom: each item writes only its own slot.
+func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

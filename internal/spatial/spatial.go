@@ -64,6 +64,11 @@ type Config struct {
 	// DTWWindow is the Sakoe-Chiba half-width for DTW; 0 means
 	// unconstrained (the paper's formulation).
 	DTWWindow int
+	// DTWApprox selects the LB_Keogh-pruned distance matrix
+	// (cluster.DTWSearchApprox) for MethodDTW: far pairs keep an
+	// admissible lower bound instead of the exact distance, roughly
+	// halving the quadratic DTW work. Exact by default.
+	DTWApprox bool
 	// Period is the seasonal period in samples, used by
 	// MethodFeatures for its seasonal features (0 disables them).
 	Period int
@@ -128,7 +133,11 @@ func Search(series []timeseries.Series, cfg Config) (*Model, error) {
 	var err error
 	switch cfg.Method {
 	case MethodDTW:
-		res, err = cluster.DTWSearch(series, cfg.dtwWindow())
+		if cfg.DTWApprox {
+			res, err = cluster.DTWSearchApprox(series, cfg.dtwWindow(), 0)
+		} else {
+			res, err = cluster.DTWSearch(series, cfg.dtwWindow())
+		}
 	case MethodCBC:
 		res, err = cluster.CBC(series, cfg.rhoTh())
 	case MethodFeatures:
