@@ -1,12 +1,13 @@
 # Build, verification and benchmark entry points. `make verify` is the
 # tier-1 path: build + vet + full tests, plus the race detector on the
-# packages that gained concurrency (the worker pool and the parallel
-# DTW matrix). `make bench` writes the signature-search before/after
-# record consumed by the Performance section in README.md.
+# packages that gained concurrency (the worker pool, the parallel DTW
+# matrix and the experiment drivers). `make bench` writes the
+# signature-search and resize/VIF before/after records consumed by the
+# Performance section in README.md.
 
 GO ?= go
 
-.PHONY: build vet test race verify bench microbench
+.PHONY: build vet test race verify bench resizebench microbench
 
 build:
 	$(GO) build ./...
@@ -18,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/...
 
 verify: build vet test race
 
@@ -26,6 +27,11 @@ verify: build vet test race
 # BENCH_signature_search.json plus a human-readable table.
 bench:
 	$(GO) run ./cmd/atmbench -sigbench BENCH_signature_search.json
+
+# End-to-end VIF + MCKP-greedy benchmark on trace-shaped data; emits
+# BENCH_resize.json plus a human-readable table.
+resizebench:
+	$(GO) run ./cmd/atmbench -resizebench BENCH_resize.json
 
 # Go micro-benchmarks for the reworked kernels (allocation counts
 # included; the DTW kernels must stay at 0 allocs/op steady-state).

@@ -5,6 +5,7 @@
 //
 //	atmbench [-fig all|1,2,3,5,6,7,8,9,10,12,13,methods,stability,epsilon] [-boxes N] [-seed S] [-days D] [-svg DIR]
 //	atmbench -sigbench FILE [-boxes N] [-seed S] [-workers W]
+//	atmbench -resizebench FILE [-boxes N] [-seed S]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
 // 13) are additionally written as standalone SVG files into DIR.
@@ -13,7 +14,11 @@
 // signature-search kernels (sequential vs pooled DTW matrix, the
 // LB_Keogh-pruned variant, naive vs incremental silhouette cut),
 // prints the before/after table and writes the JSON record to FILE.
-// -cpuprofile wraps either mode in a runtime/pprof CPU profile.
+// -resizebench does the same for the spatial-modeling/resizing
+// kernels: Gram-cached VIF and stepwise elimination vs the p-fit
+// naive, and the hull-and-heap MCKP greedy vs the rescanning naive,
+// with result-equality checks. -cpuprofile wraps any mode in a
+// runtime/pprof CPU profile.
 //
 // Figure 4 is the signature-search flow (implemented as
 // spatial.Search) and Figure 11 is the testbed topology (implemented
@@ -57,6 +62,7 @@ func main() {
 	svgDir := flag.String("svg", "", "directory to write figure SVGs into (optional)")
 	workers := flag.Int("workers", 0, "worker-pool size; <= 0 uses one worker per core")
 	sigbench := flag.String("sigbench", "", "run the signature-search benchmark and write its JSON record to this file (skips figures)")
+	resizebench := flag.String("resizebench", "", "run the VIF + MCKP-greedy benchmark and write its JSON record to this file (skips figures)")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	flag.Parse()
 
@@ -108,6 +114,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [wrote %s]\n", *sigbench)
+		return
+	}
+
+	if *resizebench != "" {
+		r, err := experiments.ResizeBench(opts)
+		exitOn("resizebench", err)
+		printTable("resizebench", r.Render())
+		data, err := json.MarshalIndent(r, "", "  ")
+		exitOn("resizebench", err)
+		if err := os.WriteFile(*resizebench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "resizebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", *resizebench)
 		return
 	}
 

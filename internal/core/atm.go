@@ -339,12 +339,16 @@ func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
 		return nil, fmt.Errorf("core: %s: evaluate: %w", b.ID, err)
 	}
 	res := &BoxResult{Box: b, Prediction: pred}
-	if res.CPU, err = ResizeBox(b, pred, trace.CPU, cfg); err != nil {
+	// CPU and RAM resizing are independent MCKP solves; fan them out on
+	// the shared pool (Run pins per-box Workers to 1, so nested calls
+	// stay inline and the box-level fan-out keeps the cores saturated).
+	runs, err := parallel.Map(2, func(i int) (*BoxRun, error) {
+		return ResizeBox(b, pred, [...]trace.Resource{trace.CPU, trace.RAM}[i], cfg)
+	}, parallel.WithWorkers(cfg.Workers))
+	if err != nil {
 		return nil, err
 	}
-	if res.RAM, err = ResizeBox(b, pred, trace.RAM, cfg); err != nil {
-		return nil, err
-	}
+	res.CPU, res.RAM = runs[0], runs[1]
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"atm/internal/parallel"
 	"atm/internal/ticket"
 	"atm/internal/timeseries"
 	"atm/internal/trace"
@@ -30,11 +31,13 @@ func Fig1(opts Options) (*Fig1Result, error) {
 	opts.Days = 1
 	tr := opts.genTrace()
 
-	best := &Fig1Result{MaxPairCorrelation: -1}
-	for bi := range tr.Boxes {
+	// Per-box scoring fans out over the worker pool; the argmax merge
+	// below runs sequentially in box order, so the chosen box (first
+	// best under strict improvement) is independent of worker count.
+	perBox, err := parallel.Map(len(tr.Boxes), func(bi int) (*Fig1Result, error) {
 		b := &tr.Boxes[bi]
 		if len(b.VMs) < 4 || b.HasGaps() {
-			continue
+			return nil, nil
 		}
 		// Anchor on the box's hottest VM and take the three VMs most
 		// correlated with it — the paper's figure shows exactly this
@@ -68,14 +71,22 @@ func Fig1(opts Options) (*Fig1Result, error) {
 			}
 		}
 		med := timeseries.Median([]float64{cands[0].corr, cands[1].corr, cands[2].corr})
-		if med > best.MaxPairCorrelation {
-			best = &Fig1Result{BoxID: b.ID, MaxPairCorrelation: med}
-			picks := []int{hot, cands[0].idx, cands[1].idx, cands[2].idx}
-			for _, idx := range picks {
-				vm := &b.VMs[idx]
-				best.VMIDs = append(best.VMIDs, vm.ID)
-				best.Usage = append(best.Usage, vm.CPU.Clone())
-			}
+		res := &Fig1Result{BoxID: b.ID, MaxPairCorrelation: med}
+		picks := []int{hot, cands[0].idx, cands[1].idx, cands[2].idx}
+		for _, idx := range picks {
+			vm := &b.VMs[idx]
+			res.VMIDs = append(res.VMIDs, vm.ID)
+			res.Usage = append(res.Usage, vm.CPU.Clone())
+		}
+		return res, nil
+	}, parallel.WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	best := &Fig1Result{MaxPairCorrelation: -1}
+	for _, r := range perBox {
+		if r != nil && r.MaxPairCorrelation > best.MaxPairCorrelation {
+			best = r
 		}
 	}
 	if best.MaxPairCorrelation < 0 {
@@ -141,19 +152,36 @@ func Fig2(opts Options) (*Fig2Result, error) {
 	res := &Fig2Result{}
 	for _, th := range []float64{ticket.Threshold60, ticket.Threshold70, ticket.Threshold80} {
 		for _, r := range [...]trace.Resource{trace.CPU, trace.RAM} {
-			var perBox []float64
-			var culprits []float64
-			ticketed := 0
-			for bi := range tr.Boxes {
+			// Per-box ticket analysis fans out over the worker pool;
+			// results come back in box order so the statistics below see
+			// the exact sequence the sequential loop produced.
+			type boxTickets struct {
+				total    float64
+				culprits float64
+			}
+			th, r := th, r
+			rows, err := parallel.Map(len(tr.Boxes), func(bi int) (boxTickets, error) {
 				b := &tr.Boxes[bi]
 				st, err := ticket.Analyze(b.Demands(r), b.Capacities(r), th)
 				if err != nil {
-					return nil, err
+					return boxTickets{}, err
 				}
-				perBox = append(perBox, float64(st.Total))
-				if st.Total > 0 {
+				return boxTickets{
+					total:    float64(st.Total),
+					culprits: float64(st.Culprits(0.8)),
+				}, nil
+			}, parallel.WithWorkers(opts.Workers))
+			if err != nil {
+				return nil, err
+			}
+			var perBox []float64
+			var culprits []float64
+			ticketed := 0
+			for _, row := range rows {
+				perBox = append(perBox, row.total)
+				if row.total > 0 {
 					ticketed++
-					culprits = append(culprits, float64(st.Culprits(0.8)))
+					culprits = append(culprits, row.culprits)
 				}
 			}
 			mean, std := timeseries.MeanStd(perBox)
@@ -217,17 +245,24 @@ func Fig3(opts Options) (*Fig3Result, error) {
 	opts.Days = 1
 	tr := opts.genTrace()
 
-	res := &Fig3Result{}
-	for bi := range tr.Boxes {
+	// Per-box correlation medians fan out over the worker pool; the
+	// merge appends in box order, matching the sequential loop exactly.
+	type boxMedians struct {
+		skip                bool
+		hasIntra            bool
+		intraCPU, intraRAM  float64
+		interAll, interPair float64
+	}
+	rows, err := parallel.Map(len(tr.Boxes), func(bi int) (boxMedians, error) {
 		b := &tr.Boxes[bi]
 		if b.HasGaps() {
-			continue
+			return boxMedians{skip: true}, nil
 		}
 		var cc, rr, ia, pp []float64
 		for x := range b.VMs {
 			p, err := timeseries.Pearson(b.VMs[x].CPU, b.VMs[x].RAM)
 			if err != nil {
-				return nil, err
+				return boxMedians{}, err
 			}
 			pp = append(pp, p)
 			for y := range b.VMs {
@@ -236,32 +271,50 @@ func Fig3(opts Options) (*Fig3Result, error) {
 				}
 				v, err := timeseries.Pearson(b.VMs[x].CPU, b.VMs[y].RAM)
 				if err != nil {
-					return nil, err
+					return boxMedians{}, err
 				}
 				ia = append(ia, v)
 			}
 			for y := x + 1; y < len(b.VMs); y++ {
 				v, err := timeseries.Pearson(b.VMs[x].CPU, b.VMs[y].CPU)
 				if err != nil {
-					return nil, err
+					return boxMedians{}, err
 				}
 				cc = append(cc, v)
 				v, err = timeseries.Pearson(b.VMs[x].RAM, b.VMs[y].RAM)
 				if err != nil {
-					return nil, err
+					return boxMedians{}, err
 				}
 				rr = append(rr, v)
 			}
 		}
+		out := boxMedians{}
 		if len(cc) > 0 {
-			res.IntraCPU = append(res.IntraCPU, timeseries.Median(cc))
-			res.IntraRAM = append(res.IntraRAM, timeseries.Median(rr))
+			out.hasIntra = true
+			out.intraCPU = timeseries.Median(cc)
+			out.intraRAM = timeseries.Median(rr)
 		}
 		// Inter-all includes same-VM pairs, which is why its mean sits
 		// above the intra families in the paper.
 		ia = append(ia, pp...)
-		res.InterAll = append(res.InterAll, timeseries.Median(ia))
-		res.InterPair = append(res.InterPair, timeseries.Median(pp))
+		out.interAll = timeseries.Median(ia)
+		out.interPair = timeseries.Median(pp)
+		return out, nil
+	}, parallel.WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{}
+	for _, row := range rows {
+		if row.skip {
+			continue
+		}
+		if row.hasIntra {
+			res.IntraCPU = append(res.IntraCPU, row.intraCPU)
+			res.IntraRAM = append(res.IntraRAM, row.intraRAM)
+		}
+		res.InterAll = append(res.InterAll, row.interAll)
+		res.InterPair = append(res.InterPair, row.interPair)
 	}
 	return res, nil
 }

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"atm/internal/regress"
+	"atm/internal/resize"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+// ResizeBenchResult carries before/after numbers for the spatial-model
+// and resizing hot paths: backward stepwise VIF elimination (p
+// independent OLS fits per round vs one factored correlation inverse
+// with Schur downdates) and the MCKP greedy descent (per-step full
+// rescan vs precomputed hull paths raced in a heap). The struct is
+// JSON-marshalable so `make bench` can persist a machine-readable
+// record next to the human table.
+type ResizeBenchResult struct {
+	// VIF workload shape.
+	VIFSeries int `json:"vif_series"`
+	VIFLength int `json:"vif_length"`
+
+	// Stepwise VIF timings (milliseconds) and equality check.
+	StepwiseNaiveMS    float64 `json:"stepwise_naive_ms"`
+	StepwiseMS         float64 `json:"stepwise_ms"`
+	StepwiseSpeedup    float64 `json:"stepwise_speedup"`
+	StepwiseMatches    bool    `json:"stepwise_matches_naive"`
+	StepwiseEliminated int     `json:"stepwise_eliminated"`
+
+	// Single VIF sweep timings on the same series set.
+	VIFNaiveMS float64 `json:"vif_naive_ms"`
+	VIFMS      float64 `json:"vif_ms"`
+	VIFSpeedup float64 `json:"vif_speedup"`
+	VIFMatches bool    `json:"vif_matches_naive"`
+
+	// Greedy workload shape.
+	GreedyVMs        int `json:"greedy_vms"`
+	GreedyCandidates int `json:"greedy_candidates_per_vm"`
+
+	// Greedy timings and equality check.
+	GreedyNaiveMS float64 `json:"greedy_naive_ms"`
+	GreedyMS      float64 `json:"greedy_ms"`
+	GreedySpeedup float64 `json:"greedy_speedup"`
+	GreedyMatches bool    `json:"greedy_matches_naive"`
+	GreedyTickets int     `json:"greedy_tickets"`
+
+	// Small-instance optimality cross-check: both greedy variants vs
+	// the exhaustive solver.
+	ExactVMs           int  `json:"exact_vms"`
+	ExactTickets       int  `json:"exact_tickets"`
+	ExactGreedyTickets int  `json:"exact_greedy_tickets"`
+	ExactGreedyMatches bool `json:"exact_greedy_matches_naive"`
+}
+
+// resizeBenchVIFSeries builds a multicollinear series set: real trace
+// demand series plus noisy linear mixtures of them. The noise keeps
+// the correlation matrix numerically non-singular (so the factored
+// path never has to fall back to the naive reference), while the
+// mixtures push VIFs above the cutoff and force elimination rounds.
+func resizeBenchVIFSeries(tr *trace.Trace, p int) []timeseries.Series {
+	var base []timeseries.Series
+	for _, b := range tr.GapFree() {
+		for _, s := range b.DemandSeries() {
+			base = append(base, s)
+			if len(base) >= p/3+2 {
+				break
+			}
+		}
+		if len(base) >= p/3+2 {
+			break
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	series := make([]timeseries.Series, 0, p)
+	series = append(series, base...)
+	for len(series) < p {
+		mix := make(timeseries.Series, len(base[0]))
+		a, b := base[r.Intn(len(base))], base[r.Intn(len(base))]
+		wa, wb := 0.5+r.Float64(), r.Float64()
+		for t := range mix {
+			mix[t] = wa*a[t] + wb*b[t] + 0.05*r.NormFloat64()*(a[t]+1)
+		}
+		series = append(series, mix)
+	}
+	return series[:p]
+}
+
+// resizeBenchProblem pools VMs across trace boxes into one large
+// resizing instance: n VMs, one day of demand (K ≈ samples-per-day
+// candidates per VM at ε = 0), capacity tight enough that the greedy
+// descent has to walk most of the hull.
+func resizeBenchProblem(tr *trace.Trace, n int) *resize.Problem {
+	var vms []resize.VM
+	var peakSum float64
+	for _, b := range tr.GapFree() {
+		for _, d := range b.Demands(trace.CPU) {
+			vms = append(vms, resize.VM{Demand: d})
+			peakSum += d.Max()
+			if len(vms) == n {
+				break
+			}
+		}
+		if len(vms) == n {
+			break
+		}
+	}
+	const threshold = 0.6
+	return &resize.Problem{
+		VMs:       vms,
+		Capacity:  peakSum / threshold * 0.45, // tight: long descent
+		Threshold: threshold,
+		Epsilon:   0,
+	}
+}
+
+// ResizeBench measures the Gram-cached VIF/stepwise path and the
+// hull-and-heap greedy against their naive references on trace-shaped
+// data, verifying result equality along the way.
+func ResizeBench(opts Options) (*ResizeBenchResult, error) {
+	opts = opts.withDefaults()
+	opts.Days = 2 // two days: ~192 candidates per VM at ε = 0
+	tr := opts.genTrace()
+	res := &ResizeBenchResult{}
+
+	// --- Stepwise VIF: p collinear series. ---
+	const vifP = 32
+	series := resizeBenchVIFSeries(tr, vifP)
+	if len(series) < vifP {
+		return nil, fmt.Errorf("experiments: resizebench needs %d series, trace yielded %d", vifP, len(series))
+	}
+	res.VIFSeries = len(series)
+	res.VIFLength = series[0].Len()
+
+	var vifsFast, vifsNaive []float64
+	var err error
+	res.VIFNaiveMS = timeMS(func() { vifsNaive, err = regress.VIFNaive(series) })
+	if err != nil {
+		return nil, err
+	}
+	res.VIFMS = timeMS(func() { vifsFast, err = regress.VIF(series) })
+	if err != nil {
+		return nil, err
+	}
+	res.VIFSpeedup = res.VIFNaiveMS / res.VIFMS
+	res.VIFMatches = true
+	for i := range vifsFast {
+		if math.Abs(vifsFast[i]-vifsNaive[i]) > 1e-9*math.Max(1, math.Abs(vifsNaive[i])) {
+			res.VIFMatches = false
+		}
+	}
+
+	var keepF, remF, keepN, remN []int
+	res.StepwiseNaiveMS = timeMS(func() {
+		keepN, remN, err = regress.StepwiseVIFNaive(series, regress.DefaultVIFCutoff)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.StepwiseMS = timeMS(func() {
+		keepF, remF, err = regress.StepwiseVIF(series, regress.DefaultVIFCutoff)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.StepwiseSpeedup = res.StepwiseNaiveMS / res.StepwiseMS
+	res.StepwiseEliminated = len(remF)
+	res.StepwiseMatches = intSlicesEqual(keepF, keepN) && intSlicesEqual(remF, remN)
+
+	// --- Greedy: pooled multi-box MCKP instance. ---
+	const greedyVMs = 96
+	prob := resizeBenchProblem(tr, greedyVMs)
+	if len(prob.VMs) < greedyVMs {
+		return nil, fmt.Errorf("experiments: resizebench needs %d VMs, trace yielded %d", greedyVMs, len(prob.VMs))
+	}
+	res.GreedyVMs = len(prob.VMs)
+	res.GreedyCandidates = prob.CandidateCount() / len(prob.VMs)
+
+	var allocFast, allocNaive resize.Allocation
+	res.GreedyNaiveMS = timeMS(func() { allocNaive, err = prob.GreedyNaive() })
+	if err != nil {
+		return nil, err
+	}
+	res.GreedyMS = timeMS(func() { allocFast, err = prob.Greedy() })
+	if err != nil {
+		return nil, err
+	}
+	res.GreedySpeedup = res.GreedyNaiveMS / res.GreedyMS
+	res.GreedyTickets = allocFast.Tickets
+	res.GreedyMatches = allocFast.Tickets == allocNaive.Tickets
+	for i := range allocFast.Sizes {
+		if allocFast.Sizes[i] != allocNaive.Sizes[i] {
+			res.GreedyMatches = false
+		}
+	}
+
+	// --- Small-instance optimality cross-check vs Exact. ---
+	small := resizeBenchProblem(tr, 7)
+	for i := range small.VMs {
+		small.VMs[i].Demand = small.VMs[i].Demand.Slice(0, 8)
+	}
+	small.Epsilon = 0.5
+	exact, err := small.Exact()
+	if err != nil {
+		return nil, err
+	}
+	g, err := small.Greedy()
+	if err != nil {
+		return nil, err
+	}
+	gn, err := small.GreedyNaive()
+	if err != nil {
+		return nil, err
+	}
+	res.ExactVMs = len(small.VMs)
+	res.ExactTickets = exact.Tickets
+	res.ExactGreedyTickets = g.Tickets
+	res.ExactGreedyMatches = g.Tickets == gn.Tickets
+
+	return res, nil
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render produces the resizing/spatial-modeling benchmark table.
+func (r *ResizeBenchResult) Render() *Table {
+	t := &Table{
+		Title:  "Resize benchmark — Gram-cached VIF and hull-and-heap MCKP greedy",
+		Header: []string{"kernel", "before", "after", "speedup", "check"},
+	}
+	check := func(ok bool) string {
+		if ok {
+			return "identical"
+		}
+		return "MISMATCH"
+	}
+	t.AddRow(fmt.Sprintf("vif sweep (p=%d)", r.VIFSeries),
+		ms(r.VIFNaiveMS), ms(r.VIFMS),
+		fmt.Sprintf("%.2fx", r.VIFSpeedup), check(r.VIFMatches))
+	t.AddRow(fmt.Sprintf("stepwise vif (%d eliminated)", r.StepwiseEliminated),
+		ms(r.StepwiseNaiveMS), ms(r.StepwiseMS),
+		fmt.Sprintf("%.2fx", r.StepwiseSpeedup), check(r.StepwiseMatches))
+	t.AddRow(fmt.Sprintf("greedy (n=%d, ~%d cand/vm)", r.GreedyVMs, r.GreedyCandidates),
+		ms(r.GreedyNaiveMS), ms(r.GreedyMS),
+		fmt.Sprintf("%.2fx", r.GreedySpeedup), check(r.GreedyMatches))
+	t.AddRow(fmt.Sprintf("greedy vs exact (n=%d)", r.ExactVMs),
+		fmt.Sprintf("%d tickets (exact)", r.ExactTickets),
+		fmt.Sprintf("%d tickets (greedy)", r.ExactGreedyTickets),
+		"-", check(r.ExactGreedyMatches))
+	t.AddNote("vif workload: %d series x %d samples; greedy workload: %d VMs pooled across boxes",
+		r.VIFSeries, r.VIFLength, r.GreedyVMs)
+	t.AddNote("'identical' means the fast path reproduced the naive path's results exactly")
+	return t
+}

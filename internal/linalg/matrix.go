@@ -110,7 +110,8 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 // columns. It returns ErrSingular when a diagonal element of R falls
 // below a relative tolerance, meaning the predictors are (numerically)
 // linearly dependent — the condition the paper's VIF/stepwise step
-// exists to remove.
+// exists to remove. Callers solving many right-hand sides against one
+// matrix should factor once with QRDecompose and call Solve per b.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	if a.rows != len(b) {
 		return nil, fmt.Errorf("lstsq %dx%d with %d-vector: %w", a.rows, a.cols, len(b), ErrShape)
@@ -121,86 +122,11 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	if a.cols == 0 {
 		return []float64{}, nil
 	}
-	// Work on copies: QR factorization is in place.
-	r := a.Clone()
-	qtb := make([]float64, len(b))
-	copy(qtb, b)
-
-	// Scale tolerance by the largest column norm.
-	maxNorm := 0.0
-	for j := 0; j < r.cols; j++ {
-		n := norm2(r.Col(j))
-		if n > maxNorm {
-			maxNorm = n
-		}
+	qr, err := QRDecompose(a)
+	if err != nil {
+		return nil, err
 	}
-	tol := 1e-10 * maxNorm
-	if tol == 0 {
-		tol = 1e-300
-	}
-
-	for k := 0; k < r.cols; k++ {
-		// Householder reflector for column k, rows k..rows-1.
-		var alpha float64
-		for i := k; i < r.rows; i++ {
-			v := r.At(i, k)
-			alpha += v * v
-		}
-		alpha = math.Sqrt(alpha)
-		if alpha < tol {
-			return nil, fmt.Errorf("column %d: %w", k, ErrSingular)
-		}
-		if r.At(k, k) > 0 {
-			alpha = -alpha
-		}
-		// v = x - alpha*e1 (stored in place below the diagonal scratch).
-		v := make([]float64, r.rows-k)
-		v[0] = r.At(k, k) - alpha
-		for i := k + 1; i < r.rows; i++ {
-			v[i-k] = r.At(i, k)
-		}
-		vnorm2 := 0.0
-		for _, x := range v {
-			vnorm2 += x * x
-		}
-		if vnorm2 == 0 {
-			continue
-		}
-		// Apply H = I - 2 v v^T / (v^T v) to remaining columns and qtb.
-		for j := k; j < r.cols; j++ {
-			var dot float64
-			for i := k; i < r.rows; i++ {
-				dot += v[i-k] * r.At(i, j)
-			}
-			f := 2 * dot / vnorm2
-			for i := k; i < r.rows; i++ {
-				r.Set(i, j, r.At(i, j)-f*v[i-k])
-			}
-		}
-		var dot float64
-		for i := k; i < r.rows; i++ {
-			dot += v[i-k] * qtb[i]
-		}
-		f := 2 * dot / vnorm2
-		for i := k; i < r.rows; i++ {
-			qtb[i] -= f * v[i-k]
-		}
-	}
-
-	// Back substitution on the upper triangle.
-	x := make([]float64, r.cols)
-	for i := r.cols - 1; i >= 0; i-- {
-		sum := qtb[i]
-		for j := i + 1; j < r.cols; j++ {
-			sum -= r.At(i, j) * x[j]
-		}
-		d := r.At(i, i)
-		if math.Abs(d) < tol {
-			return nil, fmt.Errorf("diagonal %d: %w", i, ErrSingular)
-		}
-		x[i] = sum / d
-	}
-	return x, nil
+	return qr.Solve(b)
 }
 
 func norm2(v []float64) float64 {
@@ -228,61 +154,20 @@ func Ridge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
 	if p == 0 {
 		return []float64{}, nil
 	}
-	// Gram matrix G = A'A + lambda I and moment vector m = A'b.
-	g := NewMatrix(p, p)
-	m := make([]float64, p)
+	// Gram matrix G = A'A + lambda I and moment vector m = A'b; the
+	// regularized system is solved via the cached Cholesky machinery
+	// (callers with a cached Gram reproduce this path exactly).
+	g := Gram(a)
 	for i := 0; i < p; i++ {
-		for j := i; j < p; j++ {
-			var s float64
-			for r := 0; r < a.rows; r++ {
-				s += a.At(r, i) * a.At(r, j)
-			}
-			if i == j {
-				s += lambda
-			}
-			g.Set(i, j, s)
-			g.Set(j, i, s)
-		}
-		var s float64
-		for r := 0; r < a.rows; r++ {
-			s += a.At(r, i) * b[r]
-		}
-		m[i] = s
+		g.Set(i, i, g.At(i, i)+lambda)
 	}
-	// Cholesky: G = L L'.
-	l := NewMatrix(p, p)
-	for i := 0; i < p; i++ {
-		for j := 0; j <= i; j++ {
-			s := g.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			if i == j {
-				if s <= 0 {
-					return nil, fmt.Errorf("gram diagonal %d: %w", i, ErrSingular)
-				}
-				l.Set(i, i, math.Sqrt(s))
-			} else {
-				l.Set(i, j, s/l.At(j, j))
-			}
-		}
+	m, err := a.TransposeMulVec(b)
+	if err != nil {
+		return nil, err
 	}
-	// Forward substitution L y = m, then back substitution L' x = y.
-	y := make([]float64, p)
-	for i := 0; i < p; i++ {
-		s := m[i]
-		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
-		}
-		y[i] = s / l.At(i, i)
+	ch, err := CholeskyDecompose(g)
+	if err != nil {
+		return nil, err
 	}
-	x := make([]float64, p)
-	for i := p - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < p; k++ {
-			s -= l.At(k, i) * x[k]
-		}
-		x[i] = s / l.At(i, i)
-	}
-	return x, nil
+	return ch.Solve(m)
 }

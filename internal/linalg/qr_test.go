@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	return m
+}
+
+// The cached factorization must reproduce LeastSquares bit for bit:
+// the reflectors depend only on A, and Solve replays the exact same
+// operations on b.
+func TestQRSolveBitIdenticalToLeastSquares(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 8 + r.Intn(40)
+		cols := 1 + r.Intn(6)
+		a := randomMatrix(r, rows, cols)
+		qr, err := QRDecompose(a)
+		if err != nil {
+			return true // singular random draw: nothing to compare
+		}
+		for trial := 0; trial < 3; trial++ {
+			b := make([]float64, rows)
+			for i := range b {
+				b[i] = r.NormFloat64()
+			}
+			want, errW := LeastSquares(a, b)
+			got, errG := qr.Solve(b)
+			if (errW == nil) != (errG == nil) {
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRDecomposeSingular(t *testing.T) {
+	a := NewMatrix(6, 2)
+	for i := 0; i < 6; i++ {
+		a.Set(i, 0, float64(i))
+		a.Set(i, 1, 2*float64(i)) // exact multiple of column 0
+	}
+	if _, err := QRDecompose(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	under := NewMatrix(2, 4)
+	if _, err := QRDecompose(under); !errors.Is(err, ErrShape) {
+		t.Errorf("underdetermined err = %v, want ErrShape", err)
+	}
+}
+
+func TestQRSolveShapeError(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randomMatrix(r, 10, 3)
+	qr, err := QRDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.Solve(make([]float64, 4)); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestCholeskySolveMatchesRidge(t *testing.T) {
+	// Ridge routes through Gram + CholeskyDecompose + Solve; a direct
+	// composition must agree exactly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 10 + r.Intn(30)
+		cols := 1 + r.Intn(5)
+		a := randomMatrix(r, rows, cols)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		const lambda = 1e-6
+		want, err := Ridge(a, b, lambda)
+		if err != nil {
+			return true
+		}
+		g := Gram(a)
+		for i := 0; i < cols; i++ {
+			g.Set(i, i, g.At(i, i)+lambda)
+		}
+		m, err := a.TransposeMulVec(b)
+		if err != nil {
+			return false
+		}
+		ch, err := CholeskyDecompose(g)
+		if err != nil {
+			return false
+		}
+		got, err := ch.Solve(m)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Build a well-conditioned SPD matrix G = A'A with tall A.
+	a := randomMatrix(r, 40, 5)
+	g := Gram(a)
+	ch, err := CholeskyDecompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := ch.Inverse()
+	// G * inv ≈ I.
+	p := g.Rows()
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			var s float64
+			for k := 0; k < p; k++ {
+				s += g.At(i, k) * inv.At(k, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-8 {
+				t.Fatalf("(G·G⁻¹)[%d][%d] = %v, want %v", i, j, s, want)
+			}
+		}
+	}
+}
+
+func TestCholeskyDecomposeErrors(t *testing.T) {
+	if _, err := CholeskyDecompose(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square err = %v, want ErrShape", err)
+	}
+	// Indefinite matrix: negative diagonal pivot.
+	g := NewMatrix(2, 2)
+	g.Set(0, 0, -1)
+	g.Set(1, 1, 1)
+	if _, err := CholeskyDecompose(g); !errors.Is(err, ErrSingular) {
+		t.Errorf("indefinite err = %v, want ErrSingular", err)
+	}
+}
+
+func TestGramAndTransposeMulVec(t *testing.T) {
+	a, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gram(a)
+	want := [][]float64{{35, 44}, {44, 56}}
+	for i := range want {
+		for j := range want[i] {
+			if g.At(i, j) != want[i][j] {
+				t.Errorf("Gram[%d][%d] = %v, want %v", i, j, g.At(i, j), want[i][j])
+			}
+		}
+	}
+	m, err := a.TransposeMulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 9 || m[1] != 12 {
+		t.Errorf("A'b = %v, want [9 12]", m)
+	}
+	if _, err := a.TransposeMulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("shape err = %v, want ErrShape", err)
+	}
+}

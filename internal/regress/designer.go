@@ -1,0 +1,142 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+
+	"atm/internal/linalg"
+	"atm/internal/timeseries"
+)
+
+// Designer caches everything derivable from one predictor set: the
+// intercept-augmented design matrix X, its QR factorization and its
+// Gram matrix X'X. The spatial models fit every dependent series of a
+// box against the same signature set, so re-materializing X (and
+// re-factorizing it) per target was the dominant regression cost;
+// through a Designer the matrix is built and factored once and each
+// additional target costs one O(n·p) solve. Fits obtained through a
+// Designer are bit-identical to standalone OLS/OLSRidge calls: the QR
+// replays the exact reflector sequence and the ridge fallback reuses
+// the exact Gram summation.
+type Designer struct {
+	predictors []timeseries.Series
+	n, p       int
+	design     *linalg.Matrix
+
+	qr     *linalg.QR
+	qrErr  error
+	qrDone bool
+
+	gram *linalg.Matrix
+}
+
+// NewDesigner builds the shared design matrix for a predictor set. All
+// predictors must share one length and there must be at least one.
+func NewDesigner(predictors []timeseries.Series) (*Designer, error) {
+	p := len(predictors)
+	if p == 0 {
+		return nil, ErrNoPredictors
+	}
+	n := len(predictors[0])
+	for j, x := range predictors {
+		if len(x) != n {
+			return nil, fmt.Errorf("regress: predictor %d has %d samples, want %d: %w",
+				j, len(x), n, timeseries.ErrLengthMismatch)
+		}
+	}
+	d := &Designer{predictors: predictors, n: n, p: p}
+	d.design = linalg.NewMatrix(n, p+1)
+	for i := 0; i < n; i++ {
+		d.design.Set(i, 0, 1)
+		for j := 0; j < p; j++ {
+			d.design.Set(i, j+1, predictors[j][i])
+		}
+	}
+	return d, nil
+}
+
+// validateTarget replays OLS's shape checks against one target series.
+func (d *Designer) validateTarget(y timeseries.Series) error {
+	n := len(y)
+	if n <= d.p+1 {
+		return fmt.Errorf("regress: %d samples for %d predictors: %w", n, d.p, linalg.ErrShape)
+	}
+	if d.n != n {
+		return fmt.Errorf("regress: predictor 0 has %d samples, want %d: %w",
+			d.n, n, timeseries.ErrLengthMismatch)
+	}
+	return nil
+}
+
+// factor returns the cached QR factorization, computing it on first
+// use. The factorization (and any ErrSingular it raises) depends only
+// on the predictor set, so both are cached.
+func (d *Designer) factor() (*linalg.QR, error) {
+	if !d.qrDone {
+		d.qr, d.qrErr = linalg.QRDecompose(d.design)
+		d.qrDone = true
+	}
+	return d.qr, d.qrErr
+}
+
+// Gram returns the cached Gram matrix X'X of the design.
+func (d *Designer) Gram() *linalg.Matrix {
+	if d.gram == nil {
+		d.gram = linalg.Gram(d.design)
+	}
+	return d.gram
+}
+
+// Fit performs the OLS fit of y on the cached predictor set —
+// equivalent to OLS(y, predictors) at O(n·p) per call after the first.
+func (d *Designer) Fit(y timeseries.Series) (*Fit, error) {
+	if err := d.validateTarget(y); err != nil {
+		return nil, err
+	}
+	qr, err := d.factor()
+	if err != nil {
+		return nil, err
+	}
+	beta, err := qr.Solve(y)
+	if err != nil {
+		return nil, err
+	}
+	fit := &Fit{Intercept: beta[0], Coef: beta[1:]}
+	fit.R2 = r2(y, fit.Apply(d.predictors))
+	return fit, nil
+}
+
+// FitRidge fits like Fit but falls back to ridge regression on the
+// cached Gram matrix when the predictors are (numerically) collinear —
+// equivalent to OLSRidge(y, predictors, lambda).
+func (d *Designer) FitRidge(y timeseries.Series, lambda float64) (*Fit, error) {
+	fit, err := d.Fit(y)
+	if err == nil {
+		return fit, nil
+	}
+	if !errors.Is(err, linalg.ErrSingular) {
+		return nil, err
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("ridge lambda %v: must be non-negative", lambda)
+	}
+	g := d.Gram().Clone()
+	for i := 0; i < g.Rows(); i++ {
+		g.Set(i, i, g.At(i, i)+lambda)
+	}
+	m, err := d.design.TransposeMulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := linalg.CholeskyDecompose(g)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := ch.Solve(m)
+	if err != nil {
+		return nil, err
+	}
+	fit = &Fit{Intercept: beta[0], Coef: beta[1:]}
+	fit.R2 = r2(y, fit.Apply(d.predictors))
+	return fit, nil
+}

@@ -9,9 +9,7 @@ package regress
 import (
 	"errors"
 	"fmt"
-	"math"
 
-	"atm/internal/linalg"
 	"atm/internal/timeseries"
 )
 
@@ -32,37 +30,15 @@ type Fit struct {
 // OLS fits y on the predictor series by ordinary least squares with an
 // intercept. All series must share y's length, and there must be more
 // samples than predictors+1. A numerically rank-deficient predictor set
-// surfaces as linalg.ErrSingular.
+// surfaces as linalg.ErrSingular. Callers fitting many targets against
+// one predictor set should build a Designer once and call Fit per
+// target — the results are identical.
 func OLS(y timeseries.Series, predictors []timeseries.Series) (*Fit, error) {
-	p := len(predictors)
-	if p == 0 {
-		return nil, ErrNoPredictors
-	}
-	n := len(y)
-	if n <= p+1 {
-		return nil, fmt.Errorf("regress: %d samples for %d predictors: %w", n, p, linalg.ErrShape)
-	}
-	for j, x := range predictors {
-		if len(x) != n {
-			return nil, fmt.Errorf("regress: predictor %d has %d samples, want %d: %w",
-				j, len(x), n, timeseries.ErrLengthMismatch)
-		}
-	}
-	a := linalg.NewMatrix(n, p+1)
-	for i := 0; i < n; i++ {
-		a.Set(i, 0, 1)
-		for j := 0; j < p; j++ {
-			a.Set(i, j+1, predictors[j][i])
-		}
-	}
-	beta, err := linalg.LeastSquares(a, y)
+	d, err := NewDesigner(predictors)
 	if err != nil {
 		return nil, err
 	}
-	fit := &Fit{Intercept: beta[0], Coef: beta[1:]}
-	fitted := fit.Apply(predictors)
-	fit.R2 = r2(y, fitted)
-	return fit, nil
+	return d.Fit(y)
 }
 
 // Apply evaluates the model on predictor series (which must match the
@@ -112,84 +88,6 @@ func r2(actual, fitted timeseries.Series) float64 {
 	return r
 }
 
-// VIF returns the variance inflation factor of each series when
-// regressed on all the others: VIF_i = 1 / (1 - R_i^2). A singular
-// regression (series exactly expressible by the others) yields +Inf.
-// With fewer than two series every factor is 1 (no collinearity is
-// possible).
-func VIF(series []timeseries.Series) ([]float64, error) {
-	n := len(series)
-	out := make([]float64, n)
-	if n < 2 {
-		for i := range out {
-			out[i] = 1
-		}
-		return out, nil
-	}
-	others := make([]timeseries.Series, 0, n-1)
-	for i := 0; i < n; i++ {
-		others = others[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				others = append(others, series[j])
-			}
-		}
-		fit, err := OLS(series[i], others)
-		switch {
-		case errors.Is(err, linalg.ErrSingular):
-			out[i] = math.Inf(1)
-			continue
-		case err != nil:
-			return nil, fmt.Errorf("vif of series %d: %w", i, err)
-		}
-		if fit.R2 >= 1 {
-			out[i] = math.Inf(1)
-		} else {
-			out[i] = 1 / (1 - fit.R2)
-		}
-	}
-	return out, nil
-}
-
-// DefaultVIFCutoff is the rule-of-practice threshold above which a
-// series is considered collinear with the rest (paper: "a VIF greater
-// than 4 indicates a dependency").
-const DefaultVIFCutoff = 4
-
-// StepwiseVIF performs backward elimination: while any series has a
-// VIF above the cutoff, the series with the largest VIF is removed (it
-// is representable as a linear combination of the remaining ones). It
-// returns the indices (into the input slice) that survive, in
-// increasing order, and the removed indices in elimination order. At
-// least one series always survives.
-func StepwiseVIF(series []timeseries.Series, cutoff float64) (keep, removed []int, err error) {
-	idx := make([]int, len(series))
-	for i := range idx {
-		idx[i] = i
-	}
-	cur := make([]timeseries.Series, len(series))
-	copy(cur, series)
-	for len(cur) >= 2 {
-		vifs, err := VIF(cur)
-		if err != nil {
-			return nil, nil, err
-		}
-		worst, worstVIF := -1, cutoff
-		for i, v := range vifs {
-			if v > worstVIF || (math.IsInf(v, 1) && !math.IsInf(worstVIF, 1)) {
-				worst, worstVIF = i, v
-			}
-		}
-		if worst == -1 {
-			break
-		}
-		removed = append(removed, idx[worst])
-		cur = append(cur[:worst], cur[worst+1:]...)
-		idx = append(idx[:worst], idx[worst+1:]...)
-	}
-	return idx, removed, nil
-}
-
 // DefaultRidgeLambda is the regularization strength used by the
 // Ridge fallbacks when OLS reports a singular predictor set.
 const DefaultRidgeLambda = 1e-6
@@ -199,27 +97,11 @@ const DefaultRidgeLambda = 1e-6
 // usable model is always produced. The paper's pipelines prefer plain
 // OLS — collinearity is supposed to be removed by stepwise regression —
 // but forecasting code paths need a fit even for degenerate inputs.
+// Both paths share the Designer's one design-matrix construction.
 func OLSRidge(y timeseries.Series, predictors []timeseries.Series, lambda float64) (*Fit, error) {
-	fit, err := OLS(y, predictors)
-	if err == nil {
-		return fit, nil
-	}
-	if !errors.Is(err, linalg.ErrSingular) {
-		return nil, err
-	}
-	n, p := len(y), len(predictors)
-	a := linalg.NewMatrix(n, p+1)
-	for i := 0; i < n; i++ {
-		a.Set(i, 0, 1)
-		for j := 0; j < p; j++ {
-			a.Set(i, j+1, predictors[j][i])
-		}
-	}
-	beta, err := linalg.Ridge(a, y, lambda)
+	d, err := NewDesigner(predictors)
 	if err != nil {
 		return nil, err
 	}
-	fit = &Fit{Intercept: beta[0], Coef: beta[1:]}
-	fit.R2 = r2(y, fit.Apply(predictors))
-	return fit, nil
+	return d.FitRidge(y, lambda)
 }

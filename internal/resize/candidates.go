@@ -1,0 +1,134 @@
+package resize
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"atm/internal/ticket"
+)
+
+// candScratch holds the per-call working slices of candidate
+// generation. Candidate sets are rebuilt for every VM of every box —
+// per-call map and slice allocations dominated the setup cost of the
+// solvers — so the scratch is pooled and only the returned slices are
+// freshly allocated.
+type candScratch struct {
+	vals   []float64
+	demand []float64
+}
+
+var candPool = sync.Pool{New: func() any { return new(candScratch) }}
+
+// candidates returns VM i's reduced candidate capacity set D'_i.
+//
+// The paper's Lemma 4.1 states the optimal size lies in Di ∪ {0}, but
+// its own ticket-count example (Pi = {0,4,6,8,9,10} for D'i =
+// {60,40,30,25,23,0}) counts a ticket when demand exceeds the
+// candidate itself, which under the formulation R (ticket iff
+// D_{i,t} > α·C_i) corresponds to candidates C = D/α: the ticket count
+// #{t : D_{i,t} > αC} is a step function of C whose breakpoints are
+// exactly the values D_{i,t}/α. We therefore build candidates as the
+// unique α-scaled demand values — the rigorous version of the lemma —
+// ε-rounded up, clamped into [LowerBound, Capacity], in strictly
+// decreasing order, with the smallest admissible value (LowerBound, or
+// 0 when unbounded) appended. Ticket counts are always evaluated
+// against the ORIGINAL demands: ε applies only to the candidate sizes
+// (paper: "ε is only applied on the predicted series").
+//
+// Deduplication is one sort plus an adjacent-equality sweep, and the
+// per-candidate ticket counts come from a single merge of the
+// descending candidate limits against the demand sorted descending —
+// O(T log T) total instead of one ticket.Count pass per candidate —
+// using the exact `demand > threshold·size` comparison ticket.Count
+// uses, so counts are identical.
+func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
+	vm := p.VMs[i]
+	sc := candPool.Get().(*candScratch)
+	vals := sc.vals[:0]
+	clamp := func(v float64) float64 {
+		if v < vm.LowerBound {
+			v = vm.LowerBound
+		}
+		if v > p.Capacity {
+			v = p.Capacity
+		}
+		return v
+	}
+	for _, d := range vm.Demand {
+		// Breakpoint capacity: tickets step here. The (1+1e-12) nudge
+		// keeps threshold*c >= d under floating-point rounding, so a
+		// capacity sitting exactly on its breakpoint never tickets.
+		c := d / p.Threshold * (1 + 1e-12)
+		if p.Epsilon > 0 {
+			c = math.Ceil(c/p.Epsilon) * p.Epsilon
+		}
+		vals = append(vals, clamp(c))
+	}
+	// The minimum admissible size: the lower bound (or 0).
+	vals = append(vals, clamp(vm.LowerBound))
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+
+	sizes = make([]float64, 0, len(vals))
+	for k, v := range vals {
+		if k == 0 || v != sizes[len(sizes)-1] {
+			sizes = append(sizes, v)
+		}
+	}
+
+	// Merge ticket counting: demand sorted descending, candidate limits
+	// visited in decreasing order, one monotone cursor.
+	demand := append(sc.demand[:0], vm.Demand...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(demand)))
+	tickets = make([]int, len(sizes))
+	ptr := 0
+	for k, v := range sizes {
+		limit := p.Threshold * v
+		if v <= 0 {
+			limit = 0 // ticket.Count's degenerate no-allocation case
+		}
+		for ptr < len(demand) && demand[ptr] > limit {
+			ptr++
+		}
+		tickets[k] = ptr
+	}
+
+	sc.vals, sc.demand = vals, demand
+	candPool.Put(sc)
+	return sizes, tickets
+}
+
+// candidatesNaive is the original reference implementation — map-based
+// deduplication and one ticket.Count pass per candidate. Retained as
+// the equality oracle for the pooled merge-counting path.
+func (p *Problem) candidatesNaive(i int) (sizes []float64, tickets []int) {
+	vm := p.VMs[i]
+	seen := map[float64]bool{}
+	var vals []float64
+	add := func(v float64) {
+		if v < vm.LowerBound {
+			v = vm.LowerBound
+		}
+		if v > p.Capacity {
+			v = p.Capacity
+		}
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	for _, d := range vm.Demand {
+		c := d / p.Threshold * (1 + 1e-12)
+		if p.Epsilon > 0 {
+			c = math.Ceil(c/p.Epsilon) * p.Epsilon
+		}
+		add(c)
+	}
+	add(vm.LowerBound)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	tickets = make([]int, len(vals))
+	for k, v := range vals {
+		tickets[k] = ticket.Count(vm.Demand, v, p.Threshold)
+	}
+	return vals, tickets
+}

@@ -1,0 +1,120 @@
+package resize
+
+import (
+	"math/rand"
+	"testing"
+
+	"atm/internal/timeseries"
+)
+
+// randomProblem builds a feasible-ish random instance with n VMs and
+// demand series of length T.
+func randomProblem(r *rand.Rand, n, T int) *Problem {
+	vms := make([]VM, n)
+	var peakSum float64
+	for i := range vms {
+		d := make(timeseries.Series, T)
+		scale := 0.5 + 4*r.Float64()
+		peak := 0.0
+		for t := range d {
+			d[t] = scale * r.Float64()
+			if d[t] > peak {
+				peak = d[t]
+			}
+		}
+		lb := 0.0
+		if r.Intn(3) == 0 {
+			lb = peak * r.Float64() * 0.5
+		}
+		vms[i] = VM{Demand: d, LowerBound: lb}
+		peakSum += peak
+	}
+	eps := 0.0
+	if r.Intn(2) == 0 {
+		eps = 0.05 + 0.2*r.Float64()
+	}
+	threshold := 0.5 + 0.4*r.Float64()
+	// Capacity between "tight" and "roomy" relative to the breakpoint
+	// sum so the descent loop actually runs on most draws.
+	capFrac := 0.3 + 1.2*r.Float64()
+	return &Problem{
+		VMs:       vms,
+		Capacity:  peakSum / threshold * capFrac,
+		Threshold: threshold,
+		Epsilon:   eps,
+	}
+}
+
+// The hull-and-heap descent must reproduce the naive rescan descent
+// allocation-for-allocation: same sizes (exact float equality), same
+// tickets, same error class.
+func TestGreedyMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		T := 1 + r.Intn(40)
+		p := randomProblem(r, n, T)
+		fast, errF := p.Greedy()
+		naive, errN := p.GreedyNaive()
+		if (errF == nil) != (errN == nil) {
+			t.Fatalf("seed %d: err mismatch %v vs %v", seed, errF, errN)
+		}
+		if errF != nil {
+			continue
+		}
+		if fast.Tickets != naive.Tickets {
+			t.Fatalf("seed %d: tickets %d vs naive %d", seed, fast.Tickets, naive.Tickets)
+		}
+		for i := range fast.Sizes {
+			if fast.Sizes[i] != naive.Sizes[i] {
+				t.Fatalf("seed %d: size[%d] = %v vs naive %v", seed, i, fast.Sizes[i], naive.Sizes[i])
+			}
+		}
+	}
+}
+
+// The pooled sort+merge candidate generation must agree exactly with
+// the map+per-candidate-Count reference.
+func TestCandidatesMatchNaive(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(3000 + seed))
+		p := randomProblem(r, 1+r.Intn(6), 1+r.Intn(60))
+		for i := range p.VMs {
+			sizes, tickets := p.candidates(i)
+			sizesN, ticketsN := p.candidatesNaive(i)
+			if len(sizes) != len(sizesN) {
+				t.Fatalf("seed %d vm %d: %d candidates vs naive %d", seed, i, len(sizes), len(sizesN))
+			}
+			for k := range sizes {
+				if sizes[k] != sizesN[k] {
+					t.Fatalf("seed %d vm %d: size[%d] = %v vs naive %v", seed, i, k, sizes[k], sizesN[k])
+				}
+				if tickets[k] != ticketsN[k] {
+					t.Fatalf("seed %d vm %d: tickets[%d] = %d vs naive %d (size %v)",
+						seed, i, k, tickets[k], ticketsN[k], sizes[k])
+				}
+			}
+		}
+	}
+}
+
+// Greedy on a tiny instance must still match Exact where the old tests
+// guaranteed it (smoke check that the heap path did not regress
+// solution quality).
+func TestGreedyStillNearExact(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(5000 + seed))
+		p := randomProblem(r, 1+r.Intn(4), 1+r.Intn(8))
+		g, errG := p.Greedy()
+		e, errE := p.Exact()
+		if (errG == nil) != (errE == nil) {
+			t.Fatalf("seed %d: err mismatch greedy %v exact %v", seed, errG, errE)
+		}
+		if errG != nil {
+			continue
+		}
+		if g.Tickets < e.Tickets {
+			t.Fatalf("seed %d: greedy %d tickets beats exact %d — exact is broken", seed, g.Tickets, e.Tickets)
+		}
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"atm/internal/ticket"
 	"atm/internal/timeseries"
@@ -118,192 +117,6 @@ func (p *Problem) Tickets(sizes []float64) (int, error) {
 		return 0, fmt.Errorf("resize: %d sizes for %d VMs: %w", len(sizes), len(p.VMs), ErrBadProblem)
 	}
 	return p.tickets(sizes), nil
-}
-
-// candidates returns VM i's reduced candidate capacity set D'_i.
-//
-// The paper's Lemma 4.1 states the optimal size lies in Di ∪ {0}, but
-// its own ticket-count example (Pi = {0,4,6,8,9,10} for D'i =
-// {60,40,30,25,23,0}) counts a ticket when demand exceeds the
-// candidate itself, which under the formulation R (ticket iff
-// D_{i,t} > α·C_i) corresponds to candidates C = D/α: the ticket count
-// #{t : D_{i,t} > αC} is a step function of C whose breakpoints are
-// exactly the values D_{i,t}/α. We therefore build candidates as the
-// unique α-scaled demand values — the rigorous version of the lemma —
-// ε-rounded up, clamped into [LowerBound, Capacity], in strictly
-// decreasing order, with the smallest admissible value (LowerBound, or
-// 0 when unbounded) appended. Ticket counts are always evaluated
-// against the ORIGINAL demands: ε applies only to the candidate sizes
-// (paper: "ε is only applied on the predicted series").
-func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
-	vm := p.VMs[i]
-	seen := map[float64]bool{}
-	var vals []float64
-	add := func(v float64) {
-		if v < vm.LowerBound {
-			v = vm.LowerBound
-		}
-		if v > p.Capacity {
-			v = p.Capacity
-		}
-		if !seen[v] {
-			seen[v] = true
-			vals = append(vals, v)
-		}
-	}
-	for _, d := range vm.Demand {
-		// Breakpoint capacity: tickets step here. The (1+1e-12) nudge
-		// keeps threshold*c >= d under floating-point rounding, so a
-		// capacity sitting exactly on its breakpoint never tickets.
-		c := d / p.Threshold * (1 + 1e-12)
-		if p.Epsilon > 0 {
-			c = math.Ceil(c/p.Epsilon) * p.Epsilon
-		}
-		add(c)
-	}
-	// The minimum admissible size: the lower bound (or 0).
-	add(vm.LowerBound)
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
-	tickets = make([]int, len(vals))
-	for k, v := range vals {
-		tickets[k] = ticket.Count(vm.Demand, v, p.Threshold)
-	}
-	return vals, tickets
-}
-
-// Greedy solves the MCKP with the paper's minimal-algorithm-style
-// heuristic. Every VM starts at its largest candidate (fewest
-// tickets); while the total exceeds the box capacity, each VM offers
-// its best multi-step move — the candidate k below its current
-// position o minimizing the marginal ticket reduction value
-//
-//	MTRV = (P[k] - P[o]) / (D'[o] - D'[k])
-//
-// (the hull edge from the current position; a plain one-step MTRV is
-// blind to a cheap large capacity release hidden behind an expensive
-// small one) — and the VM with the lowest MTRV jumps. Ties break
-// toward the VM freeing more capacity, then by index, keeping the
-// algorithm deterministic. Promotion/exchange repair passes then
-// reinvest leftover slack.
-func (p *Problem) Greedy() (Allocation, error) {
-	if err := p.validate(); err != nil {
-		return Allocation{}, err
-	}
-	n := len(p.VMs)
-	if n == 0 {
-		return Allocation{Sizes: []float64{}}, nil
-	}
-	cand := make([][]float64, n)
-	pen := make([][]int, n)
-	pos := make([]int, n)
-	var total float64
-	for i := 0; i < n; i++ {
-		cand[i], pen[i] = p.candidates(i)
-		total += cand[i][0]
-	}
-	// Capacity comparisons tolerate accumulated floating-point error:
-	// candidate sums like 16.6_ + 83.3_ can land epsilon above an exact
-	// capacity of 100 and must not trigger an extra (ticket-costing)
-	// step-down.
-	capTol := p.Capacity + 1e-9*math.Max(1, p.Capacity)
-
-	// Feasibility: even the smallest candidates (lower bounds) may not
-	// fit.
-	var minTotal float64
-	for i := 0; i < n; i++ {
-		minTotal += cand[i][len(cand[i])-1]
-	}
-	if minTotal > capTol {
-		return Allocation{}, fmt.Errorf("need %v, have %v: %w", minTotal, p.Capacity, ErrInfeasible)
-	}
-
-	for total > capTol {
-		best, bestTarget := -1, -1
-		bestMTRV := math.Inf(1)
-		bestFree := 0.0
-		for i := 0; i < n; i++ {
-			o := pos[i]
-			// Best multi-step move for VM i: hull edge from o.
-			for k := o + 1; k < len(cand[i]); k++ {
-				free := cand[i][o] - cand[i][k]
-				if free <= 0 {
-					continue
-				}
-				mtrv := float64(pen[i][k]-pen[i][o]) / free
-				if mtrv < bestMTRV || (mtrv == bestMTRV && free > bestFree) {
-					best, bestTarget, bestMTRV, bestFree = i, k, mtrv, free
-				}
-			}
-		}
-		if best == -1 {
-			// No VM can step down; feasibility was checked, so this
-			// cannot happen — defend anyway.
-			return Allocation{}, fmt.Errorf("stuck at total %v: %w", total, ErrInfeasible)
-		}
-		total -= cand[best][pos[best]] - cand[best][bestTarget]
-		pos[best] = bestTarget
-	}
-
-	// Repair pass ("shuffling capacity across VMs" in the paper's
-	// description of the minimal algorithm). Two move kinds, applied
-	// best-first until none improves:
-	//
-	//   - promotion: step a VM back up using leftover slack;
-	//   - exchange: demote VM i one step to fund promoting VM j, when
-	//     j's ticket gain exceeds i's ticket loss.
-	//
-	// Every applied move strictly decreases total tickets, so the loop
-	// terminates.
-	tol := 1e-9 * math.Max(1, p.Capacity)
-	for {
-		slack := p.Capacity - total
-		bestGain := 0
-		bestCost := math.Inf(1)
-		bestDemote, bestPromote := -1, -1
-		consider := func(demote, promote, gain int, cost float64) {
-			if gain > bestGain || (gain == bestGain && gain > 0 && cost < bestCost) {
-				bestGain, bestCost = gain, cost
-				bestDemote, bestPromote = demote, promote
-			}
-		}
-		for j := 0; j < n; j++ {
-			if pos[j] == 0 {
-				continue
-			}
-			cost := cand[j][pos[j]-1] - cand[j][pos[j]]
-			gain := pen[j][pos[j]] - pen[j][pos[j]-1]
-			// Pure promotion from slack.
-			if cost <= slack+tol {
-				consider(-1, j, gain, cost)
-			}
-			// Exchange funded by demoting some other VM one step.
-			for i := 0; i < n; i++ {
-				if i == j || pos[i]+1 >= len(cand[i]) {
-					continue
-				}
-				freed := cand[i][pos[i]] - cand[i][pos[i]+1]
-				loss := pen[i][pos[i]+1] - pen[i][pos[i]]
-				if cost <= slack+freed+tol {
-					consider(i, j, gain-loss, cost-freed)
-				}
-			}
-		}
-		if bestPromote == -1 || bestGain <= 0 {
-			break
-		}
-		if bestDemote >= 0 {
-			total -= cand[bestDemote][pos[bestDemote]] - cand[bestDemote][pos[bestDemote]+1]
-			pos[bestDemote]++
-		}
-		total += cand[bestPromote][pos[bestPromote]-1] - cand[bestPromote][pos[bestPromote]]
-		pos[bestPromote]--
-	}
-
-	sizes := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sizes[i] = cand[i][pos[i]]
-	}
-	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
 }
 
 // Exact solves the MCKP by exhaustive search over candidate choices.

@@ -182,12 +182,22 @@ func Search(series []timeseries.Series, cfg Config) (*Model, error) {
 		sigSeries[i] = series[idx]
 		isSig[idx] = true
 	}
+	// All dependents share one predictor set, so the design matrix is
+	// built and QR-factored once; each dependent costs one solve. The
+	// fits are bit-identical to per-dependent OLSRidge calls.
 	m.Dependents = make(map[int]*regress.Fit)
+	var designer *regress.Designer
 	for i := 0; i < n; i++ {
 		if isSig[i] {
 			continue
 		}
-		fit, err := regress.OLSRidge(series[i], sigSeries, regress.DefaultRidgeLambda)
+		if designer == nil {
+			designer, err = regress.NewDesigner(sigSeries)
+			if err != nil {
+				return nil, fmt.Errorf("spatial: fit dependent %d: %w", i, err)
+			}
+		}
+		fit, err := designer.FitRidge(series[i], regress.DefaultRidgeLambda)
 		if err != nil {
 			return nil, fmt.Errorf("spatial: fit dependent %d: %w", i, err)
 		}
