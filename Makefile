@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench resizebench microbench
+.PHONY: build vet test race verify cover bench resizebench microbench tracebench
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/...
 
 verify: build vet test race
+
+# Full-suite coverage profile plus the total percentage on stdout; CI
+# uploads coverage.out as an artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # End-to-end signature-search benchmark on trace-shaped data; emits
 # BENCH_signature_search.json plus a human-readable table.
@@ -37,3 +43,8 @@ resizebench:
 # included; the DTW kernels must stay at 0 allocs/op steady-state).
 microbench:
 	$(GO) test -run NONE -bench 'BenchmarkDTW|BenchmarkOptimalCut' -benchmem ./internal/cluster/ .
+
+# One fully traced box-resize; emits trace.jsonl (the JSONL span dump)
+# plus the per-stage latency table.
+tracebench:
+	$(GO) run ./cmd/atmbench -trace trace.jsonl

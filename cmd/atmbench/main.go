@@ -6,6 +6,7 @@
 //	atmbench [-fig all|1,2,3,5,6,7,8,9,10,12,13,methods,stability,epsilon] [-boxes N] [-seed S] [-days D] [-svg DIR]
 //	atmbench -sigbench FILE [-boxes N] [-seed S] [-workers W]
 //	atmbench -resizebench FILE [-boxes N] [-seed S]
+//	atmbench -trace FILE [-boxes N] [-seed S] [-workers W]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
 // 13) are additionally written as standalone SVG files into DIR.
@@ -19,6 +20,11 @@
 // naive, and the hull-and-heap MCKP greedy vs the rescanning naive,
 // with result-equality checks. -cpuprofile wraps any mode in a
 // runtime/pprof CPU profile.
+//
+// With -trace, atmbench runs one fully traced box through the complete
+// pipeline (signature search → temporal fit → reconstruct → resize →
+// actuate), writes every span as JSON lines to FILE and prints the
+// per-stage latency table.
 //
 // Figure 4 is the signature-search flow (implemented as
 // spatial.Search) and Figure 11 is the testbed topology (implemented
@@ -63,6 +69,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size; <= 0 uses one worker per core")
 	sigbench := flag.String("sigbench", "", "run the signature-search benchmark and write its JSON record to this file (skips figures)")
 	resizebench := flag.String("resizebench", "", "run the VIF + MCKP-greedy benchmark and write its JSON record to this file (skips figures)")
+	tracefile := flag.String("trace", "", "run one traced box-resize and write its JSONL span dump to this file (skips figures)")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	flag.Parse()
 
@@ -128,6 +135,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [wrote %s]\n", *resizebench)
+		return
+	}
+
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		exitOn("trace", err)
+		r, err := experiments.TraceRun(opts, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		exitOn("trace", err)
+		printTable("trace", r.Render())
+		fmt.Printf("  [wrote %s: %d spans]\n", *tracefile, r.Spans)
 		return
 	}
 

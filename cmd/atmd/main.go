@@ -1,11 +1,11 @@
 // Command atmd is the per-hypervisor actuation daemon from the paper's
 // Section IV-C: it exposes cgroup-style per-VM resource limits over a
 // web API so an ATM controller can resize VMs on the fly without
-// restarting guests.
+// restarting guests, plus the observability surface operators scrape.
 //
 // Usage:
 //
-//	atmd [-addr :8023]
+//	atmd [-addr :8023] [-pprof] [-grace 10s]
 //
 // API:
 //
@@ -13,32 +13,97 @@
 //	GET    /cgroups/<vm>   read one VM's limits
 //	PUT    /cgroups/<vm>   set limits, body {"cpu_ghz": 7.2, "ram_gb": 4}
 //	DELETE /cgroups/<vm>   remove a VM's cgroup
+//	GET    /metrics        Prometheus text exposition (registry gauges,
+//	                       HTTP route histograms, pipeline counters)
+//	GET    /healthz        liveness JSON {"status":"ok",...}
+//	GET    /debug/pprof/*  CPU/heap/goroutine profiles (only with -pprof)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting connections and drains in-flight requests for up to the
+// -grace duration before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"atm/internal/actuator"
+	"atm/internal/obs"
 )
+
+// newHandler assembles the daemon's route table: the cgroup API under
+// HTTP middleware (request counts, latency histograms, in-flight
+// gauges per route), the metrics and health endpoints, and — when
+// enabled — the pprof profiling handlers. Split from main so tests can
+// drive the exact production mux through httptest.
+func newHandler(reg *actuator.Registry, pprofEnabled bool, start time.Time) http.Handler {
+	mux := http.NewServeMux()
+	api := reg.Handler()
+	metrics := obs.Default()
+	// Two routes, not one per cgroup id: metric label cardinality must
+	// stay bounded no matter how many VMs the hypervisor hosts.
+	mux.Handle("/cgroups", metrics.InstrumentHandler("/cgroups", api))
+	mux.Handle("/cgroups/", metrics.InstrumentHandler("/cgroups/:id", api))
+	mux.Handle("/metrics", obs.Handler())
+	mux.Handle("/healthz", obs.HealthzHandler(start))
+	if pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8023", "listen address")
+	pprofEnabled := flag.Bool("pprof", false, "expose /debug/pprof/* profiling handlers")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
-	reg := actuator.NewRegistry()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           reg.Handler(),
+		Handler:           newHandler(actuator.NewRegistry(), *pprofEnabled, time.Now()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("atmd: serving cgroup API on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("atmd: serving cgroup API on %s (pprof=%v)", *addr, *pprofEnabled)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (e.g. port in use).
+		fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Printf("atmd: signal received, draining for up to %v", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "atmd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
 		os.Exit(1)
 	}
+	log.Printf("atmd: drained, exiting")
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"atm/internal/actuator"
+)
+
+func get(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestDaemonRoundTrip drives the production mux end to end: cgroup
+// writes through the instrumented API must surface in /metrics as both
+// actuator gauges and per-route HTTP histograms, and /healthz must
+// report liveness.
+func TestDaemonRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), false, time.Now()))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Create a cgroup through the instrumented API.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/cgroups/vm-7",
+		strings.NewReader(`{"cpu_ghz": 2.5, "ram_gb": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("PUT cgroup: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT cgroup: status %d, want 204", resp.StatusCode)
+	}
+
+	if code, body := get(t, client, srv.URL+"/cgroups/vm-7"); code != http.StatusOK || !strings.Contains(body, "2.5") {
+		t.Fatalf("GET cgroup: status %d body %q", code, body)
+	}
+
+	code, body := get(t, client, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		`atm_http_request_seconds_bucket{route="/cgroups/:id",le="+Inf"}`,
+		`atm_http_requests_total{route="/cgroups/:id",method="PUT",status="2xx"}`,
+		"atm_actuator_cgroups",
+		"atm_actuator_cpu_alloc_ghz",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, client, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: status %d body %q", code, body)
+	}
+}
+
+// TestPprofGate checks the profiling handlers are absent by default
+// and present behind the flag.
+func TestPprofGate(t *testing.T) {
+	off := httptest.NewServer(newHandler(actuator.NewRegistry(), false, time.Now()))
+	defer off.Close()
+	if code, _ := get(t, off.Client(), off.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", code)
+	}
+
+	on := httptest.NewServer(newHandler(actuator.NewRegistry(), true, time.Now()))
+	defer on.Close()
+	if code, body := get(t, on.Client(), on.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof enabled: status %d body %q", code, body)
+	}
+}

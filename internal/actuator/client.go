@@ -8,6 +8,26 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
+
+	"atm/internal/obs"
+)
+
+// DefaultTimeout bounds daemon calls when the caller does not supply
+// an http.Client. The controller drives many hypervisor daemons in a
+// loop; one hung atmd must not wedge the whole resizing round, which
+// is exactly what the previous http.DefaultClient fallback (no
+// timeout) allowed.
+const DefaultTimeout = 10 * time.Second
+
+// Client-side actuation metrics: per-operation call counts by outcome
+// and call latency. A rising error rate or latency tail here is the
+// controller's first signal that a hypervisor daemon is unhealthy.
+var (
+	clientCalls = obs.Default().CounterVec("atm_actuator_requests_total",
+		"Actuator client calls by operation and outcome.", "op", "outcome")
+	clientSeconds = obs.Default().HistogramVec("atm_actuator_request_seconds",
+		"Actuator client call latency in seconds, by operation.", nil, "op")
 )
 
 // Client talks to a hypervisor daemon's cgroup API.
@@ -17,98 +37,134 @@ type Client struct {
 }
 
 // NewClient returns a client for the daemon at base (e.g.
-// "http://hypervisor-7:8080"). httpClient may be nil to use
-// http.DefaultClient.
+// "http://hypervisor-7:8080"). httpClient may be nil to use a default
+// client with DefaultTimeout.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{base: base, http: httpClient}
 }
 
+// instrumented wraps one daemon call with latency/outcome metrics and
+// a trace span (a no-op unless the context carries an obs.Tracer).
+func (c *Client) instrumented(ctx context.Context, op, id string, fn func(ctx context.Context) error) error {
+	ctx, span := obs.StartSpan(ctx, "actuator."+op)
+	if id != "" {
+		span.SetAttr("cgroup", id)
+	}
+	start := time.Now()
+	err := fn(ctx)
+	clientSeconds.With(op).Observe(time.Since(start).Seconds())
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		span.SetAttr("error", err.Error())
+	}
+	clientCalls.With(op, outcome).Inc()
+	span.End()
+	return err
+}
+
 // SetLimits creates or updates a VM cgroup's limits on the daemon.
 func (c *Client) SetLimits(ctx context.Context, id string, l Limits) error {
-	body, err := json.Marshal(l)
-	if err != nil {
-		return fmt.Errorf("actuator: marshal limits: %w", err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.groupURL(id), bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("actuator: build request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("actuator: put %s: %w", id, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("actuator: put %s: %s", id, readError(resp))
-	}
-	return nil
+	return c.instrumented(ctx, "set_limits", id, func(ctx context.Context) error {
+		body, err := json.Marshal(l)
+		if err != nil {
+			return fmt.Errorf("actuator: marshal limits: %w", err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.groupURL(id), bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("actuator: build request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("actuator: put %s: %w", id, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("actuator: put %s: %s", id, readError(resp))
+		}
+		return nil
+	})
 }
 
 // GetLimits reads a VM cgroup's limits from the daemon.
 func (c *Client) GetLimits(ctx context.Context, id string) (Limits, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.groupURL(id), nil)
-	if err != nil {
-		return Limits{}, fmt.Errorf("actuator: build request: %w", err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return Limits{}, fmt.Errorf("actuator: get %s: %w", id, err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return Limits{}, fmt.Errorf("%q: %w", id, ErrNotFound)
-	default:
-		return Limits{}, fmt.Errorf("actuator: get %s: %s", id, readError(resp))
-	}
 	var l Limits
-	if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
-		return Limits{}, fmt.Errorf("actuator: decode limits: %w", err)
+	err := c.instrumented(ctx, "get_limits", id, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.groupURL(id), nil)
+		if err != nil {
+			return fmt.Errorf("actuator: build request: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("actuator: get %s: %w", id, err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			return fmt.Errorf("%q: %w", id, ErrNotFound)
+		default:
+			return fmt.Errorf("actuator: get %s: %s", id, readError(resp))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return fmt.Errorf("actuator: decode limits: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return Limits{}, err
 	}
 	return l, nil
 }
 
 // ListLimits reads the daemon's full cgroup tree.
 func (c *Client) ListLimits(ctx context.Context) (map[string]Limits, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/cgroups", nil)
-	if err != nil {
-		return nil, fmt.Errorf("actuator: build request: %w", err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("actuator: list: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("actuator: list: %s", readError(resp))
-	}
 	var out map[string]Limits
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("actuator: decode list: %w", err)
+	err := c.instrumented(ctx, "list_limits", "", func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/cgroups", nil)
+		if err != nil {
+			return fmt.Errorf("actuator: build request: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("actuator: list: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("actuator: list: %s", readError(resp))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("actuator: decode list: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // DeleteGroup removes a VM cgroup on the daemon.
 func (c *Client) DeleteGroup(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.groupURL(id), nil)
-	if err != nil {
-		return fmt.Errorf("actuator: build request: %w", err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("actuator: delete %s: %w", id, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("actuator: delete %s: %s", id, readError(resp))
-	}
-	return nil
+	return c.instrumented(ctx, "delete_group", id, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.groupURL(id), nil)
+		if err != nil {
+			return fmt.Errorf("actuator: build request: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("actuator: delete %s: %w", id, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("actuator: delete %s: %s", id, readError(resp))
+		}
+		return nil
+	})
 }
 
 func (c *Client) groupURL(id string) string {

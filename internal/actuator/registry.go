@@ -15,6 +15,24 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"atm/internal/obs"
+)
+
+// Registry gauges: the live cgroup population and the total capacity
+// currently allocated across it — the daemon-side view of what the
+// controller's resize decisions add up to. Updated with deltas under
+// the registry lock, so concurrent registries aggregate consistently
+// into the process-wide totals.
+var (
+	gaugeCgroups = obs.Default().Gauge("atm_actuator_cgroups",
+		"Live cgroups across actuation registries.")
+	gaugeAllocCPU = obs.Default().Gauge("atm_actuator_cpu_alloc_ghz",
+		"Total CPU capacity allocated across cgroups (GHz).")
+	gaugeAllocRAM = obs.Default().Gauge("atm_actuator_ram_alloc_gb",
+		"Total RAM capacity allocated across cgroups (GB).")
+	counterSets = obs.Default().Counter("atm_actuator_limit_sets_total",
+		"Cgroup limit create/update operations applied.")
 )
 
 // Limits are the enforced capacity caps for one VM's cgroup.
@@ -60,7 +78,14 @@ func (r *Registry) Set(id string, l Limits) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	old, existed := r.groups[id]
 	r.groups[id] = l
+	if !existed {
+		gaugeCgroups.Inc()
+	}
+	gaugeAllocCPU.Add(l.CPUGHz - old.CPUGHz)
+	gaugeAllocRAM.Add(l.RAMGB - old.RAMGB)
+	counterSets.Inc()
 	return nil
 }
 
@@ -80,6 +105,12 @@ func (r *Registry) Get(id string) (Limits, error) {
 func (r *Registry) Delete(id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	old, existed := r.groups[id]
+	if existed {
+		gaugeCgroups.Dec()
+		gaugeAllocCPU.Add(-old.CPUGHz)
+		gaugeAllocRAM.Add(-old.RAMGB)
+	}
 	delete(r.groups, id)
 }
 

@@ -19,9 +19,18 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"atm/internal/obs"
 	"atm/internal/parallel"
 	"atm/internal/timeseries"
 )
+
+// dtwPairs counts matrix cells by outcome: "exact" ran the full DTW
+// recurrence, "pruned" kept an LB_Keogh bound (skip or early abandon).
+// The pruned/exact ratio is the live view of how much quadratic work
+// the approximate matrix is actually saving. Incremented once per
+// matrix call, so the per-pair hot loop carries zero metric cost.
+var dtwPairs = obs.Default().CounterVec("atm_dtw_pairs_total",
+	"DTW matrix pairs by outcome: exact recurrence vs LB-pruned.", "outcome")
 
 // ErrSeriesLength indicates DTWMatrix was given series of unequal
 // lengths. Box demand series are aligned windows of the same trace, so
@@ -355,6 +364,7 @@ func DTWMatrix(series []timeseries.Series, window int, opts ...MatrixOption) (*D
 	if err != nil {
 		return nil, err
 	}
+	dtwPairs.With("exact").Add(float64(pairs))
 	return d, nil
 }
 
@@ -438,7 +448,10 @@ func DTWMatrixApprox(series []timeseries.Series, window int, cutoff float64, opt
 	if perr != nil {
 		return nil, 0, perr
 	}
-	return d, float64(prunedCount.Load()) / float64(pairs), nil
+	pruned := prunedCount.Load()
+	dtwPairs.With("pruned").Add(float64(pruned))
+	dtwPairs.With("exact").Add(float64(pairs) - float64(pruned))
+	return d, float64(pruned) / float64(pairs), nil
 }
 
 // makeScratches builds one DTW scratch per pool worker for n items.

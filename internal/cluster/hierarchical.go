@@ -5,7 +5,19 @@ import (
 	"math"
 	"sort"
 
+	"atm/internal/obs"
 	"atm/internal/parallel"
+)
+
+// Model-selection metrics: candidate cluster counts whose mean
+// silhouette was evaluated, and completed cut selections. Their ratio
+// is the average sweep width, a direct read on how much model-selection
+// work each signature search performs.
+var (
+	cutEvals = obs.Default().Counter("atm_silhouette_cut_evals_total",
+		"Candidate cluster counts evaluated during silhouette model selection.")
+	cutsChosen = obs.Default().Counter("atm_silhouette_cuts_total",
+		"Completed silhouette-driven cut selections (OptimalCut calls).")
 )
 
 // merge records one agglomeration step: clusters a and b (identified by
@@ -307,10 +319,12 @@ func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k 
 	}
 
 	bestK, bestScore := kmin, math.Inf(-1)
+	evals := 0
 	// The replay walks k downward from n; >= on the comparison keeps
 	// the smallest k among ties, matching the ascending naive sweep.
 	if n >= kmin && n <= kmax {
 		bestK, bestScore = n, meanSil(n)
+		evals++
 	}
 	for step := 0; step < n-1; step++ {
 		m := dg.merges[step]
@@ -334,6 +348,7 @@ func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k 
 			break // merges only coarsen further; nothing left in range
 		}
 		if k <= kmax {
+			evals++
 			if s := meanSil(k); s >= bestScore {
 				bestScore, bestK = s, k
 			}
@@ -342,6 +357,8 @@ func OptimalCut(dg *Dendrogram, d *DistMatrix, kmin, kmax int) (assign []int, k 
 	if math.IsInf(bestScore, -1) {
 		bestK, bestScore = kmin, 0
 	}
+	cutEvals.Add(float64(evals))
+	cutsChosen.Inc()
 	return dg.Cut(bestK), bestK, bestScore
 }
 

@@ -14,9 +14,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
+	"atm/internal/actuator"
+	"atm/internal/obs"
 	"atm/internal/parallel"
 	"atm/internal/predict"
 	"atm/internal/resize"
@@ -24,6 +29,21 @@ import (
 	"atm/internal/ticket"
 	"atm/internal/timeseries"
 	"atm/internal/trace"
+)
+
+// Pipeline metrics: per-stage wall-clock latency, the box throughput
+// counter, and the before/after ticket totals the whole system exists
+// to move. tickets_after / tickets_before across scrapes is the live
+// ticket-reduction ratio of the paper's evaluation.
+var (
+	stageSeconds = obs.Default().HistogramVec("atm_stage_seconds",
+		"Wall-clock latency of ATM pipeline stages, per box.", nil, "stage")
+	boxesRun = obs.Default().Counter("atm_boxes_total",
+		"Boxes processed by the full predict+resize pipeline.")
+	ticketsBefore = obs.Default().Counter("atm_tickets_before_total",
+		"Tickets over evaluation horizons under the original capacities.")
+	ticketsAfter = obs.Default().Counter("atm_tickets_after_total",
+		"Tickets over evaluation horizons under the resized capacities.")
 )
 
 // TemporalFactory builds a fresh temporal model for one signature
@@ -103,6 +123,14 @@ type BoxPrediction struct {
 // samples for every series. The period passed to the default temporal
 // model is samplesPerDay.
 func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*BoxPrediction, error) {
+	return PredictBoxContext(context.Background(), demands, samplesPerDay, cfg)
+}
+
+// PredictBoxContext is PredictBox with tracing: under an obs.Tracer it
+// emits a "core.predict" span with children for the signature search,
+// the temporal fits and the spatial reconstruction. Stage latencies
+// feed the atm_stage_seconds histogram either way.
+func PredictBoxContext(ctx context.Context, demands []timeseries.Series, samplesPerDay int, cfg Config) (*BoxPrediction, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -120,12 +148,18 @@ func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*Bo
 		factory = func() predict.Model { return predict.DefaultMLP(samplesPerDay) }
 	}
 
+	ctx, span := obs.StartSpan(ctx, "core.predict")
+	defer span.End()
+	span.SetAttr("series", len(demands))
+
 	train := make([]timeseries.Series, len(demands))
 	for i, d := range demands {
 		train[i] = d.Slice(0, cfg.TrainWindows)
 	}
 
-	model, err := spatial.Search(train, cfg.Spatial)
+	searchStart := time.Now()
+	model, err := spatial.SearchContext(ctx, train, cfg.Spatial)
+	stageSeconds.With("search").Observe(time.Since(searchStart).Seconds())
 	if err != nil {
 		return nil, fmt.Errorf("core: signature search: %w", err)
 	}
@@ -134,6 +168,9 @@ func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*Bo
 	// entire point of the signature reduction. Each signature gets its
 	// own model instance, so the fits are independent and run on the
 	// worker pool (the MLP fit dominates per-box latency).
+	_, tspan := obs.StartSpan(ctx, "core.temporal_fit")
+	tspan.SetAttr("signatures", len(model.Signatures))
+	fitStart := time.Now()
 	sigForecasts := make([]timeseries.Series, len(model.Signatures))
 	err = parallel.ForEach(len(model.Signatures), func(i int) error {
 		idx := model.Signatures[i]
@@ -148,11 +185,15 @@ func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*Bo
 		sigForecasts[i] = fc
 		return nil
 	}, parallel.WithWorkers(cfg.Workers))
+	stageSeconds.With("temporal_fit").Observe(time.Since(fitStart).Seconds())
+	tspan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Dependents via the spatial linear models.
+	_, rspan := obs.StartSpan(ctx, "core.reconstruct")
+	defer rspan.End()
 	all, err := model.Reconstruct(sigForecasts)
 	if err != nil {
 		return nil, fmt.Errorf("core: reconstruct dependents: %w", err)
@@ -219,9 +260,24 @@ func (r *BoxRun) Reduction() float64 { return ticket.Reduction(r.TicketsBefore, 
 // evaluate them. The box's total capacity for the resource is the
 // constraint C.
 func ResizeBox(b *trace.Box, pred *BoxPrediction, r trace.Resource, cfg Config) (*BoxRun, error) {
+	return ResizeBoxContext(context.Background(), b, pred, r, cfg)
+}
+
+// ResizeBoxContext is ResizeBox with tracing: under an obs.Tracer it
+// emits a "core.resize" span carrying the resource, the solver
+// outcome and the ticket delta.
+func ResizeBoxContext(ctx context.Context, b *trace.Box, pred *BoxPrediction, r trace.Resource, cfg Config) (*BoxRun, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "core.resize")
+	defer span.End()
+	span.SetAttr("resource", r.String())
+	span.SetAttr("box", b.ID)
+	resizeStart := time.Now()
+	defer func() {
+		stageSeconds.With("resize").Observe(time.Since(resizeStart).Seconds())
+	}()
 	m := len(b.VMs)
 	capacity := b.CPUCapGHz
 	if r == trace.RAM {
@@ -283,6 +339,10 @@ func ResizeBox(b *trace.Box, pred *BoxPrediction, r trace.Resource, cfg Config) 
 		run.TicketsBefore += ticket.Count(actual, b.VMs[v].Capacity(r), cfg.Threshold)
 		run.TicketsAfter += ticket.Count(actual, alloc.Sizes[v], cfg.Threshold)
 	}
+	ticketsBefore.Add(float64(run.TicketsBefore))
+	ticketsAfter.Add(float64(run.TicketsAfter))
+	span.SetAttr("tickets_before", run.TicketsBefore)
+	span.SetAttr("tickets_after", run.TicketsAfter)
 	return run, nil
 }
 
@@ -323,8 +383,21 @@ func (r *BoxResult) MeanPeakMAPE() float64 {
 // RunBox executes the full ATM pipeline (predict + resize CPU and RAM)
 // on one box.
 func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
+	return RunBoxContext(context.Background(), b, samplesPerDay, cfg)
+}
+
+// RunBoxContext is RunBox with tracing: under an obs.Tracer the whole
+// box run nests beneath a "core.box" span — signature search, temporal
+// fits, reconstruction, evaluation and both resource resizes — so a
+// single exported trace shows where one box's latency went.
+func RunBoxContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
+	ctx, span := obs.StartSpan(ctx, "core.box")
+	defer span.End()
+	span.SetAttr("box", b.ID)
+	span.SetAttr("vms", len(b.VMs))
+
 	demands := b.DemandSeries()
-	pred, err := PredictBox(demands, samplesPerDay, cfg)
+	pred, err := PredictBoxContext(ctx, demands, samplesPerDay, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.ID, err)
 	}
@@ -335,7 +408,12 @@ func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
 		vm := &b.VMs[trace.SeriesVM(i)]
 		peaks[i] = cfg.Threshold * vm.Capacity(trace.SeriesResource(i))
 	}
-	if err := pred.Evaluate(demands, cfg, peaks); err != nil {
+	_, espan := obs.StartSpan(ctx, "core.evaluate")
+	evalStart := time.Now()
+	err = pred.Evaluate(demands, cfg, peaks)
+	stageSeconds.With("evaluate").Observe(time.Since(evalStart).Seconds())
+	espan.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: %s: evaluate: %w", b.ID, err)
 	}
 	res := &BoxResult{Box: b, Prediction: pred}
@@ -343,12 +421,13 @@ func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
 	// the shared pool (Run pins per-box Workers to 1, so nested calls
 	// stay inline and the box-level fan-out keeps the cores saturated).
 	runs, err := parallel.Map(2, func(i int) (*BoxRun, error) {
-		return ResizeBox(b, pred, [...]trace.Resource{trace.CPU, trace.RAM}[i], cfg)
+		return ResizeBoxContext(ctx, b, pred, [...]trace.Resource{trace.CPU, trace.RAM}[i], cfg)
 	}, parallel.WithWorkers(cfg.Workers))
 	if err != nil {
 		return nil, err
 	}
 	res.CPU, res.RAM = runs[0], runs[1]
+	boxesRun.Inc()
 	return res, nil
 }
 
@@ -356,12 +435,67 @@ func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
 // pool (boxes are independent, mirroring per-hypervisor deployment).
 // Per-box failures abort the run with the first error in box order.
 func Run(boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error) {
+	return RunContext(context.Background(), boxes, samplesPerDay, cfg)
+}
+
+// RunContext is Run with tracing: one "core.run" root span over the
+// per-box fan-out. Box spans reference it as their parent even though
+// they run concurrently on the pool.
+func RunContext(ctx context.Context, boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error) {
+	ctx, span := obs.StartSpan(ctx, "core.run")
+	defer span.End()
+	span.SetAttr("boxes", len(boxes))
 	// The pool already saturates the cores at box granularity; the
 	// nested per-box temporal fan-out stays sequential to avoid
 	// oversubscription.
 	boxCfg := cfg
 	boxCfg.Workers = 1
 	return parallel.Map(len(boxes), func(i int) (*BoxResult, error) {
-		return RunBox(boxes[i], samplesPerDay, boxCfg)
+		return RunBoxContext(ctx, boxes[i], samplesPerDay, boxCfg)
 	}, parallel.WithWorkers(cfg.Workers))
+}
+
+// LimitSetter is the actuation interface ApplyBox drives: both the
+// in-process actuator.Registry and the HTTP actuator.Client satisfy
+// it.
+type LimitSetter interface {
+	SetLimits(ctx context.Context, id string, l Limits) error
+}
+
+// Limits aliases the actuator limit type so callers implementing
+// LimitSetter need not import the actuator package themselves.
+type Limits = actuator.Limits
+
+// minLimit floors actuated capacities: the MCKP solver may assign a
+// VM a zero (or denormal) size when its predicted demand vanishes,
+// but cgroup limits must stay positive for the guest to keep running.
+const minLimit = 1e-3
+
+// ApplyBox pushes one box's resize decision to the actuation layer,
+// setting each VM's cgroup limits to the chosen CPU and RAM sizes.
+// Under an obs.Tracer the push is a "core.actuate" span whose children
+// are the per-VM actuator calls, completing the search→fit→resize→
+// actuate trace of a box. The first failing VM aborts the push.
+func ApplyBox(ctx context.Context, act LimitSetter, res *BoxResult) error {
+	if res.CPU == nil || res.RAM == nil {
+		return fmt.Errorf("core: %s: incomplete resize result: %w", res.Box.ID, ErrBadConfig)
+	}
+	ctx, span := obs.StartSpan(ctx, "core.actuate")
+	defer span.End()
+	span.SetAttr("box", res.Box.ID)
+	span.SetAttr("vms", len(res.Box.VMs))
+	start := time.Now()
+	defer func() {
+		stageSeconds.With("actuate").Observe(time.Since(start).Seconds())
+	}()
+	for v := range res.Box.VMs {
+		l := Limits{
+			CPUGHz: math.Max(res.CPU.Sizes[v], minLimit),
+			RAMGB:  math.Max(res.RAM.Sizes[v], minLimit),
+		}
+		if err := act.SetLimits(ctx, res.Box.VMs[v].ID, l); err != nil {
+			return fmt.Errorf("core: actuate %s/%s: %w", res.Box.ID, res.Box.VMs[v].ID, err)
+		}
+	}
+	return nil
 }

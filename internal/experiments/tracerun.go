@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"atm/internal/actuator"
+	"atm/internal/core"
+	"atm/internal/obs"
+	"atm/internal/spatial"
+)
+
+// TraceRunResult summarizes one fully traced box-resize: the span tree
+// of the pipeline (search → temporal fit → reconstruct → resize →
+// actuate) plus the run's ticket outcome.
+type TraceRunResult struct {
+	// BoxID and VMs identify the traced box.
+	BoxID string `json:"box_id"`
+	VMs   int    `json:"vms"`
+	// Spans is the number of spans the run exported.
+	Spans int `json:"spans"`
+	// StageNS maps span name → total duration in nanoseconds, summed
+	// over every span with that name (e.g. the two core.resize spans).
+	StageNS map[string]int64 `json:"stage_ns"`
+	// RootNS is the root core.box span's duration.
+	RootNS int64 `json:"root_ns"`
+	// TicketsBefore/TicketsAfter aggregate CPU+RAM ticket counts over
+	// the evaluation horizon.
+	TicketsBefore int `json:"tickets_before"`
+	TicketsAfter  int `json:"tickets_after"`
+	// Actuated counts cgroups written to the actuation registry.
+	Actuated int `json:"actuated"`
+}
+
+// TraceRun runs the complete ATM pipeline on one gap-free box with
+// tracing enabled, actuates the result into an in-process registry,
+// and writes every span as JSON lines to out (pass io.Discard to keep
+// only the summary). It is the driver behind `atmbench -trace`.
+func TraceRun(opts Options, out io.Writer) (*TraceRunResult, error) {
+	opts = opts.withDefaults()
+	if opts.Days < 6 {
+		opts.Days = 6
+	}
+	tr := opts.genTrace()
+	boxes := tr.GapFree()
+	if len(boxes) == 0 {
+		return nil, fmt.Errorf("experiments: tracerun: no gap-free boxes in trace")
+	}
+	b := boxes[0]
+
+	ring := obs.NewRingExporter(4096)
+	jsonl := obs.NewJSONLExporter(out)
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(ring, jsonl))
+
+	cfg := fullATMConfig(spatial.MethodDTW, opts.SamplesPerDay)
+	cfg.Workers = opts.Workers
+	// One root span over run + actuation so the whole box-resize shares
+	// a single trace id and reassembles into one tree.
+	ctx, root := obs.StartSpan(ctx, "experiments.tracerun")
+	res, err := core.RunBoxContext(ctx, b, opts.SamplesPerDay, cfg)
+	if err != nil {
+		root.End()
+		return nil, fmt.Errorf("experiments: tracerun: %w", err)
+	}
+	reg := actuator.NewRegistry()
+	err = core.ApplyBox(ctx, reg, res)
+	root.End()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tracerun: %w", err)
+	}
+	if err := jsonl.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: tracerun: write spans: %w", err)
+	}
+
+	out2 := &TraceRunResult{
+		BoxID:         b.ID,
+		VMs:           len(b.VMs),
+		StageNS:       make(map[string]int64),
+		TicketsBefore: res.CPU.TicketsBefore + res.RAM.TicketsBefore,
+		TicketsAfter:  res.CPU.TicketsAfter + res.RAM.TicketsAfter,
+		Actuated:      len(reg.List()),
+	}
+	for _, s := range ring.Spans() {
+		out2.Spans++
+		out2.StageNS[s.Name] += s.DurationNS
+		if s.Name == "core.box" {
+			out2.RootNS = s.DurationNS
+		}
+	}
+	return out2, nil
+}
+
+// Render produces the per-stage latency table of the traced run.
+func (r *TraceRunResult) Render() *Table {
+	t := &Table{
+		Title:  "Traced box-resize — per-stage span durations",
+		Header: []string{"span", "total", "share of box"},
+	}
+	names := make([]string, 0, len(r.StageNS))
+	for n := range r.StageNS {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.StageNS[names[i]] > r.StageNS[names[j]] })
+	for _, n := range names {
+		d := time.Duration(r.StageNS[n])
+		share := "-"
+		if r.RootNS > 0 && n != "core.box" {
+			share = pct(float64(r.StageNS[n]) / float64(r.RootNS))
+		}
+		rounded := d.Round(10 * time.Microsecond)
+		if rounded == 0 {
+			rounded = d // keep tiny spans visible instead of "0s"
+		}
+		t.AddRow(n, rounded.String(), share)
+	}
+	t.AddNote("box %s: %d VMs, %d spans, tickets %d -> %d, %d cgroups actuated",
+		r.BoxID, r.VMs, r.Spans, r.TicketsBefore, r.TicketsAfter, r.Actuated)
+	t.AddNote("shares can exceed 100%% in total: concurrent spans (CPU+RAM resize) overlap the box span")
+	return t
+}

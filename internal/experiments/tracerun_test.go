@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atm/internal/obs"
+)
+
+// TestTraceRun checks the traced box-resize exports a complete,
+// well-formed span tree — every pipeline stage present with a non-zero
+// duration, every non-root span's parent resolvable, one trace id —
+// and that the JSONL dump round-trips.
+func TestTraceRun(t *testing.T) {
+	opts := Options{Boxes: 4, Seed: 3, Days: 6, SamplesPerDay: 32}
+	var buf bytes.Buffer
+	res, err := TraceRun(opts, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the JSONL dump back into spans.
+	var spans []obs.SpanData
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var s obs.SpanData
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != res.Spans {
+		t.Fatalf("JSONL has %d spans, summary says %d", len(spans), res.Spans)
+	}
+
+	byID := make(map[string]obs.SpanData, len(spans))
+	byName := make(map[string][]obs.SpanData)
+	traceID := ""
+	for _, s := range spans {
+		byID[s.SpanID] = s
+		byName[s.Name] = append(byName[s.Name], s)
+		if traceID == "" {
+			traceID = s.TraceID
+		} else if s.TraceID != traceID {
+			t.Errorf("span %s (%s) has trace %s, want %s", s.SpanID, s.Name, s.TraceID, traceID)
+		}
+		if s.DurationNS <= 0 {
+			t.Errorf("span %s has non-positive duration %d", s.Name, s.DurationNS)
+		}
+	}
+	// The full pipeline: search → temporal fit → reconstruct → resize
+	// (CPU and RAM) → actuate, under one box under one root.
+	for _, want := range []string{
+		"experiments.tracerun", "core.box", "core.predict", "spatial.search",
+		"spatial.cluster", "core.temporal_fit", "core.reconstruct",
+		"core.evaluate", "core.resize", "core.actuate",
+	} {
+		if len(byName[want]) == 0 {
+			t.Errorf("span %q missing from trace", want)
+		}
+	}
+	if got := len(byName["core.resize"]); got != 2 {
+		t.Errorf("core.resize spans = %d, want 2 (CPU and RAM)", got)
+	}
+	// Parent edges must resolve and reassemble into a single tree.
+	roots := 0
+	for _, s := range spans {
+		if s.ParentID == "" {
+			roots++
+			continue
+		}
+		if _, ok := byID[s.ParentID]; !ok {
+			t.Errorf("span %s (%s) has unresolvable parent %s", s.SpanID, s.Name, s.ParentID)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want 1", roots)
+	}
+	if res.TicketsBefore < 0 || res.TicketsAfter < 0 || res.Actuated != res.VMs {
+		t.Errorf("summary inconsistent: %+v", res)
+	}
+	table := res.Render().String()
+	if !strings.Contains(table, "core.box") || !strings.Contains(table, "cgroups actuated") {
+		t.Errorf("rendered table missing expected content:\n%s", table)
+	}
+}

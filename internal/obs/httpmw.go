@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush passes through to the underlying writer when it supports
+// streaming (pprof's trace endpoint flushes).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusClass buckets a status code into "2xx".."5xx".
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// InstrumentHandler wraps h with per-route HTTP metrics on the
+// registry: request count by method and status class, a latency
+// histogram, and an in-flight gauge. route is the metric label, not a
+// pattern — pass the normalized form (e.g. "/cgroups/:id") so
+// unbounded path cardinality never reaches the registry.
+func (r *Registry) InstrumentHandler(route string, h http.Handler) http.Handler {
+	requests := r.CounterVec("atm_http_requests_total",
+		"HTTP requests served, by route, method and status class.",
+		"route", "method", "status")
+	latency := r.HistogramVec("atm_http_request_seconds",
+		"HTTP request latency in seconds, by route.",
+		DefBuckets, "route").With(route)
+	inflight := r.GaugeVec("atm_http_inflight_requests",
+		"HTTP requests currently being served, by route.",
+		"route").With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		inflight.Inc()
+		defer inflight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, req)
+		latency.Observe(time.Since(start).Seconds())
+		requests.With(route, req.Method, statusClass(sw.code)).Inc()
+	})
+}
+
+// HealthzHandler reports liveness as JSON: {"status":"ok","uptime_seconds":...}.
+// It always returns 200 — the process answering at all is the health
+// signal for a daemon whose only state is in memory.
+func HealthzHandler(start time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
+	})
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInstrumentHandler checks the per-route middleware: request
+// counts by method and status class, the latency histogram, and the
+// in-flight gauge observed mid-request.
+func TestInstrumentHandler(t *testing.T) {
+	r := NewRegistry()
+	var sawInflight float64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		sawInflight = r.GaugeVec("atm_http_inflight_requests", "", "route").With("/cgroups/:id").Value()
+		if req.Method == http.MethodDelete {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200
+	})
+	h := r.InstrumentHandler("/cgroups/:id", inner)
+
+	for _, m := range []string{"GET", "GET", "DELETE"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(m, "/cgroups/vm-1", nil))
+	}
+
+	if sawInflight != 1 {
+		t.Errorf("in-flight during request = %v, want 1", sawInflight)
+	}
+	reqs := r.CounterVec("atm_http_requests_total", "", "route", "method", "status")
+	if got := reqs.With("/cgroups/:id", "GET", "2xx").Value(); got != 2 {
+		t.Errorf("GET 2xx = %v, want 2", got)
+	}
+	if got := reqs.With("/cgroups/:id", "DELETE", "4xx").Value(); got != 1 {
+		t.Errorf("DELETE 4xx = %v, want 1", got)
+	}
+	lat := r.HistogramVec("atm_http_request_seconds", "", nil, "route").With("/cgroups/:id")
+	if lat.Count() != 3 {
+		t.Errorf("latency observations = %d, want 3", lat.Count())
+	}
+	if got := r.GaugeVec("atm_http_inflight_requests", "", "route").With("/cgroups/:id").Value(); got != 0 {
+		t.Errorf("in-flight after requests = %v, want 0", got)
+	}
+}
+
+// TestStatusClass pins the class bucketing.
+func TestStatusClass(t *testing.T) {
+	cases := map[int]string{200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 99: "other", 700: "other"}
+	for code, want := range cases {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// TestHealthzHandler checks the liveness payload.
+func TestHealthzHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthzHandler(time.Now().Add(-time.Second)).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status = %q", body.Status)
+	}
+	if body.Uptime <= 0 {
+		t.Errorf("uptime = %v, want > 0", body.Uptime)
+	}
+	if !strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		t.Errorf("content type = %q", rec.Header().Get("Content-Type"))
+	}
+}

@@ -1,0 +1,447 @@
+// Package obs is ATM's zero-dependency observability layer: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) exposed in the Prometheus text format, a lightweight
+// hierarchical tracer with pluggable exporters, and HTTP middleware
+// for the actuation daemon. The paper operates its controller with
+// ad-hoc logging; a production deployment resizing live VMs every
+// prediction window needs first-class visibility into prediction
+// latency, resize decisions and actuation failures, which is what this
+// package provides to every other layer.
+//
+// All instrumented packages register their metrics against the
+// process-wide Default registry at init; scraping `/metrics` on atmd
+// (or mounting Handler anywhere) therefore sees the whole pipeline —
+// DTW pruning ratios, VIF eliminations, greedy heap pops, worker-pool
+// latency, ticket counts — without any wiring.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// microsecond-scale inner kernels (one DTW pair) through second-scale
+// whole-pipeline stages (a full-box predict + resize).
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metricType discriminates the registered metric families.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricType(%d)", int(t))
+	}
+}
+
+// atomicFloat is a float64 with atomic add/load/store, the shared
+// storage cell of counters and gauges.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(d float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	val atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.val.Add(1) }
+
+// Add adds d, which must be non-negative (negative deltas are a
+// programmer error; they are silently dropped to keep counters
+// monotone rather than panicking on a hot path).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	c.val.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.val.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	val atomicFloat
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.val.Store(v) }
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d float64) { g.val.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.val.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.val.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.val.Load() }
+
+// Histogram accumulates observations into a fixed cumulative bucket
+// layout (Prometheus histogram semantics: bucket upper bounds are
+// inclusive, an implicit +Inf bucket catches everything).
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); the linear scan beats binary search at
+	// this size and is branch-predictor friendly for clustered values.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// child is the union of the three metric kinds inside a family.
+type child struct {
+	labels []string // label values, in family label-name order
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one registered metric name: its metadata plus the children
+// keyed by label values.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histogramType only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// labelKey joins label values with an unprintable separator.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.children[key]; ok {
+		return ch
+	}
+	ch := &child{labels: append([]string(nil), values...)}
+	switch f.typ {
+	case counterType:
+		ch.c = &Counter{}
+	case gaugeType:
+		ch.g = &Gauge{}
+	case histogramType:
+		ch.h = &Histogram{
+			upper:  f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	f.children[key] = ch
+	return ch
+}
+
+// Registry is a concurrency-safe collection of metric families. The
+// zero value is not usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry instrumented packages
+// register against at init.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// family registers (or fetches, idempotently) a metric family.
+// Re-registering an existing name with a different type or label set
+// panics: two packages claiming one metric name with incompatible
+// shapes is a programmer error that would silently corrupt exposition.
+func (r *Registry) family(name, help string, typ metricType, buckets []float64, labels []string) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %v, was %v", name, typ, f.typ))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v", name, labels, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	if typ == histogramType {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("obs: metric %s has unsorted buckets", name))
+		}
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, counterType, nil, nil).child(nil).c
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, gaugeType, nil, nil).child(nil).g
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the
+// given bucket upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, histogramType, buckets, nil).child(nil).h
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ fam *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, counterType, nil, labels)}
+}
+
+// With returns the child counter for the label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.fam.child(values).c }
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, gaugeType, nil, labels)}
+}
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.fam.child(values).g }
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct{ fam *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family with
+// the given buckets (nil selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.family(name, help, histogramType, buckets, labels)}
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.fam.child(values).h }
+
+// formatValue renders a sample value the way the Prometheus text
+// format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP line.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {k="v",...} for names+values, with extra
+// appended verbatim (used for the le label). Empty input renders
+// nothing.
+func labelString(names, values []string, extra string) string {
+	if len(names) == 0 && extra == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4). Families and children are sorted
+// by name and label values, so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ch := range children {
+			switch f.typ {
+			case counterType:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, labelString(f.labels, ch.labels, ""), formatValue(ch.c.Value()))
+			case gaugeType:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, labelString(f.labels, ch.labels, ""), formatValue(ch.g.Value()))
+			case histogramType:
+				h := ch.h
+				var cum uint64
+				for i, ub := range h.upper {
+					cum += h.counts[i].Load()
+					le := `le="` + formatValue(ub) + `"`
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.labels, le), cum)
+				}
+				cum += h.counts[len(h.upper)].Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, labelString(f.labels, ch.labels, ""), formatValue(h.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, labelString(f.labels, ch.labels, ""), h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing more to do.
+			return
+		}
+	})
+}
+
+// Handler serves the Default registry in the Prometheus text format —
+// the `/metrics` endpoint of atmd and anything else that mounts it.
+func Handler() http.Handler { return defaultRegistry.Handler() }
+
+// Since returns the elapsed seconds since start — the unit every
+// latency histogram in this package uses.
+func Since(start time.Time) float64 { return time.Since(start).Seconds() }

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// run under -race it proves the registry, vecs and all three metric
+// kinds are safe for concurrent registration and update.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("c_total", "counter")
+			gv := r.GaugeVec("g", "gauge", "who")
+			h := r.Histogram("h_seconds", "histogram", []float64{0.1, 1})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				gv.With("a").Add(1)
+				gv.With("b").Add(-1)
+				h.Observe(float64(i%3) / 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "counter").Value(); got != goroutines*perG {
+		t.Errorf("counter = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.GaugeVec("g", "gauge", "who").With("a").Value(); got != goroutines*perG {
+		t.Errorf("gauge a = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("h_seconds", "histogram", nil).Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %v, want %d", got, goroutines*perG)
+	}
+}
+
+// TestCounterMonotone verifies negative adds are dropped.
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(3)
+	c.Add(-2)
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+}
+
+// TestHistogramBuckets pins the inclusive upper-bound semantics: a
+// value equal to a bound lands in that bucket, one just above lands in
+// the next, and everything past the last bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.000001, 2, 5, 5.1, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 2} // (≤1)=0.5,1  (≤2)=1.000001,2  (≤5)=5  (+Inf)=5.1,100
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.000001+2+5+5.1+100; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition: sorted
+// families, sorted children, cumulative histogram buckets with +Inf,
+// and label escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("atm_a_total", "A counter.").Add(3)
+	v := r.CounterVec("atm_b_total", "A labeled counter.", "route", "status")
+	v.With("/cgroups/:id", "2xx").Add(2)
+	v.With(`q"u\o`+"\n"+`te`, "5xx").Inc()
+	r.Gauge("atm_g", "A gauge.").Set(-1.5)
+	h := r.Histogram("atm_h_seconds", "A histogram.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP atm_a_total A counter.
+# TYPE atm_a_total counter
+atm_a_total 3
+# HELP atm_b_total A labeled counter.
+# TYPE atm_b_total counter
+atm_b_total{route="/cgroups/:id",status="2xx"} 2
+atm_b_total{route="q\"u\\o\nte",status="5xx"} 1
+# HELP atm_g A gauge.
+# TYPE atm_g gauge
+atm_g -1.5
+# HELP atm_h_seconds A histogram.
+# TYPE atm_h_seconds histogram
+atm_h_seconds_bucket{le="0.5"} 1
+atm_h_seconds_bucket{le="1"} 2
+atm_h_seconds_bucket{le="+Inf"} 3
+atm_h_seconds_sum 3
+atm_h_seconds_count 3
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestRegistryHandler round-trips the exposition over HTTP with the
+// expected content type.
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestFamilyReuse checks idempotent re-registration and the panic on a
+// type clash.
+func TestFamilyReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "first")
+	b := r.Counter("same_total", "second help ignored")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type clash")
+		}
+	}()
+	r.Gauge("same_total", "clash")
+}

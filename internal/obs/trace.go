@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is the exported record of one finished span. Parent/child
+// edges are carried by IDs so a flat JSON-lines dump reassembles into
+// the span tree.
+type SpanData struct {
+	// TraceID groups every span of one logical operation (e.g. one
+	// box-resize through the whole pipeline).
+	TraceID string `json:"trace_id"`
+	// SpanID identifies this span within the process.
+	SpanID string `json:"span_id"`
+	// ParentID is the enclosing span's SpanID; empty for roots.
+	ParentID string `json:"parent_id,omitempty"`
+	// Name is the operation name (e.g. "spatial.search").
+	Name string `json:"name"`
+	// Start is the span's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationNS is the span's duration in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Attrs carries span attributes (box id, series count, ...).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Duration returns the span duration.
+func (s SpanData) Duration() time.Duration { return time.Duration(s.DurationNS) }
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use: spans end on whatever goroutine ran the work.
+type Exporter interface {
+	ExportSpan(SpanData)
+}
+
+// Tracer creates spans and fans finished spans out to its exporters.
+// A nil *Tracer is valid and produces no-op spans, so instrumented
+// code never branches on "is tracing on".
+type Tracer struct {
+	exporters []Exporter
+	ids       atomic.Uint64
+}
+
+// NewTracer returns a tracer exporting to the given exporters.
+func NewTracer(exporters ...Exporter) *Tracer {
+	return &Tracer{exporters: exporters}
+}
+
+func (t *Tracer) nextID() string {
+	return fmt.Sprintf("%016x", t.ids.Add(1))
+}
+
+// Span is one in-flight operation. All methods are safe on a nil
+// receiver (the no-tracer case) and after End (later calls are
+// dropped).
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	data  SpanData
+	start time.Time // monotonic-clock anchor for the duration
+	ended bool
+}
+
+// ctxKey keys the tracer and current span in a context.
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context carrying the tracer; StartSpan calls
+// under it produce real spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan begins a span named name under the context's current span
+// (a root span if there is none) and returns a derived context
+// carrying the new span. Without a tracer in the context it returns
+// the context unchanged and a nil span, whose methods are all no-ops —
+// tracing costs one context lookup when disabled.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t, start: time.Now()}
+	s.data.Name = name
+	s.data.Start = s.start
+	s.data.SpanID = t.nextID()
+	if parent := SpanFrom(ctx); parent != nil {
+		parent.mu.Lock()
+		s.data.TraceID = parent.data.TraceID
+		s.data.ParentID = parent.data.SpanID
+		parent.mu.Unlock()
+	} else {
+		s.data.TraceID = t.nextID()
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttr attaches an attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]any)
+	}
+	s.data.Attrs[key] = value
+}
+
+// End finishes the span and exports it. Safe to call once; later calls
+// are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.DurationNS = int64(time.Since(s.start))
+	data := s.data
+	tracer := s.tracer
+	s.mu.Unlock()
+	for _, e := range tracer.exporters {
+		e.ExportSpan(data)
+	}
+}
+
+// RingExporter keeps the most recent finished spans in a fixed-size
+// ring buffer — the in-memory view a debugging session or test reads
+// back.
+type RingExporter struct {
+	mu    sync.Mutex
+	buf   []SpanData
+	next  int
+	total int
+}
+
+// NewRingExporter returns a ring holding up to capacity spans
+// (capacity < 1 is clamped to 1).
+func NewRingExporter(capacity int) *RingExporter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingExporter{buf: make([]SpanData, capacity)}
+}
+
+// ExportSpan implements Exporter.
+func (r *RingExporter) ExportSpan(s SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *RingExporter) Spans() []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]SpanData, 0, n)
+	start := (r.next - n + len(r.buf)) % len(r.buf)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns how many spans were ever exported to the ring.
+func (r *RingExporter) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONLExporter writes each finished span as one JSON line — the
+// file-dump format `atmbench -trace` emits and external span viewers
+// ingest.
+type JSONLExporter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLExporter returns an exporter writing JSON lines to w.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{enc: json.NewEncoder(w)}
+}
+
+// ExportSpan implements Exporter.
+func (e *JSONLExporter) ExportSpan(s SpanData) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	e.err = e.enc.Encode(s)
+}
+
+// Err returns the first write error, if any.
+func (e *JSONLExporter) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -14,7 +14,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"atm/internal/obs"
 )
+
+// Pool metrics. Per-task timing is sampled (every taskSample-th item)
+// so the instrumentation stays invisible on microsecond-scale tasks
+// like single DTW pairs; batch latency and queue depth are exact.
+var (
+	poolBatches = obs.Default().Counter("atm_pool_batches_total",
+		"Worker-pool invocations (ForEach/ForEachWorker/Map batches).")
+	poolTasks = obs.Default().Counter("atm_pool_tasks_total",
+		"Tasks admitted to the worker pool.")
+	poolQueueDepth = obs.Default().Gauge("atm_pool_queue_depth",
+		"Tasks admitted to the worker pool whose batch has not yet finished.")
+	poolBatchSeconds = obs.Default().Histogram("atm_pool_batch_seconds",
+		"Wall-clock latency of one worker-pool batch.", nil)
+	poolTaskSeconds = obs.Default().Histogram("atm_pool_task_seconds",
+		"Per-task wall-clock latency, sampled every 64th task.", nil)
+)
+
+// taskSample is the per-task timing sampling interval (a power of two
+// so the check is one mask).
+const taskSample = 64
 
 // config carries resolved pool options.
 type config struct {
@@ -75,11 +98,29 @@ func ForEachWorker(n int, fn func(worker, i int) error, opts ...Option) error {
 	if n <= 0 {
 		return nil
 	}
+	poolBatches.Inc()
+	poolTasks.Add(float64(n))
+	poolQueueDepth.Add(float64(n))
+	batchStart := time.Now()
+	defer func() {
+		poolQueueDepth.Add(-float64(n))
+		poolBatchSeconds.Observe(time.Since(batchStart).Seconds())
+	}()
+	// run wraps fn with sampled per-task timing.
+	run := func(w, i int) error {
+		if i%taskSample != 0 {
+			return fn(w, i)
+		}
+		start := time.Now()
+		err := fn(w, i)
+		poolTaskSeconds.Observe(time.Since(start).Seconds())
+		return err
+	}
 	workers := resolve(n, opts)
 	if workers == 1 {
 		// Inline fast path: no goroutines, deterministic order.
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			if err := run(0, i); err != nil {
 				return err
 			}
 		}
@@ -98,7 +139,7 @@ func ForEachWorker(n int, fn func(worker, i int) error, opts ...Option) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(w, i); err != nil {
+				if err := run(w, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}

@@ -6,7 +6,20 @@ import (
 	"math"
 
 	"atm/internal/linalg"
+	"atm/internal/obs"
 	"atm/internal/timeseries"
+)
+
+// Stepwise-elimination metrics: how many signature candidates the
+// VIF step actually removes, and how often degenerate input pushes a
+// call off the Gram-cached fast path onto the naive O(T·p³) sweep (a
+// spike there means the workload is feeding collinear or constant
+// series and the advertised speedup is gone).
+var (
+	vifEliminations = obs.Default().Counter("atm_vif_eliminations_total",
+		"Series removed by stepwise VIF backward elimination.")
+	vifFallbacks = obs.Default().Counter("atm_vif_fallbacks_total",
+		"VIF/StepwiseVIF calls that fell back to the naive path on degenerate input.")
 )
 
 // DefaultVIFCutoff is the rule-of-practice threshold above which a
@@ -38,6 +51,7 @@ func VIF(series []timeseries.Series) ([]float64, error) {
 	}
 	st, ok := newVIFState(series)
 	if !ok {
+		vifFallbacks.Inc()
 		return VIFNaive(series)
 	}
 	out := make([]float64, p)
@@ -70,7 +84,10 @@ func StepwiseVIF(series []timeseries.Series, cutoff float64) (keep, removed []in
 	}
 	st, ok := newVIFState(series)
 	if !ok {
-		return StepwiseVIFNaive(series, cutoff)
+		vifFallbacks.Inc()
+		keep, removed, err = StepwiseVIFNaive(series, cutoff)
+		vifEliminations.Add(float64(len(removed)))
+		return keep, removed, err
 	}
 	idx := make([]int, len(series))
 	for i := range idx {
@@ -95,6 +112,7 @@ func StepwiseVIF(series []timeseries.Series, cutoff float64) (keep, removed []in
 		idx = append(idx[:worst], idx[worst+1:]...)
 		a = downdateInverse(a, worst)
 	}
+	vifEliminations.Add(float64(len(removed)))
 	return idx, removed, nil
 }
 

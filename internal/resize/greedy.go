@@ -4,6 +4,22 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"atm/internal/obs"
+)
+
+// Solver metrics: descent steps (heap pops) per greedy solve expose
+// how far over capacity the boxes start, and repair moves show how
+// much the promotion/exchange pass reinvests. Counters are bumped once
+// per solve with locally accumulated totals, so the descent loop stays
+// allocation- and atomic-free.
+var (
+	greedySolves = obs.Default().Counter("atm_resize_greedy_solves_total",
+		"MCKP greedy solves completed.")
+	greedyHeapPops = obs.Default().Counter("atm_resize_heap_pops_total",
+		"Hull-edge heap pops during greedy descents.")
+	repairMoves = obs.Default().Counter("atm_resize_repair_moves_total",
+		"Promotion/exchange repair moves applied after descents.")
 )
 
 // Greedy solves the MCKP with the paper's minimal-algorithm-style
@@ -70,6 +86,7 @@ func (p *Problem) Greedy() (Allocation, error) {
 	}
 	heap.Init(&h)
 
+	pops := 0
 	for total > capTol {
 		if h.Len() == 0 {
 			// No VM can step down; feasibility was checked, so this
@@ -77,6 +94,7 @@ func (p *Problem) Greedy() (Allocation, error) {
 			return Allocation{}, fmt.Errorf("stuck at total %v: %w", total, ErrInfeasible)
 		}
 		e := heap.Pop(&h).(hullEdge)
+		pops++
 		i := e.vm
 		total -= cand[i][pos[i]] - cand[i][e.target]
 		pos[i] = e.target
@@ -88,6 +106,8 @@ func (p *Problem) Greedy() (Allocation, error) {
 	}
 
 	p.repair(cand, pen, pos, total)
+	greedySolves.Inc()
+	greedyHeapPops.Add(float64(pops))
 
 	sizes := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -175,6 +195,8 @@ func (h *edgeHeap) Pop() any {
 func (p *Problem) repair(cand [][]float64, pen [][]int, pos []int, total float64) {
 	n := len(pos)
 	tol := 1e-9 * math.Max(1, p.Capacity)
+	moves := 0
+	defer func() { repairMoves.Add(float64(moves)) }()
 	for {
 		slack := p.Capacity - total
 		bestGain := 0
@@ -217,6 +239,7 @@ func (p *Problem) repair(cand [][]float64, pen [][]int, pos []int, total float64
 		}
 		total += cand[bestPromote][pos[bestPromote]-1] - cand[bestPromote][pos[bestPromote]]
 		pos[bestPromote]--
+		moves++
 	}
 }
 

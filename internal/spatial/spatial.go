@@ -10,11 +10,13 @@
 package spatial
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"atm/internal/cluster"
+	"atm/internal/obs"
 	"atm/internal/regress"
 	"atm/internal/timeseries"
 )
@@ -123,14 +125,26 @@ var ErrNoSeries = errors.New("spatial: no series")
 // Search runs the two-step signature-set search on the box's series and
 // fits the spatial models of every dependent series (paper Fig. 4).
 func Search(series []timeseries.Series, cfg Config) (*Model, error) {
+	return SearchContext(context.Background(), series, cfg)
+}
+
+// SearchContext is Search with tracing: when the context carries an
+// obs.Tracer, the search emits a "spatial.search" span with child
+// spans for the clustering step, the stepwise VIF elimination, and the
+// dependent fits. Without a tracer it behaves exactly like Search.
+func SearchContext(ctx context.Context, series []timeseries.Series, cfg Config) (_ *Model, err error) {
 	n := len(series)
 	if n == 0 {
 		return nil, ErrNoSeries
 	}
+	ctx, span := obs.StartSpan(ctx, "spatial.search")
+	defer span.End()
+	span.SetAttr("series", n)
+	span.SetAttr("method", cfg.Method.String())
 
 	// Step 1: time series clustering.
 	var res cluster.Result
-	var err error
+	_, cspan := obs.StartSpan(ctx, "spatial.cluster")
 	switch cfg.Method {
 	case MethodDTW:
 		if cfg.DTWApprox {
@@ -143,8 +157,11 @@ func Search(series []timeseries.Series, cfg Config) (*Model, error) {
 	case MethodFeatures:
 		res, err = cluster.FeatureSearch(series, cfg.Period)
 	default:
+		cspan.End()
 		return nil, fmt.Errorf("spatial: unknown method %v", cfg.Method)
 	}
+	cspan.SetAttr("clusters", res.K)
+	cspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("spatial: step-1 clustering: %w", err)
 	}
@@ -158,11 +175,14 @@ func Search(series []timeseries.Series, cfg Config) (*Model, error) {
 	// Step 2: multicollinearity removal via VIF + stepwise regression.
 	final := append([]int(nil), res.Signatures...)
 	if !cfg.SkipStepwise && len(final) >= 2 {
+		_, sspan := obs.StartSpan(ctx, "spatial.stepwise_vif")
 		sigSeries := make([]timeseries.Series, len(final))
 		for i, idx := range final {
 			sigSeries[i] = series[idx]
 		}
-		keep, _, err := regress.StepwiseVIF(sigSeries, cfg.vifCutoff())
+		keep, removed, err := regress.StepwiseVIF(sigSeries, cfg.vifCutoff())
+		sspan.SetAttr("eliminated", len(removed))
+		sspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("spatial: step-2 stepwise: %w", err)
 		}
@@ -174,8 +194,11 @@ func Search(series []timeseries.Series, cfg Config) (*Model, error) {
 	}
 	sort.Ints(final)
 	m.Signatures = final
+	span.SetAttr("signatures", len(final))
 
 	// Fit every dependent on the final signature set.
+	_, fspan := obs.StartSpan(ctx, "spatial.fit_dependents")
+	defer fspan.End()
 	sigSeries := make([]timeseries.Series, len(final))
 	isSig := make(map[int]bool, len(final))
 	for i, idx := range final {
@@ -203,6 +226,7 @@ func Search(series []timeseries.Series, cfg Config) (*Model, error) {
 		}
 		m.Dependents[i] = fit
 	}
+	fspan.SetAttr("dependents", len(m.Dependents))
 	return m, nil
 }
 
