@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench microbench tracebench
+.PHONY: build vet test race verify cover bench resizebench microbench tracebench chaos
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/resilience/... ./internal/actuator/...
 
 verify: build vet test race
+
+# Fault-injection suite under the race detector: retry/breaker state
+# machines, chaos transport, transactional apply/rollback and the
+# degraded pipeline. All fault schedules are seeded, so this is
+# deterministic — a failure here is a real bug, not flake.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Flaky|Breaker|Retry|Apply|Partial|Rollback|Degraded|Panic' ./internal/resilience/... ./internal/actuator/... ./internal/core/... ./internal/parallel/...
 
 # Full-suite coverage profile plus the total percentage on stdout; CI
 # uploads coverage.out as an artifact.

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"atm/internal/actuator"
+	"atm/internal/core"
+	"atm/internal/predict"
+	"atm/internal/resilience"
+	"atm/internal/spatial"
+	"atm/internal/trace"
+)
+
+// applyOpts carries the actuation flags of the apply subcommand.
+type applyOpts struct {
+	daemon           string
+	retries          int
+	breakerThreshold int
+	timeout          time.Duration
+	threshold        float64
+}
+
+// applyRun runs the ATM pipeline over the whole trace in degraded mode
+// and pushes every box's resize decision to the hypervisor daemon
+// through the retried, breaker-guarded client. Boxes whose models fail
+// ship the stingy fallback; boxes whose actuation fails partway are
+// rolled back to their pre-push limits. The exit status is 0 only when
+// no box was left un-actuated or dirty.
+func applyRun(tr *trace.Trace, o applyOpts) {
+	if o.daemon == "" {
+		fmt.Fprintln(os.Stderr, "atmcli: apply requires -daemon")
+		os.Exit(2)
+	}
+	spd := tr.SamplesPerDay
+	cfg := core.Config{
+		Spatial:  spatial.Config{Method: spatial.MethodCBC},
+		Temporal: func() predict.Model { return &predict.SeasonalNaive{Period: spd} },
+		// Train on all but the last day, resize over that day.
+		TrainWindows:   (tr.Days - 1) * spd,
+		Horizon:        spd,
+		Threshold:      o.threshold,
+		Epsilon:        5,
+		UseLowerBounds: true,
+		Degraded:       true,
+	}
+	boxes := make([]*trace.Box, len(tr.Boxes))
+	for i := range tr.Boxes {
+		boxes[i] = &tr.Boxes[i]
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	results, runErr := core.RunContext(ctx, boxes, spd, cfg)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "atmcli: degraded boxes:\n%v\n", runErr)
+	}
+
+	rc := actuator.NewResilient(actuator.NewClient(o.daemon, nil), actuator.ResilientConfig{
+		Retry:   resilience.Policy{MaxAttempts: o.retries},
+		Breaker: resilience.BreakerConfig{FailureThreshold: o.breakerThreshold},
+	})
+
+	var applied, degraded, rolledBack, failed int
+	for _, res := range results {
+		if res == nil {
+			failed++
+			continue
+		}
+		if res.Degraded {
+			degraded++
+		}
+		err := core.ApplyBox(ctx, rc, res)
+		var pe *core.PartialApplyError
+		switch {
+		case err == nil:
+			applied++
+		case errors.As(err, &pe) && pe.RolledBackClean():
+			rolledBack++
+			fmt.Fprintf(os.Stderr, "atmcli: %s rolled back: %v\n", res.Box.ID, err)
+		default:
+			failed++
+			fmt.Fprintf(os.Stderr, "atmcli: %s FAILED: %v\n", res.Box.ID, err)
+		}
+	}
+	fmt.Printf("applied %d/%d boxes (%d degraded to stingy fallback), %d rolled back, %d failed; breaker %v\n",
+		applied, len(results), degraded, rolledBack, failed, rc.Breaker().State())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

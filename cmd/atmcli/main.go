@@ -1,12 +1,16 @@
-// Command atmcli inspects a trace CSV (as written by tracegen): fleet
-// statistics, per-box ticket breakdowns and culprit VMs — the
-// first-response tooling an operator would want next to ATM.
+// Command atmcli inspects a trace CSV (as written by tracegen) and
+// drives resize decisions into a hypervisor daemon: fleet statistics,
+// per-box ticket breakdowns, culprit VMs, and a fault-tolerant apply
+// round — the first-response tooling an operator would want next to
+// ATM.
 //
 // Usage:
 //
-//	atmcli stats   -trace trace.csv [-threshold 0.6]
-//	atmcli box     -trace trace.csv -id box-0003 [-threshold 0.6]
+//	atmcli stats    -trace trace.csv [-threshold 0.6]
+//	atmcli box      -trace trace.csv -id box-0003 [-threshold 0.6]
 //	atmcli culprits -trace trace.csv [-threshold 0.6] [-top 10]
+//	atmcli apply    -trace trace.csv -daemon http://host:8023 [-retries 4]
+//	                [-breaker-threshold 5] [-timeout 10m] [-threshold 0.6]
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"atm/internal/ticket"
 	"atm/internal/timeseries"
@@ -30,6 +35,10 @@ func main() {
 	threshold := fs.Float64("threshold", 0.6, "ticket threshold")
 	boxID := fs.String("id", "", "box id (for 'box')")
 	top := fs.Int("top", 10, "number of rows (for 'culprits')")
+	daemon := fs.String("daemon", "", "hypervisor daemon base URL (for 'apply')")
+	retries := fs.Int("retries", 4, "SetLimits attempts per VM (for 'apply')")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures before the circuit opens (for 'apply')")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline for the apply round (for 'apply')")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -54,13 +63,21 @@ func main() {
 		boxDetail(tr, *boxID, *threshold)
 	case "culprits":
 		culprits(tr, *threshold, *top)
+	case "apply":
+		applyRun(tr, applyOpts{
+			daemon:           *daemon,
+			retries:          *retries,
+			breakerThreshold: *breakerThreshold,
+			timeout:          *timeout,
+			threshold:        *threshold,
+		})
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: atmcli <stats|box|culprits> -trace file.csv [flags]")
+	fmt.Fprintln(os.Stderr, "usage: atmcli <stats|box|culprits|apply> -trace file.csv [flags]")
 	os.Exit(2)
 }
 

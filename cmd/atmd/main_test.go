@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -87,5 +88,58 @@ func TestPprofGate(t *testing.T) {
 	defer on.Close()
 	if code, body := get(t, on.Client(), on.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof enabled: status %d body %q", code, body)
+	}
+}
+
+// TestDaemonRejectsBadLimits drives hostile PUT bodies through the
+// production mux: anything that is not a finite positive limit pair
+// must come back 400 with a JSON error object, and must not create the
+// cgroup.
+func TestDaemonRejectsBadLimits(t *testing.T) {
+	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), false, time.Now()))
+	defer srv.Close()
+	client := srv.Client()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"negative cpu", `{"cpu_ghz": -1, "ram_gb": 4}`},
+		{"negative ram", `{"cpu_ghz": 1, "ram_gb": -4}`},
+		{"zero cpu", `{"cpu_ghz": 0, "ram_gb": 4}`},
+		{"zero ram", `{"cpu_ghz": 1, "ram_gb": 0}`},
+		{"missing fields", `{}`},
+		{"inf cpu", `{"cpu_ghz": 1e999, "ram_gb": 4}`},
+		{"nan literal", `{"cpu_ghz": NaN, "ram_gb": 4}`},
+		{"not json", `cpu=1`},
+		{"wrong types", `{"cpu_ghz": "two", "ram_gb": 4}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodPut, srv.URL+"/cgroups/vm-bad",
+				strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatalf("PUT: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			var msg map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil || msg["error"] == "" {
+				t.Errorf("body not a JSON error object: %v %v", msg, err)
+			}
+		})
+	}
+	// None of the rejected bodies may have created the cgroup.
+	if code, _ := get(t, client, srv.URL+"/cgroups/vm-bad"); code != http.StatusNotFound {
+		t.Fatalf("rejected PUT created the cgroup: GET status %d", code)
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"atm/internal/obs"
@@ -37,13 +39,14 @@ type Client struct {
 }
 
 // NewClient returns a client for the daemon at base (e.g.
-// "http://hypervisor-7:8080"). httpClient may be nil to use a default
-// client with DefaultTimeout.
+// "http://hypervisor-7:8080"). Trailing slashes on base are stripped,
+// so path joins never emit "//cgroups/...". httpClient may be nil to
+// use a default client with DefaultTimeout.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
-	return &Client{base: base, http: httpClient}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
 
 // instrumented wraps one daemon call with latency/outcome metrics and
@@ -67,6 +70,7 @@ func (c *Client) instrumented(ctx context.Context, op, id string, fn func(ctx co
 }
 
 // SetLimits creates or updates a VM cgroup's limits on the daemon.
+// Failures are *Error values classified transient/terminal.
 func (c *Client) SetLimits(ctx context.Context, id string, l Limits) error {
 	return c.instrumented(ctx, "set_limits", id, func(ctx context.Context) error {
 		body, err := json.Marshal(l)
@@ -80,11 +84,11 @@ func (c *Client) SetLimits(ctx context.Context, id string, l Limits) error {
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return fmt.Errorf("actuator: put %s: %w", id, err)
+			return &Error{Op: "set_limits", ID: id, Err: err}
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusNoContent {
-			return fmt.Errorf("actuator: put %s: %s", id, readError(resp))
+			return &Error{Op: "set_limits", ID: id, Status: resp.StatusCode, Err: errors.New(readBody(resp))}
 		}
 		return nil
 	})
@@ -100,15 +104,15 @@ func (c *Client) GetLimits(ctx context.Context, id string) (Limits, error) {
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return fmt.Errorf("actuator: get %s: %w", id, err)
+			return &Error{Op: "get_limits", ID: id, Err: err}
 		}
 		defer resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
 		case http.StatusNotFound:
-			return fmt.Errorf("%q: %w", id, ErrNotFound)
+			return &Error{Op: "get_limits", ID: id, Status: resp.StatusCode, Err: fmt.Errorf("%q: %w", id, ErrNotFound)}
 		default:
-			return fmt.Errorf("actuator: get %s: %s", id, readError(resp))
+			return &Error{Op: "get_limits", ID: id, Status: resp.StatusCode, Err: errors.New(readBody(resp))}
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
 			return fmt.Errorf("actuator: decode limits: %w", err)
@@ -131,11 +135,11 @@ func (c *Client) ListLimits(ctx context.Context) (map[string]Limits, error) {
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return fmt.Errorf("actuator: list: %w", err)
+			return &Error{Op: "list_limits", Err: err}
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("actuator: list: %s", readError(resp))
+			return &Error{Op: "list_limits", Status: resp.StatusCode, Err: errors.New(readBody(resp))}
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			return fmt.Errorf("actuator: decode list: %w", err)
@@ -157,11 +161,11 @@ func (c *Client) DeleteGroup(ctx context.Context, id string) error {
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return fmt.Errorf("actuator: delete %s: %w", id, err)
+			return &Error{Op: "delete_group", ID: id, Err: err}
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusNoContent {
-			return fmt.Errorf("actuator: delete %s: %s", id, readError(resp))
+			return &Error{Op: "delete_group", ID: id, Status: resp.StatusCode, Err: errors.New(readBody(resp))}
 		}
 		return nil
 	})
@@ -171,7 +175,9 @@ func (c *Client) groupURL(id string) string {
 	return c.base + "/cgroups/" + url.PathEscape(id)
 }
 
-func readError(resp *http.Response) string {
+// readBody returns a trimmed prefix of the response body — the
+// daemon's error text — for embedding in a typed Error.
+func readBody(resp *http.Response) string {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-	return fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	return string(bytes.TrimSpace(b))
 }

@@ -1,0 +1,93 @@
+package actuator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Classification sentinels. Every *Error matches exactly one of them
+// under errors.Is, so callers write retry/breaker policy without
+// inspecting status codes:
+//
+//	errors.Is(err, actuator.ErrTransient)  // worth retrying
+//	errors.Is(err, actuator.ErrTerminal)   // the request itself is wrong
+var (
+	// ErrTransient marks failures of the path to the daemon — transport
+	// errors, timeouts, 5xx and 429 responses. Retrying may succeed.
+	ErrTransient = errors.New("actuator: transient failure")
+	// ErrTerminal marks failures of the request itself — 4xx responses
+	// and caller-initiated cancellation. Retrying the same request
+	// cannot succeed.
+	ErrTerminal = errors.New("actuator: terminal failure")
+)
+
+// Error is the typed failure every Client method returns, carrying
+// enough structure for retry and breaker policy: the operation, the
+// cgroup id, the HTTP status (0 when the transport failed before a
+// status arrived) and the underlying cause.
+type Error struct {
+	// Op is the daemon operation: set_limits, get_limits, list_limits
+	// or delete_group.
+	Op string
+	// ID is the cgroup id, empty for list_limits.
+	ID string
+	// Status is the HTTP status code, 0 for transport-level failures.
+	Status int
+	// Err is the underlying cause (a transport error, or the daemon's
+	// error body).
+	Err error
+}
+
+func (e *Error) Error() string {
+	target := e.ID
+	if target == "" {
+		target = "daemon"
+	}
+	if e.Status != 0 {
+		return fmt.Sprintf("actuator: %s %s: status %d: %v", e.Op, target, e.Status, e.Err)
+	}
+	return fmt.Sprintf("actuator: %s %s: %v", e.Op, target, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is classifies the error against the sentinels; other targets fall
+// through to the wrapped cause via Unwrap (so errors.Is(err,
+// ErrNotFound) keeps working on a 404 Get).
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrTransient:
+		return e.retryable()
+	case ErrTerminal:
+		return !e.retryable()
+	}
+	return false
+}
+
+// retryable classifies: transport failures and 5xx/429/408 responses
+// are transient; everything else (4xx, cancellation) is terminal.
+func (e *Error) retryable() bool {
+	if e.Status == 0 {
+		return !errors.Is(e.Err, context.Canceled)
+	}
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusRequestTimeout:
+		return true
+	}
+	return e.Status >= 500
+}
+
+// IsRetryable reports whether err is worth retrying. Actuator-typed
+// errors carry their own classification; unknown errors default to
+// retryable unless the caller itself canceled — a bare transport error
+// from an interposed RoundTripper must not be mistaken for a terminal
+// response.
+func IsRetryable(err error) bool {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.retryable()
+	}
+	return !errors.Is(err, context.Canceled)
+}

@@ -1,0 +1,65 @@
+package actuator
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+)
+
+// Setter is the daemon-facing mutation interface shared by Registry,
+// Client, Resilient and FlakySetter (and re-exported by core as
+// LimitSetter).
+type Setter interface {
+	SetLimits(ctx context.Context, id string, l Limits) error
+}
+
+// FlakySetter injects deterministic, seeded failures in front of a
+// real Setter — the in-memory counterpart of resilience.ChaosTransport
+// for tests that exercise retry and rollback without an HTTP hop.
+// Injected failures are transient *Error values (503), so retry
+// policies treat them like a daemon mid-restart.
+type FlakySetter struct {
+	target Setter
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	prob     float64
+	calls    int
+	failures int
+}
+
+// NewFlakySetter wraps target, failing each SetLimits call with
+// probability prob under the seeded schedule.
+func NewFlakySetter(target Setter, prob float64, seed int64) *FlakySetter {
+	return &FlakySetter{
+		target: target,
+		prob:   prob,
+		rng:    rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x5851f42d4c957f2d)),
+	}
+}
+
+// SetLimits forwards to the target unless the schedule injects a
+// failure first (in which case the target is untouched).
+func (f *FlakySetter) SetLimits(ctx context.Context, id string, l Limits) error {
+	f.mu.Lock()
+	f.calls++
+	fail := f.rng.Float64() < f.prob
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+	if fail {
+		return &Error{Op: "set_limits", ID: id, Status: http.StatusServiceUnavailable,
+			Err: errors.New("flaky: injected failure")}
+	}
+	return f.target.SetLimits(ctx, id, l)
+}
+
+// Stats returns the total call and injected-failure counts.
+func (f *FlakySetter) Stats() (calls, failures int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.failures
+}

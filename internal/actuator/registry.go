@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -45,10 +46,14 @@ type Limits struct {
 	RAMGB float64 `json:"ram_gb"`
 }
 
-// Validate rejects non-positive limits.
+// Validate rejects limits that are not finite positive numbers. NaN
+// needs the explicit check: `v <= 0` is false for NaN, so without it a
+// NaN limit would sail through and poison the allocation gauges.
 func (l Limits) Validate() error {
-	if l.CPUGHz <= 0 || l.RAMGB <= 0 {
-		return fmt.Errorf("actuator: non-positive limits %+v", l)
+	for _, v := range [...]float64{l.CPUGHz, l.RAMGB} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("actuator: limits must be finite and positive, got cpu_ghz=%v ram_gb=%v", l.CPUGHz, l.RAMGB)
+		}
 	}
 	return nil
 }
@@ -155,25 +160,25 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/cgroups/", func(w http.ResponseWriter, req *http.Request) {
 		id := strings.TrimPrefix(req.URL.Path, "/cgroups/")
 		if id == "" || strings.Contains(id, "/") {
-			http.Error(w, "bad cgroup id", http.StatusBadRequest)
+			writeJSONError(w, http.StatusBadRequest, "bad cgroup id")
 			return
 		}
 		switch req.Method {
 		case http.MethodGet:
 			l, err := r.Get(id)
 			if errors.Is(err, ErrNotFound) {
-				http.Error(w, err.Error(), http.StatusNotFound)
+				writeJSONError(w, http.StatusNotFound, err.Error())
 				return
 			}
 			writeJSON(w, l)
 		case http.MethodPut:
 			var l Limits
 			if err := json.NewDecoder(req.Body).Decode(&l); err != nil {
-				http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+				writeJSONError(w, http.StatusBadRequest, "bad body: "+err.Error())
 				return
 			}
 			if err := r.Set(id, l); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				writeJSONError(w, http.StatusBadRequest, err.Error())
 				return
 			}
 			w.WriteHeader(http.StatusNoContent)
@@ -181,10 +186,18 @@ func (r *Registry) Handler() http.Handler {
 			r.Delete(id)
 			w.WriteHeader(http.StatusNoContent)
 		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
 		}
 	})
 	return mux
+}
+
+// writeJSONError responds with {"error": msg} so clients and operators
+// parse daemon rejections uniformly.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -200,4 +213,18 @@ func writeJSON(w http.ResponseWriter, v any) {
 // context is accepted for symmetry and ignored.
 func (r *Registry) SetLimits(_ context.Context, id string, l Limits) error {
 	return r.Set(id, l)
+}
+
+// GetLimits adapts the registry to the controller-facing read
+// interface shared with Client, so transactional appliers can snapshot
+// in-process registries the same way they snapshot remote daemons.
+func (r *Registry) GetLimits(_ context.Context, id string) (Limits, error) {
+	return r.Get(id)
+}
+
+// DeleteGroup adapts the registry to the controller-facing delete
+// interface shared with Client (used to roll back cgroup creations).
+func (r *Registry) DeleteGroup(_ context.Context, id string) error {
+	r.Delete(id)
+	return nil
 }

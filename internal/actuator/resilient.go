@@ -1,0 +1,108 @@
+package actuator
+
+import (
+	"context"
+	"errors"
+
+	"atm/internal/resilience"
+)
+
+// ResilientConfig parameterizes NewResilient. Zero values select the
+// resilience package defaults.
+type ResilientConfig struct {
+	// Retry is the per-call retry policy. Its Retryable hook defaults
+	// to the actuator classification (transient errors retry, terminal
+	// 4xx and an open breaker fail fast).
+	Retry resilience.Policy
+	// Breaker is the per-daemon circuit breaker config. Name defaults
+	// to the client's base URL; Failure defaults to IsRetryable so
+	// terminal responses — proof the daemon is alive — never trip the
+	// circuit.
+	Breaker resilience.BreakerConfig
+}
+
+// Resilient decorates a Client with retry/backoff and a circuit
+// breaker, presenting the same four daemon operations. Controllers
+// hold one Resilient per hypervisor daemon, so a flapping daemon trips
+// only its own breaker while the rest of the fleet actuates normally.
+type Resilient struct {
+	c       *Client
+	policy  resilience.Policy
+	breaker *resilience.Breaker
+}
+
+// NewResilient wraps c. The zero ResilientConfig gives 4 attempts with
+// 50ms–2s full-jitter backoff and a breaker that opens after 5
+// consecutive transient failures.
+func NewResilient(c *Client, cfg ResilientConfig) *Resilient {
+	p := cfg.Retry
+	if p.Retryable == nil {
+		p.Retryable = func(err error) bool {
+			return IsRetryable(err) && !errors.Is(err, resilience.ErrOpen)
+		}
+	}
+	bc := cfg.Breaker
+	if bc.Name == "" {
+		bc.Name = c.base
+	}
+	if bc.Failure == nil {
+		bc.Failure = IsRetryable
+	}
+	return &Resilient{c: c, policy: p, breaker: resilience.NewBreaker(bc)}
+}
+
+// Breaker exposes the underlying circuit breaker for state inspection.
+func (r *Resilient) Breaker() *resilience.Breaker { return r.breaker }
+
+// do routes one operation through retry → breaker → client. The
+// breaker sits inside the retry loop so every attempt feeds its state
+// machine, and an open circuit fails the whole call fast (ErrOpen is
+// not retryable under the default policy).
+func (r *Resilient) do(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	return resilience.Retry(ctx, r.policy, op, func(ctx context.Context) error {
+		return r.breaker.Do(ctx, fn)
+	})
+}
+
+// SetLimits creates or updates a VM cgroup's limits, with retries.
+func (r *Resilient) SetLimits(ctx context.Context, id string, l Limits) error {
+	return r.do(ctx, "set_limits", func(ctx context.Context) error {
+		return r.c.SetLimits(ctx, id, l)
+	})
+}
+
+// GetLimits reads a VM cgroup's limits, with retries. A 404 is
+// terminal and surfaces as ErrNotFound immediately.
+func (r *Resilient) GetLimits(ctx context.Context, id string) (Limits, error) {
+	var out Limits
+	err := r.do(ctx, "get_limits", func(ctx context.Context) error {
+		l, err := r.c.GetLimits(ctx, id)
+		out = l
+		return err
+	})
+	if err != nil {
+		return Limits{}, err
+	}
+	return out, nil
+}
+
+// ListLimits reads the daemon's full cgroup tree, with retries.
+func (r *Resilient) ListLimits(ctx context.Context) (map[string]Limits, error) {
+	var out map[string]Limits
+	err := r.do(ctx, "list_limits", func(ctx context.Context) error {
+		m, err := r.c.ListLimits(ctx)
+		out = m
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteGroup removes a VM cgroup, with retries.
+func (r *Resilient) DeleteGroup(ctx context.Context, id string) error {
+	return r.do(ctx, "delete_group", func(ctx context.Context) error {
+		return r.c.DeleteGroup(ctx, id)
+	})
+}

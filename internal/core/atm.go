@@ -20,7 +20,6 @@ import (
 	"math"
 	"time"
 
-	"atm/internal/actuator"
 	"atm/internal/obs"
 	"atm/internal/parallel"
 	"atm/internal/predict"
@@ -78,6 +77,14 @@ type Config struct {
 	// Workers bounds the worker pool used for box fan-out and per-box
 	// temporal-model fitting; <= 0 uses one worker per core.
 	Workers int
+	// Degraded, when true, keeps the run alive through per-box model
+	// failures: a box whose signature search, temporal fit or resize
+	// fails falls back to the stingy peak-demand allocation instead of
+	// aborting the fleet. Degraded boxes are flagged on the BoxResult
+	// and their causes aggregated into the run's joined error.
+	// Config errors (ErrBadConfig) never degrade — they are operator
+	// input mistakes, not model failures.
+	Degraded bool
 }
 
 // Errors returned by the pipeline.
@@ -355,18 +362,30 @@ type BoxResult struct {
 	// CPU and RAM are the per-resource resizing outcomes.
 	CPU *BoxRun
 	RAM *BoxRun
+	// Degraded reports that the model pipeline failed for this box and
+	// CPU/RAM carry the stingy peak-demand fallback instead of the
+	// MCKP solution. Prediction is nil for degraded boxes.
+	Degraded bool
+	// FallbackErr is the pipeline failure that forced the fallback.
+	FallbackErr error
 }
 
 // MeanMAPE returns the box-level mean prediction error across all
-// series.
+// series, or NaN for a degraded box that never produced a forecast.
 func (r *BoxResult) MeanMAPE() float64 {
+	if r.Prediction == nil {
+		return math.NaN()
+	}
 	m, _ := timeseries.MeanStd(r.Prediction.MAPE)
 	return m
 }
 
 // MeanPeakMAPE returns the box-level mean peak prediction error across
-// series that had peaks.
+// series that had peaks, or NaN for a degraded box.
 func (r *BoxResult) MeanPeakMAPE() float64 {
+	if r.Prediction == nil {
+		return math.NaN()
+	}
 	var vals []float64
 	for _, v := range r.Prediction.PeakMAPE {
 		if v > 0 {
@@ -396,10 +415,21 @@ func RunBoxContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Con
 	span.SetAttr("box", b.ID)
 	span.SetAttr("vms", len(b.VMs))
 
+	// fail routes pipeline errors: in degraded mode model failures
+	// (not config mistakes) yield the stingy fallback result alongside
+	// the causing error, so the fleet run keeps going.
+	fail := func(err error) (*BoxResult, error) {
+		if cfg.Degraded && !errors.Is(err, ErrBadConfig) {
+			span.SetAttr("degraded", true)
+			return degradedResult(b, cfg, err), err
+		}
+		return nil, err
+	}
+
 	demands := b.DemandSeries()
 	pred, err := PredictBoxContext(ctx, demands, samplesPerDay, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", b.ID, err)
+		return fail(fmt.Errorf("core: %s: %w", b.ID, err))
 	}
 	// Peak level for series i: ticket threshold times allocated
 	// capacity of the owning VM.
@@ -414,7 +444,7 @@ func RunBoxContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Con
 	stageSeconds.With("evaluate").Observe(time.Since(evalStart).Seconds())
 	espan.End()
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: evaluate: %w", b.ID, err)
+		return fail(fmt.Errorf("core: %s: evaluate: %w", b.ID, err))
 	}
 	res := &BoxResult{Box: b, Prediction: pred}
 	// CPU and RAM resizing are independent MCKP solves; fan them out on
@@ -424,7 +454,7 @@ func RunBoxContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Con
 		return ResizeBoxContext(ctx, b, pred, [...]trace.Resource{trace.CPU, trace.RAM}[i], cfg)
 	}, parallel.WithWorkers(cfg.Workers))
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	res.CPU, res.RAM = runs[0], runs[1]
 	boxesRun.Inc()
@@ -433,7 +463,9 @@ func RunBoxContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Con
 
 // Run executes ATM over many boxes concurrently on the shared worker
 // pool (boxes are independent, mirroring per-hypervisor deployment).
-// Per-box failures abort the run with the first error in box order.
+// Per-box failures abort the run with the first error in box order;
+// with Config.Degraded set, failed boxes fall back to the stingy
+// allocation instead and the causes come back joined (see RunContext).
 func Run(boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error) {
 	return RunContext(context.Background(), boxes, samplesPerDay, cfg)
 }
@@ -441,6 +473,11 @@ func Run(boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error
 // RunContext is Run with tracing: one "core.run" root span over the
 // per-box fan-out. Box spans reference it as their parent even though
 // they run concurrently on the pool.
+//
+// In degraded mode the returned slice always has one entry per box
+// (nil only for boxes that failed un-degradably, e.g. bad config) and
+// the error is the errors.Join of every per-box failure — callers get
+// the whole fleet's results plus a full account of what went wrong.
 func RunContext(ctx context.Context, boxes []*trace.Box, samplesPerDay int, cfg Config) ([]*BoxResult, error) {
 	ctx, span := obs.StartSpan(ctx, "core.run")
 	defer span.End()
@@ -450,52 +487,18 @@ func RunContext(ctx context.Context, boxes []*trace.Box, samplesPerDay int, cfg 
 	// oversubscription.
 	boxCfg := cfg
 	boxCfg.Workers = 1
-	return parallel.Map(len(boxes), func(i int) (*BoxResult, error) {
-		return RunBoxContext(ctx, boxes[i], samplesPerDay, boxCfg)
+	if !cfg.Degraded {
+		return parallel.Map(len(boxes), func(i int) (*BoxResult, error) {
+			return RunBoxContext(ctx, boxes[i], samplesPerDay, boxCfg)
+		}, parallel.WithWorkers(cfg.Workers))
+	}
+	results := make([]*BoxResult, len(boxes))
+	errs := make([]error, len(boxes))
+	// The worker fn never errors, so every box runs to completion even
+	// when siblings fail — the whole point of degraded mode.
+	_ = parallel.ForEach(len(boxes), func(i int) error {
+		results[i], errs[i] = RunBoxContext(ctx, boxes[i], samplesPerDay, boxCfg)
+		return nil
 	}, parallel.WithWorkers(cfg.Workers))
-}
-
-// LimitSetter is the actuation interface ApplyBox drives: both the
-// in-process actuator.Registry and the HTTP actuator.Client satisfy
-// it.
-type LimitSetter interface {
-	SetLimits(ctx context.Context, id string, l Limits) error
-}
-
-// Limits aliases the actuator limit type so callers implementing
-// LimitSetter need not import the actuator package themselves.
-type Limits = actuator.Limits
-
-// minLimit floors actuated capacities: the MCKP solver may assign a
-// VM a zero (or denormal) size when its predicted demand vanishes,
-// but cgroup limits must stay positive for the guest to keep running.
-const minLimit = 1e-3
-
-// ApplyBox pushes one box's resize decision to the actuation layer,
-// setting each VM's cgroup limits to the chosen CPU and RAM sizes.
-// Under an obs.Tracer the push is a "core.actuate" span whose children
-// are the per-VM actuator calls, completing the search→fit→resize→
-// actuate trace of a box. The first failing VM aborts the push.
-func ApplyBox(ctx context.Context, act LimitSetter, res *BoxResult) error {
-	if res.CPU == nil || res.RAM == nil {
-		return fmt.Errorf("core: %s: incomplete resize result: %w", res.Box.ID, ErrBadConfig)
-	}
-	ctx, span := obs.StartSpan(ctx, "core.actuate")
-	defer span.End()
-	span.SetAttr("box", res.Box.ID)
-	span.SetAttr("vms", len(res.Box.VMs))
-	start := time.Now()
-	defer func() {
-		stageSeconds.With("actuate").Observe(time.Since(start).Seconds())
-	}()
-	for v := range res.Box.VMs {
-		l := Limits{
-			CPUGHz: math.Max(res.CPU.Sizes[v], minLimit),
-			RAMGB:  math.Max(res.RAM.Sizes[v], minLimit),
-		}
-		if err := act.SetLimits(ctx, res.Box.VMs[v].ID, l); err != nil {
-			return fmt.Errorf("core: actuate %s/%s: %w", res.Box.ID, res.Box.VMs[v].ID, err)
-		}
-	}
-	return nil
+	return results, errors.Join(errs...)
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"atm/internal/obs"
+	"atm/internal/ticket"
+	"atm/internal/trace"
+)
+
+// degradedBoxes counts boxes whose model pipeline failed and that
+// shipped the stingy peak-demand fallback instead — the fleet-level
+// signal that prediction quality is collapsing somewhere.
+var degradedBoxes = obs.Default().Counter("atm_degraded_boxes_total",
+	"Boxes that fell back to the stingy peak-demand allocation.")
+
+// stingyRun is the fallback sizing for one resource of a box: each VM
+// gets its peak demand over the training history (the paper's "stingy"
+// baseline — no prediction, just never hand out less than the VM has
+// already needed). When the peaks oversubscribe the box they are
+// scaled proportionally into the capacity, mirroring the lower-bound
+// handling of the real solver. Tickets are evaluated over the horizon
+// when the trace is long enough; a box degraded for a short trace
+// reports zero tickets rather than inventing an evaluation window.
+func stingyRun(b *trace.Box, r trace.Resource, cfg Config) *BoxRun {
+	capacity := b.CPUCapGHz
+	if r == trace.RAM {
+		capacity = b.RAMCapGB
+	}
+	m := len(b.VMs)
+	sizes := make([]float64, m)
+	var sum float64
+	for v := 0; v < m; v++ {
+		hist := b.VMs[v].Demand(r)
+		if cfg.TrainWindows > 0 && len(hist) > cfg.TrainWindows {
+			hist = hist.Slice(0, cfg.TrainWindows)
+		}
+		sizes[v] = hist.Max()
+		if sizes[v] < minLimit {
+			sizes[v] = minLimit
+		}
+		sum += sizes[v]
+	}
+	if sum > capacity && sum > 0 {
+		f := capacity / sum
+		for v := range sizes {
+			sizes[v] *= f
+		}
+	}
+	run := &BoxRun{Resource: r, Sizes: sizes}
+	if cfg.TrainWindows > 0 && cfg.Horizon > 0 {
+		for v := 0; v < m; v++ {
+			d := b.VMs[v].Demand(r)
+			if len(d) < cfg.TrainWindows+cfg.Horizon {
+				continue
+			}
+			actual := d.Slice(cfg.TrainWindows, cfg.TrainWindows+cfg.Horizon)
+			run.TicketsBefore += ticket.Count(actual, b.VMs[v].Capacity(r), cfg.Threshold)
+			run.TicketsAfter += ticket.Count(actual, run.Sizes[v], cfg.Threshold)
+		}
+		ticketsBefore.Add(float64(run.TicketsBefore))
+		ticketsAfter.Add(float64(run.TicketsAfter))
+	}
+	return run
+}
+
+// degradedResult packages the stingy fallback for both resources as a
+// flagged BoxResult. Prediction stays nil — there is no forecast to
+// report errors against.
+func degradedResult(b *trace.Box, cfg Config, cause error) *BoxResult {
+	degradedBoxes.Inc()
+	return &BoxResult{
+		Box:         b,
+		CPU:         stingyRun(b, trace.CPU, cfg),
+		RAM:         stingyRun(b, trace.RAM, cfg),
+		Degraded:    true,
+		FallbackErr: cause,
+	}
+}

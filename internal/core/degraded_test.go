@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"atm/internal/trace"
+)
+
+// cripple truncates every series of the box below train+horizon so the
+// pipeline fails with ErrShortTrace.
+func cripple(b *trace.Box, keep int) {
+	for v := range b.VMs {
+		vm := &b.VMs[v]
+		vm.CPU = vm.CPU.Slice(0, keep)
+		vm.RAM = vm.RAM.Slice(0, keep)
+	}
+}
+
+func TestRunDegradedFallback(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 2, Days: 3, SamplesPerDay: 32, Seed: 5, GapFraction: 1e-9,
+	})
+	spd := tr.SamplesPerDay
+	boxes := []*trace.Box{&tr.Boxes[0], &tr.Boxes[1]}
+	cripple(boxes[1], spd)
+
+	cfg := fastConfig(spd)
+	cfg.Degraded = true
+	results, err := Run(boxes, spd, cfg)
+	if !errors.Is(err, ErrShortTrace) {
+		t.Fatalf("err = %v, want joined ErrShortTrace", err)
+	}
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatalf("results = %v, want both boxes present", results)
+	}
+	if results[0].Degraded {
+		t.Error("healthy box flagged degraded")
+	}
+	deg := results[1]
+	if !deg.Degraded || !errors.Is(deg.FallbackErr, ErrShortTrace) {
+		t.Fatalf("degraded box = {Degraded:%v FallbackErr:%v}", deg.Degraded, deg.FallbackErr)
+	}
+	if deg.Prediction != nil {
+		t.Error("degraded box carries a prediction")
+	}
+	if !math.IsNaN(deg.MeanMAPE()) || !math.IsNaN(deg.MeanPeakMAPE()) {
+		t.Error("degraded box error stats are not NaN")
+	}
+
+	// The stingy fallback: positive per-VM sizes that fit the box and
+	// cover each VM's training-history peak (or its proportional share
+	// on an oversubscribed box).
+	for _, rc := range []struct {
+		run *BoxRun
+		r   trace.Resource
+		cap float64
+	}{
+		{deg.CPU, trace.CPU, deg.Box.CPUCapGHz},
+		{deg.RAM, trace.RAM, deg.Box.RAMCapGB},
+	} {
+		if rc.run == nil || len(rc.run.Sizes) != len(deg.Box.VMs) {
+			t.Fatalf("%v fallback run = %+v", rc.r, rc.run)
+		}
+		var sum float64
+		for v, s := range rc.run.Sizes {
+			if s <= 0 {
+				t.Errorf("%v size[%d] = %v, want positive", rc.r, v, s)
+			}
+			peak := deg.Box.VMs[v].Demand(rc.r).Max()
+			if s > peak*(1+1e-9) && s != minLimit {
+				t.Errorf("%v size[%d] = %v exceeds training peak %v", rc.r, v, s, peak)
+			}
+			sum += s
+		}
+		if sum > rc.cap*(1+1e-9) {
+			t.Errorf("%v sizes sum %v exceed box capacity %v", rc.r, sum, rc.cap)
+		}
+	}
+}
+
+func TestRunDegradedKeepsStrictModeSemantics(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 1, Days: 3, SamplesPerDay: 32, Seed: 6, GapFraction: 1e-9,
+	})
+	spd := tr.SamplesPerDay
+	b := &tr.Boxes[0]
+	cripple(b, spd)
+	cfg := fastConfig(spd)
+	// Degraded off: the failure aborts with no results, as before.
+	results, err := Run([]*trace.Box{b}, spd, cfg)
+	if !errors.Is(err, ErrShortTrace) || results != nil {
+		t.Fatalf("strict mode = (%v, %v), want (nil, ErrShortTrace)", results, err)
+	}
+}
+
+func TestRunDegradedDoesNotMaskBadConfig(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 1, Days: 3, SamplesPerDay: 32, Seed: 7, GapFraction: 1e-9,
+	})
+	spd := tr.SamplesPerDay
+	cfg := fastConfig(spd)
+	cfg.Degraded = true
+	cfg.Threshold = 0 // operator mistake, must not degrade
+	results, err := Run([]*trace.Box{&tr.Boxes[0]}, spd, cfg)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	if len(results) != 1 || results[0] != nil {
+		t.Fatalf("results = %v, want a single nil entry", results)
+	}
+}

@@ -11,7 +11,9 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +35,26 @@ var (
 		"Wall-clock latency of one worker-pool batch.", nil)
 	poolTaskSeconds = obs.Default().Histogram("atm_pool_task_seconds",
 		"Per-task wall-clock latency, sampled every 64th task.", nil)
+	poolPanics = obs.Default().Counter("atm_pool_panics_total",
+		"Task functions that panicked on the pool (recovered into errors).")
 )
+
+// PanicError is a task panic recovered by the pool and surfaced as an
+// ordinary error: a panicking task must fail its batch, not kill the
+// whole process from a worker goroutine (where no caller's recover can
+// reach it).
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
 
 // taskSample is the per-task timing sampling interval (a power of two
 // so the check is one mask).
@@ -106,13 +127,21 @@ func ForEachWorker(n int, fn func(worker, i int) error, opts ...Option) error {
 		poolQueueDepth.Add(-float64(n))
 		poolBatchSeconds.Observe(time.Since(batchStart).Seconds())
 	}()
-	// run wraps fn with sampled per-task timing.
-	run := func(w, i int) error {
+	// run wraps fn with panic recovery and sampled per-task timing.
+	// Recovery sits here so both the inline fast path and the worker
+	// goroutines get it.
+	run := func(w, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				poolPanics.Inc()
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
 		if i%taskSample != 0 {
 			return fn(w, i)
 		}
 		start := time.Now()
-		err := fn(w, i)
+		err = fn(w, i)
 		poolTaskSeconds.Observe(time.Since(start).Seconds())
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -159,5 +160,49 @@ func TestResolveDefaults(t *testing.T) {
 	}
 	if got := resolve(5, []Option{WithWorkers(-1)}); got <= 0 {
 		t.Errorf("negative workers resolved to %d", got)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	// A panicking task must come back as a *PanicError carrying the
+	// panic value and a stack trace — on the concurrent path (where an
+	// unrecovered panic in a worker goroutine would kill the process)
+	// and on the inline workers==1 fast path alike.
+	for _, workers := range []int{1, 4} {
+		err := ForEach(16, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		}, WithWorkers(workers))
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 || pe.Value != "kaboom" {
+			t.Errorf("workers=%d: panic = index %d value %v", workers, pe.Index, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "parallel_test.go") {
+			t.Errorf("workers=%d: stack trace missing test frame:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "task 7 panicked: kaboom") {
+			t.Errorf("workers=%d: Error() = %q", workers, err.Error())
+		}
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	out, err := Map(8, func(i int) (int, error) {
+		if i == 2 {
+			panic(errors.New("wrapped"))
+		}
+		return i, nil
+	}, WithWorkers(3))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if out != nil {
+		t.Error("out should be nil on panic")
 	}
 }

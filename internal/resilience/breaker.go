@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"atm/internal/obs"
+)
+
+// Breaker metrics. The state gauge encodes 0=closed, 1=open,
+// 2=half-open per named breaker (one per daemon), so a dashboard row
+// of atm_breaker_state is the fleet's live daemon-health map.
+var (
+	breakerState = obs.Default().GaugeVec("atm_breaker_state",
+		"Circuit breaker state (0=closed, 1=open, 2=half-open), per breaker.", "name")
+	breakerTrips = obs.Default().CounterVec("atm_breaker_trips_total",
+		"Transitions into the open state, per breaker.", "name")
+	breakerShortCircuits = obs.Default().CounterVec("atm_breaker_short_circuits_total",
+		"Calls rejected without dialing because the breaker was open, per breaker.", "name")
+)
+
+// ErrOpen is returned by Breaker.Do when the breaker rejects the call
+// without running it. It is deliberately not retryable under the
+// actuator's default policy: an open breaker means the daemon has
+// already burned its failure budget, so callers should fail fast and
+// let the rollback/degraded paths take over.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the circuit state machine position.
+type BreakerState int
+
+const (
+	// StateClosed passes calls through, counting consecutive failures.
+	StateClosed BreakerState = iota
+	// StateOpen rejects calls until OpenTimeout elapses.
+	StateOpen
+	// StateHalfOpen admits a bounded number of probe calls; their
+	// outcomes decide between closing and re-opening.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value selects the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Name labels the breaker's metrics — one per daemon, e.g. the
+	// daemon base URL.
+	Name string
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting
+	// half-open probes (default 10s).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is both the number of probe calls admitted
+	// concurrently while half-open and the consecutive successes
+	// required to close (default 1).
+	HalfOpenProbes int
+	// Failure classifies which errors count against the breaker. Nil
+	// counts every non-nil error. The actuator wrapper passes its
+	// transient classifier here so terminal 4xx responses — proof the
+	// daemon is alive and parsing — do not trip the circuit.
+	Failure func(error) bool
+	// Now is the clock, replaceable in tests.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Name == "" {
+		c.Name = "default"
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 10 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a closed/open/half-open circuit breaker. It is safe for
+// concurrent use; one instance guards one downstream daemon.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	inflight  int // admitted probes while half-open
+	openedAt  time.Time
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults()}
+	breakerState.With(b.cfg.Name).Set(float64(StateClosed))
+	return b
+}
+
+// State returns the current circuit state (open breakers whose timeout
+// has elapsed still report open until the next call probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Do runs fn through the breaker: it either rejects immediately with
+// ErrOpen or runs fn and feeds the outcome back into the state
+// machine. fn's error is returned unchanged.
+func (b *Breaker) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	probe, err := b.admit()
+	if err != nil {
+		return err
+	}
+	err = fn(ctx)
+	b.record(probe, err)
+	return err
+}
+
+// admit decides whether a call may proceed, reporting whether it was
+// admitted as a half-open probe.
+func (b *Breaker) admit() (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return false, nil
+	case StateOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			breakerShortCircuits.With(b.cfg.Name).Inc()
+			return false, ErrOpen
+		}
+		b.transition(StateHalfOpen)
+		b.inflight = 1
+		return true, nil
+	default: // StateHalfOpen
+		if b.inflight >= b.cfg.HalfOpenProbes {
+			breakerShortCircuits.With(b.cfg.Name).Inc()
+			return false, ErrOpen
+		}
+		b.inflight++
+		return true, nil
+	}
+}
+
+// record feeds one call outcome back into the state machine.
+func (b *Breaker) record(probe bool, err error) {
+	failure := err != nil && (b.cfg.Failure == nil || b.cfg.Failure(err))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		if failure {
+			b.fails++
+			if b.fails >= b.cfg.FailureThreshold {
+				b.trip()
+			}
+		} else {
+			b.fails = 0
+		}
+	case StateHalfOpen:
+		if probe {
+			b.inflight--
+		}
+		if failure {
+			b.trip()
+		} else if probe {
+			b.successes++
+			if b.successes >= b.cfg.HalfOpenProbes {
+				b.transition(StateClosed)
+			}
+		}
+	case StateOpen:
+		// A straggler recording after a concurrent probe re-tripped
+		// the circuit; the trip already reset the counters.
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.transition(StateOpen)
+	b.openedAt = b.cfg.Now()
+	breakerTrips.With(b.cfg.Name).Inc()
+}
+
+// transition switches state and resets the per-state counters. Caller
+// holds b.mu.
+func (b *Breaker) transition(s BreakerState) {
+	b.state = s
+	b.fails = 0
+	b.successes = 0
+	b.inflight = 0
+	breakerState.With(b.cfg.Name).Set(float64(s))
+}

@@ -1,0 +1,238 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errDown = errors.New("daemon down")
+
+// testClock is a manually advanced clock for breaker timeouts.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(name string, clock *testClock, probes int) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Name:             name,
+		FailureThreshold: 3,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   probes,
+		Now:              clock.Now,
+	})
+}
+
+func failN(n int) func(context.Context) error {
+	calls := 0
+	return func(context.Context) error {
+		calls++
+		if calls <= n {
+			return errDown
+		}
+		return nil
+	}
+}
+
+func TestBreakerOpensAndShortCircuits(t *testing.T) {
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := newTestBreaker("t-open", clock, 1)
+	ctx := context.Background()
+	fail := func(context.Context) error { return errDown }
+
+	for i := 0; i < 3; i++ {
+		if err := b.Do(ctx, fail); !errors.Is(err, errDown) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	// While open, calls short-circuit without running fn.
+	ran := false
+	err := b.Do(ctx, func(context.Context) error { ran = true; return nil })
+	if !errors.Is(err, ErrOpen) || ran {
+		t.Fatalf("open breaker: err=%v ran=%v, want ErrOpen and fn not run", err, ran)
+	}
+	if got := breakerShortCircuits.With("t-open").Value(); got != 1 {
+		t.Errorf("short circuits = %v, want 1", got)
+	}
+	if got := breakerTrips.With("t-open").Value(); got != 1 {
+		t.Errorf("trips = %v, want 1", got)
+	}
+	if got := breakerState.With("t-open").Value(); got != float64(StateOpen) {
+		t.Errorf("state gauge = %v, want %v", got, float64(StateOpen))
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := newTestBreaker("t-recover", clock, 1)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_ = b.Do(ctx, func(context.Context) error { return errDown })
+	}
+	if b.State() != StateOpen {
+		t.Fatal("breaker not open")
+	}
+	clock.Advance(2 * time.Second)
+	// First call after the timeout is the half-open probe; success
+	// closes the circuit.
+	if err := b.Do(ctx, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	if got := breakerState.With("t-recover").Value(); got != float64(StateClosed) {
+		t.Errorf("state gauge = %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := newTestBreaker("t-reopen", clock, 1)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_ = b.Do(ctx, func(context.Context) error { return errDown })
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Do(ctx, func(context.Context) error { return errDown }); !errors.Is(err, errDown) {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	// And it must short-circuit again until the next timeout.
+	if err := b.Do(ctx, func(context.Context) error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerHalfOpenNeedsAllProbes(t *testing.T) {
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := newTestBreaker("t-probes", clock, 2)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_ = b.Do(ctx, func(context.Context) error { return errDown })
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Do(ctx, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v after one of two probes, want half-open", b.State())
+	}
+	if err := b.Do(ctx, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after both probes, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenBoundsInflightProbes(t *testing.T) {
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := newTestBreaker("t-inflight", clock, 1)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_ = b.Do(ctx, func(context.Context) error { return errDown })
+	}
+	clock.Advance(2 * time.Second)
+
+	// While one probe is in flight, a second call must short-circuit.
+	probeStarted := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Do(ctx, func(context.Context) error {
+			close(probeStarted)
+			<-release
+			return nil
+		})
+	}()
+	<-probeStarted
+	if err := b.Do(ctx, func(context.Context) error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("concurrent call during probe: err = %v, want ErrOpen", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerFailureClassifier(t *testing.T) {
+	terminal := errors.New("bad request")
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{
+		Name: "t-classify", FailureThreshold: 2, OpenTimeout: time.Second,
+		Failure: func(err error) bool { return !errors.Is(err, terminal) },
+		Now:     clock.Now,
+	})
+	ctx := context.Background()
+	// Terminal errors pass through without counting.
+	for i := 0; i < 5; i++ {
+		if err := b.Do(ctx, func(context.Context) error { return terminal }); !errors.Is(err, terminal) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("terminal errors tripped the breaker (state %v)", b.State())
+	}
+	// A success between failures resets the consecutive count.
+	_ = b.Do(ctx, func(context.Context) error { return errDown })
+	_ = b.Do(ctx, func(context.Context) error { return nil })
+	_ = b.Do(ctx, func(context.Context) error { return errDown })
+	if b.State() != StateClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerConcurrentHammer(t *testing.T) {
+	// Race-detector workout: concurrent successes/failures with clock
+	// advances must leave the breaker in a coherent state.
+	clock := &testClock{now: time.Unix(0, 0)}
+	b := newTestBreaker("t-race", clock, 2)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = b.Do(ctx, func(context.Context) error {
+					if (g+i)%3 == 0 {
+						return fmt.Errorf("flaky %d/%d: %w", g, i, errDown)
+					}
+					return nil
+				})
+				if i%50 == 0 {
+					clock.Advance(time.Second)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != StateClosed && s != StateOpen && s != StateHalfOpen {
+		t.Fatalf("incoherent state %v", s)
+	}
+}

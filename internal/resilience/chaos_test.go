@@ -1,0 +1,110 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// chaosServer is a daemon stand-in counting the requests that actually
+// reach it.
+func chaosServer(t *testing.T) (*httptest.Server, *int) {
+	t.Helper()
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprint(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func chaosGet(t *testing.T, client *http.Client, url string) (int, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func TestChaosTransportDeterministic(t *testing.T) {
+	run := func() (map[string]int, []int) {
+		srv, _ := chaosServer(t)
+		ct := NewChaosTransport(srv.Client().Transport, ChaosConfig{
+			Seed: 99, DropProb: 0.2, Err5xxProb: 0.2, ResetProb: 0.1,
+		})
+		client := &http.Client{Transport: ct}
+		var codes []int
+		for i := 0; i < 50; i++ {
+			code, err := chaosGet(t, client, srv.URL)
+			if err != nil {
+				code = -1
+			}
+			codes = append(codes, code)
+		}
+		_, injected := ct.Stats()
+		return injected, codes
+	}
+	inj1, codes1 := run()
+	inj2, codes2 := run()
+	if len(inj1) == 0 {
+		t.Fatal("no faults injected at these probabilities")
+	}
+	if fmt.Sprint(inj1) != fmt.Sprint(inj2) {
+		t.Fatalf("fault mix not deterministic: %v vs %v", inj1, inj2)
+	}
+	for i := range codes1 {
+		if codes1[i] != codes2[i] {
+			t.Fatalf("call %d outcome differs: %d vs %d", i, codes1[i], codes2[i])
+		}
+	}
+}
+
+func TestChaosTransportAll5xx(t *testing.T) {
+	srv, hits := chaosServer(t)
+	ct := NewChaosTransport(srv.Client().Transport, ChaosConfig{Seed: 1, Err5xxProb: 1})
+	client := &http.Client{Transport: ct}
+	for i := 0; i < 10; i++ {
+		code, err := chaosGet(t, client, srv.URL)
+		if err != nil || code != http.StatusServiceUnavailable {
+			t.Fatalf("call %d: code=%d err=%v, want synthetic 503", i, code, err)
+		}
+	}
+	if *hits != 0 {
+		t.Fatalf("server saw %d requests, want 0 (5xx is synthesized client-side)", *hits)
+	}
+}
+
+func TestChaosTransportDropNeverReachesServer(t *testing.T) {
+	srv, hits := chaosServer(t)
+	ct := NewChaosTransport(srv.Client().Transport, ChaosConfig{Seed: 2, DropProb: 1})
+	client := &http.Client{Transport: ct}
+	_, err := client.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if *hits != 0 {
+		t.Fatalf("server saw %d requests, want 0", *hits)
+	}
+}
+
+func TestChaosTransportResetReachesServer(t *testing.T) {
+	// A reset fault is the dangerous one: the daemon applies the
+	// request, the caller sees a failure.
+	srv, hits := chaosServer(t)
+	ct := NewChaosTransport(srv.Client().Transport, ChaosConfig{Seed: 3, ResetProb: 1})
+	client := &http.Client{Transport: ct}
+	_, err := client.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if *hits != 1 {
+		t.Fatalf("server saw %d requests, want 1 (reset happens after send)", *hits)
+	}
+}

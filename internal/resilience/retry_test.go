@@ -1,0 +1,156 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordedSleep returns a Sleep hook that records requested delays
+// without actually sleeping.
+func recordedSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRetryFirstTrySuccess(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Policy{}, "test_ok", func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want nil/1", err, calls)
+	}
+}
+
+func TestRetryRecoversFromTransient(t *testing.T) {
+	var delays []time.Duration
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 5, Seed: 1, Sleep: recordedSleep(&delays),
+	}, "test_transient", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 || len(delays) != 2 {
+		t.Fatalf("calls=%d delays=%d, want 3/2", calls, len(delays))
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	var delays []time.Duration
+	cause := errors.New("still down")
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 3, Seed: 7, Sleep: recordedSleep(&delays),
+	}, "test_exhaust", func(context.Context) error {
+		calls++
+		return cause
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("exhausted error %v does not wrap the cause", err)
+	}
+}
+
+func TestRetryTerminalStopsImmediately(t *testing.T) {
+	terminal := errors.New("bad request")
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, terminal) },
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}, "test_terminal", func(context.Context) error {
+		calls++
+		return terminal
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, terminal) {
+		t.Fatalf("err = %v, want the terminal cause unwrapped", err)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, Policy{MaxAttempts: 10, Sleep: func(context.Context, time.Duration) error { return nil }},
+		"test_cancel", func(context.Context) error {
+			calls++
+			cancel()
+			return errors.New("transient")
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (loop must stop at cancellation)", calls)
+	}
+}
+
+func TestRetryAttemptTimeout(t *testing.T) {
+	// Each attempt must carry its own deadline when AttemptTimeout is
+	// set, and a deadline-exceeded attempt is retryable by default.
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts:    2,
+		AttemptTimeout: time.Millisecond,
+		Sleep:          func(context.Context, time.Duration) error { return nil },
+	}, "test_timeout", func(ctx context.Context) error {
+		calls++
+		if _, ok := ctx.Deadline(); !ok {
+			t.Fatal("attempt context has no deadline")
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (deadline-exceeded is retryable)", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded cause", err)
+	}
+}
+
+func TestRetryBackoffDeterministicAndCapped(t *testing.T) {
+	run := func() []time.Duration {
+		var delays []time.Duration
+		_ = Retry(context.Background(), Policy{
+			MaxAttempts: 6,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    40 * time.Millisecond,
+			Seed:        42,
+			Sleep:       recordedSleep(&delays),
+		}, "test_backoff", func(context.Context) error { return errors.New("down") })
+		return delays
+	}
+	a, b := run(), run()
+	if len(a) != 5 {
+		t.Fatalf("delays = %d, want 5", len(a))
+	}
+	ceiling := 10 * time.Millisecond
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < 0 || a[i] > ceiling {
+			t.Fatalf("delay[%d] = %v outside [0, %v]", i, a[i], ceiling)
+		}
+		if ceiling *= 2; ceiling > 40*time.Millisecond {
+			ceiling = 40 * time.Millisecond
+		}
+	}
+}
