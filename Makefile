@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench microbench tracebench chaos
+.PHONY: build vet test race verify cover bench resizebench rollingbench microbench tracebench chaos serve
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/resilience/... ./internal/actuator/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/...
 
 verify: build vet test race
 
@@ -51,7 +51,22 @@ resizebench:
 microbench:
 	$(GO) test -run NONE -bench 'BenchmarkDTW|BenchmarkOptimalCut' -benchmem ./internal/cluster/ .
 
+# Rolling model-reuse benchmark: full search per window vs refit until
+# drift/age; emits BENCH_rolling.json plus a human-readable table.
+rollingbench:
+	$(GO) run ./cmd/atmbench -rollingbench BENCH_rolling.json
+
 # One fully traced box-resize; emits trace.jsonl (the JSONL span dump)
 # plus the per-stage latency table.
 tracebench:
 	$(GO) run ./cmd/atmbench -trace trace.jsonl
+
+# Boot the streaming ATM service against a freshly generated demo
+# trace: tracegen writes the trace, atmd serves the ingestion/planning
+# API (with reuse + actuation on), and `atmcli stream` is the matching
+# replay client. Ctrl-C drains and exits.
+serve:
+	$(GO) run ./cmd/tracegen -boxes 4 -days 3 -windows 32 -gaps 0 -o demo_trace.csv
+	@echo "atmd on :8023 — replay with:"
+	@echo "  go run ./cmd/atmcli stream -trace demo_trace.csv -daemon http://localhost:8023 -rate 200"
+	$(GO) run ./cmd/atmd -serve -train 64 -horizon 32 -spd 32 -reuse -actuate

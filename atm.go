@@ -134,6 +134,16 @@ func WithLowerBounds() Option {
 	return func(s *System) { s.cfg.UseLowerBounds = true }
 }
 
+// WithModelReuse enables cross-window model reuse for rolling runs
+// (RunRollingBox): the signature set from the last full search is
+// retained and subsequent windows only refit the cheap dependent-OLS
+// and temporal weights, re-searching on drift or age (core.ReusePolicy
+// defaults). Batch runs are unaffected — each RunBox call is a fresh
+// pipeline.
+func WithModelReuse() Option {
+	return func(s *System) { s.cfg.Reuse = core.ReusePolicy{Enabled: true} }
+}
+
 // New returns an ATM system for traces sampled samplesPerDay times per
 // day (96 in the paper), configured with the paper's evaluation
 // defaults: CBC clustering, MLP temporal model, 5 training days, 1-day

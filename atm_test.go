@@ -48,6 +48,12 @@ func TestOptions(t *testing.T) {
 	if cfg.Threshold != 0.8 || cfg.Epsilon != 10 || !cfg.UseLowerBounds {
 		t.Error("threshold/epsilon/lower-bound options ignored")
 	}
+	if cfg.Reuse.Enabled {
+		t.Error("model reuse on by default; must be opt-in")
+	}
+	if !New(48, WithModelReuse()).Config().Reuse.Enabled {
+		t.Error("WithModelReuse ignored")
+	}
 }
 
 func TestEndToEnd(t *testing.T) {

@@ -6,6 +6,7 @@
 //	atmbench [-fig all|1,2,3,5,6,7,8,9,10,12,13,methods,stability,epsilon] [-boxes N] [-seed S] [-days D] [-svg DIR]
 //	atmbench -sigbench FILE [-boxes N] [-seed S] [-workers W]
 //	atmbench -resizebench FILE [-boxes N] [-seed S]
+//	atmbench -rollingbench FILE
 //	atmbench -trace FILE [-boxes N] [-seed S] [-workers W]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
@@ -69,6 +70,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size; <= 0 uses one worker per core")
 	sigbench := flag.String("sigbench", "", "run the signature-search benchmark and write its JSON record to this file (skips figures)")
 	resizebench := flag.String("resizebench", "", "run the VIF + MCKP-greedy benchmark and write its JSON record to this file (skips figures)")
+	rollingbench := flag.String("rollingbench", "", "run the rolling model-reuse benchmark and write its JSON record to this file (skips figures)")
 	tracefile := flag.String("trace", "", "run one traced box-resize and write its JSONL span dump to this file (skips figures)")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	flag.Parse()
@@ -135,6 +137,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [wrote %s]\n", *resizebench)
+		return
+	}
+
+	if *rollingbench != "" {
+		r, err := experiments.RollingBench(opts)
+		exitOn("rollingbench", err)
+		printTable("rollingbench", r.Render())
+		data, err := json.MarshalIndent(r, "", "  ")
+		exitOn("rollingbench", err)
+		if err := os.WriteFile(*rollingbench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rollingbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", *rollingbench)
 		return
 	}
 

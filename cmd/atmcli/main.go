@@ -11,6 +11,8 @@
 //	atmcli culprits -trace trace.csv [-threshold 0.6] [-top 10]
 //	atmcli apply    -trace trace.csv -daemon http://host:8023 [-retries 4]
 //	                [-breaker-threshold 5] [-timeout 10m] [-threshold 0.6]
+//	atmcli stream   -trace trace.csv -daemon http://host:8023 [-rate 100]
+//	                [-batch 8] [-boxes 4] [-timeout 10m]
 package main
 
 import (
@@ -35,10 +37,13 @@ func main() {
 	threshold := fs.Float64("threshold", 0.6, "ticket threshold")
 	boxID := fs.String("id", "", "box id (for 'box')")
 	top := fs.Int("top", 10, "number of rows (for 'culprits')")
-	daemon := fs.String("daemon", "", "hypervisor daemon base URL (for 'apply')")
+	daemon := fs.String("daemon", "", "atmd base URL (for 'apply' and 'stream')")
 	retries := fs.Int("retries", 4, "SetLimits attempts per VM (for 'apply')")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures before the circuit opens (for 'apply')")
-	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline for the apply round (for 'apply')")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline for the apply/stream round")
+	rate := fs.Float64("rate", 0, "ticks per second to replay (for 'stream'; 0 = full speed)")
+	batch := fs.Int("batch", 8, "ticks per ingestion POST (for 'stream')")
+	boxLimit := fs.Int("boxes", 0, "stream only the first N boxes (for 'stream'; 0 = all)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -71,13 +76,21 @@ func main() {
 			timeout:          *timeout,
 			threshold:        *threshold,
 		})
+	case "stream":
+		streamRun(tr, streamOpts{
+			daemon:  *daemon,
+			rate:    *rate,
+			batch:   *batch,
+			boxes:   *boxLimit,
+			timeout: *timeout,
+		})
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: atmcli <stats|box|culprits|apply> -trace file.csv [flags]")
+	fmt.Fprintln(os.Stderr, "usage: atmcli <stats|box|culprits|apply|stream> -trace file.csv [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"atm/internal/state"
+	"atm/internal/trace"
+)
+
+// streamOpts parameterizes the stream subcommand.
+type streamOpts struct {
+	// daemon is the atmd base URL (required).
+	daemon string
+	// rate is ticks ingested per second; 0 replays at full speed.
+	rate float64
+	// batch is how many ticks ride in one POST.
+	batch int
+	// boxes caps how many trace boxes are streamed; 0 streams all.
+	boxes int
+	// timeout bounds the whole replay.
+	timeout time.Duration
+}
+
+// streamTick mirrors the daemon's ingest tick shape.
+type streamTick struct {
+	CPU []float64 `json:"cpu"`
+	RAM []float64 `json:"ram"`
+}
+
+// streamRequest mirrors the daemon's POST /v1/boxes/{id}/samples body.
+type streamRequest struct {
+	Box     *state.BoxMeta `json:"box,omitempty"`
+	Samples []streamTick   `json:"samples"`
+}
+
+// streamRun replays the trace into a running atmd's ingestion API,
+// turning any recorded (or generated) trace into a live workload for
+// the streaming engine: all boxes advance in lockstep, one sampling
+// tick at a time, batched into POSTs of -batch ticks. Each box's
+// static metadata rides along on its first POST, so the daemon needs
+// no out-of-band registration.
+func streamRun(tr *trace.Trace, opts streamOpts) {
+	if opts.daemon == "" {
+		fmt.Fprintln(os.Stderr, "atmcli: stream requires -daemon")
+		os.Exit(2)
+	}
+	if opts.batch <= 0 {
+		opts.batch = 1
+	}
+	boxes := tr.Boxes
+	if opts.boxes > 0 && opts.boxes < len(boxes) {
+		boxes = boxes[:opts.boxes]
+	}
+	if len(boxes) == 0 {
+		fail(fmt.Errorf("trace has no boxes"))
+	}
+	total := tr.Samples()
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+	defer cancel()
+	client := &http.Client{}
+
+	var interval time.Duration
+	if opts.rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(opts.batch) / opts.rate)
+	}
+
+	start := time.Now()
+	sent := 0
+	for from := 0; from < total; from += opts.batch {
+		to := from + opts.batch
+		if to > total {
+			to = total
+		}
+		for bi := range boxes {
+			b := &boxes[bi]
+			req := streamRequest{}
+			if from == 0 {
+				meta := state.MetaOf(b)
+				req.Box = &meta
+			}
+			for k := from; k < to; k++ {
+				tk := streamTick{
+					CPU: make([]float64, len(b.VMs)),
+					RAM: make([]float64, len(b.VMs)),
+				}
+				for v := range b.VMs {
+					tk.CPU[v] = b.VMs[v].CPU[k]
+					tk.RAM[v] = b.VMs[v].RAM[k]
+				}
+				req.Samples = append(req.Samples, tk)
+			}
+			if err := postStream(ctx, client, opts.daemon, b.ID, req); err != nil {
+				fail(fmt.Errorf("stream %s ticks [%d,%d): %w", b.ID, from, to, err))
+			}
+		}
+		sent = to
+		if interval > 0 {
+			select {
+			case <-ctx.Done():
+				fail(fmt.Errorf("stream: %w", ctx.Err()))
+			case <-time.After(interval):
+			}
+		} else if err := ctx.Err(); err != nil {
+			fail(fmt.Errorf("stream: %w", err))
+		}
+	}
+	fmt.Printf("streamed %d ticks x %d boxes in %.1fs\n",
+		sent, len(boxes), time.Since(start).Seconds())
+	for bi := range boxes {
+		printPlan(ctx, client, opts.daemon, boxes[bi].ID)
+	}
+}
+
+// postStream POSTs one ingest batch and checks for a 2xx.
+func postStream(ctx context.Context, client *http.Client, daemon, id string, sr streamRequest) error {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		daemon+"/v1/boxes/"+id+"/samples", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("daemon returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// printPlan fetches and summarizes a box's latest plan (missing plans
+// are reported, not fatal — the stream may be shorter than one
+// pipeline window).
+func printPlan(ctx context.Context, client *http.Client, daemon, id string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		daemon+"/v1/boxes/"+id+"/plan", nil)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Printf("%-12s no plan yet (status %d)\n", id, resp.StatusCode)
+		return
+	}
+	var plan struct {
+		Step          int     `json:"step"`
+		TicketsBefore int     `json:"tickets_before"`
+		TicketsAfter  int     `json:"tickets_after"`
+		MeanMAPE      float64 `json:"mean_mape"`
+		Research      bool    `json:"research"`
+		Degraded      bool    `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		fail(fmt.Errorf("decode plan for %s: %w", id, err))
+	}
+	fmt.Printf("%-12s step %d: tickets %d -> %d, MAPE %.3f, research=%v degraded=%v\n",
+		id, plan.Step, plan.TicketsBefore, plan.TicketsAfter, plan.MeanMAPE, plan.Research, plan.Degraded)
+}

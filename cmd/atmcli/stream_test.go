@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"atm/internal/trace"
+)
+
+// mockDaemon emulates atmd's streaming API: it validates the ingest
+// protocol (meta on first contact, consistent shapes) and serves a
+// canned plan.
+type mockDaemon struct {
+	mu     sync.Mutex
+	ticks  map[string]int
+	metas  map[string]int
+	vmsPer map[string]int
+}
+
+func (m *mockDaemon) handler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/boxes/"), "/")
+		if len(parts) != 2 {
+			http.Error(w, "bad route", http.StatusNotFound)
+			return
+		}
+		id, verb := parts[0], parts[1]
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		switch verb {
+		case "samples":
+			var req streamRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if req.Box != nil {
+				m.metas[id]++
+				m.vmsPer[id] = len(req.Box.VMs)
+			}
+			if _, ok := m.vmsPer[id]; !ok {
+				http.Error(w, "not registered", http.StatusNotFound)
+				return
+			}
+			for _, tk := range req.Samples {
+				if len(tk.CPU) != m.vmsPer[id] || len(tk.RAM) != m.vmsPer[id] {
+					http.Error(w, "shape mismatch", http.StatusBadRequest)
+					return
+				}
+				m.ticks[id]++
+			}
+			_ = json.NewEncoder(w).Encode(map[string]any{"box": id, "total": m.ticks[id]})
+		case "plan":
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"box": id, "step": 2, "tickets_before": 9, "tickets_after": 3,
+				"mean_mape": 0.42, "research": true,
+			})
+		default:
+			http.Error(w, "bad route", http.StatusNotFound)
+		}
+	})
+}
+
+// TestStreamReplay replays a generated trace through streamRun against
+// the mock daemon and checks every tick of every box arrived, with
+// exactly one metadata announcement per box.
+func TestStreamReplay(t *testing.T) {
+	md := &mockDaemon{ticks: map[string]int{}, metas: map[string]int{}, vmsPer: map[string]int{}}
+	srv := httptest.NewServer(md.handler(t))
+	defer srv.Close()
+
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 3, Days: 1, SamplesPerDay: 16, Seed: 5, GapFraction: 1e-9,
+	})
+	streamRun(tr, streamOpts{
+		daemon:  srv.URL,
+		batch:   5, // deliberately not a divisor of 16
+		boxes:   2,
+		timeout: time.Minute,
+	})
+
+	md.mu.Lock()
+	defer md.mu.Unlock()
+	if len(md.ticks) != 2 {
+		t.Fatalf("daemon saw %d boxes, want 2 (-boxes cap)", len(md.ticks))
+	}
+	for _, b := range tr.Boxes[:2] {
+		if md.ticks[b.ID] != tr.Samples() {
+			t.Errorf("box %s: %d ticks, want %d", b.ID, md.ticks[b.ID], tr.Samples())
+		}
+		if md.metas[b.ID] != 1 {
+			t.Errorf("box %s: meta announced %d times, want 1", b.ID, md.metas[b.ID])
+		}
+		if md.vmsPer[b.ID] != len(b.VMs) {
+			t.Errorf("box %s: meta had %d VMs, want %d", b.ID, md.vmsPer[b.ID], len(b.VMs))
+		}
+	}
+}

@@ -1,11 +1,13 @@
-// Command atmd is the per-hypervisor actuation daemon from the paper's
-// Section IV-C: it exposes cgroup-style per-VM resource limits over a
-// web API so an ATM controller can resize VMs on the fly without
-// restarting guests, plus the observability surface operators scrape.
+// Command atmd is the per-hypervisor ATM daemon: it exposes
+// cgroup-style per-VM resource limits over a web API (the paper's
+// Section IV-C actuation path) and, in -serve mode, runs the full
+// streaming ATM service — a state store fed by an ingestion API and a
+// scheduling engine that re-plans each box as samples stream in.
 //
 // Usage:
 //
 //	atmd [-addr :8023] [-pprof] [-grace 10s]
+//	     [-serve -train 64 -horizon 32 -spd 32 [-reuse] [-actuate] ...]
 //
 // API:
 //
@@ -14,13 +16,22 @@
 //	PUT    /cgroups/<vm>   set limits, body {"cpu_ghz": 7.2, "ram_gb": 4}
 //	DELETE /cgroups/<vm>   remove a VM's cgroup
 //	GET    /metrics        Prometheus text exposition (registry gauges,
-//	                       HTTP route histograms, pipeline counters)
+//	                       HTTP route histograms, pipeline + engine
+//	                       counters)
 //	GET    /healthz        liveness JSON {"status":"ok",...}
 //	GET    /debug/pprof/*  CPU/heap/goroutine profiles (only with -pprof)
 //
+// With -serve, additionally:
+//
+//	POST /v1/boxes/<id>/samples  ingest usage ticks, body
+//	                             {"box": {...}, "samples": [{"cpu": [...], "ram": [...]}]}
+//	                             ("box" meta required on first contact)
+//	GET  /v1/boxes/<id>/plan     latest resize plan for the box
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
-// accepting connections and drains in-flight requests for up to the
-// -grace duration before exiting.
+// accepting connections, drains in-flight requests for up to the
+// -grace duration, then stops the engine — letting in-flight pipeline
+// steps finish — before exiting.
 package main
 
 import (
@@ -42,10 +53,11 @@ import (
 
 // newHandler assembles the daemon's route table: the cgroup API under
 // HTTP middleware (request counts, latency histograms, in-flight
-// gauges per route), the metrics and health endpoints, and — when
-// enabled — the pprof profiling handlers. Split from main so tests can
-// drive the exact production mux through httptest.
-func newHandler(reg *actuator.Registry, pprofEnabled bool, start time.Time) http.Handler {
+// gauges per route), the metrics and health endpoints, the streaming
+// API when a service is attached (-serve), and — when enabled — the
+// pprof profiling handlers. Split from main so tests can drive the
+// exact production mux through httptest.
+func newHandler(reg *actuator.Registry, svc *service, pprofEnabled bool, start time.Time) http.Handler {
 	mux := http.NewServeMux()
 	api := reg.Handler()
 	metrics := obs.Default()
@@ -53,6 +65,11 @@ func newHandler(reg *actuator.Registry, pprofEnabled bool, start time.Time) http
 	// stay bounded no matter how many VMs the hypervisor hosts.
 	mux.Handle("/cgroups", metrics.InstrumentHandler("/cgroups", api))
 	mux.Handle("/cgroups/", metrics.InstrumentHandler("/cgroups/:id", api))
+	if svc != nil {
+		// One route label for the whole streaming API: box ids are
+		// unbounded, metric label cardinality must not be.
+		mux.Handle("/v1/boxes/", metrics.InstrumentHandler("/v1/boxes/:id", svc.handler()))
+	}
 	mux.Handle("/metrics", obs.Handler())
 	mux.Handle("/healthz", obs.HealthzHandler(start))
 	if pprofEnabled {
@@ -69,11 +86,41 @@ func main() {
 	addr := flag.String("addr", ":8023", "listen address")
 	pprofEnabled := flag.Bool("pprof", false, "expose /debug/pprof/* profiling handlers")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain deadline")
+	serve := flag.Bool("serve", false, "run the streaming ATM service (ingestion + planning engine)")
+	var sc serveConfig
+	flag.IntVar(&sc.train, "train", 64, "serve: training window size in samples")
+	flag.IntVar(&sc.horizon, "horizon", 32, "serve: prediction/resizing horizon in samples")
+	flag.IntVar(&sc.spd, "spd", 32, "serve: samples per day (seasonal period)")
+	flag.Float64Var(&sc.threshold, "threshold", 0.6, "serve: ticket threshold (fraction of capacity)")
+	flag.Float64Var(&sc.epsilon, "epsilon", 0.1, "serve: MCKP approximation epsilon")
+	flag.BoolVar(&sc.reuse, "reuse", false, "serve: reuse signature sets across windows (refit until drift)")
+	flag.BoolVar(&sc.actuate, "actuate", false, "serve: push plans into this daemon's cgroup registry")
+	flag.IntVar(&sc.workers, "workers", 0, "serve: engine worker-pool size (0 = one per core)")
+	flag.IntVar(&sc.history, "history", 0, "serve: samples retained per series (0 = 2*(train+horizon))")
 	flag.Parse()
+
+	reg := actuator.NewRegistry()
+	var svc *service
+	if *serve {
+		history, cfg, err := sc.build(reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
+			os.Exit(2)
+		}
+		var berr error
+		svc, berr = newService(history, cfg)
+		if berr != nil {
+			fmt.Fprintf(os.Stderr, "atmd: %v\n", berr)
+			os.Exit(2)
+		}
+		svc.start()
+		log.Printf("atmd: streaming service on (train=%d horizon=%d spd=%d reuse=%v actuate=%v history=%d)",
+			sc.train, sc.horizon, sc.spd, sc.reuse, sc.actuate, history)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(actuator.NewRegistry(), *pprofEnabled, time.Now()),
+		Handler:           newHandler(reg, svc, *pprofEnabled, time.Now()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -104,6 +151,12 @@ func main() {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
 		os.Exit(1)
+	}
+	if svc != nil {
+		// HTTP is quiet now; stop the engine and let in-flight pipeline
+		// steps finish before exiting.
+		log.Printf("atmd: draining engine")
+		svc.drain()
 	}
 	log.Printf("atmd: drained, exiting")
 }

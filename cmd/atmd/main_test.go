@@ -31,7 +31,7 @@ func get(t *testing.T, client *http.Client, url string) (int, string) {
 // actuator gauges and per-route HTTP histograms, and /healthz must
 // report liveness.
 func TestDaemonRoundTrip(t *testing.T) {
-	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), false, time.Now()))
+	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), nil, false, time.Now()))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -78,13 +78,13 @@ func TestDaemonRoundTrip(t *testing.T) {
 // TestPprofGate checks the profiling handlers are absent by default
 // and present behind the flag.
 func TestPprofGate(t *testing.T) {
-	off := httptest.NewServer(newHandler(actuator.NewRegistry(), false, time.Now()))
+	off := httptest.NewServer(newHandler(actuator.NewRegistry(), nil, false, time.Now()))
 	defer off.Close()
 	if code, _ := get(t, off.Client(), off.URL+"/debug/pprof/"); code != http.StatusNotFound {
 		t.Fatalf("pprof disabled: status %d, want 404", code)
 	}
 
-	on := httptest.NewServer(newHandler(actuator.NewRegistry(), true, time.Now()))
+	on := httptest.NewServer(newHandler(actuator.NewRegistry(), nil, true, time.Now()))
 	defer on.Close()
 	if code, body := get(t, on.Client(), on.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof enabled: status %d body %q", code, body)
@@ -96,7 +96,7 @@ func TestPprofGate(t *testing.T) {
 // must come back 400 with a JSON error object, and must not create the
 // cgroup.
 func TestDaemonRejectsBadLimits(t *testing.T) {
-	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), false, time.Now()))
+	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), nil, false, time.Now()))
 	defer srv.Close()
 	client := srv.Client()
 

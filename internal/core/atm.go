@@ -85,6 +85,11 @@ type Config struct {
 	// Config errors (ErrBadConfig) never degrade — they are operator
 	// input mistakes, not model failures.
 	Degraded bool
+	// Reuse configures cross-window model reuse for rolling and
+	// streaming runs (see ReusePolicy). The zero value disables reuse,
+	// keeping every window's full signature search — the batch-
+	// identical behavior. One-shot runs (Run/RunBox) ignore it.
+	Reuse ReusePolicy
 }
 
 // Errors returned by the pipeline.
@@ -105,6 +110,9 @@ func (c Config) validate() error {
 	}
 	if c.Epsilon < 0 {
 		return fmt.Errorf("epsilon %v: %w", c.Epsilon, ErrBadConfig)
+	}
+	if c.Reuse.MinR2 < 0 || c.Reuse.MinR2 > 1 {
+		return fmt.Errorf("reuse min R² %v: %w", c.Reuse.MinR2, ErrBadConfig)
 	}
 	return nil
 }
@@ -136,80 +144,14 @@ func PredictBox(demands []timeseries.Series, samplesPerDay int, cfg Config) (*Bo
 // PredictBoxContext is PredictBox with tracing: under an obs.Tracer it
 // emits a "core.predict" span with children for the signature search,
 // the temporal fits and the spatial reconstruction. Stage latencies
-// feed the atm_stage_seconds histogram either way.
+// feed the atm_stage_seconds histogram either way. It is a one-shot
+// adapter over the staged Pipeline (fresh model state, no reuse).
 func PredictBoxContext(ctx context.Context, demands []timeseries.Series, samplesPerDay int, cfg Config) (*BoxPrediction, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if len(demands) == 0 {
-		return nil, spatial.ErrNoSeries
-	}
-	need := cfg.TrainWindows + cfg.Horizon
-	for i, d := range demands {
-		if len(d) < need {
-			return nil, fmt.Errorf("series %d has %d samples, need %d: %w", i, len(d), need, ErrShortTrace)
-		}
-	}
-	factory := cfg.Temporal
-	if factory == nil {
-		factory = func() predict.Model { return predict.DefaultMLP(samplesPerDay) }
-	}
-
-	ctx, span := obs.StartSpan(ctx, "core.predict")
-	defer span.End()
-	span.SetAttr("series", len(demands))
-
-	train := make([]timeseries.Series, len(demands))
-	for i, d := range demands {
-		train[i] = d.Slice(0, cfg.TrainWindows)
-	}
-
-	searchStart := time.Now()
-	model, err := spatial.SearchContext(ctx, train, cfg.Spatial)
-	stageSeconds.With("search").Observe(time.Since(searchStart).Seconds())
-	if err != nil {
-		return nil, fmt.Errorf("core: signature search: %w", err)
-	}
-
-	// Temporal forecasts for the signature series only — this is the
-	// entire point of the signature reduction. Each signature gets its
-	// own model instance, so the fits are independent and run on the
-	// worker pool (the MLP fit dominates per-box latency).
-	_, tspan := obs.StartSpan(ctx, "core.temporal_fit")
-	tspan.SetAttr("signatures", len(model.Signatures))
-	fitStart := time.Now()
-	sigForecasts := make([]timeseries.Series, len(model.Signatures))
-	err = parallel.ForEach(len(model.Signatures), func(i int) error {
-		idx := model.Signatures[i]
-		m := factory()
-		if err := m.Fit(train[idx]); err != nil {
-			return fmt.Errorf("core: fit temporal model for series %d: %w", idx, err)
-		}
-		fc, err := m.Forecast(cfg.Horizon)
-		if err != nil {
-			return fmt.Errorf("core: forecast series %d: %w", idx, err)
-		}
-		sigForecasts[i] = fc
-		return nil
-	}, parallel.WithWorkers(cfg.Workers))
-	stageSeconds.With("temporal_fit").Observe(time.Since(fitStart).Seconds())
-	tspan.End()
+	p, err := NewPipeline(samplesPerDay, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	// Dependents via the spatial linear models.
-	_, rspan := obs.StartSpan(ctx, "core.reconstruct")
-	defer rspan.End()
-	all, err := model.Reconstruct(sigForecasts)
-	if err != nil {
-		return nil, fmt.Errorf("core: reconstruct dependents: %w", err)
-	}
-	// Demands are physical quantities: clamp forecasts at zero.
-	for i := range all {
-		all[i] = all[i].Clamp(0, maxFloat)
-	}
-	return &BoxPrediction{Model: model, Demand: all}, nil
+	return p.predict(ctx, demands)
 }
 
 const maxFloat = 1e300
@@ -408,57 +350,15 @@ func RunBox(b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
 // RunBoxContext is RunBox with tracing: under an obs.Tracer the whole
 // box run nests beneath a "core.box" span — signature search, temporal
 // fits, reconstruction, evaluation and both resource resizes — so a
-// single exported trace shows where one box's latency went.
+// single exported trace shows where one box's latency went. It is a
+// one-shot adapter over the staged Pipeline: a fresh pipeline with no
+// retained model state runs exactly one step.
 func RunBoxContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Config) (*BoxResult, error) {
-	ctx, span := obs.StartSpan(ctx, "core.box")
-	defer span.End()
-	span.SetAttr("box", b.ID)
-	span.SetAttr("vms", len(b.VMs))
-
-	// fail routes pipeline errors: in degraded mode model failures
-	// (not config mistakes) yield the stingy fallback result alongside
-	// the causing error, so the fleet run keeps going.
-	fail := func(err error) (*BoxResult, error) {
-		if cfg.Degraded && !errors.Is(err, ErrBadConfig) {
-			span.SetAttr("degraded", true)
-			return degradedResult(b, cfg, err), err
-		}
-		return nil, err
-	}
-
-	demands := b.DemandSeries()
-	pred, err := PredictBoxContext(ctx, demands, samplesPerDay, cfg)
+	p, err := NewPipeline(samplesPerDay, cfg)
 	if err != nil {
-		return fail(fmt.Errorf("core: %s: %w", b.ID, err))
+		return nil, fmt.Errorf("core: %s: %w", b.ID, err)
 	}
-	// Peak level for series i: ticket threshold times allocated
-	// capacity of the owning VM.
-	peaks := make([]float64, len(demands))
-	for i := range peaks {
-		vm := &b.VMs[trace.SeriesVM(i)]
-		peaks[i] = cfg.Threshold * vm.Capacity(trace.SeriesResource(i))
-	}
-	_, espan := obs.StartSpan(ctx, "core.evaluate")
-	evalStart := time.Now()
-	err = pred.Evaluate(demands, cfg, peaks)
-	stageSeconds.With("evaluate").Observe(time.Since(evalStart).Seconds())
-	espan.End()
-	if err != nil {
-		return fail(fmt.Errorf("core: %s: evaluate: %w", b.ID, err))
-	}
-	res := &BoxResult{Box: b, Prediction: pred}
-	// CPU and RAM resizing are independent MCKP solves; fan them out on
-	// the shared pool (Run pins per-box Workers to 1, so nested calls
-	// stay inline and the box-level fan-out keeps the cores saturated).
-	runs, err := parallel.Map(2, func(i int) (*BoxRun, error) {
-		return ResizeBoxContext(ctx, b, pred, [...]trace.Resource{trace.CPU, trace.RAM}[i], cfg)
-	}, parallel.WithWorkers(cfg.Workers))
-	if err != nil {
-		return fail(err)
-	}
-	res.CPU, res.RAM = runs[0], runs[1]
-	boxesRun.Inc()
-	return res, nil
+	return p.StepContext(ctx, b)
 }
 
 // Run executes ATM over many boxes concurrently on the shared worker

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"atm/internal/obs"
 	"atm/internal/trace"
 )
 
@@ -14,6 +16,10 @@ type RollingResult struct {
 	// Result is the full per-box outcome for this window (prediction,
 	// CPU and RAM runs), evaluated against that window's actuals.
 	Result *BoxResult
+	// Research reports whether this step ran a full signature search
+	// (true) or reused the retained signature set with a cheap refit
+	// (false). With Config.Reuse disabled it is true on every step.
+	Research bool
 }
 
 // RunRolling drives ATM online over a long trace, the paper's stated
@@ -24,8 +30,25 @@ type RollingResult struct {
 // window by window. The number of steps is
 //
 //	floor((samples - TrainWindows) / Horizon).
+//
+// All steps run through one persistent Pipeline, so Config.Reuse
+// turns on model reuse across windows: the signature set from the
+// last full search is retained and only the cheap OLS/temporal
+// weights are refit until drift (or age) forces a re-search. With
+// Reuse disabled every step runs the full search, matching the batch
+// pipeline bit for bit.
 func RunRolling(b *trace.Box, samplesPerDay int, cfg Config) ([]RollingResult, error) {
-	if err := cfg.validate(); err != nil {
+	return RunRollingContext(context.Background(), b, samplesPerDay, cfg)
+}
+
+// RunRollingContext is RunRolling with tracing and cancellation,
+// matching the RunContext/RunBoxContext pattern: under an obs.Tracer
+// each resizing window nests beneath a per-step "core.rolling_step"
+// span inside one "core.rolling" root, and a context cancelled
+// between steps aborts the run with the context's error.
+func RunRollingContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Config) ([]RollingResult, error) {
+	p, err := NewPipeline(samplesPerDay, cfg)
+	if err != nil {
 		return nil, err
 	}
 	total := 0
@@ -37,25 +60,43 @@ func RunRolling(b *trace.Box, samplesPerDay int, cfg Config) ([]RollingResult, e
 		return nil, fmt.Errorf("core: %d samples for train %d + horizon %d: %w",
 			total, cfg.TrainWindows, cfg.Horizon, ErrShortTrace)
 	}
+	ctx, span := obs.StartSpan(ctx, "core.rolling")
+	defer span.End()
+	span.SetAttr("box", b.ID)
+	span.SetAttr("steps", steps)
 	out := make([]RollingResult, 0, steps)
 	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: rolling step %d: %w", step, err)
+		}
 		from := step * cfg.Horizon
 		to := cfg.TrainWindows + (step+1)*cfg.Horizon
 		wb, err := windowBox(b, from, to)
 		if err != nil {
 			return nil, fmt.Errorf("core: rolling step %d: %w", step, err)
 		}
-		res, err := RunBox(wb, samplesPerDay, cfg)
+		stepCtx, sspan := obs.StartSpan(ctx, "core.rolling_step")
+		sspan.SetAttr("step", step)
+		res, err := p.StepContext(stepCtx, wb)
+		sspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: rolling step %d: %w", step, err)
 		}
-		out = append(out, RollingResult{Step: step, Result: res})
+		out = append(out, RollingResult{Step: step, Result: res, Research: p.LastResearch()})
 	}
 	return out, nil
 }
 
-// windowBox returns a copy of the box restricted to sample range
-// [from, to).
+// windowBox returns a view of the box restricted to sample range
+// [from, to). The returned box's usage series alias b's backing
+// arrays (timeseries.Series.Slice is zero-copy) — no per-step cloning
+// of every VM series.
+//
+// Aliasing contract: every downstream pipeline stage treats usage
+// series as read-only. Demand() allocates a fresh series (Scale),
+// clustering/regression/resize read their inputs, and evaluation only
+// slices — nothing mutates the shared storage. Callers that need to
+// mutate the windowed series must Clone them first.
 func windowBox(b *trace.Box, from, to int) (*trace.Box, error) {
 	out := &trace.Box{ID: b.ID, CPUCapGHz: b.CPUCapGHz, RAMCapGB: b.RAMCapGB}
 	out.VMs = make([]trace.VM, len(b.VMs))
@@ -68,8 +109,8 @@ func windowBox(b *trace.Box, from, to int) (*trace.Box, error) {
 			ID:        vm.ID,
 			CPUCapGHz: vm.CPUCapGHz,
 			RAMCapGB:  vm.RAMCapGB,
-			CPU:       vm.CPU.Slice(from, to).Clone(),
-			RAM:       vm.RAM.Slice(from, to).Clone(),
+			CPU:       vm.CPU.Slice(from, to),
+			RAM:       vm.RAM.Slice(from, to),
 		}
 	}
 	return out, nil
@@ -79,6 +120,9 @@ func windowBox(b *trace.Box, from, to int) (*trace.Box, error) {
 type RollingSummary struct {
 	// Steps is the number of resizing windows executed.
 	Steps int
+	// Researches counts the steps that ran a full signature search;
+	// Steps - Researches steps reused the retained model.
+	Researches int
 	// MeanMAPE is the average prediction error across steps.
 	MeanMAPE float64
 	// CPUReduction and RAMReduction aggregate tickets across all steps
@@ -97,6 +141,9 @@ func SummarizeRolling(results []RollingResult) RollingSummary {
 	var cpuBefore, cpuAfter, ramBefore, ramAfter int
 	for _, r := range results {
 		s.Steps++
+		if r.Research {
+			s.Researches++
+		}
 		mape += r.Result.MeanMAPE()
 		cpuBefore += r.Result.CPU.TicketsBefore
 		cpuAfter += r.Result.CPU.TicketsAfter

@@ -1,0 +1,391 @@
+// Package engine is ATM's long-running scheduler: it watches a
+// streaming state store, fires one rolling pipeline step per box
+// whenever Horizon new samples have landed, fans the ready boxes out
+// over the shared worker pool, and keeps the latest resize plan per
+// box for the service layer to expose. It is the online counterpart
+// of core.RunRolling — both drive the same staged core.Pipeline, so a
+// trace replayed through the engine produces bit-identical results to
+// the batch rolling run.
+//
+// Degraded mode, resilient actuation and observability compose
+// through the layers built in earlier PRs: a box whose model fails
+// ships the stingy fallback (core.Config.Degraded), plans are pushed
+// through any core.LimitSetter (e.g. actuator.Resilient), and every
+// step lands in atm_engine_* metrics plus the usual span tree.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"atm/internal/core"
+	"atm/internal/obs"
+	"atm/internal/parallel"
+	"atm/internal/state"
+	"atm/internal/timeseries"
+)
+
+// Engine metrics: step throughput, the research/refit split lives in
+// core (atm_engine_research_total / atm_engine_refit_total), ingest
+// lag is the streaming backlog signal, and evictions mark boxes whose
+// ingest outran the retention window.
+var (
+	stepsTotal = obs.Default().Counter("atm_engine_steps_total",
+		"Rolling pipeline steps executed by the streaming engine.")
+	stepErrors = obs.Default().Counter("atm_engine_step_errors_total",
+		"Engine steps that returned an error (degraded steps included).")
+	lagGauge = obs.Default().Gauge("atm_engine_ingest_lag_samples",
+		"Largest per-box backlog of ingested samples not yet consumed by a step.")
+	evictedSteps = obs.Default().Counter("atm_engine_evicted_steps_total",
+		"Steps skipped because their window aged out of the state store's retention.")
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Core is the per-box pipeline configuration (train/horizon
+	// windows, thresholds, model reuse policy, degraded mode).
+	Core core.Config
+	// SamplesPerDay seeds the default temporal model's seasonal
+	// period.
+	SamplesPerDay int
+	// Workers bounds the box fan-out; <= 0 uses one worker per core.
+	// Per-box pipeline work stays inline (Workers pinned to 1), like
+	// core.Run's fleet fan-out.
+	Workers int
+	// Setter, when non-nil, receives each completed plan through the
+	// transactional core.ApplyBox push (snapshot, apply, rollback on
+	// partial failure). Wrap it in actuator.Resilient for retry +
+	// circuit breaking. A nil Setter leaves the engine plan-only.
+	Setter core.LimitSetter
+	// Poll is the fallback scan interval used when no ingest
+	// notification arrives; <= 0 selects one second.
+	Poll time.Duration
+	// KeepResults retains every step's full core.RollingResult per
+	// box (memory grows with steps) — used by replay/parity tests and
+	// offline analysis. The latest Plan is kept either way.
+	KeepResults bool
+}
+
+// Plan is the engine's published outcome of a box's most recent step:
+// the per-VM capacities ATM wants for the next resizing window plus
+// the evaluation of the step that produced them.
+type Plan struct {
+	// Box is the box id.
+	Box string `json:"box"`
+	// Step is the zero-based resizing-window index.
+	Step int `json:"step"`
+	// CPUSizes and RAMSizes are the per-VM target capacities, in the
+	// registered VM order.
+	CPUSizes []float64 `json:"cpu_sizes"`
+	RAMSizes []float64 `json:"ram_sizes"`
+	// TicketsBefore and TicketsAfter aggregate CPU+RAM tickets over
+	// the step's evaluation horizon.
+	TicketsBefore int `json:"tickets_before"`
+	TicketsAfter  int `json:"tickets_after"`
+	// MeanMAPE is the box-level mean prediction error of the step
+	// (NaN serializes as 0 for degraded boxes).
+	MeanMAPE float64 `json:"mean_mape"`
+	// Research reports whether the step ran a full signature search.
+	Research bool `json:"research"`
+	// Degraded marks a stingy-fallback plan.
+	Degraded bool `json:"degraded"`
+	// UpdatedAt is when the step finished.
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// boxRun is the engine's mutable per-box state.
+type boxRun struct {
+	pipe    *core.Pipeline
+	steps   int // rolling steps fired so far
+	plan    *Plan
+	results []core.RollingResult
+	lastErr error
+}
+
+// Engine schedules rolling pipeline steps over a state store.
+type Engine struct {
+	store *state.Store
+	cfg   Config
+
+	mu    sync.Mutex
+	boxes map[string]*boxRun
+}
+
+// New validates the configuration and returns an engine over the
+// store. The store's retention must cover at least one pipeline
+// window (TrainWindows + Horizon).
+func New(store *state.Store, cfg Config) (*Engine, error) {
+	if store == nil {
+		return nil, errors.New("engine: nil store")
+	}
+	if _, err := core.NewPipeline(cfg.SamplesPerDay, cfg.Core); err != nil {
+		return nil, err
+	}
+	if need := cfg.Core.TrainWindows + cfg.Core.Horizon; store.History() < need {
+		return nil, fmt.Errorf("engine: store retains %d samples, pipeline window needs %d",
+			store.History(), need)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	// Fleet fan-out owns the parallelism; per-box work stays inline.
+	cfg.Core.Workers = 1
+	return &Engine{store: store, cfg: cfg, boxes: make(map[string]*boxRun)}, nil
+}
+
+// Run drives the scheduler until ctx is cancelled: it drains every
+// ready step, then sleeps on the store's ingest notification (with
+// the Poll ticker as a fallback). In-flight steps always complete
+// before Run returns — cancellation stops new steps from starting,
+// giving the graceful drain the service layer relies on. The returned
+// error is ctx.Err().
+func (e *Engine) Run(ctx context.Context) error {
+	ticker := time.NewTicker(e.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		e.Sync(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-e.store.Notify():
+		case <-ticker.C:
+		}
+	}
+}
+
+// Sync performs one scheduling pass synchronously: every box with at
+// least Horizon unconsumed samples past its training window is
+// stepped to completion, ready boxes fanned out on the shared worker
+// pool. It returns once all fired steps have finished, making it the
+// deterministic entry point for replay tests (the Run loop is Sync
+// plus waiting).
+func (e *Engine) Sync(ctx context.Context) {
+	ids := e.store.Boxes()
+	ready := ids[:0:0]
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
+		if e.ready(id) {
+			ready = append(ready, id)
+		}
+	}
+	if len(ready) > 0 {
+		// Worker fn never errors: per-box failures are recorded on the
+		// boxRun so sibling boxes keep stepping.
+		_ = parallel.ForEach(len(ready), func(i int) error {
+			e.stepBox(ctx, ready[i])
+			return nil
+		}, parallel.WithWorkers(e.cfg.Workers))
+	}
+	e.updateLag(ids)
+}
+
+// need returns the total sample count required before step k can fire:
+// the training window plus k+1 horizons (the step is evaluated against
+// its horizon's actuals, mirroring core.RunRolling's windows).
+func (e *Engine) need(steps int) int {
+	return e.cfg.Core.TrainWindows + (steps+1)*e.cfg.Core.Horizon
+}
+
+// Need reports how many total samples a box must have ingested before
+// rolling step k fires — e.g. Need(0) is the sample count the first
+// plan requires.
+func (e *Engine) Need(step int) int { return e.need(step) }
+
+func (e *Engine) ready(id string) bool {
+	total, err := e.store.Total(id)
+	if err != nil {
+		return false
+	}
+	e.mu.Lock()
+	br := e.boxes[id]
+	steps := 0
+	if br != nil {
+		steps = br.steps
+	}
+	e.mu.Unlock()
+	return total >= e.need(steps)
+}
+
+// boxRun fetches or creates the per-box state.
+func (e *Engine) boxRun(id string) *boxRun {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	br, ok := e.boxes[id]
+	if !ok {
+		// Config was validated in New; a pipeline build cannot fail.
+		pipe, err := core.NewPipeline(e.cfg.SamplesPerDay, e.cfg.Core)
+		if err != nil {
+			panic(fmt.Sprintf("engine: pipeline for validated config: %v", err))
+		}
+		br = &boxRun{pipe: pipe}
+		e.boxes[id] = br
+	}
+	return br
+}
+
+// stepBox catches one box up: it fires rolling steps while full
+// windows are available. Only one Sync pass runs a given box at a
+// time (ready lists are deduplicated and Sync passes are serial), so
+// br's fields are accessed without the engine lock held during the
+// step itself; publication of the plan takes the lock.
+func (e *Engine) stepBox(ctx context.Context, id string) {
+	br := e.boxRun(id)
+	for ctx.Err() == nil {
+		total, err := e.store.Total(id)
+		if err != nil {
+			return
+		}
+		if total < e.need(br.steps) {
+			return
+		}
+		from := br.steps * e.cfg.Core.Horizon
+		to := e.need(br.steps)
+		wb, err := e.store.Window(id, from, to)
+		if err != nil {
+			if errors.Is(err, timeseries.ErrEvicted) {
+				// Ingest outran the planner past retention: this window
+				// is gone. Skip forward one step rather than stalling
+				// the box forever.
+				evictedSteps.Inc()
+				e.mu.Lock()
+				br.steps++
+				br.lastErr = err
+				e.mu.Unlock()
+				continue
+			}
+			e.mu.Lock()
+			br.lastErr = err
+			e.mu.Unlock()
+			return
+		}
+		res, err := br.pipe.StepContext(ctx, wb)
+		stepsTotal.Inc()
+		if err != nil {
+			stepErrors.Inc()
+		}
+		if res == nil {
+			// Un-degradable failure (bad config never reaches here, so
+			// this is a hard model error with Degraded off): record it
+			// and advance past the window instead of re-failing forever.
+			e.mu.Lock()
+			br.lastErr = err
+			br.steps++
+			e.mu.Unlock()
+			continue
+		}
+		step := br.steps
+		plan := planOf(id, step, res, br.pipe.LastResearch())
+		if e.cfg.Setter != nil && !res.Degraded {
+			if aerr := core.ApplyBox(ctx, e.cfg.Setter, res); aerr != nil {
+				e.mu.Lock()
+				br.lastErr = aerr
+				e.mu.Unlock()
+			}
+		}
+		e.mu.Lock()
+		br.steps++
+		br.plan = plan
+		br.lastErr = err
+		if e.cfg.KeepResults {
+			br.results = append(br.results, core.RollingResult{
+				Step: step, Result: res, Research: br.pipe.LastResearch(),
+			})
+		}
+		e.mu.Unlock()
+	}
+}
+
+// planOf flattens a BoxResult into the published Plan.
+func planOf(id string, step int, res *core.BoxResult, research bool) *Plan {
+	p := &Plan{
+		Box:       id,
+		Step:      step,
+		CPUSizes:  append([]float64(nil), res.CPU.Sizes...),
+		RAMSizes:  append([]float64(nil), res.RAM.Sizes...),
+		Research:  research,
+		Degraded:  res.Degraded,
+		UpdatedAt: time.Now(),
+	}
+	p.TicketsBefore = res.CPU.TicketsBefore + res.RAM.TicketsBefore
+	p.TicketsAfter = res.CPU.TicketsAfter + res.RAM.TicketsAfter
+	if m := res.MeanMAPE(); m == m { // NaN-safe for degraded boxes
+		p.MeanMAPE = m
+	}
+	return p
+}
+
+// updateLag publishes the largest per-box ingest backlog: samples
+// landed but not yet consumed by a fired step.
+func (e *Engine) updateLag(ids []string) {
+	maxLag := 0
+	for _, id := range ids {
+		total, err := e.store.Total(id)
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		steps := 0
+		if br := e.boxes[id]; br != nil {
+			steps = br.steps
+		}
+		e.mu.Unlock()
+		lag := total - (e.cfg.Core.TrainWindows + steps*e.cfg.Core.Horizon)
+		if lag < 0 {
+			lag = 0
+		}
+		if lag > maxLag {
+			maxLag = lag
+		}
+	}
+	lagGauge.Set(float64(maxLag))
+}
+
+// Plan returns the latest published plan for the box, or false when
+// no step has completed yet.
+func (e *Engine) Plan(id string) (Plan, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	br := e.boxes[id]
+	if br == nil || br.plan == nil {
+		return Plan{}, false
+	}
+	return *br.plan, true
+}
+
+// Steps returns how many rolling steps have fired for the box.
+func (e *Engine) Steps(id string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if br := e.boxes[id]; br != nil {
+		return br.steps
+	}
+	return 0
+}
+
+// Results returns the box's accumulated step results (only populated
+// with Config.KeepResults). The slice is a copy; the results share
+// the pipeline's output structures.
+func (e *Engine) Results(id string) []core.RollingResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if br := e.boxes[id]; br != nil {
+		return append([]core.RollingResult(nil), br.results...)
+	}
+	return nil
+}
+
+// LastErr returns the box's most recent step/apply error (nil when
+// the last step succeeded cleanly).
+func (e *Engine) LastErr(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if br := e.boxes[id]; br != nil {
+		return br.lastErr
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"atm/internal/core"
+	"atm/internal/predict"
+	"atm/internal/spatial"
+	"atm/internal/state"
+	"atm/internal/trace"
+)
+
+func fastConfig(spd int, reuse bool) core.Config {
+	cfg := core.Config{
+		Spatial:      spatial.Config{Method: spatial.MethodCBC},
+		Temporal:     func() predict.Model { return &predict.SeasonalNaive{Period: spd} },
+		TrainWindows: 2 * spd,
+		Horizon:      spd,
+		Threshold:    0.6,
+		Epsilon:      0.1,
+	}
+	if reuse {
+		cfg.Reuse = core.ReusePolicy{Enabled: true}
+	}
+	return cfg
+}
+
+func genBox(seed int64) (*trace.Box, int) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 1, Days: 5, SamplesPerDay: 32, Seed: seed, GapFraction: 1e-9,
+	})
+	return &tr.Boxes[0], tr.SamplesPerDay
+}
+
+// replay streams the box tick by tick into the store, running a
+// synchronous engine pass after every tick — the strictest interleaving
+// of ingest and planning.
+func replay(t *testing.T, e *Engine, st *state.Store, b *trace.Box) {
+	t.Helper()
+	if err := st.Register(state.MetaOf(b)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	total := len(b.VMs[0].CPU)
+	cpu := make([]float64, len(b.VMs))
+	ram := make([]float64, len(b.VMs))
+	ctx := context.Background()
+	for tick := 0; tick < total; tick++ {
+		for v := range b.VMs {
+			cpu[v] = b.VMs[v].CPU[tick]
+			ram[v] = b.VMs[v].RAM[tick]
+		}
+		if _, err := st.Append(b.ID, cpu, ram); err != nil {
+			t.Fatalf("append tick %d: %v", tick, err)
+		}
+		e.Sync(ctx)
+	}
+	if err := e.LastErr(b.ID); err != nil {
+		t.Fatalf("engine error after replay: %v", err)
+	}
+}
+
+// checkParity requires the streamed results to be bit-identical to the
+// batch rolling results: same steps, same research decisions, same
+// sizes, tickets and errors. Float comparisons are exact (==) on
+// purpose — the engine replays the same windows through the same
+// pipeline, so any drift is a real divergence.
+func checkParity(t *testing.T, batch, stream []core.RollingResult) {
+	t.Helper()
+	if len(stream) != len(batch) {
+		t.Fatalf("stream steps = %d, batch = %d", len(stream), len(batch))
+	}
+	for i := range batch {
+		br, sr := batch[i], stream[i]
+		if sr.Step != br.Step || sr.Research != br.Research {
+			t.Fatalf("step %d: stream (step=%d research=%v) vs batch (step=%d research=%v)",
+				i, sr.Step, sr.Research, br.Step, br.Research)
+		}
+		if sr.Result.Degraded != br.Result.Degraded {
+			t.Fatalf("step %d: degraded mismatch", i)
+		}
+		for _, pair := range []struct {
+			name       string
+			bRun, sRun *core.BoxRun
+		}{{"cpu", br.Result.CPU, sr.Result.CPU}, {"ram", br.Result.RAM, sr.Result.RAM}} {
+			if pair.bRun.TicketsBefore != pair.sRun.TicketsBefore || pair.bRun.TicketsAfter != pair.sRun.TicketsAfter {
+				t.Fatalf("step %d %s: tickets stream (%d,%d) vs batch (%d,%d)", i, pair.name,
+					pair.sRun.TicketsBefore, pair.sRun.TicketsAfter, pair.bRun.TicketsBefore, pair.bRun.TicketsAfter)
+			}
+			if len(pair.bRun.Sizes) != len(pair.sRun.Sizes) {
+				t.Fatalf("step %d %s: size counts differ", i, pair.name)
+			}
+			for v := range pair.bRun.Sizes {
+				if pair.bRun.Sizes[v] != pair.sRun.Sizes[v] {
+					t.Fatalf("step %d %s vm %d: size %v != %v", i, pair.name, v,
+						pair.sRun.Sizes[v], pair.bRun.Sizes[v])
+				}
+			}
+		}
+		bm, sm := br.Result.MeanMAPE(), sr.Result.MeanMAPE()
+		if bm != sm && !(math.IsNaN(bm) && math.IsNaN(sm)) {
+			t.Fatalf("step %d: MAPE %v != %v", i, sm, bm)
+		}
+	}
+}
+
+// TestEngineBatchParity replays a trace sample-by-sample through the
+// streaming engine and requires the per-step results to be
+// bit-identical to the batch core.RunRolling over the same trace, with
+// model reuse both disabled and enabled.
+func TestEngineBatchParity(t *testing.T) {
+	for _, reuse := range []bool{false, true} {
+		t.Run(fmt.Sprintf("reuse=%v", reuse), func(t *testing.T) {
+			b, spd := genBox(13)
+			cfg := fastConfig(spd, reuse)
+			batch, err := core.RunRolling(b, spd, cfg)
+			if err != nil {
+				t.Fatalf("RunRolling: %v", err)
+			}
+
+			st, err := state.NewStore(cfg.TrainWindows + 2*cfg.Horizon)
+			if err != nil {
+				t.Fatalf("NewStore: %v", err)
+			}
+			e, err := New(st, Config{Core: cfg, SamplesPerDay: spd, KeepResults: true})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			replay(t, e, st, b)
+			checkParity(t, batch, e.Results(b.ID))
+
+			plan, ok := e.Plan(b.ID)
+			if !ok {
+				t.Fatal("no plan published")
+			}
+			last := batch[len(batch)-1]
+			if plan.Step != last.Step {
+				t.Errorf("plan step = %d, want %d", plan.Step, last.Step)
+			}
+			for v := range last.Result.CPU.Sizes {
+				if plan.CPUSizes[v] != last.Result.CPU.Sizes[v] {
+					t.Errorf("plan cpu size %d = %v, want %v", v, plan.CPUSizes[v], last.Result.CPU.Sizes[v])
+				}
+			}
+			if plan.TicketsBefore != last.Result.CPU.TicketsBefore+last.Result.RAM.TicketsBefore {
+				t.Errorf("plan tickets_before = %d", plan.TicketsBefore)
+			}
+		})
+	}
+}
+
+// TestEngineCatchUp ingests the full trace first and runs a single
+// Sync: the engine must catch the box up through every pending step in
+// one pass.
+func TestEngineCatchUp(t *testing.T) {
+	b, spd := genBox(17)
+	cfg := fastConfig(spd, false)
+	st, _ := state.NewStore(len(b.VMs[0].CPU)) // retain everything
+	if err := st.Register(state.MetaOf(b)); err != nil {
+		t.Fatal(err)
+	}
+	cpu := make([]float64, len(b.VMs))
+	ram := make([]float64, len(b.VMs))
+	for tick := 0; tick < len(b.VMs[0].CPU); tick++ {
+		for v := range b.VMs {
+			cpu[v] = b.VMs[v].CPU[tick]
+			ram[v] = b.VMs[v].RAM[tick]
+		}
+		if _, err := st.Append(b.ID, cpu, ram); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(st, Config{Core: cfg, SamplesPerDay: spd, KeepResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Sync(context.Background())
+	wantSteps := (len(b.VMs[0].CPU) - cfg.TrainWindows) / cfg.Horizon
+	if got := e.Steps(b.ID); got != wantSteps {
+		t.Fatalf("steps after one Sync = %d, want %d", got, wantSteps)
+	}
+}
+
+// TestEngineConfigErrors covers constructor validation.
+func TestEngineConfigErrors(t *testing.T) {
+	_, spd := genBox(1)
+	cfg := fastConfig(spd, false)
+	if _, err := New(nil, Config{Core: cfg, SamplesPerDay: spd}); err == nil {
+		t.Error("nil store accepted")
+	}
+	st, _ := state.NewStore(8) // too small for train+horizon
+	if _, err := New(st, Config{Core: cfg, SamplesPerDay: spd}); err == nil {
+		t.Error("undersized store accepted")
+	}
+	big, _ := state.NewStore(cfg.TrainWindows + cfg.Horizon)
+	bad := cfg
+	bad.Horizon = 0
+	if _, err := New(big, Config{Core: bad, SamplesPerDay: spd}); err == nil {
+		t.Error("bad core config accepted")
+	}
+}
+
+// TestEngineSoak runs the engine loop live (Run in a goroutine) while
+// several goroutines ingest concurrently into multiple boxes —
+// exercised under -race by the CI race scope. It checks the engine
+// drains in-flight work on cancellation and that every box ends with
+// a published plan.
+func TestEngineSoak(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 3, Days: 5, SamplesPerDay: 32, Seed: 23, GapFraction: 1e-9,
+	})
+	spd := tr.SamplesPerDay
+	cfg := fastConfig(spd, true)
+	st, err := state.NewStore(cfg.TrainWindows + 4*cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(st, Config{Core: cfg, SamplesPerDay: spd, Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- e.Run(ctx) }()
+
+	var wg sync.WaitGroup
+	for bi := range tr.Boxes {
+		b := &tr.Boxes[bi]
+		if err := st.Register(state.MetaOf(b)); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cpu := make([]float64, len(b.VMs))
+			ram := make([]float64, len(b.VMs))
+			for tick := 0; tick < len(b.VMs[0].CPU); tick++ {
+				for v := range b.VMs {
+					cpu[v] = b.VMs[v].CPU[tick]
+					ram[v] = b.VMs[v].RAM[tick]
+				}
+				if _, err := st.Append(b.ID, cpu, ram); err != nil {
+					t.Errorf("append %s: %v", b.ID, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Let the engine consume the backlog, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for bi := range tr.Boxes {
+			b := &tr.Boxes[bi]
+			want := (len(b.VMs[0].CPU) - cfg.TrainWindows) / cfg.Horizon
+			if e.Steps(b.ID) < want {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runDone; err != context.Canceled {
+		t.Errorf("Run returned %v, want context.Canceled", err)
+	}
+	for bi := range tr.Boxes {
+		b := &tr.Boxes[bi]
+		if _, ok := e.Plan(b.ID); !ok {
+			t.Errorf("box %s: no plan after soak", b.ID)
+		}
+		want := (len(b.VMs[0].CPU) - cfg.TrainWindows) / cfg.Horizon
+		if got := e.Steps(b.ID); got != want {
+			t.Errorf("box %s: steps = %d, want %d", b.ID, got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atm/internal/core"
+	"atm/internal/obs"
+	"atm/internal/predict"
+	"atm/internal/spatial"
+	"atm/internal/trace"
+)
+
+// RollingBenchResult compares a rolling (online) ATM run with model
+// reuse off — every window re-runs the full signature search, the
+// batch-identical behavior — against the same run with reuse on, where
+// the retained signature set is refit until drift or age forces a
+// re-search. Researches/refits are counted through the engine's
+// atm_engine_research_total / atm_engine_refit_total metrics, so this
+// record doubles as an end-to-end check of the observability wiring.
+// The struct is JSON-marshalable so `make rollingbench` can persist a
+// machine-readable record next to the human table.
+type RollingBenchResult struct {
+	// Workload shape.
+	VMs          int `json:"vms"`
+	Samples      int `json:"samples"`
+	TrainWindows int `json:"train_windows"`
+	Horizon      int `json:"horizon"`
+	Steps        int `json:"steps"`
+
+	// Full-search baseline (reuse off).
+	BaselineMS        float64 `json:"baseline_ms"`
+	BaselineSearches  int     `json:"baseline_searches"`
+	BaselineTickets   int     `json:"baseline_tickets_after"`
+	BaselineMeanMAPE  float64 `json:"baseline_mean_mape"`
+	BaselineReduction float64 `json:"baseline_ticket_reduction"`
+
+	// Model reuse (refit until drift/age).
+	ReuseMS        float64 `json:"reuse_ms"`
+	ReuseSearches  int     `json:"reuse_searches"`
+	ReuseRefits    int     `json:"reuse_refits"`
+	ReuseBudget    int     `json:"reuse_search_budget"` // ceil(steps / MaxAge)
+	ReuseTickets   int     `json:"reuse_tickets_after"`
+	ReuseMeanMAPE  float64 `json:"reuse_mean_mape"`
+	ReuseReduction float64 `json:"reuse_ticket_reduction"`
+
+	// Speedup of the reused run over the full-search baseline.
+	Speedup float64 `json:"speedup"`
+	// WithinBudget reports the acceptance bound: on the stationary
+	// trace the reuse run performed at most ReuseBudget searches.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// rollingBenchConfig is the shared pipeline configuration; only Reuse
+// differs between the two runs. The MLP would dominate the timing and
+// drown the search-vs-refit delta, so the bench uses the seasonal-naive
+// temporal model — the spatial stage is what reuse optimizes.
+func rollingBenchConfig(spd int, reuse bool) core.Config {
+	cfg := core.Config{
+		Spatial:      spatial.Config{Method: spatial.MethodCBC},
+		Temporal:     func() predict.Model { return &predict.SeasonalNaive{Period: spd} },
+		TrainWindows: 2 * spd,
+		Horizon:      spd / 2,
+		Threshold:    0.6,
+		Epsilon:      0.1,
+	}
+	if reuse {
+		cfg.Reuse = core.ReusePolicy{Enabled: true}
+	}
+	return cfg
+}
+
+// RollingBench runs the 20-step rolling comparison on a stationary
+// synthetic box.
+func RollingBench(opts Options) (*RollingBenchResult, error) {
+	opts = opts.withDefaults()
+	// 4 boxes x 12 days at 24 samples/day: T = 48, H = 12 → 20 steps.
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 4, Days: 12, SamplesPerDay: 24, Seed: 7, GapFraction: 0,
+	})
+	gapFree := tr.GapFree()
+	if len(gapFree) == 0 {
+		return nil, fmt.Errorf("experiments: rollingbench trace has no gap-free box")
+	}
+	b := gapFree[0]
+	spd := tr.SamplesPerDay
+
+	research := obs.Default().Counter("atm_engine_research_total",
+		"Full signature searches run by the staged pipeline (cold start, reuse disabled, or drift).")
+	refit := obs.Default().Counter("atm_engine_refit_total",
+		"Cheap refits of a retained signature set by the staged pipeline.")
+
+	res := &RollingBenchResult{VMs: len(b.VMs), Samples: tr.Samples()}
+	cfg := rollingBenchConfig(spd, false)
+	res.TrainWindows, res.Horizon = cfg.TrainWindows, cfg.Horizon
+
+	// --- Baseline: full search every window. ---
+	var base []core.RollingResult
+	var err error
+	r0 := research.Value()
+	res.BaselineMS = timeMS(func() { base, err = core.RunRolling(b, spd, cfg) })
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rollingbench baseline: %w", err)
+	}
+	res.BaselineSearches = int(research.Value() - r0)
+	res.Steps = len(base)
+	bsum := core.SummarizeRolling(base)
+	res.BaselineTickets = bsum.TicketsAfter
+	res.BaselineMeanMAPE = bsum.MeanMAPE
+	if bsum.TicketsBefore > 0 {
+		res.BaselineReduction = float64(bsum.TicketsBefore-bsum.TicketsAfter) / float64(bsum.TicketsBefore)
+	}
+
+	// --- Reuse: refit the retained signature set until drift/age. ---
+	var reused []core.RollingResult
+	r0, f0 := research.Value(), refit.Value()
+	res.ReuseMS = timeMS(func() { reused, err = core.RunRolling(b, spd, rollingBenchConfig(spd, true)) })
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rollingbench reuse: %w", err)
+	}
+	res.ReuseSearches = int(research.Value() - r0)
+	res.ReuseRefits = int(refit.Value() - f0)
+	rsum := core.SummarizeRolling(reused)
+	res.ReuseTickets = rsum.TicketsAfter
+	res.ReuseMeanMAPE = rsum.MeanMAPE
+	if rsum.TicketsBefore > 0 {
+		res.ReuseReduction = float64(rsum.TicketsBefore-rsum.TicketsAfter) / float64(rsum.TicketsBefore)
+	}
+
+	res.ReuseBudget = (res.Steps + core.DefaultReuseMaxAge - 1) / core.DefaultReuseMaxAge
+	res.WithinBudget = res.ReuseSearches <= res.ReuseBudget
+	if res.ReuseMS > 0 {
+		res.Speedup = res.BaselineMS / res.ReuseMS
+	}
+	return res, nil
+}
+
+// Render produces the rolling model-reuse benchmark table.
+func (r *RollingBenchResult) Render() *Table {
+	t := &Table{
+		Title:  "Rolling benchmark — model reuse (refit) vs full search per window",
+		Header: []string{"mode", "wall", "searches", "refits", "tickets after", "mean MAPE"},
+	}
+	t.AddRow("full search", ms(r.BaselineMS),
+		fmt.Sprintf("%d", r.BaselineSearches), "0",
+		fmt.Sprintf("%d", r.BaselineTickets), fmt.Sprintf("%.3f", r.BaselineMeanMAPE))
+	t.AddRow("reuse", ms(r.ReuseMS),
+		fmt.Sprintf("%d", r.ReuseSearches), fmt.Sprintf("%d", r.ReuseRefits),
+		fmt.Sprintf("%d", r.ReuseTickets), fmt.Sprintf("%.3f", r.ReuseMeanMAPE))
+	budget := "within budget"
+	if !r.WithinBudget {
+		budget = "OVER BUDGET"
+	}
+	t.AddNote("%d VMs, %d samples, T=%d H=%d → %d steps; speedup %.2fx",
+		r.VMs, r.Samples, r.TrainWindows, r.Horizon, r.Steps, r.Speedup)
+	t.AddNote("reuse searched %d of %d steps (budget ceil(steps/%d) = %d: %s)",
+		r.ReuseSearches, r.Steps, core.DefaultReuseMaxAge, r.ReuseBudget, budget)
+	return t
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestRollingBench runs the rolling reuse comparison end to end and
+// checks the acceptance bound: on the stationary trace the reuse run
+// must stay within the ceil(steps/MaxAge) search budget while covering
+// every step (searches + refits == steps).
+func TestRollingBench(t *testing.T) {
+	r, err := RollingBench(Options{})
+	if err != nil {
+		t.Fatalf("RollingBench: %v", err)
+	}
+	if r.Steps != 20 {
+		t.Fatalf("steps = %d, want 20", r.Steps)
+	}
+	if r.BaselineSearches != r.Steps {
+		t.Errorf("baseline searches = %d, want one per step (%d)", r.BaselineSearches, r.Steps)
+	}
+	if !r.WithinBudget {
+		t.Errorf("reuse searches = %d over budget %d", r.ReuseSearches, r.ReuseBudget)
+	}
+	if r.ReuseSearches+r.ReuseRefits != r.Steps {
+		t.Errorf("searches %d + refits %d != steps %d", r.ReuseSearches, r.ReuseRefits, r.Steps)
+	}
+	if r.ReuseSearches < 1 {
+		t.Error("reuse never searched (cold start must research)")
+	}
+	if tbl := r.Render(); len(tbl.Rows) != 2 {
+		t.Errorf("render rows = %d", len(tbl.Rows))
+	}
+}

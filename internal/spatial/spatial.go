@@ -197,6 +197,21 @@ func SearchContext(ctx context.Context, series []timeseries.Series, cfg Config) 
 	span.SetAttr("signatures", len(final))
 
 	// Fit every dependent on the final signature set.
+	m.Dependents, err = fitDependents(ctx, series, final)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// fitDependents fits every non-signature series as a linear model of
+// the signature series (indices in final). All dependents share one
+// predictor set, so the design matrix is built and QR-factored once
+// through a Designer; each dependent costs one solve. The fits are
+// bit-identical to per-dependent OLSRidge calls. Shared by the full
+// Search and by Refit, so a refit reproduces exactly the fits a fresh
+// search over the same signature set would produce.
+func fitDependents(ctx context.Context, series []timeseries.Series, final []int) (map[int]*regress.Fit, error) {
 	_, fspan := obs.StartSpan(ctx, "spatial.fit_dependents")
 	defer fspan.End()
 	sigSeries := make([]timeseries.Series, len(final))
@@ -205,12 +220,10 @@ func SearchContext(ctx context.Context, series []timeseries.Series, cfg Config) 
 		sigSeries[i] = series[idx]
 		isSig[idx] = true
 	}
-	// All dependents share one predictor set, so the design matrix is
-	// built and QR-factored once; each dependent costs one solve. The
-	// fits are bit-identical to per-dependent OLSRidge calls.
-	m.Dependents = make(map[int]*regress.Fit)
+	deps := make(map[int]*regress.Fit)
 	var designer *regress.Designer
-	for i := 0; i < n; i++ {
+	var err error
+	for i := 0; i < len(series); i++ {
 		if isSig[i] {
 			continue
 		}
@@ -224,9 +237,57 @@ func SearchContext(ctx context.Context, series []timeseries.Series, cfg Config) 
 		if err != nil {
 			return nil, fmt.Errorf("spatial: fit dependent %d: %w", i, err)
 		}
-		m.Dependents[i] = fit
+		deps[i] = fit
 	}
-	fspan.SetAttr("dependents", len(m.Dependents))
+	fspan.SetAttr("dependents", len(deps))
+	return deps, nil
+}
+
+// Refit rebuilds a spatial model over a new window of the same box
+// with a fixed, previously-searched signature set: the expensive
+// clustering and stepwise-VIF steps are skipped and only the cheap
+// dependent OLS fits are recomputed. This is the model-reuse fast
+// path of rolling/streaming runs — a full Search is only needed again
+// when drift invalidates the signature set.
+func Refit(series []timeseries.Series, signatures []int) (*Model, error) {
+	return RefitContext(context.Background(), series, signatures)
+}
+
+// RefitContext is Refit with tracing: under an obs.Tracer it emits a
+// "spatial.refit" span wrapping the dependent fits.
+func RefitContext(ctx context.Context, series []timeseries.Series, signatures []int) (*Model, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, ErrNoSeries
+	}
+	if len(signatures) == 0 {
+		return nil, fmt.Errorf("spatial: refit with empty signature set")
+	}
+	final := append([]int(nil), signatures...)
+	sort.Ints(final)
+	for i, idx := range final {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("spatial: refit signature %d out of range [0,%d)", idx, n)
+		}
+		if i > 0 && final[i-1] == idx {
+			return nil, fmt.Errorf("spatial: refit signature %d duplicated", idx)
+		}
+	}
+	ctx, span := obs.StartSpan(ctx, "spatial.refit")
+	defer span.End()
+	span.SetAttr("series", n)
+	span.SetAttr("signatures", len(final))
+	m := &Model{
+		N:                 n,
+		ClusterK:          len(final),
+		InitialSignatures: append([]int(nil), final...),
+		Signatures:        final,
+	}
+	var err error
+	m.Dependents, err = fitDependents(ctx, series, final)
+	if err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 

@@ -261,3 +261,64 @@ func TestSearchFeaturesMethod(t *testing.T) {
 		t.Errorf("String = %q", MethodFeatures.String())
 	}
 }
+
+func TestRefitMatchesSearch(t *testing.T) {
+	series := boxSeries(9, 3, 4, 192, 1)
+	m, err := Search(series, Config{Method: MethodCBC})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	// Refitting the same series over the searched signature set must
+	// reproduce the search's dependent fits bit for bit (Refit shares
+	// fitDependents with Search).
+	rm, err := Refit(series, m.Signatures)
+	if err != nil {
+		t.Fatalf("Refit: %v", err)
+	}
+	if rm.N != m.N || len(rm.Signatures) != len(m.Signatures) {
+		t.Fatalf("refit shape: N=%d sigs=%d, want N=%d sigs=%d",
+			rm.N, len(rm.Signatures), m.N, len(m.Signatures))
+	}
+	if len(rm.Dependents) != len(m.Dependents) {
+		t.Fatalf("dependents: %d vs %d", len(rm.Dependents), len(m.Dependents))
+	}
+	for i, f := range m.Dependents {
+		rf, ok := rm.Dependents[i]
+		if !ok {
+			t.Fatalf("dependent %d missing from refit", i)
+		}
+		if len(rf.Coef) != len(f.Coef) {
+			t.Fatalf("dependent %d: %d coefs vs %d", i, len(rf.Coef), len(f.Coef))
+		}
+		for j := range f.Coef {
+			if rf.Coef[j] != f.Coef[j] {
+				t.Errorf("dependent %d coef %d: %v != %v", i, j, rf.Coef[j], f.Coef[j])
+			}
+		}
+		if rf.R2 != f.R2 {
+			t.Errorf("dependent %d R2: %v != %v", i, rf.R2, f.R2)
+		}
+	}
+}
+
+func TestRefitErrors(t *testing.T) {
+	series := boxSeries(9, 2, 3, 96, 1)
+	if _, err := Refit(series, nil); err == nil {
+		t.Error("empty signatures accepted")
+	}
+	if _, err := Refit(series, []int{0, 99}); err == nil {
+		t.Error("out-of-range signature accepted")
+	}
+	// Unsorted input is normalized, not rejected.
+	if m, err := Refit(series, []int{2, 1}); err != nil {
+		t.Errorf("unsorted signatures: %v", err)
+	} else if m.Signatures[0] != 1 || m.Signatures[1] != 2 {
+		t.Errorf("signatures not normalized: %v", m.Signatures)
+	}
+	if _, err := Refit(series, []int{1, 1}); err == nil {
+		t.Error("duplicate signatures accepted")
+	}
+	if _, err := Refit(nil, []int{0}); err == nil {
+		t.Error("no series accepted")
+	}
+}

@@ -1,0 +1,261 @@
+// Package state is the streaming counterpart of a batch trace: a
+// concurrency-safe per-box store that accepts incremental CPU/RAM
+// usage samples and exposes bounded training windows to the pipeline
+// without cloning. Each (VM, resource) series lives in a
+// timeseries.Ring, so memory stays O(boxes × series × history) no
+// matter how long the stream runs, and a Window call materializes a
+// trace.Box whose series are zero-copy views into the rings (safe
+// because ring storage is append-only — see timeseries.Ring).
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"atm/internal/obs"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+// Store gauges: the live box/series population, the ingest totals.
+var (
+	gaugeBoxes = obs.Default().Gauge("atm_state_boxes",
+		"Boxes registered in the streaming state store.")
+	gaugeSeries = obs.Default().Gauge("atm_state_series",
+		"Demand series retained in the streaming state store.")
+	counterSamples = obs.Default().Counter("atm_state_samples_total",
+		"Samples ingested into the streaming state store (one per series per tick).")
+)
+
+// Errors returned by the store.
+var (
+	// ErrUnknownBox indicates an operation on a box id that was never
+	// registered.
+	ErrUnknownBox = errors.New("state: unknown box")
+	// ErrShapeMismatch indicates a register or append whose VM count
+	// disagrees with the box's registered shape.
+	ErrShapeMismatch = errors.New("state: shape mismatch")
+)
+
+// VMMeta is the static configuration of one VM on a streamed box.
+type VMMeta struct {
+	// ID is the VM's cgroup/trace id.
+	ID string `json:"id"`
+	// CPUCapGHz and RAMCapGB are the allocated virtual capacities.
+	CPUCapGHz float64 `json:"cpu_cap_ghz"`
+	RAMCapGB  float64 `json:"ram_cap_gb"`
+}
+
+// BoxMeta is the static configuration of one streamed box.
+type BoxMeta struct {
+	// ID is the box id.
+	ID string `json:"id"`
+	// CPUCapGHz and RAMCapGB are the box's total capacities.
+	CPUCapGHz float64 `json:"cpu_cap_ghz"`
+	RAMCapGB  float64 `json:"ram_cap_gb"`
+	// VMs are the co-located VMs, in series order.
+	VMs []VMMeta `json:"vms"`
+}
+
+// MetaOf extracts the static configuration of a trace box, for
+// registering replayed traces with a store.
+func MetaOf(b *trace.Box) BoxMeta {
+	m := BoxMeta{ID: b.ID, CPUCapGHz: b.CPUCapGHz, RAMCapGB: b.RAMCapGB}
+	m.VMs = make([]VMMeta, len(b.VMs))
+	for i := range b.VMs {
+		vm := &b.VMs[i]
+		m.VMs[i] = VMMeta{ID: vm.ID, CPUCapGHz: vm.CPUCapGHz, RAMCapGB: vm.RAMCapGB}
+	}
+	return m
+}
+
+// boxState is one box's streaming state: static metadata plus one ring
+// per (VM, resource) series in trace.SeriesIndex order. The per-box
+// lock serializes ring access; distinct boxes ingest concurrently.
+type boxState struct {
+	mu    sync.Mutex
+	meta  BoxMeta
+	rings []*timeseries.Ring // usage percent, SeriesIndex order
+}
+
+// Store is a concurrency-safe collection of streamed boxes.
+type Store struct {
+	history int
+
+	mu    sync.RWMutex
+	boxes map[string]*boxState
+
+	notify chan struct{}
+}
+
+// NewStore returns an empty store retaining at most history samples
+// per series. history must cover at least one pipeline window
+// (TrainWindows+Horizon) to be useful; the store itself only requires
+// it to be positive.
+func NewStore(history int) (*Store, error) {
+	if history <= 0 {
+		return nil, fmt.Errorf("state: history %d: must be positive", history)
+	}
+	return &Store{
+		history: history,
+		boxes:   make(map[string]*boxState),
+		notify:  make(chan struct{}, 1),
+	}, nil
+}
+
+// History returns the per-series retention bound.
+func (s *Store) History() int { return s.history }
+
+// Notify returns a channel that receives (coalesced) signals after
+// appends — the engine's wake-up line. The channel has capacity one;
+// a signal may cover many appends.
+func (s *Store) Notify() <-chan struct{} { return s.notify }
+
+func (s *Store) signal() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Register adds a box. Registering an already-known box is a no-op
+// when the VM shape matches (idempotent re-announcement by a
+// reconnecting client) and ErrShapeMismatch otherwise.
+func (s *Store) Register(meta BoxMeta) error {
+	if meta.ID == "" {
+		return errors.New("state: empty box id")
+	}
+	if len(meta.VMs) == 0 {
+		return fmt.Errorf("state: box %s has no VMs: %w", meta.ID, ErrShapeMismatch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.boxes[meta.ID]; ok {
+		if len(old.meta.VMs) != len(meta.VMs) {
+			return fmt.Errorf("state: box %s re-registered with %d VMs, had %d: %w",
+				meta.ID, len(meta.VMs), len(old.meta.VMs), ErrShapeMismatch)
+		}
+		return nil
+	}
+	bs := &boxState{meta: meta}
+	bs.rings = make([]*timeseries.Ring, len(meta.VMs)*trace.NumResources)
+	for i := range bs.rings {
+		bs.rings[i] = timeseries.NewRing(s.history)
+	}
+	s.boxes[meta.ID] = bs
+	gaugeBoxes.Inc()
+	gaugeSeries.Add(float64(len(bs.rings)))
+	return nil
+}
+
+func (s *Store) box(id string) (*boxState, error) {
+	s.mu.RLock()
+	bs, ok := s.boxes[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", id, ErrUnknownBox)
+	}
+	return bs, nil
+}
+
+// Append ingests one sampling tick for a box: cpu[i] and ram[i] are
+// VM i's usage percent for the tick, in the registered VM order. It
+// returns the box's new total sample count.
+func (s *Store) Append(id string, cpu, ram []float64) (int, error) {
+	bs, err := s.box(id)
+	if err != nil {
+		return 0, err
+	}
+	bs.mu.Lock()
+	if len(cpu) != len(bs.meta.VMs) || len(ram) != len(bs.meta.VMs) {
+		n := len(bs.meta.VMs)
+		bs.mu.Unlock()
+		return 0, fmt.Errorf("state: box %s tick with %d cpu / %d ram values, want %d: %w",
+			id, len(cpu), len(ram), n, ErrShapeMismatch)
+	}
+	for v := range bs.meta.VMs {
+		bs.rings[trace.SeriesIndex(v, trace.CPU)].Append(cpu[v])
+		bs.rings[trace.SeriesIndex(v, trace.RAM)].Append(ram[v])
+	}
+	total := bs.rings[0].Total()
+	bs.mu.Unlock()
+	counterSamples.Add(float64(2 * len(cpu)))
+	s.signal()
+	return total, nil
+}
+
+// Total returns the number of ticks ever ingested for the box.
+func (s *Store) Total(id string) (int, error) {
+	bs, err := s.box(id)
+	if err != nil {
+		return 0, err
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.rings[0].Total(), nil
+}
+
+// First returns the absolute index of the oldest retained tick.
+func (s *Store) First(id string) (int, error) {
+	bs, err := s.box(id)
+	if err != nil {
+		return 0, err
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.rings[0].First(), nil
+}
+
+// Meta returns the box's registered configuration.
+func (s *Store) Meta(id string) (BoxMeta, error) {
+	bs, err := s.box(id)
+	if err != nil {
+		return BoxMeta{}, err
+	}
+	return bs.meta, nil
+}
+
+// Boxes returns the registered box ids in sorted order.
+func (s *Store) Boxes() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.boxes))
+	for id := range s.boxes {
+		out = append(out, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Window materializes the box restricted to absolute tick range
+// [from, to) as a trace.Box whose usage series are zero-copy ring
+// views. The append-only ring storage makes the views stable
+// snapshots: concurrent ingest never mutates samples the returned box
+// can see. timeseries.ErrEvicted surfaces when the range has aged out
+// of retention, timeseries.ErrFuture when it is not fully ingested
+// yet.
+func (s *Store) Window(id string, from, to int) (*trace.Box, error) {
+	bs, err := s.box(id)
+	if err != nil {
+		return nil, err
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := &trace.Box{ID: bs.meta.ID, CPUCapGHz: bs.meta.CPUCapGHz, RAMCapGB: bs.meta.RAMCapGB}
+	out.VMs = make([]trace.VM, len(bs.meta.VMs))
+	for v := range bs.meta.VMs {
+		m := bs.meta.VMs[v]
+		cpu, err := bs.rings[trace.SeriesIndex(v, trace.CPU)].Range(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("state: box %s window: %w", id, err)
+		}
+		ram, err := bs.rings[trace.SeriesIndex(v, trace.RAM)].Range(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("state: box %s window: %w", id, err)
+		}
+		out.VMs[v] = trace.VM{ID: m.ID, CPUCapGHz: m.CPUCapGHz, RAMCapGB: m.RAMCapGB, CPU: cpu, RAM: ram}
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package state
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+func meta(id string, vms int) BoxMeta {
+	m := BoxMeta{ID: id, CPUCapGHz: 10, RAMCapGB: 64}
+	for v := 0; v < vms; v++ {
+		m.VMs = append(m.VMs, VMMeta{ID: string(rune('a' + v)), CPUCapGHz: 2, RAMCapGB: 8})
+	}
+	return m
+}
+
+func TestStoreRegisterAndAppend(t *testing.T) {
+	s, err := NewStore(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(0); err == nil {
+		t.Error("zero history accepted")
+	}
+	if err := s.Register(meta("b1", 2)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Idempotent on matching shape, error on mismatch.
+	if err := s.Register(meta("b1", 2)); err != nil {
+		t.Errorf("re-register same shape: %v", err)
+	}
+	if err := s.Register(meta("b1", 3)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("re-register new shape: %v, want ErrShapeMismatch", err)
+	}
+	if err := s.Register(BoxMeta{ID: "empty"}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("register no VMs: %v, want ErrShapeMismatch", err)
+	}
+	if err := s.Register(BoxMeta{VMs: meta("x", 1).VMs}); err == nil {
+		t.Error("empty id accepted")
+	}
+
+	total, err := s.Append("b1", []float64{10, 20}, []float64{30, 40})
+	if err != nil || total != 1 {
+		t.Fatalf("append: total=%d err=%v", total, err)
+	}
+	if _, err := s.Append("b1", []float64{10}, []float64{30, 40}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("short tick: %v, want ErrShapeMismatch", err)
+	}
+	if _, err := s.Append("nope", []float64{1}, []float64{1}); !errors.Is(err, ErrUnknownBox) {
+		t.Errorf("unknown box: %v, want ErrUnknownBox", err)
+	}
+	if got := s.Boxes(); len(got) != 1 || got[0] != "b1" {
+		t.Errorf("Boxes() = %v", got)
+	}
+	m, err := s.Meta("b1")
+	if err != nil || m.ID != "b1" || len(m.VMs) != 2 {
+		t.Errorf("Meta = %+v, %v", m, err)
+	}
+}
+
+func TestStoreWindowViewsAndEviction(t *testing.T) {
+	s, _ := NewStore(4)
+	if err := s.Register(meta("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Append("b", []float64{float64(i)}, []float64{float64(10 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, _ := s.Total("b")
+	first, _ := s.First("b")
+	if total != 6 || first != 2 {
+		t.Fatalf("total=%d first=%d, want 6, 2", total, first)
+	}
+	wb, err := s.Window("b", 2, 6)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(wb.VMs) != 1 || wb.VMs[0].CPU.Len() != 4 {
+		t.Fatalf("window shape: %+v", wb)
+	}
+	for i, want := range []float64{2, 3, 4, 5} {
+		if wb.VMs[0].CPU[i] != want || wb.VMs[0].RAM[i] != 10*want {
+			t.Errorf("window[%d] = (%v,%v), want (%v,%v)",
+				i, wb.VMs[0].CPU[i], wb.VMs[0].RAM[i], want, 10*want)
+		}
+	}
+	if _, err := s.Window("b", 0, 4); !errors.Is(err, timeseries.ErrEvicted) {
+		t.Errorf("evicted window: %v, want ErrEvicted", err)
+	}
+	if _, err := s.Window("b", 4, 8); !errors.Is(err, timeseries.ErrFuture) {
+		t.Errorf("future window: %v, want ErrFuture", err)
+	}
+	if _, err := s.Window("nope", 0, 1); !errors.Is(err, ErrUnknownBox) {
+		t.Errorf("unknown window: %v, want ErrUnknownBox", err)
+	}
+}
+
+func TestStoreNotifyCoalesces(t *testing.T) {
+	s, _ := NewStore(4)
+	if err := s.Register(meta("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append("b", []float64{1}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-s.Notify():
+	default:
+		t.Fatal("no signal after appends")
+	}
+	select {
+	case <-s.Notify():
+		t.Fatal("signals not coalesced")
+	default:
+	}
+}
+
+func TestMetaOfRoundTrip(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{Boxes: 1, Days: 1, SamplesPerDay: 8, Seed: 3, GapFraction: 1e-9})
+	b := &tr.Boxes[0]
+	m := MetaOf(b)
+	if m.ID != b.ID || len(m.VMs) != len(b.VMs) || m.CPUCapGHz != b.CPUCapGHz {
+		t.Fatalf("MetaOf = %+v", m)
+	}
+	for i := range b.VMs {
+		if m.VMs[i].ID != b.VMs[i].ID || m.VMs[i].RAMCapGB != b.VMs[i].RAMCapGB {
+			t.Errorf("vm %d meta mismatch", i)
+		}
+	}
+}
+
+// TestStoreConcurrentIngest hammers appends from many goroutines while
+// a reader keeps materializing windows — the contract the engine
+// relies on, checked under -race in CI.
+func TestStoreConcurrentIngest(t *testing.T) {
+	s, _ := NewStore(32)
+	const boxes, ticks = 4, 200
+	ids := make([]string, boxes)
+	for i := range ids {
+		ids[i] = meta(string(rune('A'+i)), 2).ID
+		if err := s.Register(meta(ids[i], 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for k := 0; k < ticks; k++ {
+				if _, err := s.Append(id, []float64{1, 2}, []float64{3, 4}); err != nil {
+					t.Errorf("append %s: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, id := range ids {
+				total, err := s.Total(id)
+				if err != nil || total < 8 {
+					continue
+				}
+				first, _ := s.First(id)
+				// Concurrent appends may evict `first` between the two
+				// calls; any other error is a real failure.
+				if _, err := s.Window(id, first, total); err != nil && !errors.Is(err, timeseries.ErrEvicted) {
+					t.Errorf("window %s [%d,%d): %v", id, first, total, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+}

@@ -1,0 +1,126 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ring errors.
+var (
+	// ErrEvicted indicates a requested sample range starts before the
+	// ring's retention window (the samples have been evicted).
+	ErrEvicted = errors.New("timeseries: samples evicted from ring")
+	// ErrFuture indicates a requested sample range ends past the last
+	// appended sample.
+	ErrFuture = errors.New("timeseries: samples not yet appended")
+)
+
+// Ring is a bounded append-only series buffer: it retains the most
+// recent Limit samples and evicts the oldest as new samples arrive.
+// It is the per-series storage of the streaming state store, holding
+// exactly the training+horizon window the pipeline needs without the
+// unbounded growth of a plain Series.
+//
+// Samples are addressed in absolute stream coordinates: the i-th
+// sample ever appended has index i, whether or not it is still
+// retained. Total reports how many have been appended, First the
+// oldest index still retained.
+//
+// Storage is append-only: a retained sample is never overwritten in
+// place. Eviction advances a start offset and compaction copies the
+// live window into a fresh array, leaving old arrays untouched. A
+// Series view returned by Tail, Values or Range therefore stays valid
+// — and data-race-free against concurrent appends serialized by the
+// caller's lock — for as long as the caller holds it; it is a stable
+// snapshot, not a window that slides under the reader.
+//
+// Ring itself is not safe for concurrent use; callers (the state
+// store) serialize access.
+type Ring struct {
+	limit   int
+	buf     []float64
+	start   int // buf[start:] is the retained window
+	dropped int // samples evicted; absolute index of buf[start]
+}
+
+// NewRing returns a ring retaining at most limit samples. It panics if
+// limit is not positive (a programmer error, like Series.Min on empty).
+func NewRing(limit int) *Ring {
+	if limit <= 0 {
+		panic(fmt.Sprintf("timeseries: ring limit %d: must be positive", limit))
+	}
+	// Capacity 2*limit: appends fill the slack and compaction runs once
+	// per limit appends, so eviction is amortized O(1) and never
+	// touches memory an outstanding view aliases.
+	return &Ring{limit: limit, buf: make([]float64, 0, 2*limit)}
+}
+
+// Append adds one sample, evicting the oldest retained sample if the
+// ring is full.
+func (r *Ring) Append(v float64) {
+	if len(r.buf)-r.start >= r.limit {
+		r.start++
+		r.dropped++
+	}
+	if r.start >= r.limit && len(r.buf) == cap(r.buf) {
+		// Compact into a fresh array so outstanding views (which alias
+		// the old one) remain valid.
+		nb := make([]float64, len(r.buf)-r.start, 2*r.limit)
+		copy(nb, r.buf[r.start:])
+		r.buf = nb
+		r.start = 0
+	}
+	r.buf = append(r.buf, v)
+}
+
+// AppendSlice appends every sample of s in order.
+func (r *Ring) AppendSlice(s Series) {
+	for _, v := range s {
+		r.Append(v)
+	}
+}
+
+// Len returns the number of retained samples (≤ Limit).
+func (r *Ring) Len() int { return len(r.buf) - r.start }
+
+// Limit returns the retention bound.
+func (r *Ring) Limit() int { return r.limit }
+
+// Total returns the number of samples ever appended.
+func (r *Ring) Total() int { return r.dropped + r.Len() }
+
+// First returns the absolute index of the oldest retained sample.
+func (r *Ring) First() int { return r.dropped }
+
+// Values returns the whole retained window as a zero-copy Series view
+// (see the type comment for the view stability contract).
+func (r *Ring) Values() Series { return Series(r.buf[r.start:]) }
+
+// Tail returns the most recent n samples as a zero-copy view. It
+// panics if n is negative or exceeds Len (programmer error).
+func (r *Ring) Tail(n int) Series {
+	if n < 0 || n > r.Len() {
+		panic(fmt.Sprintf("timeseries: ring tail %d of %d retained", n, r.Len()))
+	}
+	return Series(r.buf[len(r.buf)-n:])
+}
+
+// Range returns the samples with absolute indices [from, to) as a
+// zero-copy view. It returns ErrEvicted when the range starts before
+// the retention window and ErrFuture when it ends past the last
+// appended sample.
+func (r *Ring) Range(from, to int) (Series, error) {
+	if from < 0 || from >= to {
+		return nil, fmt.Errorf("timeseries: ring range [%d,%d): invalid", from, to)
+	}
+	if from < r.dropped {
+		return nil, fmt.Errorf("timeseries: ring range [%d,%d) before retained [%d,%d): %w",
+			from, to, r.dropped, r.Total(), ErrEvicted)
+	}
+	if to > r.Total() {
+		return nil, fmt.Errorf("timeseries: ring range [%d,%d) past total %d: %w",
+			from, to, r.Total(), ErrFuture)
+	}
+	i := r.start + (from - r.dropped)
+	return Series(r.buf[i : i+(to-from)]), nil
+}

@@ -1,0 +1,91 @@
+package timeseries
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRingAppendAndWindows(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("empty ring: len %d total %d", r.Len(), r.Total())
+	}
+	for i := 0; i < 10; i++ {
+		r.Append(float64(i))
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.First() != 6 {
+		t.Fatalf("after 10 appends: len %d total %d first %d", r.Len(), r.Total(), r.First())
+	}
+	want := Series{6, 7, 8, 9}
+	got := r.Values()
+	if len(got) != len(want) {
+		t.Fatalf("values %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values %v, want %v", got, want)
+		}
+	}
+	tail := r.Tail(2)
+	if tail[0] != 8 || tail[1] != 9 {
+		t.Fatalf("tail(2) = %v", tail)
+	}
+}
+
+func TestRingRange(t *testing.T) {
+	r := NewRing(5)
+	for i := 0; i < 12; i++ {
+		r.Append(float64(i))
+	}
+	// Retained window is [7, 12).
+	s, err := r.Range(8, 11)
+	if err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	if len(s) != 3 || s[0] != 8 || s[2] != 10 {
+		t.Fatalf("range [8,11) = %v", s)
+	}
+	if _, err := r.Range(3, 8); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("evicted range: %v", err)
+	}
+	if _, err := r.Range(10, 14); !errors.Is(err, ErrFuture) {
+		t.Fatalf("future range: %v", err)
+	}
+	if _, err := r.Range(5, 5); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+// TestRingViewStability is the aliasing contract: a view taken before
+// further appends (including enough to force eviction and compaction)
+// must keep its values — append-only storage never overwrites samples
+// a view can see.
+func TestRingViewStability(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Append(float64(i))
+	}
+	view, err := r.Range(2, 6) // the full retained window [2, 6)
+	if err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	snapshot := view.Clone()
+	// Drive several full compaction cycles.
+	for i := 6; i < 40; i++ {
+		r.Append(float64(i))
+	}
+	for i := range snapshot {
+		if view[i] != snapshot[i] {
+			t.Fatalf("view[%d] changed from %v to %v after appends", i, snapshot[i], view[i])
+		}
+	}
+}
+
+func TestRingBadLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
