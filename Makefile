@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench rollingbench microbench tracebench chaos serve
+.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard allocgate microbench tracebench chaos serve
 
 build:
 	$(GO) build ./...
@@ -47,14 +47,29 @@ resizebench:
 	$(GO) run ./cmd/atmbench -resizebench BENCH_resize.json
 
 # Go micro-benchmarks for the reworked kernels (allocation counts
-# included; the DTW kernels must stay at 0 allocs/op steady-state).
+# included; the DTW kernels and the pooled envelope path must stay at
+# 0 allocs/op steady-state).
 microbench:
-	$(GO) test -run NONE -bench 'BenchmarkDTW|BenchmarkOptimalCut' -benchmem ./internal/cluster/ .
+	$(GO) test -run NONE -bench 'BenchmarkDTW|BenchmarkEnvelopeAllocs|BenchmarkOptimalCut' -benchmem ./internal/cluster/ .
 
-# Rolling model-reuse benchmark: full search per window vs refit until
-# drift/age; emits BENCH_rolling.json plus a human-readable table.
+# Rolling model-reuse benchmark: full search per window vs the
+# incremental window-roll fast path; emits BENCH_rolling.json plus a
+# human-readable table.
 rollingbench:
 	$(GO) run ./cmd/atmbench -rollingbench BENCH_rolling.json
+
+# Zero-allocation gates for the incremental kernels and the arena
+# step, run WITHOUT the race detector (the detector inflates
+# allocation counts, so these tests skip themselves under -race).
+allocgate:
+	$(GO) test -count=1 -run 'AllocFree|AllocationFree' ./internal/linalg/ ./internal/regress/ ./internal/spatial/ ./internal/resize/ ./internal/core/ ./internal/engine/
+
+# Regression gate over the checked-in rolling record: re-runs the
+# benchmark and fails if the incremental fast path's speedup drops
+# more than the tolerance below BENCH_rolling.json's floor, or if
+# result fidelity (tickets, MAPE, search budget) breaks.
+benchguard:
+	$(GO) run ./cmd/atmbench -benchguard BENCH_rolling.json
 
 # One fully traced box-resize; emits trace.jsonl (the JSONL span dump)
 # plus the per-stage latency table.

@@ -6,7 +6,8 @@
 //	atmbench [-fig all|1,2,3,5,6,7,8,9,10,12,13,methods,stability,epsilon] [-boxes N] [-seed S] [-days D] [-svg DIR]
 //	atmbench -sigbench FILE [-boxes N] [-seed S] [-workers W]
 //	atmbench -resizebench FILE [-boxes N] [-seed S]
-//	atmbench -rollingbench FILE
+//	atmbench -rollingbench FILE [-reps N]
+//	atmbench -benchguard FILE [-reps N] [-tolerance F]
 //	atmbench -trace FILE [-boxes N] [-seed S] [-workers W]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
@@ -21,6 +22,14 @@
 // naive, and the hull-and-heap MCKP greedy vs the rescanning naive,
 // with result-equality checks. -cpuprofile wraps any mode in a
 // runtime/pprof CPU profile.
+//
+// With -benchguard, atmbench re-runs the rolling benchmark and fails
+// (exit 1) if the measured speedup regresses below the checked-in
+// floor in FILE by more than -tolerance, if result fidelity breaks
+// (ticket mismatch vs the reference reuse run, MAPE drift past 1e-9,
+// search budget blown), or if the deterministic ticket counts diverge
+// from the record — the CI regression gate for the incremental
+// window-roll kernels.
 //
 // With -trace, atmbench runs one fully traced box through the complete
 // pipeline (signature search → temporal fit → reconstruct → resize →
@@ -71,6 +80,9 @@ func main() {
 	sigbench := flag.String("sigbench", "", "run the signature-search benchmark and write its JSON record to this file (skips figures)")
 	resizebench := flag.String("resizebench", "", "run the VIF + MCKP-greedy benchmark and write its JSON record to this file (skips figures)")
 	rollingbench := flag.String("rollingbench", "", "run the rolling model-reuse benchmark and write its JSON record to this file (skips figures)")
+	benchguard := flag.String("benchguard", "", "re-run the rolling benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
+	reps := flag.Int("reps", 0, "timing repetitions for the rolling benchmark; each wall-clock number is the min over reps runs (<= 0 selects 5)")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional speedup regression below the benchguard floor before failing")
 	tracefile := flag.String("trace", "", "run one traced box-resize and write its JSONL span dump to this file (skips figures)")
 	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	flag.Parse()
@@ -110,7 +122,7 @@ func main() {
 		fmt.Printf("  [wrote %s]\n", path)
 	}
 
-	opts := experiments.Options{Boxes: *boxes, Seed: *seed, Days: *days, Workers: *workers}
+	opts := experiments.Options{Boxes: *boxes, Seed: *seed, Days: *days, Workers: *workers, Reps: *reps}
 
 	if *sigbench != "" {
 		r, err := experiments.SignatureBench(opts)
@@ -151,6 +163,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [wrote %s]\n", *rollingbench)
+		return
+	}
+
+	if *benchguard != "" {
+		data, err := os.ReadFile(*benchguard)
+		exitOn("benchguard", err)
+		var floor experiments.RollingBenchResult
+		exitOn("benchguard", json.Unmarshal(data, &floor))
+		r, err := experiments.RollingBench(opts)
+		exitOn("benchguard", err)
+		printTable("benchguard", r.Render())
+		var fails []string
+		if want := floor.Speedup * (1 - *tolerance); r.Speedup < want {
+			fails = append(fails, fmt.Sprintf("speedup %.2fx below floor %.2fx (recorded %.2fx, tolerance %.0f%%)",
+				r.Speedup, want, floor.Speedup, *tolerance*100))
+		}
+		if !r.WithinBudget {
+			fails = append(fails, fmt.Sprintf("reuse searched %d windows, budget %d", r.ReuseSearches, r.ReuseBudget))
+		}
+		if !r.TicketsMatch {
+			fails = append(fails, "incremental reuse tickets diverged from the reference reuse run")
+		}
+		if r.ReuseMAPEDelta > 1e-9 {
+			fails = append(fails, fmt.Sprintf("reuse MAPE delta %g past 1e-9", r.ReuseMAPEDelta))
+		}
+		// The workload is seeded, so result numbers (not wall times)
+		// must reproduce the record exactly.
+		if r.Steps != floor.Steps || r.BaselineTickets != floor.BaselineTickets || r.ReuseTickets != floor.ReuseTickets {
+			fails = append(fails, fmt.Sprintf("results moved off the record: steps %d/%d, baseline tickets %d/%d, reuse tickets %d/%d",
+				r.Steps, floor.Steps, r.BaselineTickets, floor.BaselineTickets, r.ReuseTickets, floor.ReuseTickets))
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "benchguard: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("  [benchguard ok: %.2fx vs floor %.2fx]\n", r.Speedup, floor.Speedup)
 		return
 	}
 

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+
+	"atm/internal/timeseries"
 )
 
 // benchSeries is the matrix-benchmark workload: 48 random-walk series
@@ -43,6 +45,53 @@ func BenchmarkDTWMatrixApprox(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEnvelopeAllocs isolates the pooled-buffer work of the
+// approximate matrix: per-series envelopes plus per-pair LB_Keogh
+// bounds, the slices that used to be allocated fresh per call. Run
+// with -benchmem: allocs/op should stay flat (pool hits), not scale
+// with series count.
+func BenchmarkEnvelopeAllocs(b *testing.B) {
+	series := randomSeriesSet(rand.New(rand.NewSource(7)), benchN, benchM)
+	b.Run("matrix-approx", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DTWMatrixApprox(series, benchWindow, 0, WithWorkers(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("envelope", func(b *testing.B) {
+		lower := make([]float64, benchM)
+		upper := make([]float64, benchM)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			envelope(series[i%benchN], benchWindow, lower, upper)
+		}
+	})
+	b.Run("bank-rolled", func(b *testing.B) {
+		// Rolled windows over a long stream: the bank's incremental
+		// path, measured per matrix build.
+		const shift = 8
+		long := randomSeriesSet(rand.New(rand.NewSource(7)), benchN, benchM+shift*1024)
+		bank := NewEnvelopeBank(shift)
+		win := make([]timeseries.Series, benchN)
+		off := 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, s := range long {
+				win[j] = s.Slice(off, off+benchM)
+			}
+			if _, _, err := DTWMatrixApprox(win, benchWindow, 0, WithWorkers(1), WithEnvelopeBank(bank)); err != nil {
+				b.Fatal(err)
+			}
+			off += shift
+			if off+benchM > len(long[0]) {
+				off = 0
+			}
+		}
+	})
 }
 
 // BenchmarkOptimalCut compares the naive kmax-pass silhouette sweep

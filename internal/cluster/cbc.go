@@ -135,9 +135,9 @@ func DTWSearch(series []timeseries.Series, window int) (Result, error) {
 // instead of the exact distance, which leaves the agglomeration of
 // near pairs intact while skipping the quadratic recurrence for
 // roughly half the pairs. cutoff <= 0 auto-selects the median bound.
-func DTWSearchApprox(series []timeseries.Series, window int, cutoff float64) (Result, error) {
+func DTWSearchApprox(series []timeseries.Series, window int, cutoff float64, opts ...MatrixOption) (Result, error) {
 	return dtwSearch(series, func() (*DistMatrix, error) {
-		d, _, err := DTWMatrixApprox(series, window, cutoff)
+		d, _, err := DTWMatrixApprox(series, window, cutoff, opts...)
 		return d, err
 	})
 }

@@ -157,10 +157,29 @@ func dtwKernel(p, q timeseries.Series, w int, abandon float64, sc *dtwScratch) (
 	return prev[m], true
 }
 
+// envScratch holds the monotonic deques of envelope computations,
+// pooled so no envelope call allocates in steady state.
+type envScratch struct {
+	minq, maxq []int
+}
+
+// deques returns empty index deques with capacity for m samples.
+func (sc *envScratch) deques(m int) (minq, maxq []int) {
+	if cap(sc.minq) < m {
+		sc.minq = make([]int, 0, m)
+		sc.maxq = make([]int, 0, m)
+	}
+	return sc.minq[:0], sc.maxq[:0]
+}
+
+// envPool recycles envelope deques across calls.
+var envPool = sync.Pool{New: func() any { return new(envScratch) }}
+
 // envelope fills lower/upper with the running min/max of q over the
 // Sakoe-Chiba band [j-w, j+w] — the LB_Keogh envelope. A negative w
 // uses the whole series (the envelope of unconstrained DTW). Both
-// output slices must be len(q) long. Monotonic deques keep it O(m).
+// output slices must be len(q) long. Monotonic deques keep it O(m),
+// and the deques are pooled so steady-state calls allocate nothing.
 func envelope(q timeseries.Series, w int, lower, upper []float64) {
 	m := len(q)
 	if w < 0 || w >= m {
@@ -178,34 +197,52 @@ func envelope(q timeseries.Series, w int, lower, upper []float64) {
 		}
 		return
 	}
-	// minq/maxq hold indices with monotonically increasing/decreasing
-	// values; the front is the extremum of the current window.
-	minq := make([]int, 0, m)
-	maxq := make([]int, 0, m)
-	for j := 0; j < m+w; j++ {
-		if j < m {
-			for len(minq) > 0 && q[minq[len(minq)-1]] >= q[j] {
+	sc := envPool.Get().(*envScratch)
+	envelopeRange(q, w, 0, m-1, lower, upper, sc)
+	envPool.Put(sc)
+}
+
+// envelopeRange fills envelope positions [from, to] (band half-width
+// 0 <= w < len(q)) by running monotonic deques over exactly the
+// samples those positions depend on — O(to-from+w). envelope()
+// delegates to it for the full range; the incremental EnvelopeBank
+// uses it to recompute only the head/tail positions a window roll
+// invalidates. Values are bit-identical to a full-range computation:
+// each position's extremum is the min/max over the same sample set.
+func envelopeRange(q timeseries.Series, w, from, to int, lower, upper []float64, sc *envScratch) {
+	m := len(q)
+	minq, maxq := sc.deques(m)
+	next := from - w
+	if next < 0 {
+		next = 0
+	}
+	for j := from; j <= to; j++ {
+		end := j + w
+		if end > m-1 {
+			end = m - 1
+		}
+		for ; next <= end; next++ {
+			for len(minq) > 0 && q[minq[len(minq)-1]] >= q[next] {
 				minq = minq[:len(minq)-1]
 			}
-			minq = append(minq, j)
-			for len(maxq) > 0 && q[maxq[len(maxq)-1]] <= q[j] {
+			minq = append(minq, next)
+			for len(maxq) > 0 && q[maxq[len(maxq)-1]] <= q[next] {
 				maxq = maxq[:len(maxq)-1]
 			}
-			maxq = append(maxq, j)
+			maxq = append(maxq, next)
 		}
-		out := j - w // envelope position whose window [out-w, out+w] is now complete
-		if out < 0 {
-			continue
-		}
-		for minq[0] < out-w {
+		for minq[0] < j-w {
 			minq = minq[1:]
 		}
-		for maxq[0] < out-w {
+		for maxq[0] < j-w {
 			maxq = maxq[1:]
 		}
-		lower[out] = q[minq[0]]
-		upper[out] = q[maxq[0]]
+		lower[j] = q[minq[0]]
+		upper[j] = q[maxq[0]]
 	}
+	// sc keeps the base arrays; the local headers (front-popped) are
+	// discarded. Appends never outrun the base: each sample is pushed
+	// at most once, so write positions stay below m.
 }
 
 // lbKeogh returns the LB_Keogh lower bound on DTWWindow(p, q, w) given
@@ -287,6 +324,7 @@ type MatrixOption func(*matrixConfig)
 
 type matrixConfig struct {
 	workers int
+	bank    *EnvelopeBank
 }
 
 // WithWorkers bounds the number of concurrent workers computing matrix
@@ -295,6 +333,17 @@ type matrixConfig struct {
 // any worker count because every cell is an independent computation.
 func WithWorkers(n int) MatrixOption {
 	return func(c *matrixConfig) { c.workers = n }
+}
+
+// WithEnvelopeBank routes DTWMatrixApprox's normalization and
+// LB_Keogh envelope computation through an incremental EnvelopeBank:
+// when consecutive calls see windows rolled forward by the bank's
+// shift, envelopes are updated in O(shift + band) per series instead
+// of recomputed in O(m). Results are bit-identical either way. The
+// bank is stateful and not safe for concurrent use; share one per
+// pipeline, not across goroutines. DTWMatrix ignores the option.
+func WithEnvelopeBank(b *EnvelopeBank) MatrixOption {
+	return func(c *matrixConfig) { c.bank = b }
 }
 
 // normalized validates and z-normalizes the input series for a pairwise
@@ -388,23 +437,35 @@ func DTWMatrixApprox(series []timeseries.Series, window int, cutoff float64, opt
 	if n == 0 {
 		return d, 0, nil
 	}
-	norm, err := normalized(series)
-	if err != nil {
-		return nil, 0, err
-	}
-	m := len(norm[0])
-	// Per-series LB_Keogh envelopes, computed once: 2·n·m floats buy
-	// an O(m) bound per pair instead of the O(n·m) recurrence.
-	lower := make([][]float64, n)
-	upper := make([][]float64, n)
-	env := make([]float64, 2*n*m)
-	for i, s := range norm {
-		lower[i] = env[2*i*m : (2*i+1)*m]
-		upper[i] = env[(2*i+1)*m : (2*i+2)*m]
-		envelope(s, window, lower[i], upper[i])
+	var (
+		norm         []timeseries.Series
+		lower, upper [][]float64
+		err          error
+	)
+	sc := approxPool.Get().(*approxScratch)
+	defer approxPool.Put(sc)
+	if mc.bank != nil {
+		// Incremental path: the bank normalizes and maintains
+		// envelopes across rolled windows, reusing its own buffers.
+		norm, lower, upper, err = mc.bank.update(series, window)
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		norm, err = sc.normalize(series)
+		if err != nil {
+			return nil, 0, err
+		}
+		m := len(norm[0])
+		// Per-series LB_Keogh envelopes, computed once: 2·n·m floats
+		// buy an O(m) bound per pair instead of the O(n·m) recurrence.
+		lower, upper = sc.envelopes(n, m)
+		for i, s := range norm {
+			envelope(s, window, lower[i], upper[i])
+		}
 	}
 	pairs := n * (n - 1) / 2
-	lbs := make([]float64, pairs)
+	lbs := sc.bounds(pairs)
 	perr := parallel.ForEach(pairs, func(t int) error {
 		i, j := pairAt(n, t)
 		// LB_Keogh is asymmetric; the max of both directions is the
@@ -420,9 +481,10 @@ func DTWMatrixApprox(series []timeseries.Series, window int, cutoff float64, opt
 		return nil, 0, perr
 	}
 	if cutoff <= 0 {
-		sorted := append([]float64(nil), lbs...)
+		sorted := append(sc.sorted[:0], lbs...)
 		sort.Float64s(sorted)
 		cutoff = sorted[len(sorted)/2]
+		sc.sorted = sorted
 	}
 	var prunedCount atomic.Int64
 	scratch := makeScratches(pairs, mc.workers)

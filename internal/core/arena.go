@@ -1,0 +1,485 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"atm/internal/cluster"
+	"atm/internal/obs"
+	"atm/internal/parallel"
+	"atm/internal/predict"
+	"atm/internal/resize"
+	"atm/internal/spatial"
+	"atm/internal/ticket"
+	"atm/internal/timeseries"
+	"atm/internal/trace"
+)
+
+// stepArena owns every buffer a pipeline step needs, so a steady-state
+// StepInto performs zero heap allocations: demand series, training
+// headers, per-signature temporal models and forecast buffers,
+// reconstruction output, and per-resource resize state. Buffers grow
+// on demand (the first step over a box shape allocates) and are reused
+// verbatim afterwards.
+type stepArena struct {
+	demands []timeseries.Series // arena-owned demand series, SeriesIndex order
+	train   []timeseries.Series // training-window views of demands
+	peaks   []float64
+	models  []predict.IntoForecaster // retained temporal model per signature slot
+	sigFC   []timeseries.Series      // per-signature forecast buffers
+	recon   []timeseries.Series      // reconstruction output, arena-owned backing
+	caps    [2][]float64             // current per-VM capacities, per resource
+	vms     [2][]resize.VM
+	prob    [2]resize.Problem
+	rs      [2]resize.Scratch
+	runs    [2]BoxRun
+	pred    BoxPrediction
+	result  BoxResult
+}
+
+// demandsInto fills the arena's demand series from the box: usage
+// percent times allocated capacity over 100, element for element the
+// same arithmetic as trace.VM.Demand (which allocates a fresh series
+// per call).
+func (a *stepArena) demandsInto(b *trace.Box) []timeseries.Series {
+	n := len(b.VMs) * trace.NumResources
+	for len(a.demands) < n {
+		a.demands = append(a.demands, nil)
+	}
+	out := a.demands[:n]
+	for v := range b.VMs {
+		vm := &b.VMs[v]
+		for _, r := range [...]trace.Resource{trace.CPU, trace.RAM} {
+			usage := vm.Usage(r)
+			f := vm.Capacity(r) / 100
+			i := trace.SeriesIndex(v, r)
+			dst := out[i]
+			if cap(dst) < len(usage) {
+				dst = make(timeseries.Series, len(usage))
+			}
+			dst = dst[:len(usage)]
+			for j, u := range usage {
+				dst[j] = u * f
+			}
+			out[i] = dst
+		}
+	}
+	return out
+}
+
+// growFloats returns dst resized to n, reusing its backing when
+// capacity allows.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// searchConfig is the spatial config StepInto and StepContext hand to
+// full searches: when the method is approximate DTW, a pipeline-owned
+// envelope bank carries normalizations and LB_Keogh envelopes across
+// successive searches over rolled windows (bit-identical results; see
+// cluster.EnvelopeBank). A caller-provided bank is respected.
+func (p *Pipeline) searchConfig() spatial.Config {
+	cfg := p.cfg.Spatial
+	if cfg.Envelopes == nil && cfg.Method == spatial.MethodDTW && cfg.DTWApprox {
+		if p.bank == nil {
+			p.bank = cluster.NewEnvelopeBank(p.cfg.Horizon)
+		}
+		cfg.Envelopes = p.bank
+	}
+	return cfg
+}
+
+// rollModel attempts the incremental O(p²)-per-sample model update for
+// a reuse step: if the training window is the previous one rolled
+// forward by Horizon, the retained Roller updates the factorization and
+// refits every dependent in place without allocating. A non-roll
+// window or a numerical breakdown drops the roller; the caller falls
+// back to the reference refit and rebuilds it.
+func (p *Pipeline) rollModel(train []timeseries.Series) *spatial.Model {
+	if p.cfg.Reuse.ExactRefit || p.roller == nil {
+		return nil
+	}
+	if err := p.roller.Roll(train, p.cfg.Horizon); err != nil {
+		rollerRebuilds.Inc()
+		p.roller = nil
+		return nil
+	}
+	rollerRolls.Inc()
+	return p.roller.Model()
+}
+
+// adoptRoller rebuilds the incremental roller over the window the
+// model was just fitted on. A build rejection (ill-conditioned window)
+// leaves the roller nil, keeping later reuse steps on the reference
+// refit path.
+func (p *Pipeline) adoptRoller(train []timeseries.Series, model *spatial.Model) {
+	if !p.cfg.Reuse.Enabled || p.cfg.Reuse.ExactRefit {
+		p.roller = nil
+		return
+	}
+	r, err := spatial.NewRoller(train, model)
+	if err != nil {
+		p.roller = nil
+		return
+	}
+	p.roller = r
+}
+
+// searchInto is stageSearch for the arena step: same research/refit
+// policy and drift bookkeeping, but reuse steps first try the
+// incremental roller and only fall back to the allocating reference
+// refit when the window did not roll.
+func (p *Pipeline) searchInto(ctx context.Context, train []timeseries.Series) (*spatial.Model, error) {
+	reuse := p.cfg.Reuse
+	research := !reuse.Enabled || p.sigs == nil || p.researchNext || p.age >= reuse.maxAge()
+	searchStart := time.Now()
+	var model *spatial.Model
+	var err error
+	if !research {
+		model = p.rollModel(train)
+		if model == nil {
+			m, rerr := spatial.RefitContext(ctx, train, p.sigs)
+			if rerr != nil {
+				research = true
+			} else {
+				model = m
+				p.adoptRoller(train, m)
+			}
+		}
+	}
+	if research {
+		model, err = spatial.SearchContext(ctx, train, p.searchConfig())
+		if err == nil {
+			p.adoptRoller(train, model)
+		}
+	}
+	searchSeconds.Observe(time.Since(searchStart).Seconds())
+	if err != nil {
+		return nil, fmt.Errorf("core: signature search: %w", err)
+	}
+	if research {
+		researchTotal.Inc()
+		p.sigs = append([]int(nil), model.Signatures...)
+		p.age = 0
+		p.haveBase = false
+		p.driftStreak = 0
+		p.researchNext = false
+	} else {
+		refitTotal.Inc()
+		p.age++
+		if reuse.MinR2 > 0 && meanDependentR2(model) < reuse.MinR2 {
+			p.researchNext = true
+		}
+	}
+	p.lastResearch = research
+	return model, nil
+}
+
+// fitSig fits the temporal model for signature slot i and forecasts
+// into the arena's per-slot buffer. Model instances that support
+// ForecastInto are retained across steps (Fit fully resets them);
+// others are rebuilt from the factory each step.
+func (p *Pipeline) fitSig(model *spatial.Model, train, fc []timeseries.Series, i int) error {
+	idx := model.Signatures[i]
+	m := p.arena.models[i]
+	if m == nil {
+		fresh := p.factory()
+		into, ok := fresh.(predict.IntoForecaster)
+		if !ok {
+			if err := fresh.Fit(train[idx]); err != nil {
+				return fmt.Errorf("core: fit temporal model for series %d: %w", idx, err)
+			}
+			out, err := fresh.Forecast(p.cfg.Horizon)
+			if err != nil {
+				return fmt.Errorf("core: forecast series %d: %w", idx, err)
+			}
+			fc[i] = out
+			return nil
+		}
+		p.arena.models[i] = into
+		m = into
+	}
+	if err := m.Fit(train[idx]); err != nil {
+		return fmt.Errorf("core: fit temporal model for series %d: %w", idx, err)
+	}
+	out, err := m.ForecastInto(fc[i][:0], p.cfg.Horizon)
+	if err != nil {
+		return fmt.Errorf("core: forecast series %d: %w", idx, err)
+	}
+	fc[i] = out
+	return nil
+}
+
+// temporalInto is stageTemporal writing forecasts into arena buffers.
+// With Workers == 1 the fits run inline (the worker-pool fan-out
+// allocates its coordination state even for one worker).
+func (p *Pipeline) temporalInto(ctx context.Context, model *spatial.Model, train []timeseries.Series) ([]timeseries.Series, error) {
+	_, tspan := obs.StartSpan(ctx, "core.temporal_fit")
+	if tspan != nil {
+		tspan.SetAttr("signatures", len(model.Signatures))
+	}
+	fitStart := time.Now()
+	a := &p.arena
+	k := len(model.Signatures)
+	for len(a.models) < k {
+		a.models = append(a.models, nil)
+	}
+	for len(a.sigFC) < k {
+		a.sigFC = append(a.sigFC, nil)
+	}
+	fc := a.sigFC[:k]
+	var err error
+	if p.cfg.Workers == 1 {
+		for i := 0; i < k; i++ {
+			if err = p.fitSig(model, train, fc, i); err != nil {
+				break
+			}
+		}
+	} else {
+		err = parallel.ForEach(k, func(i int) error {
+			return p.fitSig(model, train, fc, i)
+		}, parallel.WithWorkers(p.cfg.Workers))
+	}
+	temporalFitSeconds.Observe(time.Since(fitStart).Seconds())
+	tspan.End()
+	if err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+// reconstructInto is stageReconstruct writing into arena-owned series,
+// clamping in place with the same arithmetic as Series.Clamp.
+func (p *Pipeline) reconstructInto(ctx context.Context, model *spatial.Model, sigFC []timeseries.Series) ([]timeseries.Series, error) {
+	_, rspan := obs.StartSpan(ctx, "core.reconstruct")
+	defer rspan.End()
+	a := &p.arena
+	for len(a.recon) < model.N {
+		a.recon = append(a.recon, nil)
+	}
+	out, err := model.ReconstructInto(a.recon[:model.N], sigFC)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruct dependents: %w", err)
+	}
+	for _, s := range out {
+		for j, v := range s {
+			switch {
+			case v < 0:
+				s[j] = 0
+			case v > maxFloat:
+				s[j] = maxFloat
+			}
+		}
+	}
+	return out, nil
+}
+
+// predictInto composes the arena search, temporal and reconstruction
+// stages; the returned prediction is arena-owned.
+func (p *Pipeline) predictInto(ctx context.Context, demands []timeseries.Series) (*BoxPrediction, error) {
+	if len(demands) == 0 {
+		return nil, spatial.ErrNoSeries
+	}
+	need := p.cfg.TrainWindows + p.cfg.Horizon
+	for i, d := range demands {
+		if len(d) < need {
+			return nil, fmt.Errorf("series %d has %d samples, need %d: %w", i, len(d), need, ErrShortTrace)
+		}
+	}
+	ctx, span := obs.StartSpan(ctx, "core.predict")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("series", len(demands))
+	}
+	a := &p.arena
+	for len(a.train) < len(demands) {
+		a.train = append(a.train, nil)
+	}
+	train := a.train[:len(demands)]
+	for i, d := range demands {
+		train[i] = d.Slice(0, p.cfg.TrainWindows)
+	}
+	model, err := p.searchInto(ctx, train)
+	if err != nil {
+		return nil, err
+	}
+	sigFC, err := p.temporalInto(ctx, model, train)
+	if err != nil {
+		return nil, err
+	}
+	all, err := p.reconstructInto(ctx, model, sigFC)
+	if err != nil {
+		return nil, err
+	}
+	pred := &a.pred
+	pred.Model = model
+	pred.Demand = all
+	return pred, nil
+}
+
+// resizeBoxInto is ResizeBoxContext on arena state: candidate sets,
+// hull paths, the descent heap and the result all live in the
+// per-resource resize scratch. slot is 0 for CPU, 1 for RAM, so the
+// two resources can still solve concurrently.
+func (p *Pipeline) resizeBoxInto(ctx context.Context, slot int, b *trace.Box, pred *BoxPrediction, r trace.Resource) (*BoxRun, error) {
+	_, span := obs.StartSpan(ctx, "core.resize")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("resource", r.String())
+		span.SetAttr("box", b.ID)
+	}
+	resizeStart := time.Now()
+	defer func() {
+		resizeSeconds.Observe(time.Since(resizeStart).Seconds())
+	}()
+	a := &p.arena
+	m := len(b.VMs)
+	capacity := b.CPUCapGHz
+	if r == trace.RAM {
+		capacity = b.RAMCapGB
+	}
+	if cap(a.vms[slot]) < m {
+		a.vms[slot] = make([]resize.VM, m)
+	}
+	vms := a.vms[slot][:m]
+	var lbSum float64
+	for v := 0; v < m; v++ {
+		predicted := pred.Demand[trace.SeriesIndex(v, r)]
+		lb := 0.0
+		if p.cfg.UseLowerBounds {
+			hist := a.demands[trace.SeriesIndex(v, r)].Slice(0, p.cfg.TrainWindows)
+			lb = hist.Max()
+		}
+		lbSum += lb
+		vms[v] = resize.VM{Demand: predicted, LowerBound: lb}
+	}
+	if lbSum > capacity {
+		f := capacity / lbSum * (1 - 1e-9)
+		for v := range vms {
+			vms[v].LowerBound *= f
+		}
+	}
+	prob := &a.prob[slot]
+	*prob = resize.Problem{
+		VMs:       vms,
+		Capacity:  capacity,
+		Threshold: p.cfg.Threshold,
+		Epsilon:   p.cfg.Epsilon,
+	}
+	alloc, err := prob.GreedyInto(&a.rs[slot])
+	if err != nil {
+		return nil, fmt.Errorf("core: resize %s of %s: %w", r, b.ID, err)
+	}
+
+	// Do no harm, exactly as ResizeBoxContext: keep the current
+	// allocation when it fits and tickets no more than the optimum.
+	current := growFloats(a.caps[slot], m)
+	a.caps[slot] = current
+	var curSum float64
+	for v := 0; v < m; v++ {
+		current[v] = b.VMs[v].Capacity(r)
+		curSum += current[v]
+	}
+	if curSum <= capacity {
+		curTickets, err := prob.Tickets(current)
+		if err == nil && curTickets <= alloc.Tickets {
+			alloc = resize.Allocation{Sizes: current, Tickets: curTickets}
+		}
+	}
+
+	run := &a.runs[slot]
+	*run = BoxRun{Resource: r, Sizes: alloc.Sizes}
+	for v := 0; v < m; v++ {
+		actual := a.demands[trace.SeriesIndex(v, r)].Slice(p.cfg.TrainWindows, p.cfg.TrainWindows+p.cfg.Horizon)
+		run.TicketsBefore += ticket.Count(actual, b.VMs[v].Capacity(r), p.cfg.Threshold)
+		run.TicketsAfter += ticket.Count(actual, alloc.Sizes[v], p.cfg.Threshold)
+	}
+	ticketsBefore.Add(float64(run.TicketsBefore))
+	ticketsAfter.Add(float64(run.TicketsAfter))
+	if span != nil {
+		span.SetAttr("tickets_before", run.TicketsBefore)
+		span.SetAttr("tickets_after", run.TicketsAfter)
+	}
+	return run, nil
+}
+
+// StepInto is StepContext on pipeline-owned buffers: a steady-state
+// call performs zero heap allocations (Workers == 1, a temporal factory
+// producing predict.IntoForecaster models, and a window that rolls the
+// previous one). The returned result — its prediction, model, demand
+// and size slices — is arena-owned and valid only until the next
+// StepInto call; callers that retain results must deep-copy them (the
+// engine does so only when asked to keep results).
+//
+// Reuse steps go through the incremental window-roll path (rank-1
+// Cholesky up/downdates on the dependent fits' normal equations),
+// which agrees with the reference refit within 1e-9; set
+// ReusePolicy.ExactRefit to pin the reference. Research steps run the
+// full search with envelope reuse (bit-identical to StepContext).
+func (p *Pipeline) StepInto(ctx context.Context, b *trace.Box) (*BoxResult, error) {
+	ctx, span := obs.StartSpan(ctx, "core.box")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("box", b.ID)
+		span.SetAttr("vms", len(b.VMs))
+	}
+	fail := func(err error) (*BoxResult, error) {
+		if p.cfg.Degraded && !errors.Is(err, ErrBadConfig) {
+			if span != nil {
+				span.SetAttr("degraded", true)
+			}
+			return degradedResult(b, p.cfg, err), err
+		}
+		return nil, err
+	}
+
+	a := &p.arena
+	demands := a.demandsInto(b)
+	pred, err := p.predictInto(ctx, demands)
+	if err != nil {
+		return fail(fmt.Errorf("core: %s: %w", b.ID, err))
+	}
+	peaks := growFloats(a.peaks, len(demands))
+	a.peaks = peaks
+	for i := range peaks {
+		vm := &b.VMs[trace.SeriesVM(i)]
+		peaks[i] = p.cfg.Threshold * vm.Capacity(trace.SeriesResource(i))
+	}
+	_, espan := obs.StartSpan(ctx, "core.evaluate")
+	evalStart := time.Now()
+	err = pred.Evaluate(demands, p.cfg, peaks)
+	evaluateSeconds.Observe(time.Since(evalStart).Seconds())
+	espan.End()
+	if err != nil {
+		return fail(fmt.Errorf("core: %s: evaluate: %w", b.ID, err))
+	}
+	p.observe(pred)
+	res := &a.result
+	*res = BoxResult{Box: b, Prediction: pred}
+	if p.cfg.Workers == 1 {
+		cpu, err := p.resizeBoxInto(ctx, 0, b, pred, trace.CPU)
+		if err != nil {
+			return fail(err)
+		}
+		ram, err := p.resizeBoxInto(ctx, 1, b, pred, trace.RAM)
+		if err != nil {
+			return fail(err)
+		}
+		res.CPU, res.RAM = cpu, ram
+	} else {
+		runs, err := parallel.Map(2, func(i int) (*BoxRun, error) {
+			return p.resizeBoxInto(ctx, i, b, pred, [...]trace.Resource{trace.CPU, trace.RAM}[i])
+		}, parallel.WithWorkers(p.cfg.Workers))
+		if err != nil {
+			return fail(err)
+		}
+		res.CPU, res.RAM = runs[0], runs[1]
+	}
+	boxesRun.Inc()
+	return res, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"atm/internal/race"
+	"atm/internal/trace"
+)
+
+// rollingWindows pre-builds the windowed boxes of a rolling run so
+// step loops (and allocation gates) don't pay the windowBox cost.
+func rollingWindows(t *testing.T, b *trace.Box, cfg Config) []*trace.Box {
+	t.Helper()
+	total := len(b.VMs[0].CPU)
+	steps := (total - cfg.TrainWindows) / cfg.Horizon
+	if steps <= 0 {
+		t.Fatalf("trace too short: %d samples", total)
+	}
+	out := make([]*trace.Box, steps)
+	for step := 0; step < steps; step++ {
+		wb, err := windowBox(b, step*cfg.Horizon, cfg.TrainWindows+(step+1)*cfg.Horizon)
+		if err != nil {
+			t.Fatalf("window %d: %v", step, err)
+		}
+		out[step] = wb
+	}
+	return out
+}
+
+func stepPair(t *testing.T, cfg Config, spd int) (*Pipeline, *Pipeline) {
+	t.Helper()
+	ref, err := NewPipeline(spd, cfg)
+	if err != nil {
+		t.Fatalf("reference pipeline: %v", err)
+	}
+	fast, err := NewPipeline(spd, cfg)
+	if err != nil {
+		t.Fatalf("fast pipeline: %v", err)
+	}
+	return ref, fast
+}
+
+func compareResults(t *testing.T, step int, want, got *BoxResult, tol float64) {
+	t.Helper()
+	close := func(a, b float64) bool {
+		if tol == 0 {
+			return a == b
+		}
+		return math.Abs(a-b) <= tol*math.Max(1, math.Abs(a))
+	}
+	for i := range want.Prediction.MAPE {
+		if !close(want.Prediction.MAPE[i], got.Prediction.MAPE[i]) {
+			t.Fatalf("step %d series %d: MAPE %g vs %g", step, i, want.Prediction.MAPE[i], got.Prediction.MAPE[i])
+		}
+	}
+	for _, pair := range [][2]*BoxRun{{want.CPU, got.CPU}, {want.RAM, got.RAM}} {
+		w, g := pair[0], pair[1]
+		if w.TicketsBefore != g.TicketsBefore || w.TicketsAfter != g.TicketsAfter {
+			t.Fatalf("step %d %s: tickets (%d,%d) vs (%d,%d)",
+				step, w.Resource, w.TicketsBefore, w.TicketsAfter, g.TicketsBefore, g.TicketsAfter)
+		}
+		for v := range w.Sizes {
+			if !close(w.Sizes[v], g.Sizes[v]) {
+				t.Fatalf("step %d %s vm %d: size %g vs %g", step, w.Resource, v, w.Sizes[v], g.Sizes[v])
+			}
+		}
+	}
+}
+
+// TestStepIntoExactRefitMatchesStepContext pins the arena step to the
+// reference: with ExactRefit (reference refit instead of the
+// incremental roll) every stage of StepInto is bit-identical to
+// StepContext, so a full rolling run must agree exactly.
+func TestStepIntoExactRefitMatchesStepContext(t *testing.T) {
+	b, spd := stationaryBox(t, 12)
+	cfg := fastConfig(spd)
+	cfg.Workers = 1
+	cfg.Reuse = ReusePolicy{Enabled: true, MaxAge: 4, ExactRefit: true}
+	ref, fast := stepPair(t, cfg, spd)
+	ctx := context.Background()
+	for step, wb := range rollingWindows(t, b, cfg) {
+		want, err := ref.StepContext(ctx, wb)
+		if err != nil {
+			t.Fatalf("step %d: reference: %v", step, err)
+		}
+		got, err := fast.StepInto(ctx, wb)
+		if err != nil {
+			t.Fatalf("step %d: arena: %v", step, err)
+		}
+		if ref.LastResearch() != fast.LastResearch() {
+			t.Fatalf("step %d: research %v vs %v", step, ref.LastResearch(), fast.LastResearch())
+		}
+		compareResults(t, step, want, got, 0)
+	}
+}
+
+// TestStepIntoIncrementalMatchesReference runs the incremental
+// window-roll path against the reference pipeline: identical ticket
+// counts, predictions and sizes within 1e-9, and the roller must
+// actually roll (not silently fall back to the reference refit).
+func TestStepIntoIncrementalMatchesReference(t *testing.T) {
+	b, spd := stationaryBox(t, 12)
+	cfg := fastConfig(spd)
+	cfg.Workers = 1
+	cfg.Reuse = ReusePolicy{Enabled: true, MaxAge: 6}
+	ref, fast := stepPair(t, cfg, spd)
+	ctx := context.Background()
+	beforeRolls := rollerRolls.Value()
+	for step, wb := range rollingWindows(t, b, cfg) {
+		want, err := ref.StepContext(ctx, wb)
+		if err != nil {
+			t.Fatalf("step %d: reference: %v", step, err)
+		}
+		got, err := fast.StepInto(ctx, wb)
+		if err != nil {
+			t.Fatalf("step %d: arena: %v", step, err)
+		}
+		compareResults(t, step, want, got, 1e-9)
+	}
+	if rolls := rollerRolls.Value() - beforeRolls; rolls == 0 {
+		t.Fatal("incremental roller never rolled — every reuse step fell back to the reference refit")
+	}
+}
+
+// TestStepIntoAllocFree is the tentpole gate: once warm, a steady-state
+// StepInto performs zero heap allocations across the whole stage chain
+// (demand extraction, incremental search, temporal fit/forecast,
+// reconstruction, evaluation, and both resource resizes).
+func TestStepIntoAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	b, spd := stationaryBox(t, 40)
+	cfg := fastConfig(spd)
+	cfg.Workers = 1
+	cfg.Reuse = ReusePolicy{Enabled: true, MaxAge: 1 << 30, MAPEGrowth: 1e12}
+	p, err := NewPipeline(spd, cfg)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	windows := rollingWindows(t, b, cfg)
+	ctx := context.Background()
+	// Warm up: the research step and the first rolls grow the arena.
+	for _, wb := range windows[:3] {
+		if _, err := p.StepInto(ctx, wb); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+	}
+	next := 3
+	allocs := testing.AllocsPerRun(len(windows)-4, func() {
+		if _, err := p.StepInto(ctx, windows[next]); err != nil {
+			t.Fatalf("step %d: %v", next, err)
+		}
+		if p.LastResearch() {
+			t.Fatalf("step %d researched mid-gate", next)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state StepInto allocates %v objects per step, want 0", allocs)
+	}
+}
+
+// TestResetModelClearsIncrementalState checks ResetModel drops the
+// roller and temporal models: the next step must research from
+// scratch and still produce results matching a fresh pipeline.
+func TestResetModelClearsIncrementalState(t *testing.T) {
+	b, spd := stationaryBox(t, 12)
+	cfg := fastConfig(spd)
+	cfg.Workers = 1
+	cfg.Reuse = ReusePolicy{Enabled: true, MaxAge: 100}
+	p, err := NewPipeline(spd, cfg)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	ctx := context.Background()
+	windows := rollingWindows(t, b, cfg)
+	for _, wb := range windows[:3] {
+		if _, err := p.StepInto(ctx, wb); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if p.LastResearch() {
+		t.Fatal("third step should have reused the model")
+	}
+	if p.roller == nil {
+		t.Fatal("no roller retained before reset")
+	}
+	p.ResetModel()
+	if p.roller != nil {
+		t.Fatal("roller survived ResetModel")
+	}
+	for _, m := range p.arena.models {
+		if m != nil {
+			t.Fatal("temporal model instance survived ResetModel")
+		}
+	}
+	got, err := p.StepInto(ctx, windows[3])
+	if err != nil {
+		t.Fatalf("post-reset step: %v", err)
+	}
+	if !p.LastResearch() {
+		t.Fatal("post-reset step did not research")
+	}
+	fresh, err := NewPipeline(spd, cfg)
+	if err != nil {
+		t.Fatalf("fresh pipeline: %v", err)
+	}
+	want, err := fresh.StepContext(ctx, windows[3])
+	if err != nil {
+		t.Fatalf("fresh step: %v", err)
+	}
+	compareResults(t, 3, want, got, 0)
+}

@@ -165,8 +165,10 @@ func (p *BoxPrediction) Evaluate(demands []timeseries.Series, cfg Config, peakOf
 		return fmt.Errorf("core: evaluate with %d series, predicted %d: %w",
 			len(demands), len(p.Demand), timeseries.ErrLengthMismatch)
 	}
-	p.MAPE = make([]float64, len(demands))
-	p.PeakMAPE = make([]float64, len(demands))
+	// Buffers are reused when a retained prediction is re-evaluated
+	// (the arena step path); fresh predictions allocate as before.
+	p.MAPE = growFloats(p.MAPE, len(demands))
+	p.PeakMAPE = growFloats(p.PeakMAPE, len(demands))
 	for i, d := range demands {
 		actual := d.Slice(cfg.TrainWindows, cfg.TrainWindows+cfg.Horizon)
 		mape, err := timeseries.MAPE(actual, p.Demand[i])
@@ -225,7 +227,7 @@ func ResizeBoxContext(ctx context.Context, b *trace.Box, pred *BoxPrediction, r 
 	span.SetAttr("box", b.ID)
 	resizeStart := time.Now()
 	defer func() {
-		stageSeconds.With("resize").Observe(time.Since(resizeStart).Seconds())
+		resizeSeconds.Observe(time.Since(resizeStart).Seconds())
 	}()
 	m := len(b.VMs)
 	capacity := b.CPUCapGHz

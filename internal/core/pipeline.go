@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"atm/internal/cluster"
 	"atm/internal/obs"
 	"atm/internal/parallel"
 	"atm/internal/predict"
@@ -25,6 +26,19 @@ var (
 		"Full signature searches run by the staged pipeline (cold start, reuse disabled, or drift).")
 	refitTotal = obs.Default().Counter("atm_engine_refit_total",
 		"Cheap refits of a retained signature set by the staged pipeline.")
+	rollerRolls = obs.Default().Counter("atm_engine_roller_rolls_total",
+		"Incremental O(p²) window rolls of the retained spatial model (StepInto fast path).")
+	rollerRebuilds = obs.Default().Counter("atm_engine_roller_rebuilds_total",
+		"Roller rebuilds after a non-roll window or a numerical breakdown (reference refit taken).")
+)
+
+// Per-stage histogram children, hoisted so the hot step path skips the
+// label lookup (HistogramVec.With allocates its key on first use).
+var (
+	searchSeconds      = stageSeconds.With("search")
+	temporalFitSeconds = stageSeconds.With("temporal_fit")
+	evaluateSeconds    = stageSeconds.With("evaluate")
+	resizeSeconds      = stageSeconds.With("resize")
 )
 
 // Model-reuse defaults.
@@ -57,6 +71,13 @@ type ReusePolicy struct {
 	// MinR2 triggers a re-search when the mean R² of the refitted
 	// dependent models drops below it; 0 disables the check.
 	MinR2 float64
+	// ExactRefit forces StepInto's reuse steps through the reference
+	// from-scratch refit (spatial.Refit) instead of the incremental
+	// O(p²) window-roll path. The incremental path agrees with the
+	// reference within 1e-9; this escape hatch pins the reference for
+	// debugging or certification runs. StepContext always uses the
+	// reference path.
+	ExactRefit bool
 }
 
 func (r ReusePolicy) maxAge() int {
@@ -99,6 +120,14 @@ type Pipeline struct {
 	researchNext bool // drift detected; next stageSearch must re-search
 
 	lastResearch bool // whether the most recent step ran a full search
+
+	// Incremental step state (StepInto): the roller maintains the
+	// dependent fits' normal equations across rolled windows, the bank
+	// carries DTW envelopes across searches, and the arena owns every
+	// buffer a steady-state step touches.
+	roller *spatial.Roller
+	bank   *cluster.EnvelopeBank
+	arena  stepArena
 }
 
 // NewPipeline validates the configuration and returns a fresh
@@ -146,9 +175,9 @@ func (p *Pipeline) stageSearch(ctx context.Context, train []timeseries.Series) (
 		}
 	}
 	if research {
-		model, err = spatial.SearchContext(ctx, train, p.cfg.Spatial)
+		model, err = spatial.SearchContext(ctx, train, p.searchConfig())
 	}
-	stageSeconds.With("search").Observe(time.Since(searchStart).Seconds())
+	searchSeconds.Observe(time.Since(searchStart).Seconds())
 	if err != nil {
 		return nil, fmt.Errorf("core: signature search: %w", err)
 	}
@@ -208,7 +237,7 @@ func (p *Pipeline) stageTemporal(ctx context.Context, model *spatial.Model, trai
 		sigForecasts[i] = fc
 		return nil
 	}, parallel.WithWorkers(p.cfg.Workers))
-	stageSeconds.With("temporal_fit").Observe(time.Since(fitStart).Seconds())
+	temporalFitSeconds.Observe(time.Since(fitStart).Seconds())
 	tspan.End()
 	if err != nil {
 		return nil, err
@@ -349,7 +378,7 @@ func (p *Pipeline) StepContext(ctx context.Context, b *trace.Box) (*BoxResult, e
 	_, espan := obs.StartSpan(ctx, "core.evaluate")
 	evalStart := time.Now()
 	err = pred.Evaluate(demands, p.cfg, peaks)
-	stageSeconds.With("evaluate").Observe(time.Since(evalStart).Seconds())
+	evaluateSeconds.Observe(time.Since(evalStart).Seconds())
 	espan.End()
 	if err != nil {
 		return fail(fmt.Errorf("core: %s: evaluate: %w", b.ID, err))
@@ -372,11 +401,21 @@ func (p *Pipeline) StepContext(ctx context.Context, b *trace.Box) (*BoxResult, e
 
 // ResetModel drops the retained signature set and drift state, forcing
 // the next step to run a full signature search — e.g. after a box's
-// VM population changes.
+// VM population changes. It also discards the incremental step state:
+// the roller's cached Cholesky factorization, the envelope bank's
+// rolled-window history, and the retained temporal model instances.
+// Arena buffers are kept (they carry no model state, only capacity).
 func (p *Pipeline) ResetModel() {
 	p.sigs = nil
 	p.age = 0
 	p.haveBase = false
 	p.driftStreak = 0
 	p.researchNext = false
+	p.roller = nil
+	if p.bank != nil {
+		p.bank.Reset()
+	}
+	for i := range p.arena.models {
+		p.arena.models[i] = nil
+	}
 }

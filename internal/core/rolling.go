@@ -116,6 +116,71 @@ func windowBox(b *trace.Box, from, to int) (*trace.Box, error) {
 	return out, nil
 }
 
+// RunRollingFast is the arena counterpart of RunRolling: every step
+// runs through Pipeline.StepInto, so reuse steps refit by rolling the
+// retained factorizations (rank-1 Cholesky up/downdates, incremental
+// LB_Keogh envelopes) instead of recomputing them, and the steady
+// state allocates nothing. Per-step results live in the pipeline's
+// arena and are overwritten by the next step, so only the aggregate
+// summary is returned; callers that need per-step results (or
+// bit-exact parity with the batch run) use RunRolling. Ticket counts
+// are integer and match RunRolling's on the same trace; sizes and
+// errors track it within the incremental kernels' asserted 1e-9.
+func RunRollingFast(b *trace.Box, samplesPerDay int, cfg Config) (RollingSummary, error) {
+	return RunRollingFastContext(context.Background(), b, samplesPerDay, cfg)
+}
+
+// RunRollingFastContext is RunRollingFast with tracing and
+// cancellation.
+func RunRollingFastContext(ctx context.Context, b *trace.Box, samplesPerDay int, cfg Config) (RollingSummary, error) {
+	p, err := NewPipeline(samplesPerDay, cfg)
+	if err != nil {
+		return RollingSummary{}, err
+	}
+	total := 0
+	if len(b.VMs) > 0 {
+		total = len(b.VMs[0].CPU)
+	}
+	steps := (total - cfg.TrainWindows) / cfg.Horizon
+	if steps <= 0 {
+		return RollingSummary{}, fmt.Errorf("core: %d samples for train %d + horizon %d: %w",
+			total, cfg.TrainWindows, cfg.Horizon, ErrShortTrace)
+	}
+	ctx, span := obs.StartSpan(ctx, "core.rolling_fast")
+	defer span.End()
+	span.SetAttr("box", b.ID)
+	span.SetAttr("steps", steps)
+	var acc rollingAcc
+	wb := &trace.Box{ID: b.ID, CPUCapGHz: b.CPUCapGHz, RAMCapGB: b.RAMCapGB,
+		VMs: make([]trace.VM, len(b.VMs))}
+	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return RollingSummary{}, fmt.Errorf("core: rolling step %d: %w", step, err)
+		}
+		from := step * cfg.Horizon
+		to := cfg.TrainWindows + (step+1)*cfg.Horizon
+		for i := range b.VMs {
+			vm := &b.VMs[i]
+			if from < 0 || to > len(vm.CPU) || from >= to {
+				return RollingSummary{}, fmt.Errorf("core: window [%d,%d) out of range [0,%d)", from, to, len(vm.CPU))
+			}
+			wb.VMs[i] = trace.VM{
+				ID:        vm.ID,
+				CPUCapGHz: vm.CPUCapGHz,
+				RAMCapGB:  vm.RAMCapGB,
+				CPU:       vm.CPU.Slice(from, to),
+				RAM:       vm.RAM.Slice(from, to),
+			}
+		}
+		res, err := p.StepInto(ctx, wb)
+		if err != nil {
+			return RollingSummary{}, fmt.Errorf("core: rolling step %d: %w", step, err)
+		}
+		acc.observe(res, p.LastResearch())
+	}
+	return acc.summary(), nil
+}
+
 // RollingSummary aggregates an online run.
 type RollingSummary struct {
 	// Steps is the number of resizing windows executed.
@@ -136,31 +201,48 @@ type RollingSummary struct {
 
 // SummarizeRolling aggregates the per-step results.
 func SummarizeRolling(results []RollingResult) RollingSummary {
-	var s RollingSummary
-	var mape float64
-	var cpuBefore, cpuAfter, ramBefore, ramAfter int
+	var acc rollingAcc
 	for _, r := range results {
-		s.Steps++
-		if r.Research {
-			s.Researches++
-		}
-		mape += r.Result.MeanMAPE()
-		cpuBefore += r.Result.CPU.TicketsBefore
-		cpuAfter += r.Result.CPU.TicketsAfter
-		ramBefore += r.Result.RAM.TicketsBefore
-		ramAfter += r.Result.RAM.TicketsAfter
+		acc.observe(r.Result, r.Research)
 	}
-	if s.Steps == 0 {
+	return acc.summary()
+}
+
+// rollingAcc accumulates the per-step observations behind a
+// RollingSummary — shared by SummarizeRolling (over retained results)
+// and RunRollingFast (whose arena results are consumed step by step).
+type rollingAcc struct {
+	steps, researches   int
+	mape                float64
+	cpuBefore, cpuAfter int
+	ramBefore, ramAfter int
+}
+
+func (a *rollingAcc) observe(res *BoxResult, research bool) {
+	a.steps++
+	if research {
+		a.researches++
+	}
+	a.mape += res.MeanMAPE()
+	a.cpuBefore += res.CPU.TicketsBefore
+	a.cpuAfter += res.CPU.TicketsAfter
+	a.ramBefore += res.RAM.TicketsBefore
+	a.ramAfter += res.RAM.TicketsAfter
+}
+
+func (a *rollingAcc) summary() RollingSummary {
+	s := RollingSummary{Steps: a.steps, Researches: a.researches}
+	if a.steps == 0 {
 		return s
 	}
-	s.MeanMAPE = mape / float64(s.Steps)
-	if cpuBefore > 0 {
-		s.CPUReduction = float64(cpuBefore-cpuAfter) / float64(cpuBefore)
+	s.MeanMAPE = a.mape / float64(a.steps)
+	if a.cpuBefore > 0 {
+		s.CPUReduction = float64(a.cpuBefore-a.cpuAfter) / float64(a.cpuBefore)
 	}
-	if ramBefore > 0 {
-		s.RAMReduction = float64(ramBefore-ramAfter) / float64(ramBefore)
+	if a.ramBefore > 0 {
+		s.RAMReduction = float64(a.ramBefore-a.ramAfter) / float64(a.ramBefore)
 	}
-	s.TicketsBefore = cpuBefore + ramBefore
-	s.TicketsAfter = cpuAfter + ramAfter
+	s.TicketsBefore = a.cpuBefore + a.ramBefore
+	s.TicketsAfter = a.cpuAfter + a.ramAfter
 	return s
 }

@@ -3,9 +3,15 @@
 // whenever Horizon new samples have landed, fans the ready boxes out
 // over the shared worker pool, and keeps the latest resize plan per
 // box for the service layer to expose. It is the online counterpart
-// of core.RunRolling — both drive the same staged core.Pipeline, so a
-// trace replayed through the engine produces bit-identical results to
-// the batch rolling run.
+// of core.RunRolling — both drive the same staged core.Pipeline. With
+// Config.KeepResults the engine steps through core.Pipeline.StepContext
+// and a replayed trace produces bit-identical results to the batch
+// rolling run; without it (the production serving mode) steps run
+// through the arena fast path core.Pipeline.StepInto, whose incremental
+// window-roll refits track the reference within 1e-9 — and a
+// steady-state engine pass performs zero heap allocations. Set
+// Core.Reuse.ExactRefit to pin the fast path to the reference refit
+// when bit-exact parity matters more than the speedup.
 //
 // Degraded mode, resilient actuation and observability compose
 // through the layers built in earlier PRs: a box whose model fails
@@ -26,6 +32,7 @@ import (
 	"atm/internal/parallel"
 	"atm/internal/state"
 	"atm/internal/timeseries"
+	"atm/internal/trace"
 )
 
 // Engine metrics: step throughput, the research/refit split lives in
@@ -99,7 +106,8 @@ type Plan struct {
 // boxRun is the engine's mutable per-box state.
 type boxRun struct {
 	pipe    *core.Pipeline
-	steps   int // rolling steps fired so far
+	steps   int       // rolling steps fired so far
+	wb      trace.Box // reusable window box for the StepInto fast path
 	plan    *Plan
 	results []core.RollingResult
 	lastErr error
@@ -112,6 +120,11 @@ type Engine struct {
 
 	mu    sync.Mutex
 	boxes map[string]*boxRun
+
+	// Scheduling-pass scratch, reused across Sync calls (passes are
+	// serial — Run is the single driver).
+	ids      []string
+	readyBuf []string
 }
 
 // New validates the configuration and returns an engine over the
@@ -163,8 +176,9 @@ func (e *Engine) Run(ctx context.Context) error {
 // deterministic entry point for replay tests (the Run loop is Sync
 // plus waiting).
 func (e *Engine) Sync(ctx context.Context) {
-	ids := e.store.Boxes()
-	ready := ids[:0:0]
+	e.ids = e.store.BoxesInto(e.ids[:0])
+	ids := e.ids
+	ready := e.readyBuf[:0]
 	for _, id := range ids {
 		if ctx.Err() != nil {
 			break
@@ -173,7 +187,17 @@ func (e *Engine) Sync(ctx context.Context) {
 			ready = append(ready, id)
 		}
 	}
-	if len(ready) > 0 {
+	e.readyBuf = ready
+	switch {
+	case len(ready) == 0:
+	case e.cfg.Workers == 1 || len(ready) == 1:
+		// Inline: the pool (and its closure) costs allocations the
+		// zero-alloc steady state can't afford, and buys nothing for a
+		// single worker or a single ready box.
+		for _, id := range ready {
+			e.stepBox(ctx, id)
+		}
+	default:
 		// Worker fn never errors: per-box failures are recorded on the
 		// boxRun so sibling boxes keep stepping.
 		_ = parallel.ForEach(len(ready), func(i int) error {
@@ -245,7 +269,17 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 		}
 		from := br.steps * e.cfg.Core.Horizon
 		to := e.need(br.steps)
-		wb, err := e.store.Window(id, from, to)
+		var wb *trace.Box
+		if e.cfg.KeepResults {
+			// Reference path: retained results must not alias reused
+			// buffers, and replay parity wants StepContext bit-exactly.
+			wb, err = e.store.Window(id, from, to)
+		} else {
+			// Serving path: the window box is arena-reused, so a
+			// steady-state pass stays allocation-free.
+			err = e.store.WindowInto(id, from, to, &br.wb)
+			wb = &br.wb
+		}
 		if err != nil {
 			if errors.Is(err, timeseries.ErrEvicted) {
 				// Ingest outran the planner past retention: this window
@@ -263,7 +297,12 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 			e.mu.Unlock()
 			return
 		}
-		res, err := br.pipe.StepContext(ctx, wb)
+		var res *core.BoxResult
+		if e.cfg.KeepResults {
+			res, err = br.pipe.StepContext(ctx, wb)
+		} else {
+			res, err = br.pipe.StepInto(ctx, wb)
+		}
 		stepsTotal.Inc()
 		if err != nil {
 			stepErrors.Inc()
@@ -279,7 +318,6 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 			continue
 		}
 		step := br.steps
-		plan := planOf(id, step, res, br.pipe.LastResearch())
 		if e.cfg.Setter != nil && !res.Degraded {
 			if aerr := core.ApplyBox(ctx, e.cfg.Setter, res); aerr != nil {
 				e.mu.Lock()
@@ -289,7 +327,10 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 		}
 		e.mu.Lock()
 		br.steps++
-		br.plan = plan
+		if br.plan == nil {
+			br.plan = &Plan{}
+		}
+		planInto(br.plan, id, step, res, br.pipe.LastResearch())
 		br.lastErr = err
 		if e.cfg.KeepResults {
 			br.results = append(br.results, core.RollingResult{
@@ -300,23 +341,23 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 	}
 }
 
-// planOf flattens a BoxResult into the published Plan.
-func planOf(id string, step int, res *core.BoxResult, research bool) *Plan {
-	p := &Plan{
-		Box:       id,
-		Step:      step,
-		CPUSizes:  append([]float64(nil), res.CPU.Sizes...),
-		RAMSizes:  append([]float64(nil), res.RAM.Sizes...),
-		Research:  research,
-		Degraded:  res.Degraded,
-		UpdatedAt: time.Now(),
-	}
+// planInto flattens a BoxResult into the box's published Plan,
+// reusing its size buffers. Callers hold the engine lock: Plan(id)
+// copies out of the same storage.
+func planInto(p *Plan, id string, step int, res *core.BoxResult, research bool) {
+	p.Box = id
+	p.Step = step
+	p.CPUSizes = append(p.CPUSizes[:0], res.CPU.Sizes...)
+	p.RAMSizes = append(p.RAMSizes[:0], res.RAM.Sizes...)
 	p.TicketsBefore = res.CPU.TicketsBefore + res.RAM.TicketsBefore
 	p.TicketsAfter = res.CPU.TicketsAfter + res.RAM.TicketsAfter
+	p.MeanMAPE = 0
 	if m := res.MeanMAPE(); m == m { // NaN-safe for degraded boxes
 		p.MeanMAPE = m
 	}
-	return p
+	p.Research = research
+	p.Degraded = res.Degraded
+	p.UpdatedAt = time.Now()
 }
 
 // updateLag publishes the largest per-box ingest backlog: samples
@@ -346,7 +387,8 @@ func (e *Engine) updateLag(ids []string) {
 }
 
 // Plan returns the latest published plan for the box, or false when
-// no step has completed yet.
+// no step has completed yet. The returned Plan owns its size slices —
+// it stays valid after later steps overwrite the box's internal plan.
 func (e *Engine) Plan(id string) (Plan, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -354,7 +396,10 @@ func (e *Engine) Plan(id string) (Plan, bool) {
 	if br == nil || br.plan == nil {
 		return Plan{}, false
 	}
-	return *br.plan, true
+	p := *br.plan
+	p.CPUSizes = append([]float64(nil), br.plan.CPUSizes...)
+	p.RAMSizes = append([]float64(nil), br.plan.RAMSizes...)
+	return p, true
 }
 
 // Steps returns how many rolling steps have fired for the box.

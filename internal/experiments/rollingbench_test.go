@@ -3,16 +3,21 @@ package experiments
 import "testing"
 
 // TestRollingBench runs the rolling reuse comparison end to end and
-// checks the acceptance bound: on the stationary trace the reuse run
-// must stay within the ceil(steps/MaxAge) search budget while covering
-// every step (searches + refits == steps).
+// checks the acceptance bounds: on the stationary trace the
+// incremental reuse run must stay within the ceil(steps/MaxAge) search
+// budget while covering every step (searches + refits == steps), and
+// its results must match the reference reuse run — identical aggregate
+// tickets, mean MAPE within the incremental kernels' 1e-9.
 func TestRollingBench(t *testing.T) {
-	r, err := RollingBench(Options{})
+	r, err := RollingBench(Options{Reps: 2})
 	if err != nil {
 		t.Fatalf("RollingBench: %v", err)
 	}
 	if r.Steps != 20 {
 		t.Fatalf("steps = %d, want 20", r.Steps)
+	}
+	if r.Reps != 2 {
+		t.Errorf("reps = %d, want 2", r.Reps)
 	}
 	if r.BaselineSearches != r.Steps {
 		t.Errorf("baseline searches = %d, want one per step (%d)", r.BaselineSearches, r.Steps)
@@ -25,6 +30,12 @@ func TestRollingBench(t *testing.T) {
 	}
 	if r.ReuseSearches < 1 {
 		t.Error("reuse never searched (cold start must research)")
+	}
+	if !r.TicketsMatch {
+		t.Errorf("incremental reuse tickets diverged from the reference reuse run (%d after)", r.ReuseTickets)
+	}
+	if r.ReuseMAPEDelta > 1e-9 {
+		t.Errorf("reuse MAPE delta vs reference = %g, want <= 1e-9", r.ReuseMAPEDelta)
 	}
 	if tbl := r.Render(); len(tbl.Rows) != 2 {
 		t.Errorf("render rows = %d", len(tbl.Rows))

@@ -46,6 +46,10 @@ func (m *Matrix) TransposeMulVec(b []float64) ([]float64, error) {
 // cached Gram, the p unit-vector solves behind Inverse) factor once.
 type Cholesky struct {
 	l *Matrix
+	// work is a lazily grown p-length scratch vector shared by the
+	// rank-1 up/downdate recurrences and SolveInto (sliding.go) so the
+	// hot incremental path never allocates.
+	work []float64
 }
 
 // CholeskyDecompose factors a symmetric positive-definite matrix. A

@@ -1,0 +1,315 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"atm/internal/race"
+)
+
+// buildMatrix assembles a Matrix from rows.
+func buildMatrix(rows [][]float64) *Matrix {
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		for j, v := range r {
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// maxFactorDiff returns the largest absolute entry difference of the
+// lower triangles of two factors.
+func maxFactorDiff(a, b *Cholesky) float64 {
+	p := a.l.Rows()
+	var worst float64
+	for i := 0; i < p; i++ {
+		for j := 0; j <= i; j++ {
+			d := math.Abs(a.l.At(i, j) - b.l.At(i, j))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestCholeskyUpdateDowndateMatchesFresh rolls a random window through
+// a maintained factor and checks it stays within 1e-9 of a fresh
+// CholeskyDecompose of the exact Gram after every step.
+func TestCholeskyUpdateDowndateMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		p := 2 + rng.Intn(5)
+		n := p + 2 + rng.Intn(20)
+		window := make([][]float64, 0, n)
+		row := func() []float64 {
+			r := make([]float64, p)
+			r[0] = 1 // intercept column, like the regress design
+			for j := 1; j < p; j++ {
+				r[j] = rng.NormFloat64()
+			}
+			return r
+		}
+		for i := 0; i < n; i++ {
+			window = append(window, row())
+		}
+		chol, err := CholeskyDecompose(Gram(buildMatrix(window)))
+		if err != nil {
+			t.Fatalf("trial %d: initial decompose: %v", trial, err)
+		}
+		for step := 0; step < 30; step++ {
+			newRow := row()
+			if err := chol.Update(newRow); err != nil {
+				t.Fatalf("trial %d step %d: update: %v", trial, step, err)
+			}
+			old := window[0]
+			window = append(window[1:], newRow)
+			if err := chol.Downdate(old); err != nil {
+				t.Fatalf("trial %d step %d: downdate: %v", trial, step, err)
+			}
+			fresh, err := CholeskyDecompose(Gram(buildMatrix(window)))
+			if err != nil {
+				t.Fatalf("trial %d step %d: fresh decompose: %v", trial, step, err)
+			}
+			if d := maxFactorDiff(chol, fresh); d > 1e-9 {
+				t.Fatalf("trial %d step %d: factor drift %g > 1e-9", trial, step, d)
+			}
+		}
+	}
+}
+
+// TestCholeskyDowndateBreakdown removes enough mass to make the matrix
+// rank-deficient and expects ErrSingular (the caller's signal to fall
+// back to the from-scratch reference path).
+func TestCholeskyDowndateBreakdown(t *testing.T) {
+	rows := [][]float64{
+		{1, 2, 0.5},
+		{1, -1, 0.25},
+		{1, 0.5, -2},
+	}
+	chol, err := CholeskyDecompose(Gram(buildMatrix(rows)))
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	// Downdating all three rows of a 3x3 Gram must break down before
+	// the accumulator reaches zero (floating point cannot keep it PD).
+	var broke bool
+	for _, r := range rows {
+		if err := chol.Downdate(r); err != nil {
+			if !errors.Is(err, ErrSingular) {
+				t.Fatalf("breakdown error = %v, want ErrSingular", err)
+			}
+			broke = true
+			break
+		}
+	}
+	if !broke {
+		t.Fatal("downdating every row never reported breakdown")
+	}
+}
+
+// TestCholeskySolveIntoMatchesSolve checks the in-place solver against
+// the allocating one bit for bit, and that Clone detaches state.
+func TestCholeskySolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := 6
+	rows := make([][]float64, p+4)
+	for i := range rows {
+		r := make([]float64, p)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+	}
+	chol, err := CholeskyDecompose(Gram(buildMatrix(rows)))
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	clone := chol.Clone()
+	b := make([]float64, p)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := chol.Solve(b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	dst := make([]float64, 0, p)
+	got, err := clone.SolveInto(dst, b)
+	if err != nil {
+		t.Fatalf("solve into: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("solve into[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := chol.SolveInto(nil, b[:p-1]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	// Mutating the clone must not affect the original.
+	if err := clone.Update(b); err != nil {
+		t.Fatalf("clone update: %v", err)
+	}
+	again, err := chol.Solve(b)
+	if err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("clone mutation leaked into original at %d", i)
+		}
+	}
+}
+
+// TestSlidingGramMatchesFresh pushes/pops random rows and compares
+// every accumulator against a fresh Gram / direct sums within 1e-9,
+// across multiple targets.
+func TestSlidingGramMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p, targets := 4, 3
+	sg := NewSlidingGram(p, targets)
+	type sample struct {
+		row []float64
+		ys  []float64
+	}
+	var window []sample
+	mk := func() sample {
+		s := sample{row: make([]float64, p), ys: make([]float64, targets)}
+		s.row[0] = 1
+		for j := 1; j < p; j++ {
+			s.row[j] = rng.NormFloat64() * 10
+		}
+		for t := range s.ys {
+			s.ys[t] = rng.NormFloat64() * 5
+		}
+		return s
+	}
+	check := func(step int) {
+		rows := make([][]float64, len(window))
+		for i, s := range window {
+			rows[i] = s.row
+		}
+		if len(rows) == 0 {
+			return
+		}
+		fresh := Gram(buildMatrix(rows))
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if d := math.Abs(fresh.At(i, j) - sg.Gram().At(i, j)); d > 1e-9 {
+					t.Fatalf("step %d: gram[%d][%d] drift %g", step, i, j, d)
+				}
+			}
+		}
+		for tgt := 0; tgt < targets; tgt++ {
+			var sy, sy2 float64
+			xty := make([]float64, p)
+			for _, s := range window {
+				sy += s.ys[tgt]
+				sy2 += s.ys[tgt] * s.ys[tgt]
+				for j, r := range s.row {
+					xty[j] += r * s.ys[tgt]
+				}
+			}
+			if d := math.Abs(sy - sg.SumY(tgt)); d > 1e-9 {
+				t.Fatalf("step %d target %d: sumY drift %g", step, tgt, d)
+			}
+			if d := math.Abs(sy2-sg.SumY2(tgt)) / math.Max(1, math.Abs(sy2)); d > 1e-9 {
+				t.Fatalf("step %d target %d: sumY2 drift %g", step, tgt, d)
+			}
+			for j := range xty {
+				if d := math.Abs(xty[j] - sg.XtY(tgt)[j]); d > 1e-9 {
+					t.Fatalf("step %d target %d: xty[%d] drift %g", step, tgt, j, d)
+				}
+			}
+		}
+		if sg.N() != len(window) {
+			t.Fatalf("step %d: n = %d, want %d", step, sg.N(), len(window))
+		}
+	}
+	for i := 0; i < 12; i++ {
+		s := mk()
+		if err := sg.Push(s.row, s.ys); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		window = append(window, s)
+	}
+	check(-1)
+	for step := 0; step < 60; step++ {
+		s := mk()
+		if err := sg.Push(s.row, s.ys); err != nil {
+			t.Fatalf("step %d: push: %v", step, err)
+		}
+		window = append(window, s)
+		old := window[0]
+		if err := sg.Pop(old.row, old.ys); err != nil {
+			t.Fatalf("step %d: pop: %v", step, err)
+		}
+		window = window[1:]
+		check(step)
+	}
+	if err := sg.Push(make([]float64, p+1), make([]float64, targets)); err == nil {
+		t.Fatal("wrong-width row accepted")
+	}
+	if err := sg.Pop(make([]float64, p), make([]float64, targets+1)); err == nil {
+		t.Fatal("wrong target count accepted")
+	}
+}
+
+// TestSlidingKernelsAllocationFree proves the steady-state roll step
+// (update, downdate, solve) allocates nothing.
+func TestSlidingKernelsAllocationFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rng := rand.New(rand.NewSource(3))
+	p := 5
+	rows := make([][]float64, p+3)
+	for i := range rows {
+		r := make([]float64, p)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+	}
+	chol, err := CholeskyDecompose(Gram(buildMatrix(rows)))
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	x := make([]float64, p)
+	for j := range x {
+		x[j] = 0.01 * rng.NormFloat64()
+	}
+	dst := make([]float64, p)
+	b := rows[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := chol.Update(x); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		if err := chol.Downdate(x); err != nil {
+			t.Fatalf("downdate: %v", err)
+		}
+		if _, err := chol.SolveInto(dst, b); err != nil {
+			t.Fatalf("solve into: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("roll step allocates %.1f objects, want 0", allocs)
+	}
+	sg := NewSlidingGram(p, 2)
+	ys := []float64{1, 2}
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := sg.Push(x, ys); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		if err := sg.Pop(x, ys); err != nil {
+			t.Fatalf("pop: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sliding gram push/pop allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -37,6 +37,26 @@ type Model interface {
 	Name() string
 }
 
+// IntoForecaster is implemented by models whose Forecast can write
+// into a caller-provided buffer without allocating. Steady-state
+// pipelines type-assert for it and fall back to Forecast otherwise.
+type IntoForecaster interface {
+	Model
+	// ForecastInto writes the next horizon values into dst (grown as
+	// needed) and returns the resulting slice. Same values as
+	// Forecast.
+	ForecastInto(dst timeseries.Series, horizon int) (timeseries.Series, error)
+}
+
+// growInto returns dst resized to n, reusing its backing array when
+// the capacity suffices.
+func growInto(dst timeseries.Series, n int) timeseries.Series {
+	if cap(dst) < n {
+		return make(timeseries.Series, n)
+	}
+	return dst[:n]
+}
+
 // SeasonalNaive forecasts each step as the value one season earlier:
 // the simplest model that exploits the strong daily periodicity of data
 // center usage (96 fifteen-minute windows per day in the paper's
@@ -59,16 +79,24 @@ func (s *SeasonalNaive) Fit(history timeseries.Series) error {
 	if len(history) < s.Period {
 		return fmt.Errorf("predict: %d samples for period %d: %w", len(history), s.Period, ErrShortHistory)
 	}
-	s.history = history.Clone()
+	// Copy (not Clone) so refits on a same-length window reuse the
+	// buffer; an empty fitted history is marked by a non-nil empty
+	// slice so Forecast's not-fitted check stays buffer-reuse safe.
+	s.history = append(s.history[:0], history...)
 	return nil
 }
 
 // Forecast implements Model.
 func (s *SeasonalNaive) Forecast(horizon int) (timeseries.Series, error) {
+	return s.ForecastInto(nil, horizon)
+}
+
+// ForecastInto implements IntoForecaster.
+func (s *SeasonalNaive) ForecastInto(dst timeseries.Series, horizon int) (timeseries.Series, error) {
 	if s.history == nil {
 		return nil, ErrNotFitted
 	}
-	out := make(timeseries.Series, horizon)
+	out := growInto(dst, horizon)
 	n := len(s.history)
 	for t := 0; t < horizon; t++ {
 		// Index of the same within-season slot in the last full season.
@@ -85,8 +113,9 @@ type SeasonalMean struct {
 	// Period is the season length in samples. It must be positive.
 	Period int
 
-	slots timeseries.Series
-	phase int // within-season position where the forecast starts
+	slots  timeseries.Series
+	counts []int
+	phase  int // within-season position where the forecast starts
 }
 
 // Name implements Model.
@@ -100,8 +129,17 @@ func (s *SeasonalMean) Fit(history timeseries.Series) error {
 	if len(history) < s.Period {
 		return fmt.Errorf("predict: %d samples for period %d: %w", len(history), s.Period, ErrShortHistory)
 	}
-	sums := make(timeseries.Series, s.Period)
-	counts := make([]int, s.Period)
+	sums := growInto(s.slots, s.Period)
+	for i := range sums {
+		sums[i] = 0
+	}
+	if cap(s.counts) < s.Period {
+		s.counts = make([]int, s.Period)
+	}
+	counts := s.counts[:s.Period]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i, v := range history {
 		slot := i % s.Period
 		sums[slot] += v
@@ -111,6 +149,7 @@ func (s *SeasonalMean) Fit(history timeseries.Series) error {
 		sums[i] /= float64(counts[i])
 	}
 	s.slots = sums
+	s.counts = counts
 	// Phase-align: forecasts start right after the history ends.
 	s.phase = len(history) % s.Period
 	return nil
@@ -118,10 +157,15 @@ func (s *SeasonalMean) Fit(history timeseries.Series) error {
 
 // Forecast implements Model.
 func (s *SeasonalMean) Forecast(horizon int) (timeseries.Series, error) {
+	return s.ForecastInto(nil, horizon)
+}
+
+// ForecastInto implements IntoForecaster.
+func (s *SeasonalMean) ForecastInto(dst timeseries.Series, horizon int) (timeseries.Series, error) {
 	if s.slots == nil {
 		return nil, ErrNotFitted
 	}
-	out := make(timeseries.Series, horizon)
+	out := growInto(dst, horizon)
 	for t := 0; t < horizon; t++ {
 		out[t] = s.slots[(s.phase+t)%s.Period]
 	}

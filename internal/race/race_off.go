@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race exposes whether the race detector is compiled into the
+// binary. Allocation-count gates (testing.AllocsPerRun == 0) skip under
+// the detector, whose instrumentation allocates; CI runs them in a
+// separate non-race step.
+package race
+
+// Enabled reports whether the race detector is compiled in.
+const Enabled = false

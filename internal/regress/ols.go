@@ -63,6 +63,30 @@ func (f *Fit) Apply(predictors []timeseries.Series) timeseries.Series {
 	return out
 }
 
+// ApplyInto is Apply writing into dst (grown as needed): same values,
+// zero allocations once dst has capacity for the predictors' length.
+func (f *Fit) ApplyInto(dst timeseries.Series, predictors []timeseries.Series) timeseries.Series {
+	if len(predictors) != len(f.Coef) {
+		panic(fmt.Sprintf("regress: apply with %d predictors, fitted %d", len(predictors), len(f.Coef)))
+	}
+	if len(predictors) == 0 {
+		return dst[:0]
+	}
+	n := len(predictors[0])
+	if cap(dst) < n {
+		dst = make(timeseries.Series, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		v := f.Intercept
+		for j, x := range predictors {
+			v += f.Coef[j] * x[i]
+		}
+		dst[i] = v
+	}
+	return dst
+}
+
 // r2 computes the coefficient of determination of fitted against
 // actual. A constant actual series yields 1 when the fit is exact and
 // 0 otherwise.

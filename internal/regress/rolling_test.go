@@ -1,0 +1,211 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"atm/internal/race"
+	"atm/internal/timeseries"
+)
+
+// rollingFixture builds correlated predictor/target series of length
+// total for rolling-window tests.
+func rollingFixture(rng *rand.Rand, p, targets, total int) (preds, tgts []timeseries.Series) {
+	preds = make([]timeseries.Series, p)
+	for j := range preds {
+		s := make(timeseries.Series, total)
+		for i := range s {
+			s[i] = 10 + 5*math.Sin(float64(i)/7+float64(j)) + rng.NormFloat64()
+		}
+		preds[j] = s
+	}
+	tgts = make([]timeseries.Series, targets)
+	for t := range tgts {
+		s := make(timeseries.Series, total)
+		for i := range s {
+			v := 1 + float64(t)
+			for j := range preds {
+				v += (0.5 + 0.25*float64(j)) * preds[j][i]
+			}
+			s[i] = v + 0.5*rng.NormFloat64()
+		}
+		tgts[t] = s
+	}
+	return preds, tgts
+}
+
+func windowOf(series []timeseries.Series, from, to int) []timeseries.Series {
+	out := make([]timeseries.Series, len(series))
+	for i, s := range series {
+		out[i] = s.Slice(from, to)
+	}
+	return out
+}
+
+// TestRollingDesignerMatchesReference rolls a window across the series
+// and compares FitInto against the from-scratch Designer reference
+// within 1e-9 at every offset.
+func TestRollingDesignerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const p, targets, n, total = 3, 4, 40, 120
+	preds, tgts := rollingFixture(rng, p, targets, total)
+
+	rd, err := NewRollingDesigner(windowOf(preds, 0, n), windowOf(tgts, 0, n))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var fit Fit
+	for off := 0; off+n <= total; off++ {
+		if off > 0 {
+			err := rd.Roll(
+				windowOf(preds, off-1, off-1+n), windowOf(tgts, off-1, off-1+n), 0,
+				windowOf(preds, off, off+n), windowOf(tgts, off, off+n), n-1,
+			)
+			if err != nil {
+				t.Fatalf("offset %d: roll: %v", off, err)
+			}
+		}
+		d, err := NewDesigner(windowOf(preds, off, off+n))
+		if err != nil {
+			t.Fatalf("offset %d: designer: %v", off, err)
+		}
+		for tgt := 0; tgt < targets; tgt++ {
+			want, err := d.FitRidge(tgts[tgt].Slice(off, off+n), DefaultRidgeLambda)
+			if err != nil {
+				t.Fatalf("offset %d target %d: reference: %v", off, tgt, err)
+			}
+			if err := rd.FitInto(tgt, &fit); err != nil {
+				t.Fatalf("offset %d target %d: incremental: %v", off, tgt, err)
+			}
+			if d := math.Abs(fit.Intercept - want.Intercept); d > 1e-9 {
+				t.Fatalf("offset %d target %d: intercept drift %g", off, tgt, d)
+			}
+			for j := range want.Coef {
+				if d := math.Abs(fit.Coef[j] - want.Coef[j]); d > 1e-9 {
+					t.Fatalf("offset %d target %d: coef[%d] drift %g", off, tgt, j, d)
+				}
+			}
+			if d := math.Abs(fit.R2 - want.R2); d > 1e-9 {
+				t.Fatalf("offset %d target %d: r2 drift %g (inc %g ref %g)",
+					off, tgt, d, fit.R2, want.R2)
+			}
+		}
+	}
+}
+
+// TestRollingDesignerRankDeficient checks that a collinear window is
+// rejected at build time (the caller's cue to stay on the reference
+// ridge path), matching the acceptance criterion's fallback clause.
+func TestRollingDesignerRankDeficient(t *testing.T) {
+	n := 20
+	a := make(timeseries.Series, n)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	b := a.Scale(2) // exactly collinear
+	y := a.Scale(3)
+	if _, err := NewRollingDesigner([]timeseries.Series{a, b}, []timeseries.Series{y}); err == nil {
+		t.Fatal("collinear window accepted")
+	}
+}
+
+// TestRollingDesignerBreakdownMarksBroken forces a downdate breakdown
+// and checks the designer refuses further use.
+func TestRollingDesignerBreakdownMarksBroken(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const p, n = 2, 8
+	preds, tgts := rollingFixture(rng, p, 1, n+1)
+	rd, err := NewRollingDesigner(windowOf(preds, 0, n), windowOf(tgts, 0, n))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Downdating a row far outside the window guarantees the "removed"
+	// mass exceeds what the factor holds, breaking positive
+	// definiteness.
+	huge := []timeseries.Series{{1e9}, {-1e9}}
+	hugeY := []timeseries.Series{{0}}
+	err = rd.Roll(huge, hugeY, 0, windowOf(preds, 1, n+1), windowOf(tgts, 1, n+1), n-1)
+	if !errors.Is(err, ErrRollingBroken) {
+		t.Fatalf("roll error = %v, want ErrRollingBroken", err)
+	}
+	var fit Fit
+	if err := rd.FitInto(0, &fit); !errors.Is(err, ErrRollingBroken) {
+		t.Fatalf("fit after breakdown = %v, want ErrRollingBroken", err)
+	}
+	err = rd.Roll(windowOf(preds, 0, n), windowOf(tgts, 0, n), 0,
+		windowOf(preds, 1, n+1), windowOf(tgts, 1, n+1), n-1)
+	if !errors.Is(err, ErrRollingBroken) {
+		t.Fatalf("roll after breakdown = %v, want ErrRollingBroken", err)
+	}
+}
+
+// TestRollingDesignerAllocFree proves the steady-state roll+refit loop
+// performs zero heap allocations.
+func TestRollingDesignerAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rng := rand.New(rand.NewSource(77))
+	const p, targets, n, total = 3, 2, 30, 40
+	preds, tgts := rollingFixture(rng, p, targets, total)
+	rd, err := NewRollingDesigner(windowOf(preds, 0, n), windowOf(tgts, 0, n))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	fits := make([]Fit, targets)
+	for i := range fits {
+		fits[i].Coef = make([]float64, p)
+	}
+	oldP := windowOf(preds, 0, n)
+	oldT := windowOf(tgts, 0, n)
+	newP := windowOf(preds, 1, n+1)
+	newT := windowOf(tgts, 1, n+1)
+	off := 0
+	allocs := testing.AllocsPerRun(8, func() {
+		for i := range oldP {
+			oldP[i] = preds[i].Slice(off, off+n)
+			newP[i] = preds[i].Slice(off+1, off+1+n)
+		}
+		for i := range oldT {
+			oldT[i] = tgts[i].Slice(off, off+n)
+			newT[i] = tgts[i].Slice(off+1, off+1+n)
+		}
+		if err := rd.Roll(oldP, oldT, 0, newP, newT, n-1); err != nil {
+			t.Fatalf("roll: %v", err)
+		}
+		for tgt := range fits {
+			if err := rd.FitInto(tgt, &fits[tgt]); err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+		}
+		off++
+		if off+1+n > total {
+			off = 0 // keep indices valid; extra rolls just churn state
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("roll+refit allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestApplyIntoMatchesApply checks the in-place evaluator bit for bit.
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	preds, tgts := rollingFixture(rng, 2, 1, 25)
+	fit, err := OLS(tgts[0], preds)
+	if err != nil {
+		t.Fatalf("ols: %v", err)
+	}
+	want := fit.Apply(preds)
+	got := fit.ApplyInto(make(timeseries.Series, 0, len(want)), preds)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("apply into[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package resize
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -43,8 +44,18 @@ var candPool = sync.Pool{New: func() any { return new(candScratch) }}
 // using the exact `demand > threshold·size` comparison ticket.Count
 // uses, so counts are identical.
 func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
-	vm := p.VMs[i]
 	sc := candPool.Get().(*candScratch)
+	sizes, tickets = p.candidatesInto(i, sc, nil, nil)
+	candPool.Put(sc)
+	return sizes, tickets
+}
+
+// candidatesInto is candidates writing into caller-provided slices
+// (grown as needed) with caller-owned working scratch — the
+// allocation-free form the reusable solver Scratch builds on. Results
+// are identical to candidates.
+func (p *Problem) candidatesInto(i int, sc *candScratch, sizes []float64, tickets []int) ([]float64, []int) {
+	vm := p.VMs[i]
 	vals := sc.vals[:0]
 	clamp := func(v float64) float64 {
 		if v < vm.LowerBound {
@@ -67,9 +78,12 @@ func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
 	}
 	// The minimum admissible size: the lower bound (or 0).
 	vals = append(vals, clamp(vm.LowerBound))
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	sortDesc(vals)
 
-	sizes = make([]float64, 0, len(vals))
+	if cap(sizes) < len(vals) {
+		sizes = make([]float64, 0, len(vals))
+	}
+	sizes = sizes[:0]
 	for k, v := range vals {
 		if k == 0 || v != sizes[len(sizes)-1] {
 			sizes = append(sizes, v)
@@ -79,8 +93,14 @@ func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
 	// Merge ticket counting: demand sorted descending, candidate limits
 	// visited in decreasing order, one monotone cursor.
 	demand := append(sc.demand[:0], vm.Demand...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(demand)))
-	tickets = make([]int, len(sizes))
+	sortDesc(demand)
+	if cap(tickets) < len(sizes) {
+		// Capacity from the shape bound len(vals), not the deduped
+		// count: one allocation per scratch lifetime, however the
+		// distinct-candidate count drifts across windows.
+		tickets = make([]int, 0, len(vals))
+	}
+	tickets = tickets[:len(sizes)]
 	ptr := 0
 	for k, v := range sizes {
 		limit := p.Threshold * v
@@ -94,8 +114,18 @@ func (p *Problem) candidates(i int) (sizes []float64, tickets []int) {
 	}
 
 	sc.vals, sc.demand = vals, demand
-	candPool.Put(sc)
 	return sizes, tickets
+}
+
+// sortDesc sorts in place, descending. slices.Sort plus an in-place
+// reversal instead of sort.Sort(sort.Reverse(...)), which boxes two
+// sort.Interface values per call — the multiset is identical either
+// way, so downstream dedupe and merge counting see the same values.
+func sortDesc(v []float64) {
+	slices.Sort(v)
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
 }
 
 // candidatesNaive is the original reference implementation — map-based

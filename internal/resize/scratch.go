@@ -1,0 +1,208 @@
+package resize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scratch holds every slice a greedy solve needs, so a steady-state
+// caller (the pipeline's per-box resize loop) can solve repeatedly
+// without heap allocations. All buffers grow on demand and are reused
+// across calls; a Scratch serves problems of any shape but must not be
+// shared between concurrent solves.
+type Scratch struct {
+	cs    candScratch
+	cand  [][]float64
+	pen   [][]int
+	pos   []int
+	paths [][]hullEdge
+	heap  []hullEdge
+	sizes []float64
+}
+
+// grow ensures the per-VM slice headers cover n VMs.
+func (sc *Scratch) grow(n int) {
+	for len(sc.cand) < n {
+		sc.cand = append(sc.cand, nil)
+		sc.pen = append(sc.pen, nil)
+		sc.paths = append(sc.paths, nil)
+	}
+	if cap(sc.pos) < n {
+		sc.pos = make([]int, n)
+	}
+	if cap(sc.sizes) < n {
+		sc.sizes = make([]float64, n)
+	}
+}
+
+// GreedyInto is Greedy writing all intermediate and result state into
+// the scratch: the returned Allocation's Sizes slice aliases scratch
+// memory and stays valid only until the next GreedyInto call with the
+// same scratch. Results are identical to Greedy — same candidates,
+// same hull paths, same descent order (the heap key (mtrv, free, vm)
+// is a total order, each VM holding at most one live edge), same
+// repair moves.
+func (p *Problem) GreedyInto(sc *Scratch) (Allocation, error) {
+	if err := p.validate(); err != nil {
+		return Allocation{}, err
+	}
+	n := len(p.VMs)
+	sc.grow(n)
+	if n == 0 {
+		return Allocation{Sizes: sc.sizes[:0]}, nil
+	}
+	cand, pen := sc.cand[:n], sc.pen[:n]
+	pos := sc.pos[:n]
+	var total float64
+	for i := 0; i < n; i++ {
+		cand[i], pen[i] = p.candidatesInto(i, &sc.cs, cand[i][:0], pen[i][:0])
+		pos[i] = 0
+		total += cand[i][0]
+	}
+	capTol := p.Capacity + 1e-9*math.Max(1, p.Capacity)
+
+	var minTotal float64
+	for i := 0; i < n; i++ {
+		minTotal += cand[i][len(cand[i])-1]
+	}
+	if minTotal > capTol {
+		return Allocation{}, fmt.Errorf("need %v, have %v: %w", minTotal, p.Capacity, ErrInfeasible)
+	}
+
+	paths := sc.paths[:n]
+	h := sc.heap[:0]
+	for i := 0; i < n; i++ {
+		// Shape-bound capacity (a hull path strictly descends the ≤
+		// |Demand|+1 candidates), so path growth never reallocates in
+		// steady state however the hull's edge count varies.
+		if m := len(p.VMs[i].Demand) + 1; cap(paths[i]) < m {
+			paths[i] = make([]hullEdge, 0, m)
+		}
+		paths[i] = hullPathInto(cand[i], pen[i], paths[i][:0])
+		if len(paths[i]) > 0 {
+			e := paths[i][0]
+			e.vm, e.next = i, 1
+			h = append(h, e)
+		}
+	}
+	initEdges(h)
+
+	pops := 0
+	for total > capTol {
+		if len(h) == 0 {
+			return Allocation{}, fmt.Errorf("stuck at total %v: %w", total, ErrInfeasible)
+		}
+		var e hullEdge
+		e, h = popEdge(h)
+		pops++
+		i := e.vm
+		total -= cand[i][pos[i]] - cand[i][e.target]
+		pos[i] = e.target
+		if e.next < len(paths[i]) {
+			ne := paths[i][e.next]
+			ne.vm, ne.next = i, e.next+1
+			h = pushEdge(h, ne)
+		}
+	}
+	sc.heap = h[:0]
+
+	p.repair(cand, pen, pos, total)
+	greedySolves.Inc()
+	greedyHeapPops.Add(float64(pops))
+
+	sizes := sc.sizes[:n]
+	for i := 0; i < n; i++ {
+		sizes[i] = cand[i][pos[i]]
+	}
+	return Allocation{Sizes: sizes, Tickets: p.tickets(sizes)}, nil
+}
+
+// hullPathInto is hullPath appending into a caller-owned slice.
+func hullPathInto(cand []float64, pen []int, path []hullEdge) []hullEdge {
+	o := 0
+	for {
+		target := -1
+		mtrv := math.Inf(1)
+		free := 0.0
+		for k := o + 1; k < len(cand); k++ {
+			f := cand[o] - cand[k]
+			if f <= 0 {
+				continue
+			}
+			m := float64(pen[k]-pen[o]) / f
+			if m < mtrv || (m == mtrv && f > free) {
+				target, mtrv, free = k, m, f
+			}
+		}
+		if target == -1 {
+			return path
+		}
+		path = append(path, hullEdge{mtrv: mtrv, free: free, target: target})
+		o = target
+	}
+}
+
+// The manual min-heap below replaces container/heap for the scratch
+// path: heap.Push/Pop box every hullEdge through an interface value,
+// which is one allocation per descent step. Ordering matches
+// edgeHeap.Less exactly; since (mtrv, free, vm) is a total order and
+// each VM contributes at most one live edge, the pop sequence — and
+// therefore the allocation — is identical to Greedy's.
+
+func edgeLess(a, b hullEdge) bool {
+	if a.mtrv != b.mtrv {
+		return a.mtrv < b.mtrv
+	}
+	if a.free != b.free {
+		return a.free > b.free
+	}
+	return a.vm < b.vm
+}
+
+func initEdges(h []hullEdge) {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+func pushEdge(h []hullEdge, e hullEdge) []hullEdge {
+	h = append(h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !edgeLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+func popEdge(h []hullEdge) (hullEdge, []hullEdge) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	e := h[n]
+	h = h[:n]
+	siftDown(h, 0)
+	return e, h
+}
+
+func siftDown(h []hullEdge, i int) {
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			return
+		}
+		if j2 := j + 1; j2 < n && edgeLess(h[j2], h[j]) {
+			j = j2
+		}
+		if !edgeLess(h[j], h[i]) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

@@ -1,0 +1,204 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"atm/internal/regress"
+	"atm/internal/timeseries"
+)
+
+// ErrNotRolled indicates the window handed to Roller.Roll is not a
+// pure roll of the previous window (the overlap samples differ), so
+// the incremental update would be incorrect and the caller must take
+// the from-scratch reference path.
+var ErrNotRolled = errors.New("spatial: window is not a roll of the previous window")
+
+// rollerBuildTol bounds how far the incremental normal-equation fit
+// may sit from the reference QR fit at Roller construction; beyond it
+// the window is too ill-conditioned for the incremental path and the
+// builder rejects it.
+const rollerBuildTol = 1e-6
+
+// Roller maintains a spatial model incrementally across rolled
+// windows. It adopts a reference-fitted Model (whose window-0 fits
+// stay exactly as the reference produced them) and, per Roll, feeds
+// the samples that left/entered the window through a
+// regress.RollingDesigner — O(p²) per rolled sample — then rewrites
+// every dependent fit in place at O(p²) per target, instead of the
+// reference Refit's O(n·p²) design rebuild.
+//
+// The Roller owns private copies of the current window, so callers may
+// hand it zero-copy views into live buffers: Roll verifies by value
+// that the claimed overlap really is one before touching any
+// accumulator, and any mismatch (or numerical breakdown in the
+// designer) surfaces as an error the caller resolves by falling back
+// to the reference path and rebuilding.
+type Roller struct {
+	model  *Model
+	depIdx []int // sorted dependent indices, FitInto target order
+	rd     *regress.RollingDesigner
+	n      int
+
+	prevSig []timeseries.Series // owned copies, Signatures order
+	prevDep []timeseries.Series // owned copies, depIdx order
+	newSig  []timeseries.Series // per-Roll view scratch
+	newDep  []timeseries.Series
+}
+
+// NewRoller builds the incremental state from the model's training
+// window. model must have been fitted (Search or Refit) on exactly
+// these series; the builder cross-checks the incremental fit of every
+// dependent against the model's reference fit and rejects windows
+// where they diverge beyond 1e-6 (ill-conditioning the rank-1 path
+// cannot track). The adopted model is mutated in place by later Rolls.
+func NewRoller(series []timeseries.Series, model *Model) (*Roller, error) {
+	if model.N != len(series) {
+		return nil, fmt.Errorf("spatial: roller over %d series, model built on %d", len(series), model.N)
+	}
+	if len(model.Signatures) == 0 {
+		return nil, fmt.Errorf("spatial: roller with empty signature set")
+	}
+	n := len(series[0])
+	for i, s := range series {
+		if len(s) != n {
+			return nil, fmt.Errorf("spatial: series %d has %d samples, want %d: %w",
+				i, len(s), n, timeseries.ErrLengthMismatch)
+		}
+	}
+	depIdx := make([]int, 0, len(model.Dependents))
+	for idx := range model.Dependents {
+		depIdx = append(depIdx, idx)
+	}
+	sort.Ints(depIdx)
+
+	r := &Roller{
+		model:   model,
+		depIdx:  depIdx,
+		n:       n,
+		prevSig: make([]timeseries.Series, len(model.Signatures)),
+		prevDep: make([]timeseries.Series, len(depIdx)),
+		newSig:  make([]timeseries.Series, len(model.Signatures)),
+		newDep:  make([]timeseries.Series, len(depIdx)),
+	}
+	for i, idx := range model.Signatures {
+		r.prevSig[i] = series[idx].Clone()
+	}
+	for i, idx := range depIdx {
+		r.prevDep[i] = series[idx].Clone()
+	}
+	rd, err := regress.NewRollingDesigner(r.prevSig, r.prevDep)
+	if err != nil {
+		return nil, fmt.Errorf("spatial: roller build: %w", err)
+	}
+	// Guard: the incremental solve must land on the reference fit for
+	// the build window, or the window is too ill-conditioned to track.
+	var scratch regress.Fit
+	for t, idx := range depIdx {
+		if err := rd.FitInto(t, &scratch); err != nil {
+			return nil, fmt.Errorf("spatial: roller build fit %d: %w", idx, err)
+		}
+		ref := model.Dependents[idx]
+		if ref == nil || len(ref.Coef) != len(scratch.Coef) {
+			return nil, fmt.Errorf("spatial: roller: model has no fit for dependent %d", idx)
+		}
+		if !fitClose(&scratch, ref, rollerBuildTol) {
+			return nil, fmt.Errorf("spatial: roller build: incremental fit for dependent %d diverges from reference", idx)
+		}
+	}
+	r.rd = rd
+	return r, nil
+}
+
+// fitClose reports whether two fits agree within tol, scaled by
+// coefficient magnitude.
+func fitClose(a, b *regress.Fit, tol float64) bool {
+	close := func(x, y float64) bool {
+		return math.Abs(x-y) <= tol*math.Max(1, math.Abs(y))
+	}
+	if !close(a.Intercept, b.Intercept) || !close(a.R2, b.R2) {
+		return false
+	}
+	for j := range b.Coef {
+		if !close(a.Coef[j], b.Coef[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Model returns the adopted model (live: mutated by Roll).
+func (r *Roller) Model() *Model { return r.model }
+
+// Roll advances the model to a window shifted forward by shift
+// samples and refits every dependent incrementally, mutating the
+// adopted model's fits in place. series must be the full series set
+// of the new window, in the same order the model was built on.
+//
+// The overlap (previous window from shift on, new window up to
+// n−shift) is compared by value against the Roller's private copies
+// before any state changes; a mismatch returns ErrNotRolled with all
+// state intact. An update/downdate breakdown mid-roll returns
+// regress.ErrRollingBroken and leaves the Roller unusable — the
+// caller rebuilds from the reference path. Steady-state Rolls perform
+// zero heap allocations.
+func (r *Roller) Roll(series []timeseries.Series, shift int) error {
+	if len(series) != r.model.N {
+		return fmt.Errorf("spatial: roll over %d series, model built on %d", len(series), r.model.N)
+	}
+	if shift <= 0 || shift >= r.n {
+		return fmt.Errorf("%w: shift %d of window %d", ErrNotRolled, shift, r.n)
+	}
+	for i, s := range series {
+		if len(s) != r.n {
+			return fmt.Errorf("spatial: roll series %d has %d samples, want %d: %w",
+				i, len(s), r.n, timeseries.ErrLengthMismatch)
+		}
+	}
+	for i, idx := range r.model.Signatures {
+		if !overlapEqual(r.prevSig[i], series[idx], shift) {
+			return fmt.Errorf("%w: signature series %d overlap differs", ErrNotRolled, idx)
+		}
+		r.newSig[i] = series[idx]
+	}
+	for i, idx := range r.depIdx {
+		if !overlapEqual(r.prevDep[i], series[idx], shift) {
+			return fmt.Errorf("%w: dependent series %d overlap differs", ErrNotRolled, idx)
+		}
+		r.newDep[i] = series[idx]
+	}
+	for s := 0; s < shift; s++ {
+		err := r.rd.Roll(r.prevSig, r.prevDep, s, r.newSig, r.newDep, r.n-shift+s)
+		if err != nil {
+			return err
+		}
+	}
+	for t, idx := range r.depIdx {
+		if err := r.rd.FitInto(t, r.model.Dependents[idx]); err != nil {
+			return err
+		}
+	}
+	for i := range r.prevSig {
+		copy(r.prevSig[i], r.newSig[i])
+		r.newSig[i] = nil
+	}
+	for i := range r.prevDep {
+		copy(r.prevDep[i], r.newDep[i])
+		r.newDep[i] = nil
+	}
+	return nil
+}
+
+// overlapEqual reports whether cur really is prev rolled forward by
+// shift: prev[shift:] must equal cur[:n−shift] exactly.
+func overlapEqual(prev, cur timeseries.Series, shift int) bool {
+	n := len(prev)
+	for i := shift; i < n; i++ {
+		if prev[i] != cur[i-shift] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,282 @@
+package spatial
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"atm/internal/race"
+	"atm/internal/timeseries"
+)
+
+// rollerTrace builds a correlated multi-series workload of length
+// total: a few driver series plus linear mixtures with noise, the
+// shape the signature search produces signatures+dependents from.
+func rollerTrace(rng *rand.Rand, nSeries, total int) []timeseries.Series {
+	drivers := make([]timeseries.Series, 2)
+	for d := range drivers {
+		s := make(timeseries.Series, total)
+		for i := range s {
+			s[i] = 20 + 10*math.Sin(float64(i)/9+float64(d)*2) + rng.NormFloat64()
+		}
+		drivers[d] = s
+	}
+	out := make([]timeseries.Series, nSeries)
+	for j := range out {
+		s := make(timeseries.Series, total)
+		w0 := 0.5 + rng.Float64()
+		w1 := rng.Float64()
+		for i := range s {
+			s[i] = 5 + w0*drivers[0][i] + w1*drivers[1][i] + 0.3*rng.NormFloat64()
+		}
+		out[j] = s
+	}
+	return out
+}
+
+func sliceAll(series []timeseries.Series, from, to int) []timeseries.Series {
+	out := make([]timeseries.Series, len(series))
+	for i, s := range series {
+		out[i] = s.Slice(from, to)
+	}
+	return out
+}
+
+// TestRollerMatchesRefit rolls windows forward and compares the
+// incrementally maintained fits against the reference Refit within
+// 1e-9 at every offset.
+func TestRollerMatchesRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const nSeries, n, shift, total = 8, 60, 12, 240
+	series := rollerTrace(rng, nSeries, total)
+
+	model, err := Search(sliceAll(series, 0, n), Config{Method: MethodCBC})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(model.Dependents) == 0 {
+		t.Fatalf("fixture produced no dependents (signatures %v)", model.Signatures)
+	}
+	roller, err := NewRoller(sliceAll(series, 0, n), model)
+	if err != nil {
+		t.Fatalf("roller: %v", err)
+	}
+	for off := shift; off+n <= total; off += shift {
+		win := sliceAll(series, off, off+n)
+		if err := roller.Roll(win, shift); err != nil {
+			t.Fatalf("offset %d: roll: %v", off, err)
+		}
+		ref, err := Refit(win, model.Signatures)
+		if err != nil {
+			t.Fatalf("offset %d: refit: %v", off, err)
+		}
+		for idx, want := range ref.Dependents {
+			got := model.Dependents[idx]
+			if d := math.Abs(got.Intercept - want.Intercept); d > 1e-9 {
+				t.Fatalf("offset %d dep %d: intercept drift %g", off, idx, d)
+			}
+			for j := range want.Coef {
+				if d := math.Abs(got.Coef[j] - want.Coef[j]); d > 1e-9 {
+					t.Fatalf("offset %d dep %d: coef[%d] drift %g", off, idx, j, d)
+				}
+			}
+			if d := math.Abs(got.R2 - want.R2); d > 1e-9 {
+				t.Fatalf("offset %d dep %d: r2 drift %g", off, idx, d)
+			}
+		}
+	}
+}
+
+// TestRollerRejectsNonRoll feeds a window whose overlap does not match
+// and expects ErrNotRolled with the previous state intact.
+func TestRollerRejectsNonRoll(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const nSeries, n, shift, total = 6, 50, 10, 120
+	series := rollerTrace(rng, nSeries, total)
+	model, err := Search(sliceAll(series, 0, n), Config{Method: MethodCBC})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	roller, err := NewRoller(sliceAll(series, 0, n), model)
+	if err != nil {
+		t.Fatalf("roller: %v", err)
+	}
+	// A tampered overlap sample must be caught.
+	win := sliceAll(series, shift, shift+n)
+	tampered := win[0].Clone()
+	tampered[5] += 1e-6
+	win[0] = tampered
+	if err := roller.Roll(win, shift); !errors.Is(err, ErrNotRolled) {
+		t.Fatalf("tampered roll error = %v, want ErrNotRolled", err)
+	}
+	// Bad shifts are rejected outright.
+	if err := roller.Roll(sliceAll(series, 0, n), 0); !errors.Is(err, ErrNotRolled) {
+		t.Fatalf("shift 0 error = %v, want ErrNotRolled", err)
+	}
+	if err := roller.Roll(sliceAll(series, 0, n), n); !errors.Is(err, ErrNotRolled) {
+		t.Fatalf("shift n error = %v, want ErrNotRolled", err)
+	}
+	// The failed attempts must not have corrupted state: a genuine roll
+	// still matches the reference.
+	win = sliceAll(series, shift, shift+n)
+	if err := roller.Roll(win, shift); err != nil {
+		t.Fatalf("genuine roll after rejects: %v", err)
+	}
+	ref, err := Refit(win, model.Signatures)
+	if err != nil {
+		t.Fatalf("refit: %v", err)
+	}
+	for idx, want := range ref.Dependents {
+		if d := math.Abs(model.Dependents[idx].Intercept - want.Intercept); d > 1e-9 {
+			t.Fatalf("dep %d intercept drift %g after rejected rolls", idx, d)
+		}
+	}
+}
+
+// TestRollerAllSignatures covers the degenerate box where every series
+// is a signature: nothing to refit, rolls still succeed.
+func TestRollerAllSignatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, shift, total = 40, 8, 80
+	series := []timeseries.Series{
+		make(timeseries.Series, total),
+		make(timeseries.Series, total),
+	}
+	for i := 0; i < total; i++ {
+		series[0][i] = rng.NormFloat64()
+		series[1][i] = 100 * math.Cos(float64(i)) // unrelated
+	}
+	model, err := Refit(sliceAll(series, 0, n), []int{0, 1})
+	if err != nil {
+		t.Fatalf("refit: %v", err)
+	}
+	if len(model.Dependents) != 0 {
+		t.Fatalf("expected no dependents, got %d", len(model.Dependents))
+	}
+	roller, err := NewRoller(sliceAll(series, 0, n), model)
+	if err != nil {
+		t.Fatalf("roller: %v", err)
+	}
+	if err := roller.Roll(sliceAll(series, shift, shift+n), shift); err != nil {
+		t.Fatalf("roll: %v", err)
+	}
+}
+
+// TestRollerAllocFree proves the steady-state Roll performs zero heap
+// allocations.
+func TestRollerAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rng := rand.New(rand.NewSource(8))
+	const nSeries, n, shift = 6, 50, 5
+	total := n + shift*40
+	series := rollerTrace(rng, nSeries, total)
+	model, err := Search(sliceAll(series, 0, n), Config{Method: MethodCBC})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	roller, err := NewRoller(sliceAll(series, 0, n), model)
+	if err != nil {
+		t.Fatalf("roller: %v", err)
+	}
+	win := make([]timeseries.Series, nSeries)
+	off := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		off += shift
+		for i, s := range series {
+			win[i] = s.Slice(off, off+n)
+		}
+		if err := roller.Roll(win, shift); err != nil {
+			t.Fatalf("offset %d: roll: %v", off, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("roll allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestModelCloneDetaches checks Clone produces an independent copy.
+func TestModelCloneDetaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	series := rollerTrace(rng, 5, 40)
+	model, err := Search(series, Config{Method: MethodCBC})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	clone := model.Clone()
+	for idx, fit := range model.Dependents {
+		got := clone.Dependents[idx]
+		if got.Intercept != fit.Intercept || got.R2 != fit.R2 {
+			t.Fatalf("dep %d: clone differs", idx)
+		}
+		fit.Intercept += 1
+		if len(fit.Coef) > 0 {
+			fit.Coef[0] += 1
+		}
+		if got.Intercept == fit.Intercept {
+			t.Fatalf("dep %d: clone aliases intercept", idx)
+		}
+		if len(fit.Coef) > 0 && got.Coef[0] == fit.Coef[0] {
+			t.Fatalf("dep %d: clone aliases coef", idx)
+		}
+	}
+	model.Signatures[0] = -99
+	if clone.Signatures[0] == -99 {
+		t.Fatal("clone aliases signatures")
+	}
+}
+
+// TestReconstructIntoMatches compares ReconstructInto with
+// Reconstruct bit for bit and checks buffer reuse allocates nothing.
+func TestReconstructIntoMatches(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rng := rand.New(rand.NewSource(14))
+	series := rollerTrace(rng, 6, 48)
+	model, err := Search(series, Config{Method: MethodCBC})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	h := 12
+	sigValues := make([]timeseries.Series, len(model.Signatures))
+	for i := range sigValues {
+		s := make(timeseries.Series, h)
+		for j := range s {
+			s[j] = 10 + rng.NormFloat64()
+		}
+		sigValues[i] = s
+	}
+	want, err := model.Reconstruct(sigValues)
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	dst := make([]timeseries.Series, model.N)
+	for i := range dst {
+		dst[i] = make(timeseries.Series, 0, h)
+	}
+	got, err := model.ReconstructInto(dst, sigValues)
+	if err != nil {
+		t.Fatalf("reconstruct into: %v", err)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("series %d: len %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("series %d sample %d: %g, want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := model.ReconstructInto(dst, sigValues); err != nil {
+			t.Fatalf("reconstruct into: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reconstruct into allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -77,6 +77,13 @@ type Config struct {
 	// SkipStepwise disables step 2, leaving the clustering-only
 	// signature set. Used by the paper's Figure 6 ablation.
 	SkipStepwise bool
+	// Envelopes, when non-nil, carries series normalizations and
+	// LB_Keogh envelopes across successive searches over rolled
+	// windows of the same box (MethodDTW with DTWApprox only).
+	// Results are bit-identical with or without it; the bank is
+	// stateful and must not be shared between boxes or concurrent
+	// searches.
+	Envelopes *cluster.EnvelopeBank
 }
 
 func (c Config) rhoTh() float64 {
@@ -119,6 +126,29 @@ type Model struct {
 	Dependents map[int]*regress.Fit
 }
 
+// Clone returns a deep copy of the model. Rolling pipelines mutate
+// their live model's fits in place (spatial.Roller), so retained
+// results snapshot via Clone.
+func (m *Model) Clone() *Model {
+	out := &Model{
+		N:                 m.N,
+		ClusterK:          m.ClusterK,
+		InitialSignatures: append([]int(nil), m.InitialSignatures...),
+		Signatures:        append([]int(nil), m.Signatures...),
+	}
+	if m.Dependents != nil {
+		out.Dependents = make(map[int]*regress.Fit, len(m.Dependents))
+		for idx, fit := range m.Dependents {
+			out.Dependents[idx] = &regress.Fit{
+				Intercept: fit.Intercept,
+				Coef:      append([]float64(nil), fit.Coef...),
+				R2:        fit.R2,
+			}
+		}
+	}
+	return out
+}
+
 // ErrNoSeries indicates Search was called without any series.
 var ErrNoSeries = errors.New("spatial: no series")
 
@@ -148,7 +178,12 @@ func SearchContext(ctx context.Context, series []timeseries.Series, cfg Config) 
 	switch cfg.Method {
 	case MethodDTW:
 		if cfg.DTWApprox {
-			res, err = cluster.DTWSearchApprox(series, cfg.dtwWindow(), 0)
+			if cfg.Envelopes != nil {
+				res, err = cluster.DTWSearchApprox(series, cfg.dtwWindow(), 0,
+					cluster.WithEnvelopeBank(cfg.Envelopes))
+			} else {
+				res, err = cluster.DTWSearchApprox(series, cfg.dtwWindow(), 0)
+			}
 		} else {
 			res, err = cluster.DTWSearch(series, cfg.dtwWindow())
 		}
@@ -335,6 +370,36 @@ func (m *Model) Reconstruct(sigValues []timeseries.Series) ([]timeseries.Series,
 		out[idx] = fit.Apply(sigValues)
 	}
 	return out, nil
+}
+
+// ReconstructInto is Reconstruct writing into dst, which must hold
+// m.N series headers; each is length-adjusted via append, so callers
+// providing headers with enough capacity get the same values as
+// Reconstruct with zero heap allocations.
+func (m *Model) ReconstructInto(dst, sigValues []timeseries.Series) ([]timeseries.Series, error) {
+	if len(sigValues) != len(m.Signatures) {
+		return nil, fmt.Errorf("spatial: %d signature series given, model has %d",
+			len(sigValues), len(m.Signatures))
+	}
+	if len(dst) != m.N {
+		return nil, fmt.Errorf("spatial: reconstruct into %d series, model has %d", len(dst), m.N)
+	}
+	horizon := 0
+	for i, s := range sigValues {
+		if i == 0 {
+			horizon = len(s)
+		} else if len(s) != horizon {
+			return nil, fmt.Errorf("spatial: signature %d has %d samples, want %d: %w",
+				i, len(s), horizon, timeseries.ErrLengthMismatch)
+		}
+	}
+	for i, idx := range m.Signatures {
+		dst[idx] = append(dst[idx][:0], sigValues[i]...)
+	}
+	for idx, fit := range m.Dependents {
+		dst[idx] = fit.ApplyInto(dst[idx][:0], sigValues)
+	}
+	return dst, nil
 }
 
 // Fitted returns the in-sample fitted values for every series: the

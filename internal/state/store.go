@@ -11,7 +11,7 @@ package state
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"atm/internal/obs"
@@ -219,14 +219,22 @@ func (s *Store) Meta(id string) (BoxMeta, error) {
 
 // Boxes returns the registered box ids in sorted order.
 func (s *Store) Boxes() []string {
+	return s.BoxesInto(nil)
+}
+
+// BoxesInto appends the registered box ids to dst in sorted order and
+// returns the extended slice — the allocation-free variant of Boxes
+// for callers (the engine's scheduling loop) that poll every tick and
+// reuse the id buffer.
+func (s *Store) BoxesInto(dst []string) []string {
+	n := len(dst)
 	s.mu.RLock()
-	out := make([]string, 0, len(s.boxes))
 	for id := range s.boxes {
-		out = append(out, id)
+		dst = append(dst, id)
 	}
 	s.mu.RUnlock()
-	sort.Strings(out)
-	return out
+	slices.Sort(dst[n:])
+	return dst
 }
 
 // Window materializes the box restricted to absolute tick range
@@ -237,25 +245,40 @@ func (s *Store) Boxes() []string {
 // of retention, timeseries.ErrFuture when it is not fully ingested
 // yet.
 func (s *Store) Window(id string, from, to int) (*trace.Box, error) {
+	out := &trace.Box{}
+	if err := s.WindowInto(id, from, to, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WindowInto is the allocation-free variant of Window: it fills dst in
+// place, growing dst.VMs only when the box has more VMs than dst's
+// capacity. The series views have the same zero-copy snapshot
+// stability as Window's. On error dst is left in an unspecified state.
+func (s *Store) WindowInto(id string, from, to int, dst *trace.Box) error {
 	bs, err := s.box(id)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
-	out := &trace.Box{ID: bs.meta.ID, CPUCapGHz: bs.meta.CPUCapGHz, RAMCapGB: bs.meta.RAMCapGB}
-	out.VMs = make([]trace.VM, len(bs.meta.VMs))
+	dst.ID, dst.CPUCapGHz, dst.RAMCapGB = bs.meta.ID, bs.meta.CPUCapGHz, bs.meta.RAMCapGB
+	if cap(dst.VMs) < len(bs.meta.VMs) {
+		dst.VMs = make([]trace.VM, len(bs.meta.VMs))
+	}
+	dst.VMs = dst.VMs[:len(bs.meta.VMs)]
 	for v := range bs.meta.VMs {
 		m := bs.meta.VMs[v]
 		cpu, err := bs.rings[trace.SeriesIndex(v, trace.CPU)].Range(from, to)
 		if err != nil {
-			return nil, fmt.Errorf("state: box %s window: %w", id, err)
+			return fmt.Errorf("state: box %s window: %w", id, err)
 		}
 		ram, err := bs.rings[trace.SeriesIndex(v, trace.RAM)].Range(from, to)
 		if err != nil {
-			return nil, fmt.Errorf("state: box %s window: %w", id, err)
+			return fmt.Errorf("state: box %s window: %w", id, err)
 		}
-		out.VMs[v] = trace.VM{ID: m.ID, CPUCapGHz: m.CPUCapGHz, RAMCapGB: m.RAMCapGB, CPU: cpu, RAM: ram}
+		dst.VMs[v] = trace.VM{ID: m.ID, CPUCapGHz: m.CPUCapGHz, RAMCapGB: m.RAMCapGB, CPU: cpu, RAM: ram}
 	}
-	return out, nil
+	return nil
 }
