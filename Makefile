@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard allocgate microbench tracebench chaos serve
+.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard loadsmoke allocgate microbench tracebench chaos serve
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmload/...
 
 verify: build vet test race
 
@@ -70,6 +70,29 @@ allocgate:
 # result fidelity (tickets, MAPE, search budget) breaks.
 benchguard:
 	$(GO) run ./cmd/atmbench -benchguard BENCH_rolling.json
+
+# Fleet-scale ingest benchmark: single-shard fleet-scan scheduling vs
+# the sharded dirty-set plane at paper scale (6160 boxes / 80K VMs);
+# emits BENCH_ingest.json plus a human-readable table.
+ingestbench:
+	$(GO) run ./cmd/atmbench -ingestbench BENCH_ingest.json -reps 5
+
+# Regression gate over the checked-in ingest record: re-runs the
+# benchmark and fails if the sharded plane's speedup drops more than
+# the tolerance below BENCH_ingest.json's floor, if fidelity breaks
+# (steps/plans diverge between planes), if throughput falls below the
+# paper fleet's telemetry rate, or if dirty passes stop being O(chunk).
+# Tolerance is wider than benchguard's because the wall-clock ratio of
+# two multi-second runs is noisier than the rolling microbench.
+ingestguard:
+	$(GO) run ./cmd/atmbench -ingestguard BENCH_ingest.json -tolerance 0.45
+
+# Load-harness smoke: atmload boots the production service in-process,
+# runs a short deterministic load through real HTTP, and fails unless
+# every accepted sample is accounted for and the engine plans the
+# fleet.
+loadsmoke:
+	$(GO) run ./cmd/atmload -selftest
 
 # One fully traced box-resize; emits trace.jsonl (the JSONL span dump)
 # plus the per-stage latency table.

@@ -8,6 +8,8 @@
 //	atmbench -resizebench FILE [-boxes N] [-seed S]
 //	atmbench -rollingbench FILE [-reps N]
 //	atmbench -benchguard FILE [-reps N] [-tolerance F]
+//	atmbench -ingestbench FILE [-reps N]
+//	atmbench -ingestguard FILE [-reps N] [-tolerance F]
 //	atmbench -trace FILE [-boxes N] [-seed S] [-workers W]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
@@ -81,6 +83,8 @@ func main() {
 	resizebench := flag.String("resizebench", "", "run the VIF + MCKP-greedy benchmark and write its JSON record to this file (skips figures)")
 	rollingbench := flag.String("rollingbench", "", "run the rolling model-reuse benchmark and write its JSON record to this file (skips figures)")
 	benchguard := flag.String("benchguard", "", "re-run the rolling benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
+	ingestbench := flag.String("ingestbench", "", "run the fleet-scale ingest benchmark and write its JSON record to this file (skips figures)")
+	ingestguard := flag.String("ingestguard", "", "re-run the ingest benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
 	reps := flag.Int("reps", 0, "timing repetitions for the rolling benchmark; each wall-clock number is the min over reps runs (<= 0 selects 5)")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional speedup regression below the benchguard floor before failing")
 	tracefile := flag.String("trace", "", "run one traced box-resize and write its JSONL span dump to this file (skips figures)")
@@ -163,6 +167,56 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [wrote %s]\n", *rollingbench)
+		return
+	}
+
+	if *ingestbench != "" {
+		r, err := experiments.IngestBench(opts)
+		exitOn("ingestbench", err)
+		printTable("ingestbench", r.Render())
+		data, err := json.MarshalIndent(r, "", "  ")
+		exitOn("ingestbench", err)
+		if err := os.WriteFile(*ingestbench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", *ingestbench)
+		return
+	}
+
+	if *ingestguard != "" {
+		data, err := os.ReadFile(*ingestguard)
+		exitOn("ingestguard", err)
+		var floor experiments.IngestBenchResult
+		exitOn("ingestguard", json.Unmarshal(data, &floor))
+		r, err := experiments.IngestBench(opts)
+		exitOn("ingestguard", err)
+		printTable("ingestguard", r.Render())
+		var fails []string
+		if want := floor.Speedup * (1 - *tolerance); r.Speedup < want {
+			fails = append(fails, fmt.Sprintf("speedup %.2fx below floor %.2fx (recorded %.2fx, tolerance %.0f%%)",
+				r.Speedup, want, floor.Speedup, *tolerance*100))
+		}
+		if !r.StepsMatch || !r.PlansMatch {
+			fails = append(fails, "sharded plane diverged from the single-shard plane (steps or plans)")
+		}
+		if r.Headroom < 1 {
+			fails = append(fails, fmt.Sprintf("sharded plane below the paper fleet's %.0f samples/s (headroom %.2fx)",
+				r.PaperSamplesPerSec, r.Headroom))
+		}
+		// The O(k) contract: dirty-set passes must keep inspecting
+		// ~chunk-sized sets, not the fleet.
+		if r.ShardedInspected > float64(2*r.ChunkBoxes) {
+			fails = append(fails, fmt.Sprintf("dirty passes inspect %.0f boxes/pass, want ~%d (O(k) contract broken)",
+				r.ShardedInspected, r.ChunkBoxes))
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "ingestguard: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("  [ingestguard ok: %.2fx vs floor %.2fx, headroom %.0fx]\n", r.Speedup, floor.Speedup, r.Headroom)
 		return
 	}
 

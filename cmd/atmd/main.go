@@ -26,6 +26,9 @@
 //	POST /v1/boxes/<id>/samples  ingest usage ticks, body
 //	                             {"box": {...}, "samples": [{"cpu": [...], "ram": [...]}]}
 //	                             ("box" meta required on first contact)
+//	POST /v1/ingest              batched ingest for many boxes, body
+//	                             {"boxes": [{"id": "...", "box": {...}, "samples": [...]}]}
+//	                             with per-box error reporting
 //	GET  /v1/boxes/<id>/plan     latest resize plan for the box
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
@@ -49,6 +52,7 @@ import (
 
 	"atm/internal/actuator"
 	"atm/internal/obs"
+	"atm/internal/serve"
 )
 
 // newHandler assembles the daemon's route table: the cgroup API under
@@ -57,7 +61,7 @@ import (
 // API when a service is attached (-serve), and — when enabled — the
 // pprof profiling handlers. Split from main so tests can drive the
 // exact production mux through httptest.
-func newHandler(reg *actuator.Registry, svc *service, pprofEnabled bool, start time.Time) http.Handler {
+func newHandler(reg *actuator.Registry, svc *serve.Service, pprofEnabled bool, start time.Time) http.Handler {
 	mux := http.NewServeMux()
 	api := reg.Handler()
 	metrics := obs.Default()
@@ -68,7 +72,8 @@ func newHandler(reg *actuator.Registry, svc *service, pprofEnabled bool, start t
 	if svc != nil {
 		// One route label for the whole streaming API: box ids are
 		// unbounded, metric label cardinality must not be.
-		mux.Handle("/v1/boxes/", metrics.InstrumentHandler("/v1/boxes/:id", svc.handler()))
+		mux.Handle("/v1/boxes/", metrics.InstrumentHandler("/v1/boxes/:id", svc.Handler()))
+		mux.Handle("/v1/ingest", metrics.InstrumentHandler("/v1/ingest", svc.IngestHandler()))
 	}
 	mux.Handle("/metrics", obs.Handler())
 	mux.Handle("/healthz", obs.HealthzHandler(start))
@@ -86,7 +91,7 @@ func main() {
 	addr := flag.String("addr", ":8023", "listen address")
 	pprofEnabled := flag.Bool("pprof", false, "expose /debug/pprof/* profiling handlers")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain deadline")
-	serve := flag.Bool("serve", false, "run the streaming ATM service (ingestion + planning engine)")
+	serveFlag := flag.Bool("serve", false, "run the streaming ATM service (ingestion + planning engine)")
 	var sc serveConfig
 	flag.IntVar(&sc.train, "train", 64, "serve: training window size in samples")
 	flag.IntVar(&sc.horizon, "horizon", 32, "serve: prediction/resizing horizon in samples")
@@ -97,25 +102,26 @@ func main() {
 	flag.BoolVar(&sc.actuate, "actuate", false, "serve: push plans into this daemon's cgroup registry")
 	flag.IntVar(&sc.workers, "workers", 0, "serve: engine worker-pool size (0 = one per core)")
 	flag.IntVar(&sc.history, "history", 0, "serve: samples retained per series (0 = 2*(train+horizon))")
+	flag.IntVar(&sc.shards, "shards", 0, "serve: state-store shard count (0 = default)")
+	flag.Int64Var(&sc.maxBody, "max-body", 0, "serve: ingest body cap in bytes (0 = default, <0 = unlimited)")
 	flag.Parse()
 
 	reg := actuator.NewRegistry()
-	var svc *service
-	if *serve {
-		history, cfg, err := sc.build(reg)
+	var svc *serve.Service
+	if *serveFlag {
+		cfg, err := sc.build(reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
 			os.Exit(2)
 		}
-		var berr error
-		svc, berr = newService(history, cfg)
-		if berr != nil {
-			fmt.Fprintf(os.Stderr, "atmd: %v\n", berr)
+		svc, err = serve.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
 			os.Exit(2)
 		}
-		svc.start()
-		log.Printf("atmd: streaming service on (train=%d horizon=%d spd=%d reuse=%v actuate=%v history=%d)",
-			sc.train, sc.horizon, sc.spd, sc.reuse, sc.actuate, history)
+		svc.Start()
+		log.Printf("atmd: streaming service on (train=%d horizon=%d spd=%d reuse=%v actuate=%v history=%d shards=%d)",
+			sc.train, sc.horizon, sc.spd, sc.reuse, sc.actuate, cfg.History, svc.Store().Shards())
 	}
 
 	srv := &http.Server{
@@ -156,7 +162,7 @@ func main() {
 		// HTTP is quiet now; stop the engine and let in-flight pipeline
 		// steps finish before exiting.
 		log.Printf("atmd: draining engine")
-		svc.drain()
+		svc.Drain()
 	}
 	log.Printf("atmd: drained, exiting")
 }

@@ -1,218 +1,29 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"net/http"
-	"strings"
 
 	"atm/internal/core"
 	"atm/internal/engine"
-	"atm/internal/state"
+	"atm/internal/serve"
 )
 
-// service bundles the streaming ATM stack the daemon runs in -serve
-// mode: the state store fed by the ingestion API, the engine
-// scheduling rolling pipeline steps over it, and the engine's
-// lifecycle (cancel + done) for graceful drain.
-type service struct {
-	store  *state.Store
-	engine *engine.Engine
-
-	cancel context.CancelFunc
-	done   chan struct{}
-}
-
-// newService builds the store and engine; the engine loop is not
-// started yet (call start, or drive engine.Sync directly in tests).
-func newService(history int, cfg engine.Config) (*service, error) {
-	st, err := state.NewStore(history)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := engine.New(st, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &service{store: st, engine: eng}, nil
-}
-
-// start launches the engine loop.
-func (s *service) start() {
-	ctx, cancel := context.WithCancel(context.Background())
-	s.cancel = cancel
-	s.done = make(chan struct{})
-	go func() {
-		defer close(s.done)
-		_ = s.engine.Run(ctx)
-	}()
-}
-
-// drain stops the engine loop and waits for in-flight steps to finish
-// (engine.Run only returns after the current scheduling pass
-// completes). Safe to call when start was never invoked.
-func (s *service) drain() {
-	if s.cancel == nil {
-		return
-	}
-	s.cancel()
-	<-s.done
-}
-
-// tick is one ingested sampling interval: usage percent per VM, in
-// registered VM order.
-type tick struct {
-	CPU []float64 `json:"cpu"`
-	RAM []float64 `json:"ram"`
-}
-
-// ingestRequest is the POST /v1/boxes/{id}/samples body. Box carries
-// the box's static configuration; it is required on (and only
-// consulted for) the first call for a box — re-announcements are
-// idempotent, shape changes rejected.
-type ingestRequest struct {
-	Box     *state.BoxMeta `json:"box,omitempty"`
-	Samples []tick         `json:"samples"`
-}
-
-// jsonError mirrors the actuator API's error convention.
-func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// boxRoute splits /v1/boxes/{id}/{verb} and returns id, verb.
-func boxRoute(path string) (string, string, bool) {
-	rest, ok := strings.CutPrefix(path, "/v1/boxes/")
-	if !ok {
-		return "", "", false
-	}
-	id, verb, ok := strings.Cut(rest, "/")
-	if !ok || id == "" || strings.Contains(verb, "/") {
-		return "", "", false
-	}
-	return id, verb, true
-}
-
-// handler routes the streaming API:
-//
-//	POST /v1/boxes/{id}/samples  ingest usage ticks (registering the
-//	                             box from the body's "box" meta on
-//	                             first contact)
-//	GET  /v1/boxes/{id}/plan     latest resize plan for the box
-func (s *service) handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id, verb, ok := boxRoute(r.URL.Path)
-		if !ok {
-			jsonError(w, http.StatusNotFound, "unknown route %s", r.URL.Path)
-			return
-		}
-		switch verb {
-		case "samples":
-			if r.Method != http.MethodPost {
-				jsonError(w, http.StatusMethodNotAllowed, "samples is POST-only")
-				return
-			}
-			s.handleSamples(w, r, id)
-		case "plan":
-			if r.Method != http.MethodGet {
-				jsonError(w, http.StatusMethodNotAllowed, "plan is GET-only")
-				return
-			}
-			s.handlePlan(w, id)
-		default:
-			jsonError(w, http.StatusNotFound, "unknown route %s", r.URL.Path)
-		}
-	})
-}
-
-func (s *service) handleSamples(w http.ResponseWriter, r *http.Request, id string) {
-	var req ingestRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	if req.Box != nil {
-		if req.Box.ID == "" {
-			req.Box.ID = id
-		}
-		if req.Box.ID != id {
-			jsonError(w, http.StatusBadRequest, "body box id %q != url id %q", req.Box.ID, id)
-			return
-		}
-		if err := s.store.Register(*req.Box); err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, state.ErrShapeMismatch) {
-				status = http.StatusConflict
-			}
-			jsonError(w, status, "register: %v", err)
-			return
-		}
-	}
-	total := 0
-	for i, tk := range req.Samples {
-		t, err := s.store.Append(id, tk.CPU, tk.RAM)
-		if err != nil {
-			switch {
-			case errors.Is(err, state.ErrUnknownBox):
-				jsonError(w, http.StatusNotFound,
-					"box %q not registered: include \"box\" meta in the first request", id)
-			case errors.Is(err, state.ErrShapeMismatch):
-				jsonError(w, http.StatusBadRequest, "sample %d: %v", i, err)
-			default:
-				jsonError(w, http.StatusInternalServerError, "sample %d: %v", i, err)
-			}
-			return
-		}
-		total = t
-	}
-	if len(req.Samples) == 0 {
-		// Registration-only request: report the current total.
-		t, err := s.store.Total(id)
-		if err != nil {
-			jsonError(w, http.StatusNotFound, "box %q not registered", id)
-			return
-		}
-		total = t
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{"box": id, "total": total})
-}
-
-func (s *service) handlePlan(w http.ResponseWriter, id string) {
-	if _, err := s.store.Meta(id); err != nil {
-		jsonError(w, http.StatusNotFound, "box %q not registered", id)
-		return
-	}
-	plan, ok := s.engine.Plan(id)
-	if !ok {
-		jsonError(w, http.StatusNotFound,
-			"box %q has no plan yet: the first plan needs %d samples", id, s.engine.Need(0))
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(plan)
-}
-
-// serveConfig assembles the engine configuration from the daemon's
-// flags.
+// serveConfig assembles the streaming-service configuration from the
+// daemon's flags; the service itself lives in internal/serve.
 type serveConfig struct {
 	train, horizon, spd int
 	threshold, epsilon  float64
 	reuse, actuate      bool
 	workers, history    int
+	shards              int
+	maxBody             int64
 }
 
-// build turns the flag bundle into store history + engine config,
-// defaulting history to two full pipeline windows.
-func (c serveConfig) build(setter core.LimitSetter) (int, engine.Config, error) {
+// build turns the flag bundle into a serve.Config, defaulting history
+// to two full pipeline windows.
+func (c serveConfig) build(setter core.LimitSetter) (serve.Config, error) {
 	if c.train <= 0 || c.horizon <= 0 || c.spd <= 0 {
-		return 0, engine.Config{}, fmt.Errorf("atmd: -train, -horizon and -spd must be positive")
+		return serve.Config{}, fmt.Errorf("atmd: -train, -horizon and -spd must be positive")
 	}
 	cfg := engine.Config{
 		Core: core.Config{
@@ -235,5 +46,10 @@ func (c serveConfig) build(setter core.LimitSetter) (int, engine.Config, error) 
 	if history <= 0 {
 		history = 2 * (c.train + c.horizon)
 	}
-	return history, cfg, nil
+	return serve.Config{
+		History: history,
+		Shards:  c.shards,
+		Engine:  cfg,
+		MaxBody: c.maxBody,
+	}, nil
 }

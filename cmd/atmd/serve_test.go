@@ -14,6 +14,7 @@ import (
 	"atm/internal/core"
 	"atm/internal/engine"
 	"atm/internal/predict"
+	"atm/internal/serve"
 	"atm/internal/spatial"
 	"atm/internal/state"
 	"atm/internal/trace"
@@ -22,7 +23,7 @@ import (
 // testService builds a service with a cheap temporal model and an
 // engine that is driven manually (no background loop), so the test is
 // deterministic.
-func testService(t *testing.T, setter core.LimitSetter) (*service, int) {
+func testService(t *testing.T, setter core.LimitSetter) (*serve.Service, int) {
 	t.Helper()
 	spd := 32
 	cfg := engine.Config{
@@ -38,14 +39,18 @@ func testService(t *testing.T, setter core.LimitSetter) (*service, int) {
 		SamplesPerDay: spd,
 		Setter:        setter,
 	}
-	svc, err := newService(2*(cfg.Core.TrainWindows+cfg.Core.Horizon), cfg)
+	svc, err := serve.New(serve.Config{
+		History: 2 * (cfg.Core.TrainWindows + cfg.Core.Horizon),
+		Shards:  4,
+		Engine:  cfg,
+	})
 	if err != nil {
-		t.Fatalf("newService: %v", err)
+		t.Fatalf("serve.New: %v", err)
 	}
 	return svc, spd
 }
 
-func postSamples(t *testing.T, client *http.Client, url string, req ingestRequest) (int, map[string]any) {
+func postSamples(t *testing.T, client *http.Client, url string, req serve.SamplesRequest) (int, map[string]any) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -89,8 +94,8 @@ func TestServeIngestAndPlan(t *testing.T) {
 	}
 
 	// Ingest without registration: 404 with a hint.
-	code, out := postSamples(t, client, url, ingestRequest{
-		Samples: []tick{{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}},
+	code, out := postSamples(t, client, url, serve.SamplesRequest{
+		Samples: []serve.Tick{{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}},
 	})
 	if code != http.StatusNotFound {
 		t.Fatalf("unregistered ingest: status %d (%v), want 404", code, out)
@@ -103,12 +108,12 @@ func TestServeIngestAndPlan(t *testing.T) {
 		if to > total {
 			to = total
 		}
-		req := ingestRequest{}
+		req := serve.SamplesRequest{}
 		if from == 0 {
 			req.Box = &meta
 		}
 		for k := from; k < to; k++ {
-			tk := tick{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}
+			tk := serve.Tick{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}
 			for v := range b.VMs {
 				tk.CPU[v] = b.VMs[v].CPU[k]
 				tk.RAM[v] = b.VMs[v].RAM[k]
@@ -122,12 +127,15 @@ func TestServeIngestAndPlan(t *testing.T) {
 		if from == 0 && out["total"].(float64) != float64(to) {
 			t.Fatalf("ingest total = %v, want %d", out["total"], to)
 		}
+		if out["accepted"].(float64) != float64(to-from) {
+			t.Fatalf("ingest accepted = %v, want %d", out["accepted"], to-from)
+		}
 	}
 
 	// Re-announce with a different shape: 409.
 	badMeta := meta
 	badMeta.VMs = meta.VMs[:1]
-	if code, _ := postSamples(t, client, url, ingestRequest{Box: &badMeta}); code != http.StatusConflict {
+	if code, _ := postSamples(t, client, url, serve.SamplesRequest{Box: &badMeta}); code != http.StatusConflict {
 		t.Fatalf("shape-changing re-register: status %d, want 409", code)
 	}
 
@@ -141,7 +149,7 @@ func TestServeIngestAndPlan(t *testing.T) {
 		t.Fatalf("plan before engine pass: status %d, want 404", resp.StatusCode)
 	}
 
-	svc.engine.Sync(context.Background())
+	svc.Engine().Sync(context.Background())
 
 	resp, err = client.Get(planURL)
 	if err != nil {
@@ -158,7 +166,7 @@ func TestServeIngestAndPlan(t *testing.T) {
 	if plan.Box != b.ID || len(plan.CPUSizes) != len(b.VMs) || len(plan.RAMSizes) != len(b.VMs) {
 		t.Fatalf("plan shape: %+v", plan)
 	}
-	wantSteps := (total - svc.engine.Need(0) + 32) / 32 // (total-T-H)/H + 1
+	wantSteps := (total - svc.Engine().Need(0) + 32) / 32 // (total-T-H)/H + 1
 	if plan.Step != wantSteps-1 {
 		t.Errorf("plan step = %d, want %d", plan.Step, wantSteps-1)
 	}
@@ -181,6 +189,8 @@ func TestServeIngestAndPlan(t *testing.T) {
 	for _, want := range []string{
 		"atm_engine_steps_total", "atm_engine_research_total",
 		"atm_engine_ingest_lag_samples", "atm_state_samples_total",
+		"atm_state_dirty_boxes", "atm_engine_pass_seconds",
+		"atm_plan_serve_seconds",
 	} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("/metrics missing %q", want)
@@ -203,9 +213,9 @@ func TestServeActuation(t *testing.T) {
 	meta := state.MetaOf(b)
 	url := srv.URL + "/v1/boxes/" + b.ID + "/samples"
 
-	req := ingestRequest{Box: &meta}
+	req := serve.SamplesRequest{Box: &meta}
 	for k := 0; k < len(b.VMs[0].CPU); k++ {
-		tk := tick{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}
+		tk := serve.Tick{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}
 		for v := range b.VMs {
 			tk.CPU[v] = b.VMs[v].CPU[k]
 			tk.RAM[v] = b.VMs[v].RAM[k]
@@ -215,9 +225,9 @@ func TestServeActuation(t *testing.T) {
 	if code, out := postSamples(t, srv.Client(), url, req); code != http.StatusOK {
 		t.Fatalf("ingest: status %d (%v)", code, out)
 	}
-	svc.engine.Sync(context.Background())
+	svc.Engine().Sync(context.Background())
 
-	if _, ok := svc.engine.Plan(b.ID); !ok {
+	if _, ok := svc.Engine().Plan(b.ID); !ok {
 		t.Fatal("no plan after sync")
 	}
 	ids := reg.List()
@@ -226,7 +236,8 @@ func TestServeActuation(t *testing.T) {
 	}
 }
 
-// TestServeBadRequests covers route and body validation.
+// TestServeBadRequests covers route and body validation through the
+// production mux, including the batched /v1/ingest mount.
 func TestServeBadRequests(t *testing.T) {
 	svc, _ := testService(t, nil)
 	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), svc, false, time.Now()))
@@ -245,6 +256,9 @@ func TestServeBadRequests(t *testing.T) {
 		{"unknown field", http.MethodPost, "/v1/boxes/b/samples", `{"nope": 1}`, http.StatusBadRequest},
 		{"id mismatch", http.MethodPost, "/v1/boxes/b/samples",
 			`{"box": {"id": "other", "vms": [{"id": "v"}]}}`, http.StatusBadRequest},
+		{"ingest get", http.MethodGet, "/v1/ingest", "", http.StatusMethodNotAllowed},
+		{"ingest bad json", http.MethodPost, "/v1/ingest", "{", http.StatusBadRequest},
+		{"ingest unknown field", http.MethodPost, "/v1/ingest", `{"nope": 1}`, http.StatusBadRequest},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
@@ -263,14 +277,14 @@ func TestServeBadRequests(t *testing.T) {
 	}
 }
 
-// TestServiceDrain checks start/drain round-trips and is idempotent
+// TestServiceDrain checks Start/Drain round-trips and is idempotent
 // about a never-started service.
 func TestServiceDrain(t *testing.T) {
 	svc, _ := testService(t, nil)
-	svc.drain() // never started: no-op
-	svc.start()
+	svc.Drain() // never started: no-op
+	svc.Start()
 	done := make(chan struct{})
-	go func() { svc.drain(); close(done) }()
+	go func() { svc.Drain(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):

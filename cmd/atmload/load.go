@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// limiter is a token-bucket rate limiter: tokens accrue at rate per
+// second up to burst, and wait blocks until n tokens are available.
+// Each ingest worker owns one, so a slow endpoint never lets one
+// worker's backlog starve the others' budgets.
+type limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// wait blocks until n tokens are available (n is clamped to the burst
+// so oversized requests still eventually pass) or the context ends.
+func (l *limiter) wait(ctx context.Context, n float64) error {
+	if l.rate <= 0 {
+		return ctx.Err() // unlimited
+	}
+	if n > l.burst {
+		n = l.burst
+	}
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens = math.Min(l.burst, l.tokens+now.Sub(l.last).Seconds()*l.rate)
+		l.last = now
+		if l.tokens >= n {
+			l.tokens -= n
+			l.mu.Unlock()
+			return nil
+		}
+		sleep := time.Duration((n - l.tokens) / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// backoff implements capped exponential backoff with full jitter, the
+// adaptive response to 429/5xx: the deadline doubles per consecutive
+// failure and resets on the first success.
+type backoff struct {
+	base, max time.Duration
+	cur       time.Duration
+	rng       *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *backoff) next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.base
+	} else {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return time.Duration(b.rng.Int63n(int64(b.cur))) + 1
+}
+
+func (b *backoff) reset() { b.cur = 0 }
+
+// sleep waits out a backoff delay or the context, whichever first.
+func (b *backoff) sleep(ctx context.Context) error {
+	t := time.NewTimer(b.next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// latencies records request durations for quantile reporting. The
+// sample buffer is capped; past the cap only count/sum keep growing,
+// which is fine for a minutes-long load run.
+type latencies struct {
+	mu      sync.Mutex
+	samples []float64 // seconds
+	count   int64
+	sum     float64
+}
+
+const latencyCap = 1 << 17
+
+func (l *latencies) record(d time.Duration) {
+	s := d.Seconds()
+	l.mu.Lock()
+	if len(l.samples) < latencyCap {
+		l.samples = append(l.samples, s)
+	}
+	l.count++
+	l.sum += s
+	l.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles in one sorted pass.
+func (l *latencies) quantiles(qs ...float64) []float64 {
+	l.mu.Lock()
+	cp := append([]float64(nil), l.samples...)
+	l.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(cp) == 0 {
+		return out
+	}
+	sort.Float64s(cp)
+	for i, q := range qs {
+		k := int(q * float64(len(cp)-1))
+		out[i] = cp[k]
+	}
+	return out
+}
+
+// fleet is the synthetic workload shape: boxes × VMs sampled spd times
+// a day. Tick values are a deterministic diurnal wave plus seeded
+// noise, so two runs with the same seed replay the same byte stream.
+type fleet struct {
+	boxes, vms, spd int
+	seed            int64
+}
+
+func (f fleet) boxID(i int) string {
+	const digits = "0123456789"
+	var b [14]byte
+	copy(b[:], "load-box-")
+	for k := 4; k >= 0; k-- {
+		b[9+k] = digits[i%10]
+		i /= 10
+	}
+	return string(b[:])
+}
+
+// fill writes tick values for box bi at tick index t into cpu/ram
+// (len = vms) using a cheap hash-based noise so no per-box RNG state
+// is needed.
+func (f fleet) fill(bi, t int, cpu, ram []float64) {
+	phase := 2 * math.Pi * float64(t%f.spd) / float64(f.spd)
+	for v := range cpu {
+		h := uint64(f.seed)*0x9e3779b97f4a7c15 + uint64(bi)*0x517cc1b727220a95 +
+			uint64(v)*0x2545f4914f6cdd1d + uint64(t)*0xbf58476d1ce4e5b9
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		noise := float64(h%1000)/1000*10 - 5
+		cpu[v] = math.Max(0, 35+25*math.Sin(phase)+noise)
+		ram[v] = math.Max(0, 50+15*math.Sin(phase+1.3)+noise/2)
+	}
+}

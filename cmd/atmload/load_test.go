@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterRate checks the token bucket enforces its long-run rate:
+// draining well past the burst must take roughly tokens/rate seconds.
+func TestLimiterRate(t *testing.T) {
+	l := newLimiter(1000, 100)
+	ctx := context.Background()
+	start := time.Now()
+	total := 0.0
+	for total < 600 {
+		if err := l.wait(ctx, 50); err != nil {
+			t.Fatal(err)
+		}
+		total += 50
+	}
+	elapsed := time.Since(start)
+	// 600 tokens at 1000/s with a 100 burst: at least ~450ms of pacing.
+	if elapsed < 400*time.Millisecond {
+		t.Errorf("drained %v tokens in %v: limiter not pacing", total, elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("limiter too slow: %v", elapsed)
+	}
+}
+
+// TestLimiterContext checks a canceled context unblocks wait.
+func TestLimiterContext(t *testing.T) {
+	l := newLimiter(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_ = l.wait(context.Background(), 1) // drain the bucket
+		done <- l.wait(ctx, 1)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("wait returned nil after cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wait did not observe cancellation")
+	}
+}
+
+// TestLimiterUnlimited checks rate 0 never blocks.
+func TestLimiterUnlimited(t *testing.T) {
+	l := newLimiter(0, 1)
+	for i := 0; i < 1000; i++ {
+		if err := l.wait(context.Background(), 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBackoff checks the growth/cap/jitter/reset contract.
+func TestBackoff(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 80*time.Millisecond, 7)
+	prevCap := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		d := b.next()
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside (0, 80ms]", i, d)
+		}
+		if b.cur < prevCap {
+			t.Fatalf("attempt %d: window shrank %v -> %v", i, prevCap, b.cur)
+		}
+		prevCap = b.cur
+	}
+	if b.cur != 80*time.Millisecond {
+		t.Errorf("window did not reach the cap: %v", b.cur)
+	}
+	b.reset()
+	b.next()
+	if b.cur != 10*time.Millisecond {
+		t.Errorf("reset did not shrink the window: %v", b.cur)
+	}
+}
+
+// TestLatencyQuantiles checks the recorder's quantile math on a known
+// distribution.
+func TestLatencyQuantiles(t *testing.T) {
+	var l latencies
+	for i := 1; i <= 100; i++ {
+		l.record(time.Duration(i) * time.Millisecond)
+	}
+	q := l.quantiles(0.5, 0.99)
+	if q[0] < 0.045 || q[0] > 0.055 {
+		t.Errorf("p50 = %v, want ~0.050", q[0])
+	}
+	if q[1] < 0.095 || q[1] > 0.100 {
+		t.Errorf("p99 = %v, want ~0.099", q[1])
+	}
+	var empty latencies
+	q = empty.quantiles(0.5)
+	if q[0] != 0 {
+		t.Errorf("empty recorder p50 = %v", q[0])
+	}
+}
+
+// TestFleetDeterminism checks the synthetic workload replays the same
+// byte stream for the same seed and differs across seeds.
+func TestFleetDeterminism(t *testing.T) {
+	a := fleet{boxes: 4, vms: 3, spd: 96, seed: 5}
+	b := fleet{boxes: 4, vms: 3, spd: 96, seed: 5}
+	c := fleet{boxes: 4, vms: 3, spd: 96, seed: 6}
+	cpu1, ram1 := make([]float64, 3), make([]float64, 3)
+	cpu2, ram2 := make([]float64, 3), make([]float64, 3)
+	diff := false
+	for tk := 0; tk < 50; tk++ {
+		a.fill(2, tk, cpu1, ram1)
+		b.fill(2, tk, cpu2, ram2)
+		for v := range cpu1 {
+			if cpu1[v] != cpu2[v] || ram1[v] != ram2[v] {
+				t.Fatalf("tick %d vm %d: same seed diverged", tk, v)
+			}
+			if cpu1[v] < 0 || ram1[v] < 0 {
+				t.Fatalf("tick %d vm %d: negative usage", tk, v)
+			}
+		}
+		c.fill(2, tk, cpu2, ram2)
+		for v := range cpu1 {
+			if cpu1[v] != cpu2[v] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+	if a.boxID(17) != "load-box-00017" {
+		t.Errorf("boxID(17) = %q", a.boxID(17))
+	}
+}
+
+// TestRunLoadBackoff points the harness at a server that 429s the
+// first attempts: the workers must back off, retry, and finish with
+// retries recorded and zero hard errors.
+func TestRunLoadBackoff(t *testing.T) {
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	var svcHits atomic.Int64
+	mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		svcHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"accepted": 1, "failed": 0, "boxes": []}`))
+	})
+	mux.HandleFunc("/v1/boxes/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error": "no plan yet"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cfg := loadConfig{
+		boxes: 8, vms: 2, spd: 8, duration: 500 * time.Millisecond,
+		rate: 0, burst: 64, workers: 2, batch: 2, ticks: 2,
+		planRate: 100, planWorkers: 1, seed: 3,
+	}
+	rep := runLoad(context.Background(), cfg, srv.URL, srv.Client())
+	if rep.IngestRetries == 0 {
+		t.Error("no retries recorded against a 429-ing server")
+	}
+	if rep.IngestErrors != 0 {
+		t.Errorf("%d hard errors: backoff should have absorbed the 429s", rep.IngestErrors)
+	}
+	if rep.TicksAccepted == 0 {
+		t.Error("nothing accepted")
+	}
+	if rep.PlanReqs == 0 {
+		t.Error("no plan traffic")
+	}
+}

@@ -1,0 +1,496 @@
+// Command atmload is the fleet-scale load harness for the streaming
+// ATM daemon: it drives the batched ingestion API (/v1/ingest) and
+// concurrent plan-query traffic (/v1/boxes/{id}/plan) against a
+// running atmd -serve instance and reports the sustained ingest
+// throughput (samples/s, MB/s) and plan QPS with p50/p99 latency.
+//
+// Usage:
+//
+//	atmload -daemon http://host:8023 -boxes 500 -vms 13 -duration 30s \
+//	        [-rate 50000] [-burst 5000] [-workers 8] [-batch 32] [-ticks 4] \
+//	        [-plan-rate 100] [-plan-workers 2] [-spd 96] [-seed 1] [-json]
+//	atmload -selftest
+//
+// A sample is one VM's (cpu, ram) reading for one 15-minute interval;
+// -rate budgets samples per second across all ingest workers (0 =
+// unlimited). Each worker paces itself with a token bucket (burst
+// capacity -burst) and adapts to 429/5xx or transport errors with
+// capped exponential backoff and full jitter. -selftest boots the
+// production service in-process, runs a short deterministic load, and
+// exits nonzero unless every accepted sample is accounted for in the
+// store and the engine plans the fleet.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atm/internal/core"
+	"atm/internal/engine"
+	"atm/internal/predict"
+	"atm/internal/serve"
+	"atm/internal/spatial"
+	"atm/internal/state"
+)
+
+type loadConfig struct {
+	daemon          string
+	boxes, vms, spd int
+	duration        time.Duration
+	rate, burst     float64
+	workers         int
+	batch, ticks    int
+	planRate        float64
+	planWorkers     int
+	seed            int64
+	jsonOut         bool
+	selftest        bool
+}
+
+// stats is the shared run ledger; everything is atomic so workers
+// never serialize on reporting.
+type stats struct {
+	ingestReqs    atomic.Int64
+	ingestRetries atomic.Int64
+	ingestErrors  atomic.Int64 // non-retryable request failures
+	boxErrors     atomic.Int64 // per-box errors inside 200 responses
+	accepted      atomic.Int64 // ticks accepted across all boxes
+	bytesSent     atomic.Int64
+	planReqs      atomic.Int64
+	planOK        atomic.Int64
+	planErrors    atomic.Int64
+
+	ingestLat latencies
+	planLat   latencies
+}
+
+// report is the machine-readable summary printed at the end of a run.
+type report struct {
+	DurationSec   float64 `json:"duration_sec"`
+	IngestReqs    int64   `json:"ingest_requests"`
+	IngestRetries int64   `json:"ingest_retries"`
+	IngestErrors  int64   `json:"ingest_errors"`
+	BoxErrors     int64   `json:"box_errors"`
+	TicksAccepted int64   `json:"ticks_accepted"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	IngestP50Ms   float64 `json:"ingest_p50_ms"`
+	IngestP99Ms   float64 `json:"ingest_p99_ms"`
+	PlanReqs      int64   `json:"plan_requests"`
+	PlanQPS       float64 `json:"plan_qps"`
+	PlanErrors    int64   `json:"plan_errors"`
+	PlanP50Ms     float64 `json:"plan_p50_ms"`
+	PlanP99Ms     float64 `json:"plan_p99_ms"`
+}
+
+func (s *stats) report(elapsed time.Duration, vms int) report {
+	iq := s.ingestLat.quantiles(0.5, 0.99)
+	pq := s.planLat.quantiles(0.5, 0.99)
+	sec := elapsed.Seconds()
+	return report{
+		DurationSec:   sec,
+		IngestReqs:    s.ingestReqs.Load(),
+		IngestRetries: s.ingestRetries.Load(),
+		IngestErrors:  s.ingestErrors.Load(),
+		BoxErrors:     s.boxErrors.Load(),
+		TicksAccepted: s.accepted.Load(),
+		SamplesPerSec: float64(s.accepted.Load()*int64(vms)) / sec,
+		MBPerSec:      float64(s.bytesSent.Load()) / sec / (1 << 20),
+		IngestP50Ms:   iq[0] * 1e3,
+		IngestP99Ms:   iq[1] * 1e3,
+		PlanReqs:      s.planReqs.Load(),
+		PlanQPS:       float64(s.planReqs.Load()) / sec,
+		PlanErrors:    s.planErrors.Load(),
+		PlanP50Ms:     pq[0] * 1e3,
+		PlanP99Ms:     pq[1] * 1e3,
+	}
+}
+
+func (r report) print(w *os.File) {
+	fmt.Fprintf(w, "ingest: %d reqs (%d retries, %d errors, %d box errors) in %.1fs\n",
+		r.IngestReqs, r.IngestRetries, r.IngestErrors, r.BoxErrors, r.DurationSec)
+	fmt.Fprintf(w, "        %d ticks accepted · %.0f samples/s · %.2f MB/s · p50 %.2fms p99 %.2fms\n",
+		r.TicksAccepted, r.SamplesPerSec, r.MBPerSec, r.IngestP50Ms, r.IngestP99Ms)
+	fmt.Fprintf(w, "plans:  %d reqs · %.1f QPS (%d errors) · p50 %.2fms p99 %.2fms\n",
+		r.PlanReqs, r.PlanQPS, r.PlanErrors, r.PlanP50Ms, r.PlanP99Ms)
+}
+
+// retryable says whether an ingest attempt should back off and retry.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true // transport-level failure
+	}
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// ingestWorker drives one slice of the fleet through /v1/ingest.
+type ingestWorker struct {
+	cfg        loadConfig
+	fl         fleet
+	client     *http.Client
+	base       string
+	st         *stats
+	lim        *limiter
+	bo         *backoff
+	boxLo      int // [boxLo, boxHi) partition of the fleet
+	boxHi      int
+	registered []bool
+	tick       []int // next tick index per box (relative to boxLo)
+}
+
+const maxAttempts = 8
+
+func (w *ingestWorker) run(ctx context.Context) {
+	cursor := w.boxLo
+	cpu := make([]float64, w.cfg.vms)
+	ram := make([]float64, w.cfg.vms)
+	var body bytes.Buffer
+	for ctx.Err() == nil {
+		// Assemble the next batch: w.cfg.batch boxes round-robin through
+		// this worker's partition, w.cfg.ticks samples each.
+		req := serve.BatchRequest{}
+		for b := 0; b < w.cfg.batch; b++ {
+			bi := cursor
+			cursor++
+			if cursor >= w.boxHi {
+				cursor = w.boxLo
+			}
+			entry := serve.BatchEntry{ID: w.fl.boxID(bi)}
+			if !w.registered[bi-w.boxLo] {
+				meta := state.BoxMeta{ID: entry.ID, CPUCapGHz: 2.4 * float64(w.cfg.vms), RAMCapGB: 16 * float64(w.cfg.vms)}
+				for v := 0; v < w.cfg.vms; v++ {
+					meta.VMs = append(meta.VMs, state.VMMeta{
+						ID: fmt.Sprintf("%s-vm%02d", entry.ID, v), CPUCapGHz: 2.4, RAMCapGB: 16,
+					})
+				}
+				entry.Box = &meta
+			}
+			for k := 0; k < w.cfg.ticks; k++ {
+				t := w.tick[bi-w.boxLo] + k
+				tk := serve.Tick{CPU: make([]float64, w.cfg.vms), RAM: make([]float64, w.cfg.vms)}
+				w.fl.fill(bi, t, cpu, ram)
+				copy(tk.CPU, cpu)
+				copy(tk.RAM, ram)
+				entry.Samples = append(entry.Samples, tk)
+			}
+			req.Boxes = append(req.Boxes, entry)
+		}
+		// One tick of one box carries vms samples (a cpu+ram pair per VM).
+		budget := float64(w.cfg.batch * w.cfg.ticks * w.cfg.vms)
+		if err := w.lim.wait(ctx, budget); err != nil {
+			return
+		}
+		body.Reset()
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			w.st.ingestErrors.Add(1)
+			continue
+		}
+		resp, ok := w.post(ctx, body.Bytes())
+		if !ok {
+			continue
+		}
+		// Success: advance the per-box cursors and credit the batch.
+		for _, e := range req.Boxes {
+			idx := w.indexOf(e.ID)
+			w.registered[idx] = true
+			w.tick[idx] += len(e.Samples)
+		}
+		w.st.accepted.Add(int64(resp.Accepted))
+		w.st.boxErrors.Add(int64(resp.Failed))
+	}
+}
+
+// indexOf recovers the partition-relative index from a box id this
+// worker generated (the numeric suffix).
+func (w *ingestWorker) indexOf(id string) int {
+	n := 0
+	for i := len(id) - 5; i < len(id); i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return n - w.boxLo
+}
+
+// post sends one batch with retry/backoff; returns the decoded
+// response and whether the batch ultimately landed.
+func (w *ingestWorker) post(ctx context.Context, body []byte) (serve.BatchResponse, bool) {
+	var out serve.BatchResponse
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/ingest", bytes.NewReader(body))
+		if err != nil {
+			w.st.ingestErrors.Add(1)
+			return out, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client.Do(req)
+		w.st.ingestReqs.Add(1)
+		status := 0
+		if err == nil {
+			status = resp.StatusCode
+		}
+		if retryable(status, err) {
+			if err == nil {
+				resp.Body.Close()
+			}
+			w.st.ingestRetries.Add(1)
+			if ctx.Err() != nil || w.bo.sleep(ctx) != nil {
+				return out, false
+			}
+			continue
+		}
+		w.ingestLatency(start)
+		w.st.bytesSent.Add(int64(len(body)))
+		defer resp.Body.Close()
+		if status != http.StatusOK {
+			w.st.ingestErrors.Add(1)
+			return out, false
+		}
+		w.bo.reset()
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			w.st.ingestErrors.Add(1)
+			return out, false
+		}
+		return out, true
+	}
+	w.st.ingestErrors.Add(1)
+	return out, false
+}
+
+func (w *ingestWorker) ingestLatency(start time.Time) {
+	w.st.ingestLat.record(time.Since(start))
+}
+
+// planWorker issues GET /v1/boxes/{id}/plan round-robin across the
+// fleet, sharing one limiter across all plan workers.
+type planWorker struct {
+	cfg    loadConfig
+	fl     fleet
+	client *http.Client
+	base   string
+	st     *stats
+	lim    *limiter
+	offset int
+}
+
+func (w *planWorker) run(ctx context.Context) {
+	i := w.offset
+	for ctx.Err() == nil {
+		if err := w.lim.wait(ctx, 1); err != nil {
+			return
+		}
+		id := w.fl.boxID(i % w.cfg.boxes)
+		i++
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/boxes/"+id+"/plan", nil)
+		if err != nil {
+			w.st.planErrors.Add(1)
+			continue
+		}
+		resp, err := w.client.Do(req)
+		w.st.planReqs.Add(1)
+		if err != nil {
+			w.st.planErrors.Add(1)
+			continue
+		}
+		w.st.planLat.record(time.Since(start))
+		// 404 before the first plan is the API working as documented,
+		// not an error.
+		if resp.StatusCode == http.StatusOK {
+			w.st.planOK.Add(1)
+		} else if resp.StatusCode != http.StatusNotFound {
+			w.st.planErrors.Add(1)
+		}
+		resp.Body.Close()
+	}
+}
+
+// runLoad executes the configured load against base and returns the
+// final report.
+func runLoad(ctx context.Context, cfg loadConfig, base string, client *http.Client) report {
+	st := &stats{}
+	fl := fleet{boxes: cfg.boxes, vms: cfg.vms, spd: cfg.spd, seed: cfg.seed}
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	perWorker := cfg.boxes / cfg.workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.workers; i++ {
+		lo, hi := i*perWorker, (i+1)*perWorker
+		if i == cfg.workers-1 {
+			hi = cfg.boxes
+		}
+		if lo >= hi {
+			continue
+		}
+		w := &ingestWorker{
+			cfg: cfg, fl: fl, client: client, base: base, st: st,
+			lim:   newLimiter(cfg.rate/float64(cfg.workers), cfg.burst),
+			bo:    newBackoff(5*time.Millisecond, 2*time.Second, cfg.seed+int64(i)),
+			boxLo: lo, boxHi: hi,
+			registered: make([]bool, hi-lo),
+			tick:       make([]int, hi-lo),
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.run(ctx) }()
+	}
+	planLim := newLimiter(cfg.planRate, cfg.planRate)
+	for i := 0; i < cfg.planWorkers; i++ {
+		w := &planWorker{cfg: cfg, fl: fl, client: client, base: base, st: st, lim: planLim,
+			offset: i * cfg.boxes / max(1, cfg.planWorkers)}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.run(ctx) }()
+	}
+	wg.Wait()
+	return st.report(time.Since(start), cfg.vms)
+}
+
+// selftest boots the production service in-process, runs a short
+// deterministic load through real HTTP, and verifies the books
+// balance: every accepted tick is in the store, and one engine pass
+// plans every box that has enough history.
+func selftest(cfg loadConfig) error {
+	spd := 8
+	ecfg := engine.Config{
+		Core: core.Config{
+			Spatial:      spatial.Config{Method: spatial.MethodCBC},
+			Temporal:     func() predict.Model { return &predict.SeasonalNaive{Period: spd} },
+			TrainWindows: 2 * spd,
+			Horizon:      spd,
+			Threshold:    0.6,
+			Epsilon:      0.1,
+			Degraded:     true,
+		},
+		SamplesPerDay: spd,
+	}
+	svc, err := serve.New(serve.Config{
+		History: 4 * (ecfg.Core.TrainWindows + ecfg.Core.Horizon),
+		Engine:  ecfg,
+	})
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/boxes/", svc.Handler())
+	mux.Handle("/v1/ingest", svc.IngestHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep := runLoad(context.Background(), cfg, srv.URL, srv.Client())
+	rep.print(os.Stdout)
+
+	if rep.IngestErrors > 0 || rep.BoxErrors > 0 {
+		return fmt.Errorf("selftest: %d ingest errors, %d box errors", rep.IngestErrors, rep.BoxErrors)
+	}
+	if rep.TicksAccepted == 0 {
+		return fmt.Errorf("selftest: no ticks accepted")
+	}
+	if rep.PlanReqs == 0 {
+		return fmt.Errorf("selftest: no plan queries issued")
+	}
+	// Books must balance: accepted ticks == store totals.
+	var inStore int64
+	for i := 0; i < cfg.boxes; i++ {
+		total, err := svc.Store().Total(fleet{seed: cfg.seed}.boxID(i))
+		if err != nil {
+			return fmt.Errorf("selftest: box %d missing from store: %w", i, err)
+		}
+		inStore += int64(total)
+	}
+	// Delivery is at-least-once: a request that lands server-side but
+	// whose response is lost to the run deadline is in the store yet
+	// uncredited, so the store may exceed the accepted count by at most
+	// one batch per retry.
+	slack := rep.IngestRetries * int64(cfg.batch*cfg.ticks)
+	if inStore < rep.TicksAccepted || inStore > rep.TicksAccepted+slack {
+		return fmt.Errorf("selftest: store holds %d ticks, API accepted %d (+%d retry slack)",
+			inStore, rep.TicksAccepted, slack)
+	}
+	// One synchronous pass plans every box with enough history.
+	svc.Engine().Sync(context.Background())
+	need := svc.Engine().Need(0)
+	planned := 0
+	for i := 0; i < cfg.boxes; i++ {
+		id := fleet{seed: cfg.seed}.boxID(i)
+		total, _ := svc.Store().Total(id)
+		if total < need {
+			continue
+		}
+		if _, ok := svc.Engine().Plan(id); !ok {
+			return fmt.Errorf("selftest: box %s has %d >= %d samples but no plan", id, total, need)
+		}
+		planned++
+	}
+	if planned == 0 {
+		return fmt.Errorf("selftest: no box reached the first plan (%d samples needed)", need)
+	}
+	fmt.Printf("selftest ok: %d ticks across %d boxes, %d planned\n", inStore, cfg.boxes, planned)
+	return nil
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.daemon, "daemon", "", "base URL of a running atmd -serve (e.g. http://localhost:8023)")
+	flag.IntVar(&cfg.boxes, "boxes", 100, "fleet size in boxes")
+	flag.IntVar(&cfg.vms, "vms", 13, "VMs per box")
+	flag.IntVar(&cfg.spd, "spd", 96, "samples per day in the synthetic diurnal signal")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "load duration")
+	flag.Float64Var(&cfg.rate, "rate", 0, "target samples/s across all ingest workers (0 = unlimited)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "token-bucket burst per worker (0 = one batch)")
+	flag.IntVar(&cfg.workers, "workers", 4, "ingest worker goroutines")
+	flag.IntVar(&cfg.batch, "batch", 16, "boxes per /v1/ingest body")
+	flag.IntVar(&cfg.ticks, "ticks", 4, "sampling intervals per box per request")
+	flag.Float64Var(&cfg.planRate, "plan-rate", 50, "plan queries/s across all plan workers")
+	flag.IntVar(&cfg.planWorkers, "plan-workers", 2, "plan-query goroutines")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
+	flag.BoolVar(&cfg.selftest, "selftest", false, "boot an in-process service and validate a short run")
+	flag.Parse()
+
+	if cfg.workers < 1 || cfg.boxes < 1 || cfg.vms < 1 || cfg.batch < 1 || cfg.ticks < 1 {
+		fmt.Fprintln(os.Stderr, "atmload: -workers, -boxes, -vms, -batch and -ticks must be positive")
+		os.Exit(2)
+	}
+	if cfg.burst == 0 {
+		cfg.burst = float64(cfg.batch * cfg.ticks * cfg.vms)
+	}
+	if cfg.selftest {
+		cfg.boxes = 24
+		cfg.vms = 3
+		cfg.batch = 8
+		cfg.ticks = 4
+		cfg.duration = 2 * time.Second
+		cfg.rate = 0
+		cfg.planRate = 200
+		if err := selftest(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "atmload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cfg.daemon == "" {
+		fmt.Fprintln(os.Stderr, "atmload: -daemon URL required (or -selftest)")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep := runLoad(context.Background(), cfg, cfg.daemon, client)
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		rep.print(os.Stdout)
+	}
+	if rep.IngestErrors > 0 {
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,16 @@
 // Core.Reuse.ExactRefit to pin the fast path to the reference refit
 // when bit-exact parity matters more than the speedup.
 //
+// The engine is sharded to the state store's layout: each store shard
+// gets its own scheduler loop (its own goroutine under Run, draining
+// its own notify line), its own box-state map and its own scratch
+// buffers. A scheduling pass drains the shard's dirty set and inspects
+// only the boxes that received at least one append since the last pass
+// — O(dirty), not O(fleet) — which is what lets one daemon keep up
+// with the paper's 6K-box / 80K-VM telemetry firehose. Config.ScanAll
+// restores the legacy rescan-everything pass for benchmarking the
+// dirty-set win and as a belt-and-braces fallback.
+//
 // Degraded mode, resilient actuation and observability compose
 // through the layers built in earlier PRs: a box whose model fails
 // ships the stingy fallback (core.Config.Degraded), plans are pushed
@@ -24,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,17 +48,23 @@ import (
 
 // Engine metrics: step throughput, the research/refit split lives in
 // core (atm_engine_research_total / atm_engine_refit_total), ingest
-// lag is the streaming backlog signal, and evictions mark boxes whose
-// ingest outran the retention window.
+// lag is the streaming backlog signal, evictions mark boxes whose
+// ingest outran the retention window, inspections count the boxes a
+// scheduling pass actually looked at (the dirty-set O(k) contract),
+// and pass timings are recorded per shard.
 var (
 	stepsTotal = obs.Default().Counter("atm_engine_steps_total",
 		"Rolling pipeline steps executed by the streaming engine.")
 	stepErrors = obs.Default().Counter("atm_engine_step_errors_total",
 		"Engine steps that returned an error (degraded steps included).")
 	lagGauge = obs.Default().Gauge("atm_engine_ingest_lag_samples",
-		"Largest per-box backlog of ingested samples not yet consumed by a step.")
+		"Largest per-box backlog of ingested samples not yet consumed by a step, among boxes visited by the latest scheduling pass.")
 	evictedSteps = obs.Default().Counter("atm_engine_evicted_steps_total",
 		"Steps skipped because their window aged out of the state store's retention.")
+	inspectedBoxes = obs.Default().Counter("atm_engine_boxes_inspected_total",
+		"Boxes inspected by scheduling passes (dirty-set drains keep this O(appends), not O(fleet x passes)).")
+	passSeconds = obs.Default().HistogramVec("atm_engine_pass_seconds",
+		"Scheduling-pass latency per engine shard (drain + ready checks + fired steps).", nil, "shard")
 )
 
 // Config parameterizes the engine.
@@ -58,9 +75,9 @@ type Config struct {
 	// SamplesPerDay seeds the default temporal model's seasonal
 	// period.
 	SamplesPerDay int
-	// Workers bounds the box fan-out; <= 0 uses one worker per core.
-	// Per-box pipeline work stays inline (Workers pinned to 1), like
-	// core.Run's fleet fan-out.
+	// Workers bounds the box fan-out within one shard pass; <= 0 uses
+	// one worker per core. Per-box pipeline work stays inline (Workers
+	// pinned to 1), like core.Run's fleet fan-out.
 	Workers int
 	// Setter, when non-nil, receives each completed plan through the
 	// transactional core.ApplyBox push (snapshot, apply, rollback on
@@ -74,6 +91,12 @@ type Config struct {
 	// box (memory grows with steps) — used by replay/parity tests and
 	// offline analysis. The latest Plan is kept either way.
 	KeepResults bool
+	// ScanAll makes every scheduling pass rescan all registered boxes
+	// of the shard instead of draining its dirty set — the pre-sharding
+	// O(fleet) behavior, retained so the dirty-set win stays
+	// benchmarkable (experiments.IngestBench) and as a fallback should
+	// dirty tracking ever be in doubt.
+	ScanAll bool
 }
 
 // Plan is the engine's published outcome of a box's most recent step:
@@ -113,23 +136,32 @@ type boxRun struct {
 	lastErr error
 }
 
+// engineShard is one scheduler loop's private state: the boxes owned
+// by the matching store shard plus the pass scratch buffers. passMu
+// serializes scheduling passes on the shard (Run's per-shard loop and
+// any direct Sync/SyncShard calls), which is what lets stepBox touch
+// boxRun fields without holding mu across the whole step.
+type engineShard struct {
+	mu    sync.Mutex
+	boxes map[string]*boxRun
+
+	passMu   sync.Mutex
+	ids      []string
+	readyBuf []string
+}
+
 // Engine schedules rolling pipeline steps over a state store.
 type Engine struct {
 	store *state.Store
 	cfg   Config
 
-	mu    sync.Mutex
-	boxes map[string]*boxRun
-
-	// Scheduling-pass scratch, reused across Sync calls (passes are
-	// serial — Run is the single driver).
-	ids      []string
-	readyBuf []string
+	shards   []engineShard
+	passHist []*obs.Histogram // per-shard pass timer, resolved once (With allocates)
 }
 
 // New validates the configuration and returns an engine over the
-// store. The store's retention must cover at least one pipeline
-// window (TrainWindows + Horizon).
+// store, mirroring the store's shard layout. The store's retention
+// must cover at least one pipeline window (TrainWindows + Horizon).
 func New(store *state.Store, cfg Config) (*Engine, error) {
 	if store == nil {
 		return nil, errors.New("engine: nil store")
@@ -146,48 +178,88 @@ func New(store *state.Store, cfg Config) (*Engine, error) {
 	}
 	// Fleet fan-out owns the parallelism; per-box work stays inline.
 	cfg.Core.Workers = 1
-	return &Engine{store: store, cfg: cfg, boxes: make(map[string]*boxRun)}, nil
+	e := &Engine{
+		store:    store,
+		cfg:      cfg,
+		shards:   make([]engineShard, store.Shards()),
+		passHist: make([]*obs.Histogram, store.Shards()),
+	}
+	for i := range e.shards {
+		e.shards[i].boxes = make(map[string]*boxRun)
+		e.passHist[i] = passSeconds.With(strconv.Itoa(i))
+	}
+	return e, nil
 }
 
-// Run drives the scheduler until ctx is cancelled: it drains every
-// ready step, then sleeps on the store's ingest notification (with
-// the Poll ticker as a fallback). In-flight steps always complete
-// before Run returns — cancellation stops new steps from starting,
-// giving the graceful drain the service layer relies on. The returned
-// error is ctx.Err().
+// Run drives the scheduler until ctx is cancelled: one goroutine per
+// store shard drains every ready step on its shard, then sleeps on the
+// shard's ingest notification (with the Poll ticker as a fallback).
+// In-flight steps always complete before Run returns — cancellation
+// stops new steps from starting, giving the graceful drain the service
+// layer relies on. The returned error is ctx.Err().
 func (e *Engine) Run(ctx context.Context) error {
-	ticker := time.NewTicker(e.cfg.Poll)
-	defer ticker.Stop()
-	for {
-		e.Sync(ctx)
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-e.store.Notify():
-		case <-ticker.C:
-		}
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ticker := time.NewTicker(e.cfg.Poll)
+			defer ticker.Stop()
+			for {
+				e.SyncShard(ctx, i)
+				select {
+				case <-ctx.Done():
+					return
+				case <-e.store.NotifyShard(i):
+				case <-ticker.C:
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Sync performs one scheduling pass over every shard synchronously:
+// each shard's dirty boxes with at least Horizon unconsumed samples
+// past their training window are stepped to completion. It returns
+// once all fired steps have finished, making it the deterministic
+// entry point for replay tests (the Run loop is per-shard SyncShard
+// plus waiting).
+func (e *Engine) Sync(ctx context.Context) {
+	for i := range e.shards {
+		e.SyncShard(ctx, i)
 	}
 }
 
-// Sync performs one scheduling pass synchronously: every box with at
-// least Horizon unconsumed samples past its training window is
-// stepped to completion, ready boxes fanned out on the shared worker
-// pool. It returns once all fired steps have finished, making it the
-// deterministic entry point for replay tests (the Run loop is Sync
-// plus waiting).
-func (e *Engine) Sync(ctx context.Context) {
-	e.ids = e.store.BoxesInto(e.ids[:0])
-	ids := e.ids
-	ready := e.readyBuf[:0]
+// SyncShard performs one scheduling pass over shard i: it drains the
+// shard's dirty set (or, with ScanAll, lists every registered box),
+// checks which of those boxes are ready, and steps the ready ones to
+// completion — fanned out on the shared worker pool when more than one
+// is ready. Passes on the same shard are serialized; passes on
+// distinct shards run concurrently under Run.
+func (e *Engine) SyncShard(ctx context.Context, i int) {
+	sh := &e.shards[i]
+	sh.passMu.Lock()
+	defer sh.passMu.Unlock()
+	start := time.Now()
+	if e.cfg.ScanAll {
+		sh.ids = e.store.ShardBoxesInto(i, sh.ids[:0])
+	} else {
+		sh.ids = e.store.DrainDirty(i, sh.ids[:0])
+	}
+	ids := sh.ids
+	ready := sh.readyBuf[:0]
 	for _, id := range ids {
 		if ctx.Err() != nil {
 			break
 		}
-		if e.ready(id) {
+		if e.ready(sh, id) {
 			ready = append(ready, id)
 		}
 	}
-	e.readyBuf = ready
+	inspectedBoxes.Add(float64(len(ids)))
+	sh.readyBuf = ready
 	switch {
 	case len(ready) == 0:
 	case e.cfg.Workers == 1 || len(ready) == 1:
@@ -195,17 +267,18 @@ func (e *Engine) Sync(ctx context.Context) {
 		// zero-alloc steady state can't afford, and buys nothing for a
 		// single worker or a single ready box.
 		for _, id := range ready {
-			e.stepBox(ctx, id)
+			e.stepBox(ctx, sh, id)
 		}
 	default:
 		// Worker fn never errors: per-box failures are recorded on the
 		// boxRun so sibling boxes keep stepping.
-		_ = parallel.ForEach(len(ready), func(i int) error {
-			e.stepBox(ctx, ready[i])
+		_ = parallel.ForEach(len(ready), func(k int) error {
+			e.stepBox(ctx, sh, ready[k])
 			return nil
 		}, parallel.WithWorkers(e.cfg.Workers))
 	}
-	e.updateLag(ids)
+	e.updateLag(sh, ids)
+	e.passHist[i].Observe(obs.Since(start))
 }
 
 // need returns the total sample count required before step k can fire:
@@ -220,26 +293,31 @@ func (e *Engine) need(steps int) int {
 // plan requires.
 func (e *Engine) Need(step int) int { return e.need(step) }
 
-func (e *Engine) ready(id string) bool {
+// shardOf returns the engine shard owning the box id.
+func (e *Engine) shardOf(id string) *engineShard {
+	return &e.shards[e.store.ShardOf(id)]
+}
+
+func (e *Engine) ready(sh *engineShard, id string) bool {
 	total, err := e.store.Total(id)
 	if err != nil {
 		return false
 	}
-	e.mu.Lock()
-	br := e.boxes[id]
+	sh.mu.Lock()
+	br := sh.boxes[id]
 	steps := 0
 	if br != nil {
 		steps = br.steps
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	return total >= e.need(steps)
 }
 
 // boxRun fetches or creates the per-box state.
-func (e *Engine) boxRun(id string) *boxRun {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	br, ok := e.boxes[id]
+func (e *Engine) boxRun(sh *engineShard, id string) *boxRun {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	br, ok := sh.boxes[id]
 	if !ok {
 		// Config was validated in New; a pipeline build cannot fail.
 		pipe, err := core.NewPipeline(e.cfg.SamplesPerDay, e.cfg.Core)
@@ -247,18 +325,19 @@ func (e *Engine) boxRun(id string) *boxRun {
 			panic(fmt.Sprintf("engine: pipeline for validated config: %v", err))
 		}
 		br = &boxRun{pipe: pipe}
-		e.boxes[id] = br
+		sh.boxes[id] = br
 	}
 	return br
 }
 
 // stepBox catches one box up: it fires rolling steps while full
-// windows are available. Only one Sync pass runs a given box at a
-// time (ready lists are deduplicated and Sync passes are serial), so
-// br's fields are accessed without the engine lock held during the
-// step itself; publication of the plan takes the lock.
-func (e *Engine) stepBox(ctx context.Context, id string) {
-	br := e.boxRun(id)
+// windows are available. Only one pass runs a given box at a time
+// (ready lists are deduplicated, a box belongs to exactly one shard,
+// and passes on a shard are serialized by passMu), so br's fields are
+// accessed without the shard lock held during the step itself;
+// publication of the plan takes the lock.
+func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
+	br := e.boxRun(sh, id)
 	for ctx.Err() == nil {
 		total, err := e.store.Total(id)
 		if err != nil {
@@ -286,15 +365,15 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 				// is gone. Skip forward one step rather than stalling
 				// the box forever.
 				evictedSteps.Inc()
-				e.mu.Lock()
+				sh.mu.Lock()
 				br.steps++
 				br.lastErr = err
-				e.mu.Unlock()
+				sh.mu.Unlock()
 				continue
 			}
-			e.mu.Lock()
+			sh.mu.Lock()
 			br.lastErr = err
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			return
 		}
 		var res *core.BoxResult
@@ -311,21 +390,21 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 			// Un-degradable failure (bad config never reaches here, so
 			// this is a hard model error with Degraded off): record it
 			// and advance past the window instead of re-failing forever.
-			e.mu.Lock()
+			sh.mu.Lock()
 			br.lastErr = err
 			br.steps++
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			continue
 		}
 		step := br.steps
 		if e.cfg.Setter != nil && !res.Degraded {
 			if aerr := core.ApplyBox(ctx, e.cfg.Setter, res); aerr != nil {
-				e.mu.Lock()
+				sh.mu.Lock()
 				br.lastErr = aerr
-				e.mu.Unlock()
+				sh.mu.Unlock()
 			}
 		}
-		e.mu.Lock()
+		sh.mu.Lock()
 		br.steps++
 		if br.plan == nil {
 			br.plan = &Plan{}
@@ -337,12 +416,12 @@ func (e *Engine) stepBox(ctx context.Context, id string) {
 				Step: step, Result: res, Research: br.pipe.LastResearch(),
 			})
 		}
-		e.mu.Unlock()
+		sh.mu.Unlock()
 	}
 }
 
 // planInto flattens a BoxResult into the box's published Plan,
-// reusing its size buffers. Callers hold the engine lock: Plan(id)
+// reusing its size buffers. Callers hold the shard lock: Plan(id)
 // copies out of the same storage.
 func planInto(p *Plan, id string, step int, res *core.BoxResult, research bool) {
 	p.Box = id
@@ -360,21 +439,23 @@ func planInto(p *Plan, id string, step int, res *core.BoxResult, research bool) 
 	p.UpdatedAt = time.Now()
 }
 
-// updateLag publishes the largest per-box ingest backlog: samples
-// landed but not yet consumed by a fired step.
-func (e *Engine) updateLag(ids []string) {
+// updateLag publishes the largest ingest backlog — samples landed but
+// not yet consumed by a fired step — among the boxes the pass visited.
+// Untouched boxes have no new samples, so their backlog cannot have
+// grown since they were last visited.
+func (e *Engine) updateLag(sh *engineShard, ids []string) {
 	maxLag := 0
 	for _, id := range ids {
 		total, err := e.store.Total(id)
 		if err != nil {
 			continue
 		}
-		e.mu.Lock()
+		sh.mu.Lock()
 		steps := 0
-		if br := e.boxes[id]; br != nil {
+		if br := sh.boxes[id]; br != nil {
 			steps = br.steps
 		}
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		lag := total - (e.cfg.Core.TrainWindows + steps*e.cfg.Core.Horizon)
 		if lag < 0 {
 			lag = 0
@@ -390,9 +471,10 @@ func (e *Engine) updateLag(ids []string) {
 // no step has completed yet. The returned Plan owns its size slices —
 // it stays valid after later steps overwrite the box's internal plan.
 func (e *Engine) Plan(id string) (Plan, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	br := e.boxes[id]
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	br := sh.boxes[id]
 	if br == nil || br.plan == nil {
 		return Plan{}, false
 	}
@@ -404,9 +486,10 @@ func (e *Engine) Plan(id string) (Plan, bool) {
 
 // Steps returns how many rolling steps have fired for the box.
 func (e *Engine) Steps(id string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if br := e.boxes[id]; br != nil {
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if br := sh.boxes[id]; br != nil {
 		return br.steps
 	}
 	return 0
@@ -416,9 +499,10 @@ func (e *Engine) Steps(id string) int {
 // with Config.KeepResults). The slice is a copy; the results share
 // the pipeline's output structures.
 func (e *Engine) Results(id string) []core.RollingResult {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if br := e.boxes[id]; br != nil {
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if br := sh.boxes[id]; br != nil {
 		return append([]core.RollingResult(nil), br.results...)
 	}
 	return nil
@@ -427,9 +511,10 @@ func (e *Engine) Results(id string) []core.RollingResult {
 // LastErr returns the box's most recent step/apply error (nil when
 // the last step succeeded cleanly).
 func (e *Engine) LastErr(id string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if br := e.boxes[id]; br != nil {
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if br := sh.boxes[id]; br != nil {
 		return br.lastErr
 	}
 	return nil

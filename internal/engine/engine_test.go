@@ -113,8 +113,12 @@ func checkParity(t *testing.T, batch, stream []core.RollingResult) {
 // bit-identical to the batch core.RunRolling over the same trace, with
 // model reuse both disabled and enabled.
 func TestEngineBatchParity(t *testing.T) {
-	for _, reuse := range []bool{false, true} {
-		t.Run(fmt.Sprintf("reuse=%v", reuse), func(t *testing.T) {
+	for _, tc := range []struct {
+		reuse  bool
+		shards int
+	}{{false, 1}, {true, 1}, {false, 4}, {true, 4}} {
+		t.Run(fmt.Sprintf("reuse=%v/shards=%d", tc.reuse, tc.shards), func(t *testing.T) {
+			reuse := tc.reuse
 			b, spd := genBox(13)
 			cfg := fastConfig(spd, reuse)
 			batch, err := core.RunRolling(b, spd, cfg)
@@ -122,7 +126,7 @@ func TestEngineBatchParity(t *testing.T) {
 				t.Fatalf("RunRolling: %v", err)
 			}
 
-			st, err := state.NewStore(cfg.TrainWindows + 2*cfg.Horizon)
+			st, err := state.NewStoreSharded(cfg.TrainWindows+2*cfg.Horizon, tc.shards)
 			if err != nil {
 				t.Fatalf("NewStore: %v", err)
 			}
@@ -215,7 +219,9 @@ func TestEngineSoak(t *testing.T) {
 	})
 	spd := tr.SamplesPerDay
 	cfg := fastConfig(spd, true)
-	st, err := state.NewStore(cfg.TrainWindows + 4*cfg.Horizon)
+	// Sharded store: the soak exercises one scheduler loop per shard
+	// racing the concurrent ingesters, under -race in CI.
+	st, err := state.NewStoreSharded(cfg.TrainWindows+4*cfg.Horizon, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

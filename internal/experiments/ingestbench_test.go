@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestIngestBench exercises the full single-shard vs sharded
+// comparison on a scaled-down fleet (the checked-in record runs at
+// paper scale via `make ingestbench`) and checks the structural
+// acceptance bounds: both planes fire one step per box and publish
+// identical plans, the fleet-scan baseline inspects the whole fleet
+// every pass, and the dirty-set plane inspects only the appended
+// chunk.
+func TestIngestBench(t *testing.T) {
+	const boxes, chunk = 300, 25
+	r, err := ingestBench(boxes, chunk, 1)
+	if err != nil {
+		t.Fatalf("ingestBench: %v", err)
+	}
+	if r.StepsPerRun != boxes {
+		t.Errorf("steps = %d, want one per box (%d)", r.StepsPerRun, boxes)
+	}
+	if !r.StepsMatch {
+		t.Error("sharded plane fired different steps than the single-shard plane")
+	}
+	if !r.PlansMatch {
+		t.Error("sharded plane published different plans than the single-shard plane")
+	}
+	if r.SingleInspected != boxes {
+		t.Errorf("fleet-scan pass inspected %.1f boxes, want the whole fleet (%d)", r.SingleInspected, boxes)
+	}
+	// Dirty passes see the appended chunk, plus the handful of boxes
+	// re-marked while a pass was mid-drain; O(chunk), never O(fleet).
+	if r.ShardedInspected > float64(2*chunk) {
+		t.Errorf("dirty pass inspected %.1f boxes, want ~%d", r.ShardedInspected, chunk)
+	}
+	if r.ShardedSamplesPerSec <= 0 || r.SingleSamplesPerSec <= 0 {
+		t.Error("throughput not measured")
+	}
+	if r.Headroom <= 0 {
+		t.Error("headroom not computed")
+	}
+	if tbl := r.Render(); len(tbl.Rows) != 2 {
+		t.Errorf("render rows = %d", len(tbl.Rows))
+	}
+}

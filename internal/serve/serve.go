@@ -1,0 +1,411 @@
+// Package serve implements the streaming ATM HTTP service: a sharded
+// state store fed by the ingestion API, the scheduling engine
+// re-planning each box as samples stream in, and the handlers that
+// expose both over the daemon's mux. It lives outside cmd/atmd so the
+// load harness (cmd/atmload -selftest) and the loadsmoke CI target can
+// boot the exact production service in-process.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"atm/internal/engine"
+	"atm/internal/obs"
+	"atm/internal/state"
+)
+
+// DefaultMaxBody caps ingest request bodies at 8 MiB — generous for a
+// day of samples across a large batch, small enough that a misbehaving
+// client cannot balloon the daemon's heap.
+const DefaultMaxBody = 8 << 20
+
+var (
+	// ingestBatchSize tracks how many box entries each /v1/ingest body
+	// carries: the knob the load generator turns to trade request
+	// overhead against body size. Count buckets, not latency buckets.
+	ingestBatchSize = obs.Default().Histogram(
+		"atm_ingest_batch_size",
+		"Box entries per /v1/ingest request body.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	// planLatency times plan serving alone — the route the paper's
+	// operators poll, so its tail must stay visible separately from the
+	// shared /v1/boxes/:id route histogram that also covers ingest.
+	planLatency = obs.Default().Histogram(
+		"atm_plan_serve_seconds",
+		"Latency of GET /v1/boxes/{id}/plan responses in seconds.",
+		nil)
+)
+
+// Config assembles a Service.
+type Config struct {
+	// History is the samples retained per series.
+	History int
+	// Shards is the state-store shard count; 0 selects
+	// state.DefaultShards.
+	Shards int
+	// Engine is passed through to engine.New.
+	Engine engine.Config
+	// MaxBody caps ingestion request bodies in bytes; 0 selects
+	// DefaultMaxBody, negative disables the cap.
+	MaxBody int64
+}
+
+// Service bundles the streaming ATM stack: the state store fed by the
+// ingestion API, the engine scheduling rolling pipeline steps over it,
+// and the engine's lifecycle (cancel + done) for graceful drain.
+type Service struct {
+	store   *state.Store
+	engine  *engine.Engine
+	maxBody int64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New builds the store and engine; the engine loop is not started yet
+// (call Start, or drive Engine().Sync directly in tests).
+func New(cfg Config) (*Service, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = state.DefaultShards
+	}
+	st, err := state.NewStoreSharded(cfg.History, shards)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(st, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	maxBody := cfg.MaxBody
+	if maxBody == 0 {
+		maxBody = DefaultMaxBody
+	}
+	return &Service{store: st, engine: eng, maxBody: maxBody}, nil
+}
+
+// Store exposes the service's state store (tests, in-process harness).
+func (s *Service) Store() *state.Store { return s.store }
+
+// Engine exposes the service's scheduling engine.
+func (s *Service) Engine() *engine.Engine { return s.engine }
+
+// Start launches the engine loop.
+func (s *Service) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		_ = s.engine.Run(ctx)
+	}()
+}
+
+// Drain stops the engine loop and waits for in-flight steps to finish
+// (engine.Run only returns after the current scheduling pass
+// completes). Safe to call when Start was never invoked.
+func (s *Service) Drain() {
+	if s.cancel == nil {
+		return
+	}
+	s.cancel()
+	<-s.done
+}
+
+// Tick is one ingested sampling interval: usage percent per VM, in
+// registered VM order.
+type Tick struct {
+	CPU []float64 `json:"cpu"`
+	RAM []float64 `json:"ram"`
+}
+
+// SamplesRequest is the POST /v1/boxes/{id}/samples body. Box carries
+// the box's static configuration; it is required on (and only
+// consulted for) the first call for a box — re-announcements are
+// idempotent, shape changes rejected.
+type SamplesRequest struct {
+	Box     *state.BoxMeta `json:"box,omitempty"`
+	Samples []Tick         `json:"samples"`
+}
+
+// BatchEntry is one box's slice of a batched ingest body.
+type BatchEntry struct {
+	ID      string         `json:"id"`
+	Box     *state.BoxMeta `json:"box,omitempty"`
+	Samples []Tick         `json:"samples"`
+}
+
+// BatchRequest is the POST /v1/ingest body: samples for many boxes in
+// one round trip.
+type BatchRequest struct {
+	Boxes []BatchEntry `json:"boxes"`
+}
+
+// BatchBoxResult reports one box's outcome inside a batch response:
+// either the box's new sample total or the error that rejected its
+// entry (other entries are unaffected — each box is all-or-nothing on
+// its own).
+type BatchBoxResult struct {
+	Box   string `json:"box"`
+	Total int    `json:"total,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/ingest response. Accepted counts
+// ticks actually appended across all boxes.
+type BatchResponse struct {
+	Accepted int              `json:"accepted"`
+	Failed   int              `json:"failed"`
+	Boxes    []BatchBoxResult `json:"boxes"`
+}
+
+// ingestScratch holds the per-request decode state for the batched
+// ingestion path. Pooling it lets the hot loop reuse the request
+// struct's entry slice, every entry's tick slices (encoding/json
+// decodes into existing capacity) and the AppendBatch staging arrays
+// instead of re-growing them on every request.
+type ingestScratch struct {
+	req      BatchRequest
+	cpu, ram [][]float64
+	results  []BatchBoxResult
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// stage converts a box entry's ticks into the parallel cpu/ram arrays
+// AppendBatch wants, reusing the scratch capacity.
+func (sc *ingestScratch) stage(samples []Tick) (cpu, ram [][]float64) {
+	sc.cpu, sc.ram = sc.cpu[:0], sc.ram[:0]
+	for k := range samples {
+		sc.cpu = append(sc.cpu, samples[k].CPU)
+		sc.ram = append(sc.ram, samples[k].RAM)
+	}
+	return sc.cpu, sc.ram
+}
+
+// jsonError mirrors the actuator API's error convention.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// boxRoute splits /v1/boxes/{id}/{verb} and returns id, verb.
+func boxRoute(path string) (string, string, bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/boxes/")
+	if !ok {
+		return "", "", false
+	}
+	id, verb, ok := strings.Cut(rest, "/")
+	if !ok || id == "" || strings.Contains(verb, "/") {
+		return "", "", false
+	}
+	return id, verb, true
+}
+
+// decode parses a JSON body under the service's size cap, translating
+// the MaxBytesReader trip into 413 with the JSON error convention.
+// Returns false after writing the error response.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes: split the batch", tooBig.Limit)
+			return false
+		}
+		jsonError(w, http.StatusBadRequest, "bad body: %v", err)
+		return false
+	}
+	return true
+}
+
+// Handler routes the per-box streaming API:
+//
+//	POST /v1/boxes/{id}/samples  ingest usage ticks (registering the
+//	                             box from the body's "box" meta on
+//	                             first contact)
+//	GET  /v1/boxes/{id}/plan     latest resize plan for the box
+func (s *Service) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, verb, ok := boxRoute(r.URL.Path)
+		if !ok {
+			jsonError(w, http.StatusNotFound, "unknown route %s", r.URL.Path)
+			return
+		}
+		switch verb {
+		case "samples":
+			if r.Method != http.MethodPost {
+				jsonError(w, http.StatusMethodNotAllowed, "samples is POST-only")
+				return
+			}
+			s.handleSamples(w, r, id)
+		case "plan":
+			if r.Method != http.MethodGet {
+				jsonError(w, http.StatusMethodNotAllowed, "plan is GET-only")
+				return
+			}
+			s.handlePlan(w, id)
+		default:
+			jsonError(w, http.StatusNotFound, "unknown route %s", r.URL.Path)
+		}
+	})
+}
+
+// IngestHandler serves POST /v1/ingest: samples for many boxes in one
+// body, each box all-or-nothing with per-box error reporting.
+func (s *Service) IngestHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			jsonError(w, http.StatusMethodNotAllowed, "ingest is POST-only")
+			return
+		}
+		s.handleIngest(w, r)
+	})
+}
+
+// register applies a request's optional box meta, reporting the error
+// through the given sink. urlID pins the box id the route named; for
+// batch entries it is the entry's id field.
+func (s *Service) register(meta *state.BoxMeta, id string) (int, error) {
+	if meta == nil {
+		return 0, nil
+	}
+	m := *meta
+	if m.ID == "" {
+		m.ID = id
+	}
+	if m.ID != id {
+		return http.StatusBadRequest, fmt.Errorf("body box id %q != entry id %q", m.ID, id)
+	}
+	if err := s.store.Register(m); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, state.ErrShapeMismatch) {
+			status = http.StatusConflict
+		}
+		return status, fmt.Errorf("register: %w", err)
+	}
+	return 0, nil
+}
+
+// appendStatus maps a store append error to an HTTP status.
+func appendStatus(err error) int {
+	switch {
+	case errors.Is(err, state.ErrUnknownBox):
+		return http.StatusNotFound
+	case errors.Is(err, state.ErrShapeMismatch):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Service) handleSamples(w http.ResponseWriter, r *http.Request, id string) {
+	var req SamplesRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if code, err := s.register(req.Box, id); err != nil {
+		jsonError(w, code, "%v", err)
+		return
+	}
+	sc := scratchPool.Get().(*ingestScratch)
+	cpu, ram := sc.stage(req.Samples)
+	// AppendBatch validates every tick before the first ring write, so
+	// a rejected request appends nothing and the client can retry the
+	// whole batch without duplicating ticks.
+	total, err := s.store.AppendBatch(id, cpu, ram)
+	scratchPool.Put(sc)
+	if err != nil {
+		if errors.Is(err, state.ErrUnknownBox) {
+			jsonError(w, http.StatusNotFound,
+				"box %q not registered: include \"box\" meta in the first request", id)
+			return
+		}
+		jsonError(w, appendStatus(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"box": id, "total": total, "accepted": len(req.Samples),
+	})
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+	// encoding/json appends into existing capacity without zeroing, so
+	// stale fields from a previous request would survive an entry that
+	// omits them — clear the reused elements, keep the array.
+	for i := range sc.req.Boxes {
+		sc.req.Boxes[i] = BatchEntry{}
+	}
+	sc.req.Boxes = sc.req.Boxes[:0]
+	if !s.decode(w, r, &sc.req) {
+		return
+	}
+	ingestBatchSize.Observe(float64(len(sc.req.Boxes)))
+	sc.results = sc.results[:0]
+	accepted, failed := 0, 0
+	for i := range sc.req.Boxes {
+		e := &sc.req.Boxes[i]
+		res := BatchBoxResult{Box: e.ID}
+		switch {
+		case e.ID == "":
+			res.Error = "entry missing box id"
+		default:
+			if _, err := s.register(e.Box, e.ID); err != nil {
+				res.Error = err.Error()
+				break
+			}
+			cpu, ram := sc.stage(e.Samples)
+			total, err := s.store.AppendBatch(e.ID, cpu, ram)
+			if err != nil {
+				res.Error = err.Error()
+				break
+			}
+			res.Total = total
+			accepted += len(e.Samples)
+		}
+		if res.Error != "" {
+			failed++
+		}
+		sc.results = append(sc.results, res)
+	}
+	// Per-box outcomes, not a request-level verdict: one bad entry
+	// must not force a retry of its healthy neighbours.
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(BatchResponse{
+		Accepted: accepted, Failed: failed, Boxes: sc.results,
+	})
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, id string) {
+	start := time.Now()
+	defer func() { planLatency.Observe(obs.Since(start)) }()
+	if _, err := s.store.Meta(id); err != nil {
+		jsonError(w, http.StatusNotFound, "box %q not registered", id)
+		return
+	}
+	plan, ok := s.engine.Plan(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound,
+			"box %q has no plan yet: the first plan needs %d samples", id, s.engine.Need(0))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(plan)
+}

@@ -6,6 +6,14 @@
 // matter how long the stream runs, and a Window call materializes a
 // trace.Box whose series are zero-copy views into the rings (safe
 // because ring storage is append-only — see timeseries.Ring).
+//
+// At fleet scale the store is sharded: box ownership is split across N
+// shards by an FNV-1a hash of the box id, and each shard carries its
+// own lock, its own coalesced notify channel and its own dirty set —
+// the list of boxes that received at least one append since the last
+// scheduler drain. Ingest on one shard never contends with ingest on
+// another, and a scheduling pass that drains a shard's dirty set
+// inspects O(dirty) boxes instead of rescanning the fleet.
 package state
 
 import (
@@ -13,13 +21,15 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"atm/internal/obs"
 	"atm/internal/timeseries"
 	"atm/internal/trace"
 )
 
-// Store gauges: the live box/series population, the ingest totals.
+// Store gauges: the live box/series population, the ingest totals,
+// and the backlog of boxes awaiting a scheduler drain.
 var (
 	gaugeBoxes = obs.Default().Gauge("atm_state_boxes",
 		"Boxes registered in the streaming state store.")
@@ -27,6 +37,8 @@ var (
 		"Demand series retained in the streaming state store.")
 	counterSamples = obs.Default().Counter("atm_state_samples_total",
 		"Samples ingested into the streaming state store (one per series per tick).")
+	gaugeDirty = obs.Default().Gauge("atm_state_dirty_boxes",
+		"Boxes with appends not yet drained by a scheduling pass.")
 )
 
 // Errors returned by the store.
@@ -78,44 +90,111 @@ type boxState struct {
 	mu    sync.Mutex
 	meta  BoxMeta
 	rings []*timeseries.Ring // usage percent, SeriesIndex order
+
+	// dirty is the box's membership flag in its shard's dirty list:
+	// set (and the box enqueued) by the first append after a drain,
+	// cleared by DrainDirty before the scheduler reads the box. The
+	// clear-before-read order makes wake-ups lossless: an append
+	// racing the drain either lands before the scheduler's locked
+	// Total read (consumed this pass) or re-marks the box (consumed
+	// next pass).
+	dirty atomic.Bool
 }
 
-// Store is a concurrency-safe collection of streamed boxes.
-type Store struct {
-	history int
-
+// shard is one slice of the fleet: its own registry lock, its own
+// coalesced notify line and its own dirty list, so ingest and
+// scheduling on different shards never touch shared state.
+type shard struct {
 	mu    sync.RWMutex
 	boxes map[string]*boxState
 
 	notify chan struct{}
+
+	dirtyMu sync.Mutex
+	dirty   []*boxState
 }
 
-// NewStore returns an empty store retaining at most history samples
-// per series. history must cover at least one pipeline window
-// (TrainWindows+Horizon) to be useful; the store itself only requires
-// it to be positive.
+// Store is a concurrency-safe, sharded collection of streamed boxes.
+type Store struct {
+	history int
+	shards  []shard
+
+	// notify is the store-wide coalesced wake-up line, signaled on
+	// every append alongside the owning shard's channel — for
+	// consumers that watch the whole store rather than one shard.
+	notify chan struct{}
+}
+
+// DefaultShards is the shard count the atmd daemon uses; enough to
+// spread ingest lock traffic across cores at the paper's 6K-box scale
+// while keeping per-shard dirty lists dense.
+const DefaultShards = 16
+
+// NewStore returns an empty single-shard store retaining at most
+// history samples per series — the drop-in small-fleet configuration.
+// history must cover at least one pipeline window (TrainWindows +
+// Horizon) to be useful; the store itself only requires it to be
+// positive. Use NewStoreSharded to spread a large fleet across shards.
 func NewStore(history int) (*Store, error) {
+	return NewStoreSharded(history, 1)
+}
+
+// NewStoreSharded returns an empty store with the given shard count.
+// Box ids map to shards by FNV-1a hash; results are independent of the
+// shard count (it only changes lock granularity and wake-up routing).
+func NewStoreSharded(history, shards int) (*Store, error) {
 	if history <= 0 {
 		return nil, fmt.Errorf("state: history %d: must be positive", history)
 	}
-	return &Store{
+	if shards <= 0 {
+		return nil, fmt.Errorf("state: shards %d: must be positive", shards)
+	}
+	s := &Store{
 		history: history,
-		boxes:   make(map[string]*boxState),
+		shards:  make([]shard, shards),
 		notify:  make(chan struct{}, 1),
-	}, nil
+	}
+	for i := range s.shards {
+		s.shards[i].boxes = make(map[string]*boxState)
+		s.shards[i].notify = make(chan struct{}, 1)
+	}
+	return s, nil
 }
 
 // History returns the per-series retention bound.
 func (s *Store) History() int { return s.history }
 
-// Notify returns a channel that receives (coalesced) signals after
-// appends — the engine's wake-up line. The channel has capacity one;
-// a signal may cover many appends.
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ShardOf returns the shard owning the box id: FNV-1a over the id,
+// reduced mod the shard count. Inlined rather than hash/fnv to keep
+// the ingest hot path allocation-free.
+func (s *Store) ShardOf(id string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Notify returns the store-wide channel that receives (coalesced)
+// signals after appends on any shard. The channel has capacity one; a
+// signal may cover many appends.
 func (s *Store) Notify() <-chan struct{} { return s.notify }
 
-func (s *Store) signal() {
+// NotifyShard returns the shard's own coalesced wake-up line — the
+// per-shard scheduler loop's sleep channel.
+func (s *Store) NotifyShard(i int) <-chan struct{} { return s.shards[i].notify }
+
+func signal(ch chan struct{}) {
 	select {
-	case s.notify <- struct{}{}:
+	case ch <- struct{}{}:
 	default:
 	}
 }
@@ -130,9 +209,10 @@ func (s *Store) Register(meta BoxMeta) error {
 	if len(meta.VMs) == 0 {
 		return fmt.Errorf("state: box %s has no VMs: %w", meta.ID, ErrShapeMismatch)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.boxes[meta.ID]; ok {
+	sh := &s.shards[s.ShardOf(meta.ID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.boxes[meta.ID]; ok {
 		if len(old.meta.VMs) != len(meta.VMs) {
 			return fmt.Errorf("state: box %s re-registered with %d VMs, had %d: %w",
 				meta.ID, len(meta.VMs), len(old.meta.VMs), ErrShapeMismatch)
@@ -144,27 +224,41 @@ func (s *Store) Register(meta BoxMeta) error {
 	for i := range bs.rings {
 		bs.rings[i] = timeseries.NewRing(s.history)
 	}
-	s.boxes[meta.ID] = bs
+	sh.boxes[meta.ID] = bs
 	gaugeBoxes.Inc()
 	gaugeSeries.Add(float64(len(bs.rings)))
 	return nil
 }
 
-func (s *Store) box(id string) (*boxState, error) {
-	s.mu.RLock()
-	bs, ok := s.boxes[id]
-	s.mu.RUnlock()
+func (s *Store) box(id string) (*shard, *boxState, error) {
+	sh := &s.shards[s.ShardOf(id)]
+	sh.mu.RLock()
+	bs, ok := sh.boxes[id]
+	sh.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%q: %w", id, ErrUnknownBox)
+		return nil, nil, fmt.Errorf("%q: %w", id, ErrUnknownBox)
 	}
-	return bs, nil
+	return sh, bs, nil
+}
+
+// markDirty enqueues the box on its shard's dirty list (once per
+// clean→dirty transition) and fires both wake-up lines.
+func (s *Store) markDirty(sh *shard, bs *boxState) {
+	if bs.dirty.CompareAndSwap(false, true) {
+		sh.dirtyMu.Lock()
+		sh.dirty = append(sh.dirty, bs)
+		sh.dirtyMu.Unlock()
+		gaugeDirty.Inc()
+	}
+	signal(sh.notify)
+	signal(s.notify)
 }
 
 // Append ingests one sampling tick for a box: cpu[i] and ram[i] are
 // VM i's usage percent for the tick, in the registered VM order. It
 // returns the box's new total sample count.
 func (s *Store) Append(id string, cpu, ram []float64) (int, error) {
-	bs, err := s.box(id)
+	sh, bs, err := s.box(id)
 	if err != nil {
 		return 0, err
 	}
@@ -182,13 +276,77 @@ func (s *Store) Append(id string, cpu, ram []float64) (int, error) {
 	total := bs.rings[0].Total()
 	bs.mu.Unlock()
 	counterSamples.Add(float64(2 * len(cpu)))
-	s.signal()
+	s.markDirty(sh, bs)
 	return total, nil
+}
+
+// AppendBatch ingests many ticks for a box atomically: cpu[k][i] and
+// ram[k][i] are VM i's usage percent at tick k. Every tick's shape is
+// validated before the first ring write, so a rejected batch appends
+// nothing — the all-or-nothing contract the ingestion API needs to
+// make client retries duplicate-free. It returns the box's new total
+// sample count. An empty batch is a valid no-op.
+func (s *Store) AppendBatch(id string, cpu, ram [][]float64) (int, error) {
+	if len(cpu) != len(ram) {
+		return 0, fmt.Errorf("state: box %s batch with %d cpu / %d ram ticks: %w",
+			id, len(cpu), len(ram), ErrShapeMismatch)
+	}
+	sh, bs, err := s.box(id)
+	if err != nil {
+		return 0, err
+	}
+	bs.mu.Lock()
+	n := len(bs.meta.VMs)
+	for k := range cpu {
+		if len(cpu[k]) != n || len(ram[k]) != n {
+			bs.mu.Unlock()
+			return 0, fmt.Errorf("state: box %s tick %d with %d cpu / %d ram values, want %d: %w",
+				id, k, len(cpu[k]), len(ram[k]), n, ErrShapeMismatch)
+		}
+	}
+	for k := range cpu {
+		for v := 0; v < n; v++ {
+			bs.rings[trace.SeriesIndex(v, trace.CPU)].Append(cpu[k][v])
+			bs.rings[trace.SeriesIndex(v, trace.RAM)].Append(ram[k][v])
+		}
+	}
+	total := bs.rings[0].Total()
+	bs.mu.Unlock()
+	if len(cpu) == 0 {
+		return total, nil
+	}
+	counterSamples.Add(float64(2 * n * len(cpu)))
+	s.markDirty(sh, bs)
+	return total, nil
+}
+
+// DrainDirty removes the shard's dirty list and appends the affected
+// box ids to dst in sorted order, returning the extended slice. Each
+// box's dirty flag is cleared before its id is handed out, so an
+// append racing the drain is never lost (see boxState.dirty). The
+// caller's dst buffer is reused across passes; a steady-state drain
+// allocates nothing.
+func (s *Store) DrainDirty(i int, dst []string) []string {
+	sh := &s.shards[i]
+	n := len(dst)
+	sh.dirtyMu.Lock()
+	for _, bs := range sh.dirty {
+		bs.dirty.Store(false)
+		dst = append(dst, bs.meta.ID)
+	}
+	drained := len(sh.dirty)
+	sh.dirty = sh.dirty[:0]
+	sh.dirtyMu.Unlock()
+	if drained > 0 {
+		gaugeDirty.Add(float64(-drained))
+	}
+	slices.Sort(dst[n:])
+	return dst
 }
 
 // Total returns the number of ticks ever ingested for the box.
 func (s *Store) Total(id string) (int, error) {
-	bs, err := s.box(id)
+	_, bs, err := s.box(id)
 	if err != nil {
 		return 0, err
 	}
@@ -199,7 +357,7 @@ func (s *Store) Total(id string) (int, error) {
 
 // First returns the absolute index of the oldest retained tick.
 func (s *Store) First(id string) (int, error) {
-	bs, err := s.box(id)
+	_, bs, err := s.box(id)
 	if err != nil {
 		return 0, err
 	}
@@ -210,7 +368,7 @@ func (s *Store) First(id string) (int, error) {
 
 // Meta returns the box's registered configuration.
 func (s *Store) Meta(id string) (BoxMeta, error) {
-	bs, err := s.box(id)
+	_, bs, err := s.box(id)
 	if err != nil {
 		return BoxMeta{}, err
 	}
@@ -222,17 +380,34 @@ func (s *Store) Boxes() []string {
 	return s.BoxesInto(nil)
 }
 
-// BoxesInto appends the registered box ids to dst in sorted order and
-// returns the extended slice — the allocation-free variant of Boxes
-// for callers (the engine's scheduling loop) that poll every tick and
-// reuse the id buffer.
+// BoxesInto appends the registered box ids of every shard to dst in
+// sorted order and returns the extended slice — the allocation-free
+// variant of Boxes for callers that poll and reuse the id buffer.
 func (s *Store) BoxesInto(dst []string) []string {
 	n := len(dst)
-	s.mu.RLock()
-	for id := range s.boxes {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.boxes {
+			dst = append(dst, id)
+		}
+		sh.mu.RUnlock()
+	}
+	slices.Sort(dst[n:])
+	return dst
+}
+
+// ShardBoxesInto appends shard i's registered box ids to dst in sorted
+// order and returns the extended slice — the full-rescan counterpart
+// of DrainDirty, used by the engine's legacy scan mode.
+func (s *Store) ShardBoxesInto(i int, dst []string) []string {
+	n := len(dst)
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	for id := range sh.boxes {
 		dst = append(dst, id)
 	}
-	s.mu.RUnlock()
+	sh.mu.RUnlock()
 	slices.Sort(dst[n:])
 	return dst
 }
@@ -257,7 +432,7 @@ func (s *Store) Window(id string, from, to int) (*trace.Box, error) {
 // capacity. The series views have the same zero-copy snapshot
 // stability as Window's. On error dst is left in an unspecified state.
 func (s *Store) WindowInto(id string, from, to int, dst *trace.Box) error {
-	bs, err := s.box(id)
+	_, bs, err := s.box(id)
 	if err != nil {
 		return err
 	}

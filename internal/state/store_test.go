@@ -2,6 +2,8 @@ package state
 
 import (
 	"errors"
+	"fmt"
+	"slices"
 	"sync"
 	"testing"
 
@@ -190,4 +192,224 @@ func TestStoreConcurrentIngest(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	<-readerDone
+}
+
+func TestStoreShardingBasics(t *testing.T) {
+	if _, err := NewStoreSharded(8, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	s, err := NewStoreSharded(8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 7 {
+		t.Fatalf("Shards() = %d, want 7", s.Shards())
+	}
+	// ShardOf is a pure function of the id: stable, in range, and not
+	// degenerate (many ids spread over more than one shard).
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("box-%03d", i)
+		sh := s.ShardOf(id)
+		if sh < 0 || sh >= 7 {
+			t.Fatalf("ShardOf(%q) = %d out of range", id, sh)
+		}
+		if sh != s.ShardOf(id) {
+			t.Fatalf("ShardOf(%q) unstable", id)
+		}
+		seen[sh] = true
+		if err := s.Register(meta(id, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("100 ids landed on %d shard(s)", len(seen))
+	}
+	// Boxes() is globally sorted regardless of the shard layout.
+	all := s.Boxes()
+	if len(all) != 100 || !slices.IsSorted(all) {
+		t.Fatalf("Boxes() = %d ids, sorted=%v", len(all), slices.IsSorted(all))
+	}
+	// Per-shard listings partition the fleet.
+	n := 0
+	for i := 0; i < s.Shards(); i++ {
+		ids := s.ShardBoxesInto(i, nil)
+		if !slices.IsSorted(ids) {
+			t.Fatalf("shard %d ids unsorted", i)
+		}
+		for _, id := range ids {
+			if s.ShardOf(id) != i {
+				t.Fatalf("box %s listed on shard %d, owned by %d", id, i, s.ShardOf(id))
+			}
+		}
+		n += len(ids)
+	}
+	if n != 100 {
+		t.Fatalf("shard listings cover %d boxes, want 100", n)
+	}
+}
+
+func TestStoreDirtyDrain(t *testing.T) {
+	s, err := NewStoreSharded(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c", "d", "e", "f"}
+	for _, id := range ids {
+		if err := s.Register(meta(id, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainAll := func() []string {
+		var got []string
+		for i := 0; i < s.Shards(); i++ {
+			got = s.DrainDirty(i, got)
+		}
+		slices.Sort(got)
+		return got
+	}
+	// Nothing dirty before any append.
+	if got := drainAll(); len(got) != 0 {
+		t.Fatalf("dirty before appends: %v", got)
+	}
+	// Appends mark exactly the touched boxes, coalescing repeats.
+	for _, id := range []string{"b", "d", "b", "b", "d"} {
+		if _, err := s.Append(id, []float64{1}, []float64{2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drainAll(); !slices.Equal(got, []string{"b", "d"}) {
+		t.Fatalf("dirty = %v, want [b d]", got)
+	}
+	// Drain clears: a second drain is empty until the next append.
+	if got := drainAll(); len(got) != 0 {
+		t.Fatalf("dirty after drain: %v", got)
+	}
+	if _, err := s.AppendBatch("e", [][]float64{{1}, {2}}, [][]float64{{3}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(); !slices.Equal(got, []string{"e"}) {
+		t.Fatalf("dirty after batch = %v, want [e]", got)
+	}
+	// The per-shard notify line fired for e's shard.
+	select {
+	case <-s.NotifyShard(s.ShardOf("e")):
+	default:
+		t.Fatal("no shard signal after batch append")
+	}
+}
+
+func TestStoreAppendBatchAtomic(t *testing.T) {
+	s, _ := NewStore(16)
+	if err := s.Register(meta("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A bad tick anywhere in the batch must append nothing.
+	cpu := [][]float64{{1, 2}, {3}, {5, 6}}
+	ram := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if _, err := s.AppendBatch("b", cpu, ram); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("bad batch: %v, want ErrShapeMismatch", err)
+	}
+	if total, _ := s.Total("b"); total != 0 {
+		t.Fatalf("bad batch appended %d ticks, want 0", total)
+	}
+	if got := s.DrainDirty(0, nil); len(got) != 0 {
+		t.Fatalf("bad batch marked dirty: %v", got)
+	}
+	// Mismatched cpu/ram tick counts are rejected up front.
+	if _, err := s.AppendBatch("b", cpu[:1], ram); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("ragged batch: %v, want ErrShapeMismatch", err)
+	}
+	// A good batch lands whole and reads back in order.
+	total, err := s.AppendBatch("b", ram, ram)
+	if err != nil || total != 3 {
+		t.Fatalf("good batch: total=%d err=%v", total, err)
+	}
+	wb, err := s.Window("b", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if wb.VMs[0].CPU[k] != ram[k][0] || wb.VMs[1].RAM[k] != ram[k][1] {
+			t.Fatalf("tick %d read back wrong", k)
+		}
+	}
+	// Empty batch: valid no-op, not dirty.
+	s.DrainDirty(0, nil)
+	if total, err := s.AppendBatch("b", nil, nil); err != nil || total != 3 {
+		t.Fatalf("empty batch: total=%d err=%v", total, err)
+	}
+	if got := s.DrainDirty(0, nil); len(got) != 0 {
+		t.Fatalf("empty batch marked dirty: %v", got)
+	}
+	if _, err := s.AppendBatch("nope", nil, nil); !errors.Is(err, ErrUnknownBox) {
+		t.Fatalf("unknown box batch: %v, want ErrUnknownBox", err)
+	}
+}
+
+// TestStoreDirtyNoLostWakeup hammers appends against concurrent drains
+// and checks every appended tick is covered by a drain that reports
+// the box at (or after) that tick's total — the lossless hand-off the
+// per-shard scheduler loops rely on, exercised under -race in CI.
+func TestStoreDirtyNoLostWakeup(t *testing.T) {
+	s, _ := NewStoreSharded(4096, 3)
+	const boxes, ticks = 5, 300
+	ids := make([]string, boxes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("box-%d", i)
+		if err := s.Register(meta(ids[i], 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for k := 0; k < ticks; k++ {
+				if _, err := s.Append(id, []float64{1}, []float64{2}); err != nil {
+					t.Errorf("append %s: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	stop := make(chan struct{})
+	drainerDone := make(chan struct{})
+	go func() {
+		defer close(drainerDone)
+		var buf []string
+		for {
+			for i := 0; i < s.Shards(); i++ {
+				buf = s.DrainDirty(i, buf[:0])
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-drainerDone
+	// All appends done, drainer stopped: one final drain must surface
+	// exactly the boxes whose last append raced past the drainer's
+	// final pass, and afterwards every box reads its full total.
+	var final []string
+	for i := 0; i < s.Shards(); i++ {
+		final = s.DrainDirty(i, final)
+	}
+	for _, id := range ids {
+		total, err := s.Total(id)
+		if err != nil || total != ticks {
+			t.Errorf("box %s: total=%d err=%v, want %d", id, total, err, ticks)
+		}
+	}
+	// Nothing left dirty.
+	for i := 0; i < s.Shards(); i++ {
+		if got := s.DrainDirty(i, nil); len(got) != 0 {
+			t.Errorf("shard %d still dirty after final drain: %v", i, got)
+		}
+	}
 }
