@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard loadsmoke allocgate microbench tracebench chaos serve
+.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard obsbench obsguard metrics-lint loadsmoke allocgate microbench tracebench chaos serve
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmload/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/score/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmload/...
 
 verify: build vet test race
 
@@ -62,7 +62,7 @@ rollingbench:
 # step, run WITHOUT the race detector (the detector inflates
 # allocation counts, so these tests skip themselves under -race).
 allocgate:
-	$(GO) test -count=1 -run 'AllocFree|AllocationFree' ./internal/linalg/ ./internal/regress/ ./internal/spatial/ ./internal/resize/ ./internal/core/ ./internal/engine/
+	$(GO) test -count=1 -run 'AllocFree|AllocationFree' ./internal/linalg/ ./internal/regress/ ./internal/spatial/ ./internal/resize/ ./internal/core/ ./internal/engine/ ./internal/score/
 
 # Regression gate over the checked-in rolling record: re-runs the
 # benchmark and fails if the incremental fast path's speedup drops
@@ -86,6 +86,26 @@ ingestbench:
 # two multi-second runs is noisier than the rolling microbench.
 ingestguard:
 	$(GO) run ./cmd/atmbench -ingestguard BENCH_ingest.json -tolerance 0.45
+
+# Observability self-overhead benchmark: the streaming hot loop bare
+# vs fully instrumented (spans + decision events + trace adoption);
+# emits BENCH_obs.json plus a human-readable table.
+obsbench:
+	$(GO) run ./cmd/atmbench -obsbench BENCH_obs.json -reps 5
+
+# Self-overhead gate: re-measures and fails if the instrumented hot
+# loop costs more than ObsOverheadBudget (15%) over the bare loop, if
+# instrumentation changed any published plan, or if the plane recorded
+# no spans/events. The budget is absolute, so the gate cannot drift.
+# Reps are higher than obsbench's because the gate takes the median
+# ratio of interleaved pairs and more pairs tighten it against noise.
+obsguard:
+	$(GO) run ./cmd/atmbench -obsguard BENCH_obs.json -reps 7
+
+# Prometheus exposition conformance: atm_ metric naming, HELP/TYPE
+# lines, and shard-label cardinality, checked against a live scrape.
+metrics-lint:
+	$(GO) test -count=1 -run TestMetricsExpositionConformance ./cmd/atmd/
 
 # Load-harness smoke: atmload boots the production service in-process,
 # runs a short deterministic load through real HTTP, and fails unless

@@ -10,6 +10,8 @@
 //	atmbench -benchguard FILE [-reps N] [-tolerance F]
 //	atmbench -ingestbench FILE [-reps N]
 //	atmbench -ingestguard FILE [-reps N] [-tolerance F]
+//	atmbench -obsbench FILE [-reps N]
+//	atmbench -obsguard FILE [-reps N]
 //	atmbench -trace FILE [-boxes N] [-seed S] [-workers W]
 //
 // With -svg, figures that have a graphical form (1, 3, 8, 9, 10, 12,
@@ -32,6 +34,15 @@
 // search budget blown), or if the deterministic ticket counts diverge
 // from the record — the CI regression gate for the incremental
 // window-roll kernels.
+//
+// With -obsbench, atmbench measures the observability plane's
+// self-overhead: the streaming hot loop runs bare (nil tracer, nil
+// event log) and fully instrumented (ingest spans adopted across the
+// store, linked engine.step spans, a decision event per step), in
+// interleaved pairs, and reports the median instrumented/bare ratio.
+// -obsguard re-measures and fails (exit 1) if the overhead exceeds
+// experiments.ObsOverheadBudget, if instrumentation changed any plan,
+// or if the plane recorded nothing — the CI self-overhead gate.
 //
 // With -trace, atmbench runs one fully traced box through the complete
 // pipeline (signature search → temporal fit → reconstruct → resize →
@@ -85,6 +96,8 @@ func main() {
 	benchguard := flag.String("benchguard", "", "re-run the rolling benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
 	ingestbench := flag.String("ingestbench", "", "run the fleet-scale ingest benchmark and write its JSON record to this file (skips figures)")
 	ingestguard := flag.String("ingestguard", "", "re-run the ingest benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
+	obsbench := flag.String("obsbench", "", "run the observability self-overhead benchmark and write its JSON record to this file (skips figures)")
+	obsguard := flag.String("obsguard", "", "re-run the observability benchmark against the record in this file and fail if overhead exceeds the budget or fidelity breaks (skips figures)")
 	reps := flag.Int("reps", 0, "timing repetitions for the rolling benchmark; each wall-clock number is the min over reps runs (<= 0 selects 5)")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional speedup regression below the benchguard floor before failing")
 	tracefile := flag.String("trace", "", "run one traced box-resize and write its JSONL span dump to this file (skips figures)")
@@ -217,6 +230,55 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [ingestguard ok: %.2fx vs floor %.2fx, headroom %.0fx]\n", r.Speedup, floor.Speedup, r.Headroom)
+		return
+	}
+
+	if *obsbench != "" {
+		r, err := experiments.ObsBench(opts)
+		exitOn("obsbench", err)
+		printTable("obsbench", r.Render())
+		data, err := json.MarshalIndent(r, "", "  ")
+		exitOn("obsbench", err)
+		if err := os.WriteFile(*obsbench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "obsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", *obsbench)
+		return
+	}
+
+	if *obsguard != "" {
+		// The recorded file documents the last accepted measurement; the
+		// gate itself is absolute (ObsOverheadBudget), not relative to the
+		// floor — observability overhead must never creep past the budget
+		// regardless of what the record says.
+		data, err := os.ReadFile(*obsguard)
+		exitOn("obsguard", err)
+		var floor experiments.ObsBenchResult
+		exitOn("obsguard", json.Unmarshal(data, &floor))
+		r, err := experiments.ObsBench(opts)
+		exitOn("obsguard", err)
+		printTable("obsguard", r.Render())
+		var fails []string
+		if r.OverheadFrac > experiments.ObsOverheadBudget {
+			fails = append(fails, fmt.Sprintf("observability overhead %+.1f%% exceeds the %.0f%% budget (recorded %+.1f%%)",
+				100*r.OverheadFrac, 100*experiments.ObsOverheadBudget, 100*floor.OverheadFrac))
+		}
+		if !r.PlansMatch {
+			fails = append(fails, "instrumentation changed a published plan (fidelity broken)")
+		}
+		if r.SpansExported == 0 || r.EventsPublished == 0 {
+			fails = append(fails, fmt.Sprintf("instrumented run recorded nothing (%d spans, %d events) — the plane is dead, not cheap",
+				r.SpansExported, r.EventsPublished))
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "obsguard: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("  [obsguard ok: %+.1f%% overhead within %.0f%% budget, %d spans, %d events]\n",
+			100*r.OverheadFrac, 100*experiments.ObsOverheadBudget, r.SpansExported, r.EventsPublished)
 		return
 	}
 

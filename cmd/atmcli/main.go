@@ -13,6 +13,12 @@
 //	                [-breaker-threshold 5] [-timeout 10m] [-threshold 0.6]
 //	atmcli stream   -trace trace.csv -daemon http://host:8023 [-rate 100]
 //	                [-batch 8] [-boxes 4] [-timeout 10m]
+//	atmcli inspect  -daemon http://host:8023 -id box-0003
+//
+// inspect needs no trace: it renders a running daemon's per-box debug
+// state — the latest plan, the research/refit decision behind it, the
+// forecast scorecard, recent decision events and the last step's span
+// tree.
 package main
 
 import (
@@ -46,6 +52,11 @@ func main() {
 	boxLimit := fs.Int("boxes", 0, "stream only the first N boxes (for 'stream'; 0 = all)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if cmd == "inspect" {
+		// inspect talks to a live daemon, not a trace file.
+		inspectRun(inspectOpts{daemon: *daemon, id: *boxID, timeout: *timeout})
+		return
 	}
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "atmcli: -trace is required")
@@ -91,6 +102,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: atmcli <stats|box|culprits|apply|stream> -trace file.csv [flags]")
+	fmt.Fprintln(os.Stderr, "       atmcli inspect -daemon URL -id box-0003")
 	os.Exit(2)
 }
 

@@ -19,6 +19,9 @@
 //	                       HTTP route histograms, pipeline + engine
 //	                       counters)
 //	GET    /healthz        liveness JSON {"status":"ok",...}
+//	GET    /readyz         readiness: 200 only when every engine shard
+//	                       loop is running and the daemon is not
+//	                       draining (equals liveness without -serve)
 //	GET    /debug/pprof/*  CPU/heap/goroutine profiles (only with -pprof)
 //
 // With -serve, additionally:
@@ -30,6 +33,13 @@
 //	                             {"boxes": [{"id": "...", "box": {...}, "samples": [...]}]}
 //	                             with per-box error reporting
 //	GET  /v1/boxes/<id>/plan     latest resize plan for the box
+//	GET  /v1/boxes/<id>/debug    step state, last decision, forecast
+//	                             scorecard, events and span tree
+//	GET  /v1/events              decision-event tail (?box=, ?n=)
+//
+// -events FILE appends every decision event as one JSON line; -spans
+// FILE does the same for spans with size-based rotation
+// (-spans-max-bytes).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting connections, drains in-flight requests for up to the
@@ -74,9 +84,19 @@ func newHandler(reg *actuator.Registry, svc *serve.Service, pprofEnabled bool, s
 		// unbounded, metric label cardinality must not be.
 		mux.Handle("/v1/boxes/", metrics.InstrumentHandler("/v1/boxes/:id", svc.Handler()))
 		mux.Handle("/v1/ingest", metrics.InstrumentHandler("/v1/ingest", svc.IngestHandler()))
+		mux.Handle("/v1/events", metrics.InstrumentHandler("/v1/events", svc.EventsHandler()))
 	}
 	mux.Handle("/metrics", obs.Handler())
+	// Liveness and readiness split: /healthz answers 200 while the
+	// process lives; /readyz tracks whether traffic should route here
+	// (engine loops running, not draining). Without -serve there is no
+	// engine to wait for, so readiness equals liveness.
 	mux.Handle("/healthz", obs.HealthzHandler(start))
+	if svc != nil {
+		mux.Handle("/readyz", svc.ReadyzHandler())
+	} else {
+		mux.Handle("/readyz", obs.HealthzHandler(start))
+	}
 	if pprofEnabled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -104,12 +124,22 @@ func main() {
 	flag.IntVar(&sc.history, "history", 0, "serve: samples retained per series (0 = 2*(train+horizon))")
 	flag.IntVar(&sc.shards, "shards", 0, "serve: state-store shard count (0 = default)")
 	flag.Int64Var(&sc.maxBody, "max-body", 0, "serve: ingest body cap in bytes (0 = default, <0 = unlimited)")
+	flag.StringVar(&sc.events, "events", "", "serve: append decision events as JSONL to this file")
+	flag.StringVar(&sc.spans, "spans", "", "serve: append spans as JSONL to this file (size-rotated)")
+	flag.Int64Var(&sc.spansMax, "spans-max-bytes", 0, "serve: span file rotation threshold (0 = default 64 MiB)")
 	flag.Parse()
 
+	obs.EnableRuntimeMetrics()
 	reg := actuator.NewRegistry()
 	var svc *serve.Service
+	closeObs := func() {}
 	if *serveFlag {
 		cfg, err := sc.build(reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
+			os.Exit(2)
+		}
+		closeObs, err = sc.attachObs(&cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atmd: %v\n", err)
 			os.Exit(2)
@@ -148,6 +178,11 @@ func main() {
 	}
 
 	log.Printf("atmd: signal received, draining for up to %v", *grace)
+	if svc != nil {
+		// Flip /readyz to 503 before closing the listener so load
+		// balancers stop routing while in-flight requests drain.
+		svc.BeginDrain()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -164,5 +199,8 @@ func main() {
 		log.Printf("atmd: draining engine")
 		svc.Drain()
 	}
+	// Flush the durable event/span sinks after the engine stops
+	// publishing.
+	closeObs()
 	log.Printf("atmd: drained, exiting")
 }

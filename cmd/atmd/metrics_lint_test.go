@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"atm/internal/actuator"
+	"atm/internal/obs"
+	"atm/internal/serve"
+	"atm/internal/state"
+	"atm/internal/trace"
+)
+
+// Exposition-format grammar for the subset this registry emits.
+var (
+	metricNameRe = regexp.MustCompile(`^atm_[a-z0-9_]+$`)
+	helpLineRe   = regexp.MustCompile(`^# HELP (atm_[a-z0-9_]+) .+$`)
+	typeLineRe   = regexp.MustCompile(`^# TYPE (atm_[a-z0-9_]+) (counter|gauge|histogram)$`)
+	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (?:[0-9eE+.\-]+|NaN|[+-]Inf)$`)
+	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// baseName strips the histogram sample suffixes so every sample can be
+// checked against the atm_ naming scheme.
+func baseName(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+// TestMetricsExpositionConformance scrapes the production mux after
+// real traffic and lints every line of /metrics: the atm_ naming
+// scheme, HELP/TYPE before samples, parseable samples and labels, and
+// bounded per-shard label cardinality.
+func TestMetricsExpositionConformance(t *testing.T) {
+	obs.EnableRuntimeMetrics()
+	svc, spd := testService(t, nil)
+	srv := httptest.NewServer(newHandler(actuator.NewRegistry(), svc, false, time.Now()))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Drive every route family once so the HTTP vec metrics have
+	// children: ingest to the first plan, read it back, hit the debug
+	// and events endpoints.
+	tr := trace.Generate(trace.GenConfig{Boxes: 1, Days: 4, SamplesPerDay: spd, Seed: 7, GapFraction: 1e-9})
+	b := &tr.Boxes[0]
+	meta := state.MetaOf(b)
+	need := svc.Engine().Need(0)
+	req := serve.SamplesRequest{Box: &meta, Samples: make([]serve.Tick, need)}
+	for k := 0; k < need; k++ {
+		tick := serve.Tick{CPU: make([]float64, len(b.VMs)), RAM: make([]float64, len(b.VMs))}
+		for v := range b.VMs {
+			tick.CPU[v] = b.VMs[v].CPU[k]
+			tick.RAM[v] = b.VMs[v].RAM[k]
+		}
+		req.Samples[k] = tick
+	}
+	if code, out := postSamples(t, client, srv.URL+"/v1/boxes/"+b.ID+"/samples", req); code != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", code, out)
+	}
+	svc.Engine().Sync(context.Background())
+	for _, path := range []string{
+		"/v1/boxes/" + b.ID + "/plan",
+		"/v1/boxes/" + b.ID + "/debug",
+		"/v1/events",
+		"/healthz",
+	} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+
+	type familyState struct {
+		helped, typed, sampled bool
+	}
+	families := map[string]*familyState{}
+	fam := func(name string) *familyState {
+		f := families[name]
+		if f == nil {
+			f = &familyState{}
+			families[name] = f
+		}
+		return f
+	}
+	shardValues := map[string]map[string]bool{} // family -> shard label values
+	lineNo := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("/metrics line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			m := helpLineRe.FindStringSubmatch(line)
+			if m == nil {
+				fail("malformed HELP")
+			}
+			f := fam(m[1])
+			if f.sampled {
+				fail("HELP after samples of %s", m[1])
+			}
+			f.helped = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeLineRe.FindStringSubmatch(line)
+			if m == nil {
+				fail("malformed TYPE or non-atm_ family")
+			}
+			f := fam(m[1])
+			if f.sampled {
+				fail("TYPE after samples of %s", m[1])
+			}
+			f.typed = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fail("unknown comment directive")
+		}
+		m := sampleLineRe.FindStringSubmatch(line)
+		if m == nil {
+			fail("unparseable sample")
+		}
+		name := baseName(m[1])
+		if !metricNameRe.MatchString(name) {
+			fail("metric %s outside the atm_ naming scheme", name)
+		}
+		f := fam(name)
+		if !f.helped || !f.typed {
+			fail("sample of %s before its HELP/TYPE", name)
+		}
+		f.sampled = true
+		if m[3] != "" {
+			for _, pair := range strings.Split(m[3], ",") {
+				lm := labelPairRe.FindStringSubmatch(pair)
+				if lm == nil {
+					fail("malformed label pair %q", pair)
+				}
+				if lm[1] == "shard" {
+					set := shardValues[name]
+					if set == nil {
+						set = map[string]bool{}
+						shardValues[name] = set
+					}
+					set[lm[2]] = true
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan /metrics: %v", err)
+	}
+
+	for name, f := range families {
+		if f.helped != f.typed {
+			t.Errorf("family %s: HELP/TYPE mismatch (help=%v type=%v)", name, f.helped, f.typed)
+		}
+	}
+	// Per-shard label cardinality stays bounded by the default shard
+	// count — box ids must never leak into labels.
+	for name, set := range shardValues {
+		if len(set) > state.DefaultShards {
+			t.Errorf("family %s: %d shard label values, cap is %d", name, len(set), state.DefaultShards)
+		}
+	}
+
+	// The new observability families are live on the production scrape.
+	for _, want := range []string{
+		"atm_forecast_mape", "atm_tickets_predicted_total", "atm_tickets_realized_total",
+		"atm_events_published_total", "atm_go_goroutines",
+	} {
+		if _, ok := families[want]; !ok {
+			t.Errorf("scrape missing family %s", want)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"atm/internal/core"
 	"atm/internal/engine"
+	"atm/internal/obs"
 	"atm/internal/serve"
 )
 
@@ -17,6 +19,8 @@ type serveConfig struct {
 	workers, history    int
 	shards              int
 	maxBody             int64
+	events, spans       string
+	spansMax            int64
 }
 
 // build turns the flag bundle into a serve.Config, defaulting history
@@ -52,4 +56,40 @@ func (c serveConfig) build(setter core.LimitSetter) (serve.Config, error) {
 		Engine:  cfg,
 		MaxBody: c.maxBody,
 	}, nil
+}
+
+// attachObs wires the durable observability sinks the flags asked for:
+// -events FILE attaches a JSONL sink to the decision event log, and
+// -spans FILE adds a size-rotated span exporter next to the in-memory
+// ring. The returned closer flushes both on shutdown.
+func (c serveConfig) attachObs(cfg *serve.Config) (func(), error) {
+	var closers []func()
+	closeAll := func() {
+		for _, f := range closers {
+			f()
+		}
+	}
+	if c.events != "" {
+		f, err := os.Create(c.events)
+		if err != nil {
+			return nil, fmt.Errorf("atmd: -events: %w", err)
+		}
+		log := obs.NewEventLog(obs.DefaultEventCap)
+		log.AttachSink(f)
+		cfg.Events = log
+		closers = append(closers, func() {
+			log.Close()
+			_ = f.Close()
+		})
+	}
+	if c.spans != "" {
+		exp, err := obs.NewFileSpanExporter(c.spans, c.spansMax)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("atmd: -spans: %w", err)
+		}
+		cfg.SpanExporters = append(cfg.SpanExporters, exp)
+		closers = append(closers, func() { _ = exp.Close() })
+	}
+	return closeAll, nil
 }

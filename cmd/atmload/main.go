@@ -36,6 +36,7 @@ import (
 
 	"atm/internal/core"
 	"atm/internal/engine"
+	"atm/internal/obs"
 	"atm/internal/predict"
 	"atm/internal/serve"
 	"atm/internal/spatial"
@@ -382,6 +383,9 @@ func selftest(cfg loadConfig) error {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/boxes/", svc.Handler())
 	mux.Handle("/v1/ingest", svc.IngestHandler())
+	mux.Handle("/v1/events", svc.EventsHandler())
+	mux.Handle("/readyz", svc.ReadyzHandler())
+	mux.Handle("/metrics", obs.Handler())
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -418,7 +422,7 @@ func selftest(cfg loadConfig) error {
 	// One synchronous pass plans every box with enough history.
 	svc.Engine().Sync(context.Background())
 	need := svc.Engine().Need(0)
-	planned := 0
+	var planned []string
 	for i := 0; i < cfg.boxes; i++ {
 		id := fleet{seed: cfg.seed}.boxID(i)
 		total, _ := svc.Store().Total(id)
@@ -428,12 +432,19 @@ func selftest(cfg loadConfig) error {
 		if _, ok := svc.Engine().Plan(id); !ok {
 			return fmt.Errorf("selftest: box %s has %d >= %d samples but no plan", id, total, need)
 		}
-		planned++
+		planned = append(planned, id)
 	}
-	if planned == 0 {
+	if len(planned) == 0 {
 		return fmt.Errorf("selftest: no box reached the first plan (%d samples needed)", need)
 	}
-	fmt.Printf("selftest ok: %d ticks across %d boxes, %d planned\n", inStore, cfg.boxes, planned)
+	// The decision-quality plane must be live on the same surface:
+	// forecast scores on /metrics, a decision event per planned box,
+	// and the readiness lifecycle through start → drain.
+	if err := selftestObs(svc, srv, planned); err != nil {
+		return err
+	}
+	fmt.Printf("selftest ok: %d ticks across %d boxes, %d planned, obs plane live\n",
+		inStore, cfg.boxes, len(planned))
 	return nil
 }
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"atm/internal/serve"
+)
+
+// selftestObs validates the decision-quality observability plane over
+// the production HTTP surface after the load run: the readiness
+// lifecycle (not-ready → ready → draining), live forecast-score
+// metrics on /metrics, and a decision event for every planned box on
+// /v1/events.
+func selftestObs(svc *serve.Service, srv *httptest.Server, planned []string) error {
+	client := srv.Client()
+
+	// The engine loops have not started: /readyz refuses traffic.
+	if code, _ := getURL(client, srv.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		return fmt.Errorf("selftest: readyz before Start = %d, want 503", code)
+	}
+
+	// Nudge every planned box exactly one horizon forward and run one
+	// deterministic pass: the catch-up Sync behind us published one
+	// event per rolling step — far more than the bounded ring holds —
+	// so the freshest pass is the one the ring is guaranteed to retain.
+	horizon := svc.Engine().Need(1) - svc.Engine().Need(0)
+	var nudge serve.BatchRequest
+	for _, id := range planned {
+		entry := serve.BatchEntry{ID: id, Samples: make([]serve.Tick, horizon)}
+		meta, err := svc.Store().Meta(id)
+		if err != nil {
+			return fmt.Errorf("selftest: meta for %s: %w", id, err)
+		}
+		for k := range entry.Samples {
+			tk := serve.Tick{CPU: make([]float64, len(meta.VMs)), RAM: make([]float64, len(meta.VMs))}
+			for v := range tk.CPU {
+				tk.CPU[v], tk.RAM[v] = 40, 35
+			}
+			entry.Samples[k] = tk
+		}
+		nudge.Boxes = append(nudge.Boxes, entry)
+	}
+	body, err := json.Marshal(nudge)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("selftest: nudge ingest: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selftest: nudge ingest = %d", resp.StatusCode)
+	}
+	svc.Engine().Sync(context.Background())
+
+	// Every planned box published a typed "plan" decision event with a
+	// reason and a trace id linking it to the step's span tree.
+	for _, id := range planned {
+		code, body := getURL(client, srv.URL+"/v1/events?box="+id)
+		if code != http.StatusOK {
+			return fmt.Errorf("selftest: events for %s = %d: %s", id, code, body)
+		}
+		var events serve.EventsResponse
+		if err := json.Unmarshal([]byte(body), &events); err != nil {
+			return fmt.Errorf("selftest: decode events for %s: %w", id, err)
+		}
+		decided := false
+		for _, ev := range events.Events {
+			if ev.Box != id {
+				return fmt.Errorf("selftest: events box filter leaked %q into %s's tail", ev.Box, id)
+			}
+			if ev.Type != "plan" {
+				continue
+			}
+			if ev.Reason == "" || ev.TraceID == "" {
+				return fmt.Errorf("selftest: plan event for %s missing reason/trace: %+v", id, ev)
+			}
+			decided = true
+		}
+		if !decided {
+			return fmt.Errorf("selftest: planned box %s has no decision event (%d total)",
+				id, events.Total)
+		}
+	}
+
+	svc.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, _ := svc.Ready(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, reason := svc.Ready()
+			return fmt.Errorf("selftest: service never became ready: %s", reason)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, body := getURL(client, srv.URL+"/readyz"); code != http.StatusOK {
+		return fmt.Errorf("selftest: readyz after Start = %d: %s", code, body)
+	}
+
+	// Forecast scoring is live: the realized-MAPE histogram has
+	// observations from the planned steps.
+	code, metrics := getURL(client, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		return fmt.Errorf("selftest: metrics scrape = %d", code)
+	}
+	if n := sampleSum(metrics, "atm_forecast_mape_count"); n <= 0 {
+		return fmt.Errorf("selftest: atm_forecast_mape_count = %v, want > 0 (forecast scoring dead)", n)
+	}
+
+	// Draining flips readiness before the engine stops.
+	svc.BeginDrain()
+	if code, body := getURL(client, srv.URL+"/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "draining") {
+		return fmt.Errorf("selftest: readyz while draining = %d: %s", code, body)
+	}
+	svc.Drain()
+	return nil
+}
+
+// getURL GETs the URL and returns the status code with the full body.
+func getURL(client *http.Client, url string) (int, string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// sampleSum adds up the values of every exposition sample of the named
+// metric (labelled or not); -1 when the metric is absent.
+func sampleSum(metrics, name string) float64 {
+	total, seen := 0.0, false
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+		seen = true
+	}
+	if !seen {
+		return -1
+	}
+	return total
+}

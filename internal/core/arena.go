@@ -136,7 +136,8 @@ func (p *Pipeline) adoptRoller(train []timeseries.Series, model *spatial.Model) 
 // refit when the window did not roll.
 func (p *Pipeline) searchInto(ctx context.Context, train []timeseries.Series) (*spatial.Model, error) {
 	reuse := p.cfg.Reuse
-	research := !reuse.Enabled || p.sigs == nil || p.researchNext || p.age >= reuse.maxAge()
+	research, reason := p.planDecision()
+	age := p.age
 	searchStart := time.Now()
 	var model *spatial.Model
 	var err error
@@ -146,6 +147,7 @@ func (p *Pipeline) searchInto(ctx context.Context, train []timeseries.Series) (*
 			m, rerr := spatial.RefitContext(ctx, train, p.sigs)
 			if rerr != nil {
 				research = true
+				reason = ReasonRefitFailed
 			} else {
 				model = m
 				p.adoptRoller(train, m)
@@ -169,14 +171,17 @@ func (p *Pipeline) searchInto(ctx context.Context, train []timeseries.Series) (*
 		p.haveBase = false
 		p.driftStreak = 0
 		p.researchNext = false
+		p.researchCause = ""
 	} else {
 		refitTotal.Inc()
 		p.age++
 		if reuse.MinR2 > 0 && meanDependentR2(model) < reuse.MinR2 {
 			p.researchNext = true
+			p.researchCause = ReasonLowR2
 		}
 	}
 	p.lastResearch = research
+	p.lastDecision = Decision{Research: research, Reason: reason, Age: age}
 	return model, nil
 }
 

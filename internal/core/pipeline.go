@@ -112,14 +112,16 @@ type Pipeline struct {
 	factory       TemporalFactory
 
 	// Retained model state for reuse across windows.
-	sigs         []int   // signature set from the last research; nil before the first
-	age          int     // reuse steps since the last research
-	baseMAPE     float64 // mean MAPE recorded right after the last research
-	haveBase     bool
-	driftStreak  int  // consecutive windows breaching the MAPE growth bound
-	researchNext bool // drift detected; next stageSearch must re-search
+	sigs          []int   // signature set from the last research; nil before the first
+	age           int     // reuse steps since the last research
+	baseMAPE      float64 // mean MAPE recorded right after the last research
+	haveBase      bool
+	driftStreak   int    // consecutive windows breaching the MAPE growth bound
+	researchNext  bool   // drift detected; next stageSearch must re-search
+	researchCause string // Reason* constant behind researchNext ("" when unset)
 
-	lastResearch bool // whether the most recent step ran a full search
+	lastResearch bool     // whether the most recent step ran a full search
+	lastDecision Decision // typed record of the most recent step's choice
 
 	// Incremental step state (StepInto): the roller maintains the
 	// dependent fits' normal equations across rolled windows, the bank
@@ -164,7 +166,8 @@ func (p *Pipeline) Signatures() []int { return p.sigs }
 // search rather than surfacing the error.
 func (p *Pipeline) stageSearch(ctx context.Context, train []timeseries.Series) (*spatial.Model, error) {
 	reuse := p.cfg.Reuse
-	research := !reuse.Enabled || p.sigs == nil || p.researchNext || p.age >= reuse.maxAge()
+	research, reason := p.planDecision()
+	age := p.age
 	searchStart := time.Now()
 	var model *spatial.Model
 	var err error
@@ -172,6 +175,7 @@ func (p *Pipeline) stageSearch(ctx context.Context, train []timeseries.Series) (
 		model, err = spatial.RefitContext(ctx, train, p.sigs)
 		if err != nil {
 			research = true
+			reason = ReasonRefitFailed
 		}
 	}
 	if research {
@@ -188,6 +192,7 @@ func (p *Pipeline) stageSearch(ctx context.Context, train []timeseries.Series) (
 		p.haveBase = false
 		p.driftStreak = 0
 		p.researchNext = false
+		p.researchCause = ""
 	} else {
 		refitTotal.Inc()
 		p.age++
@@ -195,9 +200,11 @@ func (p *Pipeline) stageSearch(ctx context.Context, train []timeseries.Series) (
 		// can no longer explain flag the next step for a re-search.
 		if reuse.MinR2 > 0 && meanDependentR2(model) < reuse.MinR2 {
 			p.researchNext = true
+			p.researchCause = ReasonLowR2
 		}
 	}
 	p.lastResearch = research
+	p.lastDecision = Decision{Research: research, Reason: reason, Age: age}
 	return model, nil
 }
 
@@ -324,10 +331,12 @@ func (p *Pipeline) observe(pred *BoxPrediction) {
 	switch {
 	case m > 2*bound:
 		p.researchNext = true
+		p.researchCause = ReasonDriftMAPE
 	case m > bound:
 		p.driftStreak++
 		if p.driftStreak >= 2 {
 			p.researchNext = true
+			p.researchCause = ReasonDriftMAPE
 		}
 	default:
 		p.driftStreak = 0
@@ -411,6 +420,7 @@ func (p *Pipeline) ResetModel() {
 	p.haveBase = false
 	p.driftStreak = 0
 	p.researchNext = false
+	p.researchCause = ""
 	p.roller = nil
 	if p.bank != nil {
 		p.bank.Reset()

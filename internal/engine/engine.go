@@ -36,11 +36,13 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atm/internal/core"
 	"atm/internal/obs"
 	"atm/internal/parallel"
+	"atm/internal/score"
 	"atm/internal/state"
 	"atm/internal/timeseries"
 	"atm/internal/trace"
@@ -97,6 +99,23 @@ type Config struct {
 	// benchmarkable (experiments.IngestBench) and as a fallback should
 	// dirty tracking ever be in doubt.
 	ScanAll bool
+	// Tracer, when non-nil, links every engine step to the ingest span
+	// that made its box dirty: one "engine.step" span per step, parented
+	// under the server's ingest span, with the trace id published on the
+	// Plan. A nil Tracer keeps the step path zero-overhead.
+	Tracer *obs.Tracer
+	// TraceStages additionally forwards the tracer into the core
+	// pipeline, emitting a span per stage (search, fit, reconstruct,
+	// resize) under each engine.step. Stage spans multiply span volume
+	// by roughly the stage count, so the hot serving loop leaves this
+	// off and keeps decision-level tracing only; deep per-stage dives
+	// (atmbench -trace) opt in.
+	TraceStages bool
+	// Events, when non-nil, receives a typed decision event for every
+	// step outcome (plan published, window evicted, hard step failure,
+	// actuation failure). A nil Events keeps the step path
+	// zero-overhead.
+	Events *obs.EventLog
 }
 
 // Plan is the engine's published outcome of a box's most recent step:
@@ -118,22 +137,30 @@ type Plan struct {
 	// MeanMAPE is the box-level mean prediction error of the step
 	// (NaN serializes as 0 for degraded boxes).
 	MeanMAPE float64 `json:"mean_mape"`
-	// Research reports whether the step ran a full signature search.
-	Research bool `json:"research"`
+	// Research reports whether the step ran a full signature search;
+	// Reason is the decision cause (a core.Reason* constant).
+	Research bool   `json:"research"`
+	Reason   string `json:"reason,omitempty"`
 	// Degraded marks a stingy-fallback plan.
 	Degraded bool `json:"degraded"`
+	// Shard and Pass locate the scheduling pass that produced the plan.
+	Shard int    `json:"shard"`
+	Pass  uint64 `json:"pass,omitempty"`
+	// TraceID is the step's span-tree id ("" with tracing off).
+	TraceID string `json:"trace_id,omitempty"`
 	// UpdatedAt is when the step finished.
 	UpdatedAt time.Time `json:"updated_at"`
 }
 
 // boxRun is the engine's mutable per-box state.
 type boxRun struct {
-	pipe    *core.Pipeline
-	steps   int       // rolling steps fired so far
-	wb      trace.Box // reusable window box for the StepInto fast path
-	plan    *Plan
-	results []core.RollingResult
-	lastErr error
+	pipe     *core.Pipeline
+	steps    int       // rolling steps fired so far
+	wb       trace.Box // reusable window box for the StepInto fast path
+	plan     *Plan
+	decision core.Decision // research/refit choice of the last plan step
+	results  []core.RollingResult
+	lastErr  error
 }
 
 // engineShard is one scheduler loop's private state: the boxes owned
@@ -146,6 +173,7 @@ type engineShard struct {
 	boxes map[string]*boxRun
 
 	passMu   sync.Mutex
+	pass     uint64 // scheduling passes completed on this shard (under passMu)
 	ids      []string
 	readyBuf []string
 }
@@ -157,6 +185,15 @@ type Engine struct {
 
 	shards   []engineShard
 	passHist []*obs.Histogram // per-shard pass timer, resolved once (With allocates)
+
+	// board scores every published plan against realized demand; always
+	// on — the scorecard is part of the engine's contract, not optional
+	// instrumentation.
+	board *score.Board
+
+	// running counts live Run scheduler loops, one per shard; the
+	// readiness probe requires all of them.
+	running atomic.Int32
 }
 
 // New validates the configuration and returns an engine over the
@@ -183,6 +220,7 @@ func New(store *state.Store, cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		shards:   make([]engineShard, store.Shards()),
 		passHist: make([]*obs.Histogram, store.Shards()),
+		board:    score.NewBoard(store.Shards(), cfg.Core),
 	}
 	for i := range e.shards {
 		e.shards[i].boxes = make(map[string]*boxRun)
@@ -203,6 +241,8 @@ func (e *Engine) Run(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			e.running.Add(1)
+			defer e.running.Add(-1)
 			ticker := time.NewTicker(e.cfg.Poll)
 			defer ticker.Stop()
 			for {
@@ -242,6 +282,8 @@ func (e *Engine) SyncShard(ctx context.Context, i int) {
 	sh := &e.shards[i]
 	sh.passMu.Lock()
 	defer sh.passMu.Unlock()
+	sh.pass++
+	pass := sh.pass
 	start := time.Now()
 	if e.cfg.ScanAll {
 		sh.ids = e.store.ShardBoxesInto(i, sh.ids[:0])
@@ -267,13 +309,13 @@ func (e *Engine) SyncShard(ctx context.Context, i int) {
 		// zero-alloc steady state can't afford, and buys nothing for a
 		// single worker or a single ready box.
 		for _, id := range ready {
-			e.stepBox(ctx, sh, id)
+			e.stepBox(ctx, sh, i, pass, id)
 		}
 	default:
 		// Worker fn never errors: per-box failures are recorded on the
 		// boxRun so sibling boxes keep stepping.
 		_ = parallel.ForEach(len(ready), func(k int) error {
-			e.stepBox(ctx, sh, ready[k])
+			e.stepBox(ctx, sh, i, pass, ready[k])
 			return nil
 		}, parallel.WithWorkers(e.cfg.Workers))
 	}
@@ -336,7 +378,7 @@ func (e *Engine) boxRun(sh *engineShard, id string) *boxRun {
 // and passes on a shard are serialized by passMu), so br's fields are
 // accessed without the shard lock held during the step itself;
 // publication of the plan takes the lock.
-func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
+func (e *Engine) stepBox(ctx context.Context, sh *engineShard, shard int, pass uint64, id string) {
 	br := e.boxRun(sh, id)
 	for ctx.Err() == nil {
 		total, err := e.store.Total(id)
@@ -345,6 +387,32 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
 		}
 		if total < e.need(br.steps) {
 			return
+		}
+		// With tracing on, link this step to the ingest span that last
+		// touched the box: one trace from HTTP ingest to plan publish.
+		// The nil-Tracer path touches none of this and stays
+		// allocation-free.
+		stepCtx := ctx
+		var span *obs.Span
+		var traceID string
+		if e.cfg.Tracer != nil {
+			tid, sid, _ := e.store.IngestTrace(id)
+			if e.cfg.TraceStages {
+				// Deep-dive mode: the pipeline runs under the traced
+				// context so every stage hangs its own span off
+				// engine.step.
+				stepCtx = obs.WithTracer(ctx, e.cfg.Tracer)
+				stepCtx, span = obs.StartSpanLinked(stepCtx, "engine.step", tid, sid)
+			} else {
+				// Decision-level tracing only: one standalone span per
+				// step, no context derivation, and the pipeline stays on
+				// the bare context — the hot loop's steady posture.
+				span = e.cfg.Tracer.LinkedSpan("engine.step", tid, sid)
+			}
+			span.SetAttr("box", id)
+			span.SetAttr("shard", shard)
+			span.SetAttr("step", br.steps)
+			traceID = span.TraceID()
 		}
 		from := br.steps * e.cfg.Core.Horizon
 		to := e.need(br.steps)
@@ -360,15 +428,23 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
 			wb = &br.wb
 		}
 		if err != nil {
+			span.End()
 			if errors.Is(err, timeseries.ErrEvicted) {
 				// Ingest outran the planner past retention: this window
 				// is gone. Skip forward one step rather than stalling
 				// the box forever.
 				evictedSteps.Inc()
 				sh.mu.Lock()
+				step := br.steps
 				br.steps++
 				br.lastErr = err
 				sh.mu.Unlock()
+				if e.cfg.Events != nil {
+					e.cfg.Events.Publish(obs.Event{
+						Type: "evicted", Box: id, Shard: shard, Pass: pass,
+						Step: step, TraceID: traceID, Err: err.Error(),
+					})
+				}
 				continue
 			}
 			sh.mu.Lock()
@@ -378,9 +454,9 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
 		}
 		var res *core.BoxResult
 		if e.cfg.KeepResults {
-			res, err = br.pipe.StepContext(ctx, wb)
+			res, err = br.pipe.StepContext(stepCtx, wb)
 		} else {
-			res, err = br.pipe.StepInto(ctx, wb)
+			res, err = br.pipe.StepInto(stepCtx, wb)
 		}
 		stepsTotal.Inc()
 		if err != nil {
@@ -390,26 +466,47 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
 			// Un-degradable failure (bad config never reaches here, so
 			// this is a hard model error with Degraded off): record it
 			// and advance past the window instead of re-failing forever.
+			span.End()
 			sh.mu.Lock()
+			step := br.steps
 			br.lastErr = err
 			br.steps++
 			sh.mu.Unlock()
+			if e.cfg.Events != nil {
+				ev := obs.Event{
+					Type: "step_error", Box: id, Shard: shard, Pass: pass,
+					Step: step, TraceID: traceID,
+				}
+				if err != nil {
+					ev.Err = err.Error()
+				}
+				e.cfg.Events.Publish(ev)
+			}
 			continue
 		}
+		// Score the step against realized demand before publication:
+		// the scorecard is always on and allocation-free after the
+		// box's first step.
+		e.board.Observe(id, shard, res)
 		step := br.steps
+		var applyErr error
 		if e.cfg.Setter != nil && !res.Degraded {
 			if aerr := core.ApplyBox(ctx, e.cfg.Setter, res); aerr != nil {
+				applyErr = aerr
 				sh.mu.Lock()
 				br.lastErr = aerr
 				sh.mu.Unlock()
 			}
 		}
+		dec := br.pipe.LastDecision()
 		sh.mu.Lock()
 		br.steps++
 		if br.plan == nil {
 			br.plan = &Plan{}
 		}
-		planInto(br.plan, id, step, res, br.pipe.LastResearch())
+		deltaVMs := planDelta(br.plan, res)
+		planInto(br.plan, id, step, res, dec, shard, pass, traceID)
+		br.decision = dec
 		br.lastErr = err
 		if e.cfg.KeepResults {
 			br.results = append(br.results, core.RollingResult{
@@ -417,13 +514,54 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, id string) {
 			})
 		}
 		sh.mu.Unlock()
+		span.End()
+		if e.cfg.Events != nil {
+			ev := obs.Event{
+				Type: "plan", Box: id, Shard: shard, Pass: pass, Step: step,
+				Research: dec.Research, Reason: dec.Reason,
+				Degraded:      res.Degraded,
+				TicketsBefore: res.CPU.TicketsBefore + res.RAM.TicketsBefore,
+				TicketsAfter:  res.CPU.TicketsAfter + res.RAM.TicketsAfter,
+				DeltaVMs:      deltaVMs,
+				TraceID:       traceID,
+			}
+			if m := res.MeanMAPE(); m == m { // NaN-safe for degraded boxes
+				ev.MeanMAPE = m
+			}
+			if applyErr != nil {
+				ev.Err = applyErr.Error()
+			}
+			e.cfg.Events.Publish(ev)
+			if applyErr != nil {
+				e.cfg.Events.Publish(obs.Event{
+					Type: "apply_error", Box: id, Shard: shard, Pass: pass,
+					Step: step, TraceID: traceID, Err: applyErr.Error(),
+				})
+			}
+		}
 	}
+}
+
+// planDelta counts VMs whose CPU or RAM target changes between the
+// box's previous published plan and the new result — the full VM
+// count on the first plan. Callers hold the shard lock.
+func planDelta(prev *Plan, res *core.BoxResult) int {
+	if len(prev.CPUSizes) != len(res.CPU.Sizes) || len(prev.RAMSizes) != len(res.RAM.Sizes) {
+		return len(res.CPU.Sizes)
+	}
+	n := 0
+	for i := range res.CPU.Sizes {
+		if prev.CPUSizes[i] != res.CPU.Sizes[i] || prev.RAMSizes[i] != res.RAM.Sizes[i] {
+			n++
+		}
+	}
+	return n
 }
 
 // planInto flattens a BoxResult into the box's published Plan,
 // reusing its size buffers. Callers hold the shard lock: Plan(id)
 // copies out of the same storage.
-func planInto(p *Plan, id string, step int, res *core.BoxResult, research bool) {
+func planInto(p *Plan, id string, step int, res *core.BoxResult, dec core.Decision, shard int, pass uint64, traceID string) {
 	p.Box = id
 	p.Step = step
 	p.CPUSizes = append(p.CPUSizes[:0], res.CPU.Sizes...)
@@ -434,8 +572,12 @@ func planInto(p *Plan, id string, step int, res *core.BoxResult, research bool) 
 	if m := res.MeanMAPE(); m == m { // NaN-safe for degraded boxes
 		p.MeanMAPE = m
 	}
-	p.Research = research
+	p.Research = dec.Research
+	p.Reason = dec.Reason
 	p.Degraded = res.Degraded
+	p.Shard = shard
+	p.Pass = pass
+	p.TraceID = traceID
 	p.UpdatedAt = time.Now()
 }
 
@@ -518,4 +660,56 @@ func (e *Engine) LastErr(id string) error {
 		return br.lastErr
 	}
 	return nil
+}
+
+// Scores returns the engine's forecast scoring board.
+func (e *Engine) Scores() *score.Board { return e.board }
+
+// RunningShards returns how many Run scheduler loops are currently
+// live — equal to the store's shard count when the engine is fully
+// running, 0 when Run has not started or has drained.
+func (e *Engine) RunningShards() int { return int(e.running.Load()) }
+
+// BoxDebug is the engine's step-state snapshot for one box, the core
+// of the GET /v1/boxes/{id}/debug payload.
+type BoxDebug struct {
+	// Box is the box id; Shard is the store/engine shard owning it.
+	Box   string `json:"box"`
+	Shard int    `json:"shard"`
+	// Steps counts fired rolling steps.
+	Steps int `json:"steps"`
+	// Plan is the latest published plan (nil before the first step).
+	Plan *Plan `json:"plan,omitempty"`
+	// Decision is the research/refit choice behind that plan.
+	Decision core.Decision `json:"decision"`
+	// LastErr is the most recent step/apply error ("" when clean).
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// Debug returns the box's step-state snapshot, reporting false when
+// the engine has never seen the box.
+func (e *Engine) Debug(id string) (BoxDebug, bool) {
+	sh := e.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	br := sh.boxes[id]
+	if br == nil {
+		return BoxDebug{}, false
+	}
+	d := BoxDebug{
+		Box:      id,
+		Shard:    e.store.ShardOf(id),
+		Steps:    br.steps,
+		Decision: br.decision,
+	}
+	if br.lastErr != nil {
+		d.LastErr = br.lastErr.Error()
+	}
+	if br.plan != nil {
+		p := *br.plan
+		p.CPUSizes = append([]float64(nil), br.plan.CPUSizes...)
+		p.RAMSizes = append([]float64(nil), br.plan.RAMSizes...)
+		d.Plan = &p
+	}
+	return d, true
 }

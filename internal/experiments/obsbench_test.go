@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestObsBench exercises the full bare-vs-instrumented comparison at a
+// single rep (the checked-in record runs five via `make obsbench`) and
+// checks the structural acceptance bounds: both planes publish
+// identical plans for the whole fleet, the instrumented plane actually
+// recorded spans and decision events for the work it did, and nothing
+// was dropped (the bench sizes its ring and sink to hold a full run).
+func TestObsBench(t *testing.T) {
+	r, err := ObsBench(Options{Reps: 1})
+	if err != nil {
+		t.Fatalf("ObsBench: %v", err)
+	}
+	if !r.PlansMatch {
+		t.Error("instrumentation changed a published plan")
+	}
+	if want := obsBenchBoxes * obsBenchSteps; r.StepsPerRun != want {
+		t.Errorf("steps = %d, want %d steps per box (%d boxes × %d)",
+			r.StepsPerRun, want, obsBenchBoxes, obsBenchSteps)
+	}
+	// Liveness: one engine.step span and one plan event per step, plus
+	// one ingest span per batched append.
+	if r.SpansExported < r.StepsPerRun {
+		t.Errorf("spans exported = %d, want at least one per step (%d)", r.SpansExported, r.StepsPerRun)
+	}
+	if int(r.EventsPublished) < r.StepsPerRun {
+		t.Errorf("events published = %d, want at least one per step (%d)", r.EventsPublished, r.StepsPerRun)
+	}
+	if r.SpansDropped != 0 {
+		t.Errorf("ring dropped %d spans; bench ring must hold a full run", r.SpansDropped)
+	}
+	if r.BareMS <= 0 || r.InstrumentedMS <= 0 {
+		t.Error("wall clocks not measured")
+	}
+	if tbl := r.Render(); len(tbl.Rows) != 2 {
+		t.Errorf("render rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event-bus metrics: publication volume and the two loss paths (sink
+// channel full, sink write failure). A rising drop counter is the
+// operator's cue to widen the sink buffer or fix the disk.
+var (
+	eventsPublished = Default().Counter("atm_events_published_total",
+		"Decision events published on the engine event bus.")
+	eventsDropped = Default().Counter("atm_events_dropped_total",
+		"Decision events dropped by the JSONL sink (channel full or write failure); the in-memory ring tail is unaffected.")
+)
+
+// DefaultEventCap is the ring capacity an EventLog keeps for the
+// GET /v1/events tail when the caller does not choose one.
+const DefaultEventCap = 2048
+
+// Event is one typed decision record from the streaming engine: which
+// box was stepped on which shard pass, whether the step researched or
+// refitted (and why), the plan delta it published, and the trace id
+// tying it to the span tree of the same step. The flat shape keeps
+// Publish allocation-free and one JSON line per event.
+type Event struct {
+	// Time is when the event was published (stamped by Publish when
+	// zero).
+	Time time.Time `json:"ts"`
+	// Type discriminates the event: "plan" (a step published a plan),
+	// "evicted" (a window aged out before its step), "step_error" (a
+	// hard, un-degradable step failure), "apply_error" (actuation push
+	// failed).
+	Type string `json:"type"`
+	// Box is the box id.
+	Box string `json:"box,omitempty"`
+	// Shard and Pass locate the scheduling pass that fired the step.
+	Shard int    `json:"shard"`
+	Pass  uint64 `json:"pass,omitempty"`
+	// Step is the zero-based rolling-step index.
+	Step int `json:"step"`
+	// Research reports a full signature search; Reason is the decision
+	// cause (core.ReasonColdStart, core.ReasonDriftMAPE, ...).
+	Research bool   `json:"research,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// Degraded marks a stingy-fallback plan.
+	Degraded bool `json:"degraded,omitempty"`
+	// TicketsBefore/TicketsAfter aggregate CPU+RAM tickets over the
+	// step's evaluation horizon.
+	TicketsBefore int `json:"tickets_before,omitempty"`
+	TicketsAfter  int `json:"tickets_after,omitempty"`
+	// MeanMAPE is the step's realized mean prediction error (0 for
+	// degraded steps).
+	MeanMAPE float64 `json:"mean_mape,omitempty"`
+	// DeltaVMs counts VMs whose CPU or RAM target changed vs the box's
+	// previous published plan (the full VM count on the first plan).
+	DeltaVMs int `json:"delta_vms,omitempty"`
+	// TraceID links the event to the step's span tree ("" with tracing
+	// off).
+	TraceID string `json:"trace_id,omitempty"`
+	// Err carries the step/apply error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// EventLog is a bounded, drop-counting event bus: Publish appends to a
+// fixed ring (the /v1/events tail) and, when a sink is attached,
+// forwards a copy to an async JSONL writer through a buffered channel.
+// Publish never blocks and never allocates — a full sink channel drops
+// the event (counted in atm_events_dropped_total) rather than stalling
+// the engine's step path.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+
+	// sink sends happen under mu (non-blocking, so the lock is never
+	// held across a stall), which is what makes Close's channel close
+	// race-free against concurrent Publish calls.
+	sink     chan Event
+	sinkDone chan struct{}
+	closed   bool
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewEventLog returns an event log retaining up to capacity events
+// (capacity < 1 selects DefaultEventCap) with no sink attached.
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// AttachSink starts an async JSONL writer goroutine encoding every
+// subsequently published event to w, one JSON object per line. Attach
+// at most one sink, before concurrent Publish traffic starts. Close
+// stops the writer and flushes the channel.
+func (l *EventLog) AttachSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sink != nil || l.closed {
+		return
+	}
+	// One batch of passes can burst many events; size the channel to
+	// the ring so a slow disk sheds load by dropping, not blocking.
+	l.sink = make(chan Event, len(l.buf))
+	l.sinkDone = make(chan struct{})
+	go func(ch chan Event, done chan struct{}, w io.Writer) {
+		defer close(done)
+		enc := json.NewEncoder(w)
+		for ev := range ch {
+			if err := enc.Encode(ev); err != nil {
+				l.dropped.Add(1)
+				eventsDropped.Inc()
+			}
+		}
+	}(l.sink, l.sinkDone, w)
+}
+
+// Publish records the event on the ring and forwards it to the sink
+// when one is attached. It never blocks: a full sink channel counts a
+// drop instead. Safe for concurrent use.
+func (l *EventLog) Publish(ev Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	l.mu.Lock()
+	l.buf[l.next] = ev
+	l.next = (l.next + 1) % len(l.buf)
+	l.total++
+	dropped := false
+	if l.sink != nil && !l.closed {
+		select {
+		case l.sink <- ev:
+		default:
+			dropped = true
+		}
+	}
+	l.mu.Unlock()
+	l.published.Add(1)
+	eventsPublished.Inc()
+	if dropped {
+		l.dropped.Add(1)
+		eventsDropped.Inc()
+	}
+}
+
+// Tail returns up to n retained events, oldest first. box, when
+// non-empty, filters to that box's events. n < 1 returns every
+// retained (matching) event.
+func (l *EventLog) Tail(n int, box string) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := int(l.total)
+	if uint64(kept) != l.total || kept > len(l.buf) {
+		kept = len(l.buf)
+	}
+	start := (l.next - kept + len(l.buf)) % len(l.buf)
+	out := make([]Event, 0, kept)
+	for i := 0; i < kept; i++ {
+		ev := &l.buf[(start+i)%len(l.buf)]
+		if box != "" && ev.Box != box {
+			continue
+		}
+		out = append(out, *ev)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Total returns how many events were ever published.
+func (l *EventLog) Total() uint64 { return l.published.Load() }
+
+// Dropped returns how many events this log's sink lost (channel full
+// or write failure).
+func (l *EventLog) Dropped() uint64 { return l.dropped.Load() }
+
+// Close stops the sink writer, draining events already queued. The
+// ring tail stays readable; later Publish calls still land on the ring
+// but are no longer forwarded. Safe to call multiple times and with no
+// sink attached.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	sink, done := l.sink, l.sinkDone
+	if sink != nil {
+		close(sink)
+	}
+	l.mu.Unlock()
+	if sink != nil {
+		<-done
+	}
+}

@@ -203,6 +203,9 @@ func (f *family) child(values []string) *child {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -369,10 +372,27 @@ func labelString(names, values []string, extra string) string {
 	return sb.String()
 }
 
+// OnScrape registers a hook invoked at the start of every
+// WritePrometheus call, before any family is read — the pull-model
+// bridge for gauges whose source is sampled on demand (Go runtime
+// stats) rather than pushed on events. Hooks must be fast and must not
+// call WritePrometheus.
+func (r *Registry) OnScrape(f func()) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	r.hooks = append(r.hooks, f)
+}
+
 // WritePrometheus writes the registry contents in the Prometheus text
 // exposition format (version 0.0.4). Families and children are sorted
 // by name and label values, so the output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.hookMu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.hookMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	fams := make(map[string]*family, len(r.families))

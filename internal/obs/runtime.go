@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeMetrics adds Go runtime self-metrics to the registry,
+// sampled on every scrape via an OnScrape hook — no background
+// goroutine, no /proc parsing, so it works identically in the daemon,
+// tests and the in-process load harness:
+//
+//	atm_go_goroutines             live goroutine count
+//	atm_go_heap_inuse_bytes       bytes in in-use heap spans
+//	atm_go_heap_sys_bytes         heap bytes obtained from the OS
+//	atm_go_gc_runs_total          completed GC cycles
+//	atm_go_gc_pause_seconds_total cumulative stop-the-world pause time
+//
+// The control-plane health row next to the domain metrics: a heap
+// ramp or a GC-pause spike during an ingest burst shows up on the same
+// dashboard as the forecast scores it would degrade. Call once per
+// registry (a second call would double-count the GC deltas); for the
+// Default registry use EnableRuntimeMetrics, which is idempotent.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("atm_go_goroutines",
+		"Live goroutines in the process.")
+	heapInuse := r.Gauge("atm_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).")
+	heapSys := r.Gauge("atm_go_heap_sys_bytes",
+		"Heap bytes obtained from the OS (runtime.MemStats.HeapSys).")
+	gcRuns := r.Counter("atm_go_gc_runs_total",
+		"Completed garbage-collection cycles.")
+	gcPause := r.Counter("atm_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.")
+
+	var (
+		mu        sync.Mutex
+		lastGC    uint32
+		lastPause uint64
+	)
+	r.OnScrape(func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapInuse.Set(float64(ms.HeapInuse))
+		heapSys.Set(float64(ms.HeapSys))
+		// Counters can only Add; feed them the deltas since the last
+		// scrape (concurrent scrapes serialize on mu so no delta is
+		// double-counted).
+		mu.Lock()
+		gcRuns.Add(float64(ms.NumGC - lastGC))
+		gcPause.Add(float64(ms.PauseTotalNs-lastPause) / 1e9)
+		lastGC, lastPause = ms.NumGC, ms.PauseTotalNs
+		mu.Unlock()
+	})
+}
+
+var runtimeMetricsOnce sync.Once
+
+// EnableRuntimeMetrics registers the Go runtime self-metrics on the
+// Default registry, exactly once no matter how often it is called.
+func EnableRuntimeMetrics() {
+	runtimeMetricsOnce.Do(func() { RegisterRuntimeMetrics(defaultRegistry) })
+}

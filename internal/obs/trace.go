@@ -5,9 +5,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// Exporter loss accounting: the ring drops its oldest span on every
+// overwrite, the JSONL/file exporters drop on write or rotation
+// failure. One counter, labeled by exporter kind.
+var (
+	traceDropped = Default().CounterVec("atm_trace_dropped_total",
+		"Finished spans dropped by exporters: ring overwrites of the oldest span, JSONL/file write or rotation failures.",
+		"exporter")
+	ringSpansDropped  = traceDropped.With("ring")
+	jsonlSpansDropped = traceDropped.With("jsonl")
+	fileSpansDropped  = traceDropped.With("file")
 )
 
 // SpanData is the exported record of one finished span. Parent/child
@@ -28,11 +41,74 @@ type SpanData struct {
 	// DurationNS is the span's duration in nanoseconds.
 	DurationNS int64 `json:"duration_ns"`
 	// Attrs carries span attributes (box id, series count, ...).
-	Attrs map[string]any `json:"attrs,omitempty"`
+	Attrs Attrs `json:"attrs,omitempty"`
 }
 
 // Duration returns the span duration.
 func (s SpanData) Duration() time.Duration { return time.Duration(s.DurationNS) }
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Attrs is a span's attribute list in set order. A flat pair slice,
+// not a map: spans on the engine's hot loop carry a handful of
+// attributes, and a small slice costs one allocation where a map costs
+// several plus per-key hashing. It still reads and writes as a JSON
+// object, so exported span dumps are unchanged.
+type Attrs []Attr
+
+// Get returns the value set for key.
+func (a Attrs) Get(key string) (any, bool) {
+	for i := range a {
+		if a[i].Key == key {
+			return a[i].Value, true
+		}
+	}
+	return nil, false
+}
+
+// MarshalJSON renders the attribute list as a JSON object in set
+// order.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 16*len(a)+2)
+	buf = append(buf, '{')
+	for i := range a {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, err := json.Marshal(a[i].Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(a[i].Value)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON accepts a JSON object (key order is preserved as far
+// as encoding/json reports it — i.e. not at all — which is fine for
+// consumers that only Get by key or render sorted).
+func (a *Attrs) UnmarshalJSON(b []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	out := make(Attrs, 0, len(m))
+	for k, v := range m {
+		out = append(out, Attr{Key: k, Value: v})
+	}
+	*a = out
+	return nil
+}
 
 // Exporter receives finished spans. Implementations must be safe for
 // concurrent use: spans end on whatever goroutine ran the work.
@@ -54,7 +130,15 @@ func NewTracer(exporters ...Exporter) *Tracer {
 }
 
 func (t *Tracer) nextID() string {
-	return fmt.Sprintf("%016x", t.ids.Add(1))
+	// Fixed-width hex without fmt: id generation sits on the span hot
+	// path, and Sprintf's reflection costs show up at fleet step rates.
+	var buf [16]byte
+	id := t.ids.Add(1)
+	for i := 15; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[id&0xf]
+		id >>= 4
+	}
+	return string(buf[:])
 }
 
 // Span is one in-flight operation. All methods are safe on a nil
@@ -120,6 +204,70 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey, s), s
 }
 
+// StartSpanLinked is StartSpan for cross-request propagation: when the
+// context has no enclosing span, the new span adopts the given trace
+// id with parentID as its parent edge — linking, say, an engine step
+// to the ingest request whose samples made the box ready, even though
+// the two ran on different goroutines at different times. An enclosing
+// span in the context wins over the link; an empty traceID starts a
+// fresh trace, exactly like StartSpan.
+func StartSpanLinked(ctx context.Context, name, traceID, parentID string) (context.Context, *Span) {
+	if parent := SpanFrom(ctx); parent != nil || traceID == "" {
+		return StartSpan(ctx, name)
+	}
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t, start: time.Now()}
+	s.data.Name = name
+	s.data.Start = s.start
+	s.data.SpanID = t.nextID()
+	s.data.TraceID = traceID
+	s.data.ParentID = parentID
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// LinkedSpan is StartSpanLinked without context plumbing: a standalone
+// span adopting the given trace id (or opening a fresh trace when
+// empty). For hot paths that need the span itself but will not hang
+// child spans off a context — it skips the two context allocations
+// StartSpanLinked pays per call. Nil tracers return nil spans, whose
+// methods are all no-ops.
+func (t *Tracer) LinkedSpan(name, traceID, parentID string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, start: time.Now()}
+	s.data.Name = name
+	s.data.Start = s.start
+	s.data.SpanID = t.nextID()
+	if traceID == "" {
+		s.data.TraceID = t.nextID()
+	} else {
+		s.data.TraceID = traceID
+		s.data.ParentID = parentID
+	}
+	return s
+}
+
+// TraceID returns the span's trace id ("" on a nil span). Immutable
+// after StartSpan, so no lock is needed.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's id ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
 // SetAttr attaches an attribute to the span.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
@@ -131,9 +279,17 @@ func (s *Span) SetAttr(key string, value any) {
 		return
 	}
 	if s.data.Attrs == nil {
-		s.data.Attrs = make(map[string]any)
+		// Pre-size for the typical attribute count so the hot step path
+		// pays one allocation, not map construction plus growth.
+		s.data.Attrs = make(Attrs, 0, 4)
 	}
-	s.data.Attrs[key] = value
+	for i := range s.data.Attrs {
+		if s.data.Attrs[i].Key == key {
+			s.data.Attrs[i].Value = value
+			return
+		}
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
 }
 
 // End finishes the span and exports it. Safe to call once; later calls
@@ -161,10 +317,11 @@ func (s *Span) End() {
 // ring buffer — the in-memory view a debugging session or test reads
 // back.
 type RingExporter struct {
-	mu    sync.Mutex
-	buf   []SpanData
-	next  int
-	total int
+	mu      sync.Mutex
+	buf     []SpanData
+	next    int
+	total   int
+	dropped int
 }
 
 // NewRingExporter returns a ring holding up to capacity spans
@@ -176,10 +333,16 @@ func NewRingExporter(capacity int) *RingExporter {
 	return &RingExporter{buf: make([]SpanData, capacity)}
 }
 
-// ExportSpan implements Exporter.
+// ExportSpan implements Exporter. Once the ring is full every new span
+// overwrites the oldest retained one; the overwrite is counted as a
+// drop (atm_trace_dropped_total{exporter="ring"}).
 func (r *RingExporter) ExportSpan(s SpanData) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.total >= len(r.buf) {
+		r.dropped++
+		ringSpansDropped.Inc()
+	}
 	r.buf[r.next] = s
 	r.next = (r.next + 1) % len(r.buf)
 	r.total++
@@ -201,11 +364,41 @@ func (r *RingExporter) Spans() []SpanData {
 	return out
 }
 
+// Trace returns the retained spans of one trace, oldest first — the
+// span tree the debug endpoint renders for a published plan.
+func (r *RingExporter) Trace(traceID string) []SpanData {
+	if traceID == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	var out []SpanData
+	start := (r.next - n + len(r.buf)) % len(r.buf)
+	for i := 0; i < n; i++ {
+		if s := &r.buf[(start+i)%len(r.buf)]; s.TraceID == traceID {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
 // Total returns how many spans were ever exported to the ring.
 func (r *RingExporter) Total() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns how many retained spans were overwritten before
+// anyone read them.
+func (r *RingExporter) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // JSONLExporter writes each finished span as one JSON line — the
@@ -222,14 +415,19 @@ func NewJSONLExporter(w io.Writer) *JSONLExporter {
 	return &JSONLExporter{enc: json.NewEncoder(w)}
 }
 
-// ExportSpan implements Exporter.
+// ExportSpan implements Exporter. After the first write error the
+// exporter stops writing and counts every subsequent span as dropped
+// (atm_trace_dropped_total{exporter="jsonl"}).
 func (e *JSONLExporter) ExportSpan(s SpanData) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.err != nil {
+		jsonlSpansDropped.Inc()
 		return
 	}
-	e.err = e.enc.Encode(s)
+	if e.err = e.enc.Encode(s); e.err != nil {
+		jsonlSpansDropped.Inc()
+	}
 }
 
 // Err returns the first write error, if any.
@@ -237,4 +435,131 @@ func (e *JSONLExporter) Err() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.err
+}
+
+// DefaultSpanFileMax bounds a FileSpanExporter segment at 64 MiB
+// before rotation when the caller does not choose a cap.
+const DefaultSpanFileMax = 64 << 20
+
+// FileSpanExporter writes spans as JSON lines to a file with
+// size-bounded rotation: when the active segment would exceed the
+// byte cap it is renamed to path+".1" (replacing the previous rotated
+// segment) and a fresh segment starts — the daemon-lifetime variant of
+// JSONLExporter, whose unbounded growth is only acceptable for one-shot
+// bench dumps. Disk is bounded at ~2x the cap. Spans lost to write or
+// rotation failures are counted, not retried.
+type FileSpanExporter struct {
+	mu      sync.Mutex
+	path    string
+	max     int64
+	f       *os.File
+	size    int64
+	dropped int
+	err     error // most recent write/rotate error
+}
+
+// NewFileSpanExporter opens (truncating) path for span output, rotating
+// at maxBytes per segment (maxBytes <= 0 selects DefaultSpanFileMax).
+func NewFileSpanExporter(path string, maxBytes int64) (*FileSpanExporter, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSpanFileMax
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSpanExporter{path: path, max: maxBytes, f: f}, nil
+}
+
+// ExportSpan implements Exporter.
+func (e *FileSpanExporter) ExportSpan(s SpanData) {
+	line, err := json.Marshal(s)
+	if err != nil {
+		e.drop(err)
+		return
+	}
+	line = append(line, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		e.dropLocked(errFileClosed)
+		return
+	}
+	if e.size > 0 && e.size+int64(len(line)) > e.max {
+		e.rotateLocked()
+	}
+	n, err := e.f.Write(line)
+	e.size += int64(n)
+	if err != nil {
+		e.dropLocked(err)
+		return
+	}
+	e.err = nil
+}
+
+var errFileClosed = fmt.Errorf("obs: span file exporter closed")
+
+// rotateLocked renames the active segment to path+".1" and starts a
+// fresh one. On failure the active segment stays open (the current
+// span still lands; the size bound is temporarily exceeded rather than
+// losing data silently).
+func (e *FileSpanExporter) rotateLocked() {
+	if err := e.f.Close(); err != nil {
+		e.err = err
+	}
+	if err := os.Rename(e.path, e.path+".1"); err != nil {
+		e.err = err
+	}
+	f, err := os.Create(e.path)
+	if err != nil {
+		// Could not start a fresh segment: try to keep the old handle
+		// path alive by reopening in append mode; give up on failure.
+		f, err = os.OpenFile(e.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			e.err = err
+			e.f = nil
+			return
+		}
+	}
+	e.f = f
+	e.size = 0
+}
+
+func (e *FileSpanExporter) drop(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dropLocked(err)
+}
+
+func (e *FileSpanExporter) dropLocked(err error) {
+	e.err = err
+	e.dropped++
+	fileSpansDropped.Inc()
+}
+
+// Dropped returns how many spans were lost to write/rotation failures.
+func (e *FileSpanExporter) Dropped() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// Err returns the most recent write/rotation error, if any.
+func (e *FileSpanExporter) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close flushes and closes the active segment. Spans exported after
+// Close are counted as dropped.
+func (e *FileSpanExporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Close()
+	e.f = nil
+	return err
 }

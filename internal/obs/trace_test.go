@@ -92,10 +92,12 @@ func TestSpanAttrsAndDoubleEnd(t *testing.T) {
 	if len(spans) != 1 {
 		t.Fatalf("got %d spans, want 1", len(spans))
 	}
-	if spans[0].Attrs["box"] != "box-7" || spans[0].Attrs["vms"] != 12 {
+	box, _ := spans[0].Attrs.Get("box")
+	vms, _ := spans[0].Attrs.Get("vms")
+	if box != "box-7" || vms != 12 {
 		t.Errorf("attrs = %v", spans[0].Attrs)
 	}
-	if _, ok := spans[0].Attrs["late"]; ok {
+	if _, ok := spans[0].Attrs.Get("late"); ok {
 		t.Error("attr set after End leaked into export")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atm/internal/engine"
@@ -25,6 +26,10 @@ import (
 // day of samples across a large batch, small enough that a misbehaving
 // client cannot balloon the daemon's heap.
 const DefaultMaxBody = 8 << 20
+
+// DefaultSpanRing is the capacity of the in-memory span ring that
+// backs the per-box debug endpoint's trace lookup.
+const DefaultSpanRing = 4096
 
 var (
 	// ingestBatchSize tracks how many box entries each /v1/ingest body
@@ -55,6 +60,17 @@ type Config struct {
 	// MaxBody caps ingestion request bodies in bytes; 0 selects
 	// DefaultMaxBody, negative disables the cap.
 	MaxBody int64
+	// Events, when non-nil, is the decision event log the engine
+	// publishes to; nil builds a fresh obs.DefaultEventCap log. Either
+	// way GET /v1/events serves its tail.
+	Events *obs.EventLog
+	// SpanExporters are extra span sinks (e.g. a durable
+	// obs.FileSpanExporter) attached after the service's in-memory
+	// ring.
+	SpanExporters []obs.Exporter
+	// SpanRing is the in-memory span ring capacity backing the debug
+	// endpoint's trace lookup; 0 selects DefaultSpanRing.
+	SpanRing int
 }
 
 // Service bundles the streaming ATM stack: the state store fed by the
@@ -64,6 +80,16 @@ type Service struct {
 	store   *state.Store
 	engine  *engine.Engine
 	maxBody int64
+
+	// Observability plane: the tracer spans every ingest request and
+	// engine step into the ring (plus any configured durable
+	// exporters); the event log carries the engine's typed decisions.
+	tracer *obs.Tracer
+	ring   *obs.RingExporter
+	events *obs.EventLog
+
+	started  atomic.Bool // Start called
+	draining atomic.Bool // BeginDrain/Drain called
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -80,6 +106,28 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	spanRing := cfg.SpanRing
+	if spanRing <= 0 {
+		spanRing = DefaultSpanRing
+	}
+	ring := obs.NewRingExporter(spanRing)
+	tracer := obs.NewTracer(append([]obs.Exporter{ring}, cfg.SpanExporters...)...)
+	events := cfg.Events
+	if events == nil {
+		events = obs.NewEventLog(obs.DefaultEventCap)
+	}
+	// Wire the engine into the same plane unless the caller brought
+	// their own (tests that assert on a private tracer/log).
+	if cfg.Engine.Tracer == nil {
+		cfg.Engine.Tracer = tracer
+	} else {
+		tracer = cfg.Engine.Tracer
+	}
+	if cfg.Engine.Events == nil {
+		cfg.Engine.Events = events
+	} else {
+		events = cfg.Engine.Events
+	}
 	eng, err := engine.New(st, cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -88,7 +136,10 @@ func New(cfg Config) (*Service, error) {
 	if maxBody == 0 {
 		maxBody = DefaultMaxBody
 	}
-	return &Service{store: st, engine: eng, maxBody: maxBody}, nil
+	return &Service{
+		store: st, engine: eng, maxBody: maxBody,
+		tracer: tracer, ring: ring, events: events,
+	}, nil
 }
 
 // Store exposes the service's state store (tests, in-process harness).
@@ -102,16 +153,23 @@ func (s *Service) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	s.done = make(chan struct{})
+	s.started.Store(true)
 	go func() {
 		defer close(s.done)
 		_ = s.engine.Run(ctx)
 	}()
 }
 
+// BeginDrain flips the readiness probe to not-ready without stopping
+// the engine: call it before shutting the HTTP listener down so load
+// balancers stop routing while in-flight requests still complete.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
 // Drain stops the engine loop and waits for in-flight steps to finish
 // (engine.Run only returns after the current scheduling pass
 // completes). Safe to call when Start was never invoked.
 func (s *Service) Drain() {
+	s.draining.Store(true)
 	if s.cancel == nil {
 		return
 	}
@@ -239,6 +297,9 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 //	                             box from the body's "box" meta on
 //	                             first contact)
 //	GET  /v1/boxes/{id}/plan     latest resize plan for the box
+//	GET  /v1/boxes/{id}/debug    step state, last decision, forecast
+//	                             scorecard, recent events and the
+//	                             last step's span tree
 func (s *Service) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id, verb, ok := boxRoute(r.URL.Path)
@@ -259,6 +320,12 @@ func (s *Service) Handler() http.Handler {
 				return
 			}
 			s.handlePlan(w, id)
+		case "debug":
+			if r.Method != http.MethodGet {
+				jsonError(w, http.StatusMethodNotAllowed, "debug is GET-only")
+				return
+			}
+			s.handleDebug(w, id)
 		default:
 			jsonError(w, http.StatusNotFound, "unknown route %s", r.URL.Path)
 		}
@@ -324,10 +391,17 @@ func (s *Service) handleSamples(w http.ResponseWriter, r *http.Request, id strin
 	}
 	sc := scratchPool.Get().(*ingestScratch)
 	cpu, ram := sc.stage(req.Samples)
+	// The ingest span is the root of the step's trace: AppendBatchCtx
+	// retains its ids on the box, and the scheduler parents the
+	// resulting engine.step span under it.
+	ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), s.tracer), "serve.ingest")
+	span.SetAttr("box", id)
+	span.SetAttr("ticks", len(req.Samples))
 	// AppendBatch validates every tick before the first ring write, so
 	// a rejected request appends nothing and the client can retry the
 	// whole batch without duplicating ticks.
-	total, err := s.store.AppendBatch(id, cpu, ram)
+	total, err := s.store.AppendBatchCtx(ctx, id, cpu, ram)
+	span.End()
 	scratchPool.Put(sc)
 	if err != nil {
 		if errors.Is(err, state.ErrUnknownBox) {
@@ -358,6 +432,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ingestBatchSize.Observe(float64(len(sc.req.Boxes)))
+	// One ingest span per batch request; every appended box adopts it
+	// as the parent of its next engine step.
+	ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), s.tracer), "serve.ingest")
+	span.SetAttr("boxes", len(sc.req.Boxes))
+	defer span.End()
 	sc.results = sc.results[:0]
 	accepted, failed := 0, 0
 	for i := range sc.req.Boxes {
@@ -372,7 +451,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			cpu, ram := sc.stage(e.Samples)
-			total, err := s.store.AppendBatch(e.ID, cpu, ram)
+			total, err := s.store.AppendBatchCtx(ctx, e.ID, cpu, ram)
 			if err != nil {
 				res.Error = err.Error()
 				break

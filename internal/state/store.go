@@ -91,6 +91,13 @@ type boxState struct {
 	meta  BoxMeta
 	rings []*timeseries.Ring // usage percent, SeriesIndex order
 
+	// traceID/spanID identify the ingest span that last appended to
+	// this box (empty with tracing off). The scheduler links the box's
+	// next engine step to this span, giving one trace per
+	// ingest→plan round trip.
+	traceID string
+	spanID  string
+
 	// dirty is the box's membership flag in its shard's dirty list:
 	// set (and the box enqueued) by the first append after a drain,
 	// cleared by DrainDirty before the scheduler reads the box. The
