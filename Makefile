@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard obsbench obsguard metrics-lint loadsmoke allocgate microbench tracebench chaos serve
+.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard obsbench obsguard robustbench robustguard metrics-lint loadsmoke allocgate microbench tracebench chaos serve
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/score/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmload/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/score/... ./internal/control/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmload/...
 
 verify: build vet test race
 
@@ -62,7 +62,7 @@ rollingbench:
 # step, run WITHOUT the race detector (the detector inflates
 # allocation counts, so these tests skip themselves under -race).
 allocgate:
-	$(GO) test -count=1 -run 'AllocFree|AllocationFree' ./internal/linalg/ ./internal/regress/ ./internal/spatial/ ./internal/resize/ ./internal/core/ ./internal/engine/ ./internal/score/
+	$(GO) test -count=1 -run 'AllocFree|AllocationFree' ./internal/linalg/ ./internal/regress/ ./internal/spatial/ ./internal/resize/ ./internal/core/ ./internal/engine/ ./internal/score/ ./internal/control/
 
 # Regression gate over the checked-in rolling record: re-runs the
 # benchmark and fails if the incremental fast path's speedup drops
@@ -101,6 +101,21 @@ obsbench:
 # ratio of interleaved pairs and more pairs tighten it against noise.
 obsguard:
 	$(GO) run ./cmd/atmbench -obsguard BENCH_obs.json -reps 7
+
+# Robust-control frontier benchmark: fixed trust λ ∈ {0, ¼, ½, ¾, 1}
+# vs the drift-adaptive controller on stationary + adversarial traces
+# (regime change, flash crowd, telemetry poisoning); emits
+# BENCH_robust.json plus fig_robust_frontier.svg.
+robustbench:
+	$(GO) run ./cmd/atmbench -robustbench BENCH_robust.json
+
+# Robustness gate over the checked-in frontier: re-runs the sweep and
+# fails if λ=1 stops being bit-identical to the control-off engine on
+# the stationary trace, if the adaptive controller's tickets exceed
+# the best fixed endpoint min(λ=0, λ=1) plus tolerance on any family,
+# or if it drifts above its own recorded frontier.
+robustguard:
+	$(GO) run ./cmd/atmbench -robustguard BENCH_robust.json
 
 # Prometheus exposition conformance: atm_ metric naming, HELP/TYPE
 # lines, and shard-label cardinality, checked against a live scrape.

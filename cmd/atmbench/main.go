@@ -94,6 +94,8 @@ func main() {
 	resizebench := flag.String("resizebench", "", "run the VIF + MCKP-greedy benchmark and write its JSON record to this file (skips figures)")
 	rollingbench := flag.String("rollingbench", "", "run the rolling model-reuse benchmark and write its JSON record to this file (skips figures)")
 	benchguard := flag.String("benchguard", "", "re-run the rolling benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
+	robustbench := flag.String("robustbench", "", "run the trust-controller robustness sweep and write its JSON record to this file (skips figures)")
+	robustguard := flag.String("robustguard", "", "re-run the robustness sweep against the record in this file and fail if parity breaks or adaptive trust regresses (skips figures)")
 	ingestbench := flag.String("ingestbench", "", "run the fleet-scale ingest benchmark and write its JSON record to this file (skips figures)")
 	ingestguard := flag.String("ingestguard", "", "re-run the ingest benchmark and fail if it regresses below the recorded floor in this file (skips figures)")
 	obsbench := flag.String("obsbench", "", "run the observability self-overhead benchmark and write its JSON record to this file (skips figures)")
@@ -180,6 +182,64 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [wrote %s]\n", *rollingbench)
+		return
+	}
+
+	if *robustbench != "" {
+		r, err := experiments.RobustBench(opts)
+		exitOn("robustbench", err)
+		printTable("robustbench", r.Render())
+		data, err := json.MarshalIndent(r, "", "  ")
+		exitOn("robustbench", err)
+		if err := os.WriteFile(*robustbench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "robustbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", *robustbench)
+		writeSVG("fig_robust_frontier", r.RenderSVG)
+		return
+	}
+
+	if *robustguard != "" {
+		data, err := os.ReadFile(*robustguard)
+		exitOn("robustguard", err)
+		var floor experiments.RobustBenchResult
+		exitOn("robustguard", json.Unmarshal(data, &floor))
+		r, err := experiments.RobustBench(opts)
+		exitOn("robustguard", err)
+		printTable("robustguard", r.Render())
+		var fails []string
+		if !r.StationaryParity {
+			fails = append(fails, "λ=1 no longer bit-identical to the controller-free pipeline on the stationary trace")
+		}
+		for _, fam := range r.Families {
+			adaptive := fam.Cells[len(fam.Cells)-1]
+			if !fam.AdaptiveOK {
+				fails = append(fails, fmt.Sprintf("%s: adaptive tickets %d exceed best endpoint %d + tolerance %d",
+					fam.Family, adaptive.TicketsAfter, fam.EndpointTickets, fam.Tolerance))
+			}
+			// Drift vs the recorded frontier: the workload is fully
+			// deterministic, so adaptive results creeping past the
+			// recorded count + tolerance mean the controller got worse.
+			for _, rec := range floor.Families {
+				if rec.Family != fam.Family || len(rec.Cells) == 0 {
+					continue
+				}
+				recorded := rec.Cells[len(rec.Cells)-1]
+				if adaptive.TicketsAfter > recorded.TicketsAfter+fam.Tolerance {
+					fails = append(fails, fmt.Sprintf("%s: adaptive tickets %d regressed past recorded %d + tolerance %d",
+						fam.Family, adaptive.TicketsAfter, recorded.TicketsAfter, fam.Tolerance))
+				}
+			}
+		}
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "robustguard: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("  [robustguard ok: parity %v, %d families within tolerance]\n",
+			r.StationaryParity, len(r.Families))
 		return
 	}
 

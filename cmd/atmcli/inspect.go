@@ -80,6 +80,9 @@ func printDebug(w io.Writer, dbg *serve.DebugResponse) {
 			mode = "research"
 		}
 		fmt.Fprintf(w, "  decision: %s (%s), model age %d\n", mode, dbg.Decision.Reason, dbg.Decision.Age)
+		if p.BlendReason != "" {
+			fmt.Fprintf(w, "  trust: λ=%.2f (%s)\n", p.Lambda, p.BlendReason)
+		}
 		if p.TraceID != "" {
 			fmt.Fprintf(w, "  trace: %s\n", p.TraceID)
 		}
@@ -105,6 +108,9 @@ func printDebug(w io.Writer, dbg *serve.DebugResponse) {
 			}
 			if ev.Type == "plan" {
 				line += fmt.Sprintf(" (tickets %d->%d, Δ%d VMs)", ev.TicketsBefore, ev.TicketsAfter, ev.DeltaVMs)
+				if ev.BlendReason != "" {
+					line += fmt.Sprintf(" λ=%.2f/%s", ev.Lambda, ev.BlendReason)
+				}
 			}
 			if ev.Err != "" {
 				line += " err=" + ev.Err

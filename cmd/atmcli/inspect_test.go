@@ -28,6 +28,7 @@ func TestPrintDebugRendersFullStory(t *testing.T) {
 				CPUSizes: []float64{4, 2}, RAMSizes: []float64{8, 4},
 				TicketsBefore: 9, TicketsAfter: 1, MeanMAPE: 0.12,
 				Research: false, Reason: "refit", TraceID: "t1",
+				Lambda: 0.45, BlendReason: "recovering",
 			},
 			Decision: core.Decision{Research: false, Reason: core.ReasonRefit, Age: 1},
 		},
@@ -38,7 +39,8 @@ func TestPrintDebugRendersFullStory(t *testing.T) {
 		},
 		Events: []obs.Event{
 			{Time: ts, Type: "plan", Box: "box-0001", Step: 2, Shard: 2,
-				Reason: "refit", TicketsBefore: 9, TicketsAfter: 1, DeltaVMs: 1},
+				Reason: "refit", TicketsBefore: 9, TicketsAfter: 1, DeltaVMs: 1,
+				Lambda: 0.45, BlendReason: "recovering"},
 		},
 		Spans: []obs.SpanData{
 			{TraceID: "t1", SpanID: "s2", ParentID: "s1", Name: "engine.step",
@@ -56,11 +58,12 @@ func TestPrintDebugRendersFullStory(t *testing.T) {
 		"plan (step 2, pass 7)",
 		"tickets 9 -> 1",
 		"decision: refit",
+		"trust: λ=0.45 (recovering)",
 		"trace: t1",
 		"forecast scorecard",
 		"tickets predicted 2 realized 4",
 		"recent events",
-		"(tickets 9->1, Δ1 VMs)",
+		"(tickets 9->1, Δ1 VMs) λ=0.45/recovering",
 		"span tree",
 		"serve.ingest",
 	} {

@@ -119,6 +119,7 @@ func main() {
 	flag.Float64Var(&sc.threshold, "threshold", 0.6, "serve: ticket threshold (fraction of capacity)")
 	flag.Float64Var(&sc.epsilon, "epsilon", 0.1, "serve: MCKP approximation epsilon")
 	flag.BoolVar(&sc.reuse, "reuse", false, "serve: reuse signature sets across windows (refit until drift)")
+	flag.BoolVar(&sc.robust, "control", false, "serve: blend plans toward the worst-case-safe allocation under drift-adaptive forecast trust")
 	flag.BoolVar(&sc.actuate, "actuate", false, "serve: push plans into this daemon's cgroup registry")
 	flag.IntVar(&sc.workers, "workers", 0, "serve: engine worker-pool size (0 = one per core)")
 	flag.IntVar(&sc.history, "history", 0, "serve: samples retained per series (0 = 2*(train+horizon))")

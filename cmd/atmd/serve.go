@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"atm/internal/control"
 	"atm/internal/core"
 	"atm/internal/engine"
 	"atm/internal/obs"
@@ -16,6 +17,7 @@ type serveConfig struct {
 	train, horizon, spd int
 	threshold, epsilon  float64
 	reuse, actuate      bool
+	robust              bool
 	workers, history    int
 	shards              int
 	maxBody             int64
@@ -42,6 +44,13 @@ func (c serveConfig) build(setter core.LimitSetter) (serve.Config, error) {
 	}
 	if c.reuse {
 		cfg.Core.Reuse = core.ReusePolicy{Enabled: true}
+	}
+	if c.robust {
+		// Adaptive trust with the calibrated defaults: plans blend
+		// toward the stingy safe allocation when the rolling forecast
+		// error degrades (λ and the blend reason surface on every plan,
+		// decision event and debug snapshot).
+		cfg.Control = control.Config{Enabled: true}
 	}
 	if c.actuate {
 		cfg.Setter = setter

@@ -1,0 +1,114 @@
+package control
+
+import (
+	"testing"
+
+	"atm/internal/core"
+	"atm/internal/predict"
+	"atm/internal/spatial"
+	"atm/internal/trace"
+)
+
+// rollingConfig is a small online workload: 64 samples, T=32, H=8 →
+// 4 steps, seasonal-naive over CBC signatures with reuse on.
+func rollingConfig(spd int) core.Config {
+	return core.Config{
+		Spatial:      spatial.Config{Method: spatial.MethodCBC},
+		Temporal:     func() predict.Model { return &predict.SeasonalNaive{Period: spd} },
+		TrainWindows: 2 * spd,
+		Horizon:      spd / 2,
+		Threshold:    0.6,
+		Epsilon:      0.1,
+		Degraded:     true,
+		Reuse:        core.ReusePolicy{Enabled: true, MaxAge: 10},
+	}
+}
+
+func rollingBox(t *testing.T) (*trace.Box, int) {
+	t.Helper()
+	tr := trace.Generate(trace.GenConfig{Boxes: 4, Days: 4, SamplesPerDay: 16, Seed: 7})
+	gapFree := tr.GapFree()
+	if len(gapFree) == 0 {
+		t.Fatal("no gap-free box in test trace")
+	}
+	return gapFree[0], tr.SamplesPerDay
+}
+
+// TestRunRollingParity pins the tentpole's consistency end: with the
+// controller disabled — and equally with trust pinned at λ=1 — the
+// driver's published plans are bit-identical to core.RunRolling on the
+// same trace. Blending is strictly opt-in; full trust costs nothing.
+func TestRunRollingParity(t *testing.T) {
+	b, spd := rollingBox(t)
+	cfg := rollingConfig(spd)
+
+	base, err := core.RunRolling(b, spd, cfg)
+	if err != nil {
+		t.Fatalf("core.RunRolling: %v", err)
+	}
+	bsum := core.SummarizeRolling(base)
+
+	off, err := RunRolling(b, spd, cfg, Config{})
+	if err != nil {
+		t.Fatalf("RunRolling (disabled): %v", err)
+	}
+	pinned, err := RunRolling(b, spd, cfg, Config{Enabled: true, Fixed: true, Lambda: 1})
+	if err != nil {
+		t.Fatalf("RunRolling (λ=1): %v", err)
+	}
+
+	for name, got := range map[string]RollingSummary{"disabled": off, "λ=1": pinned} {
+		if got.Steps != bsum.Steps || got.Researches != bsum.Researches {
+			t.Fatalf("%s: steps/researches = %d/%d, want %d/%d",
+				name, got.Steps, got.Researches, bsum.Steps, bsum.Researches)
+		}
+		if got.TicketsBefore != bsum.TicketsBefore || got.TicketsAfter != bsum.TicketsAfter {
+			t.Fatalf("%s: tickets = %d→%d, want %d→%d",
+				name, got.TicketsBefore, got.TicketsAfter, bsum.TicketsBefore, bsum.TicketsAfter)
+		}
+		if got.DegradedSteps == 0 && got.MeanMAPE != bsum.MeanMAPE {
+			t.Fatalf("%s: mean MAPE = %v, want %v (bit-identical)", name, got.MeanMAPE, bsum.MeanMAPE)
+		}
+		if got.BlendedSteps != 0 {
+			t.Fatalf("%s: %d blended steps, want 0", name, got.BlendedSteps)
+		}
+		if got.MeanLambda != 1 {
+			t.Fatalf("%s: mean λ = %v, want 1", name, got.MeanLambda)
+		}
+	}
+}
+
+// TestRunRollingPinnedZero: pure reactive (λ=0) blends every step and
+// never allocates a VM less than its training peak, so horizon demand
+// within past peaks cannot ticket more than the unsized capacities do.
+func TestRunRollingPinnedZero(t *testing.T) {
+	b, spd := rollingBox(t)
+	cfg := rollingConfig(spd)
+	s, err := RunRolling(b, spd, cfg, Config{Enabled: true, Fixed: true, Lambda: 0})
+	if err != nil {
+		t.Fatalf("RunRolling (λ=0): %v", err)
+	}
+	if s.BlendedSteps != s.Steps-s.DegradedSteps {
+		t.Fatalf("λ=0 blended %d of %d non-degraded steps", s.BlendedSteps, s.Steps-s.DegradedSteps)
+	}
+	if s.MeanLambda != 0 {
+		t.Fatalf("λ=0 mean λ = %v", s.MeanLambda)
+	}
+}
+
+// TestRunRollingAdaptive: the adaptive controller runs end to end and
+// reports a trust trajectory within [0, 1].
+func TestRunRollingAdaptive(t *testing.T) {
+	b, spd := rollingBox(t)
+	cfg := rollingConfig(spd)
+	s, err := RunRolling(b, spd, cfg, Config{Enabled: true})
+	if err != nil {
+		t.Fatalf("RunRolling (adaptive): %v", err)
+	}
+	if s.MeanLambda < 0 || s.MeanLambda > 1 {
+		t.Fatalf("adaptive mean λ = %v outside [0,1]", s.MeanLambda)
+	}
+	if s.Steps == 0 {
+		t.Fatal("adaptive run executed no steps")
+	}
+}

@@ -12,39 +12,72 @@ import (
 var degradedBoxes = obs.Default().Counter("atm_degraded_boxes_total",
 	"Boxes that fell back to the stingy peak-demand allocation.")
 
-// stingyRun is the fallback sizing for one resource of a box: each VM
-// gets its peak demand over the training history (the paper's "stingy"
-// baseline — no prediction, just never hand out less than the VM has
-// already needed). When the peaks oversubscribe the box they are
-// scaled proportionally into the capacity, mirroring the lower-bound
-// handling of the real solver. Tickets are evaluated over the horizon
-// when the trace is long enough; a box degraded for a short trace
-// reports zero tickets rather than inventing an evaluation window.
-func stingyRun(b *trace.Box, r trace.Resource, cfg Config) *BoxRun {
+// StingySizesInto fills dst with the worst-case-safe stingy allocation
+// for one resource of the box: each VM gets its peak demand over the
+// training history (the paper's "stingy" baseline — no prediction,
+// just never hand out less than the VM has already needed). When the
+// peaks oversubscribe the box they are scaled proportionally into the
+// capacity, mirroring the lower-bound handling of the real solver.
+// dst is grown as needed and returned; passing a previously returned
+// slice makes the call allocation-free, which lets the trust-blending
+// controller compute the safe plan inside the engine's zero-alloc
+// steady state. Histories shorter than TrainWindows use every sample
+// they have — a box mid-eviction still gets a safe allocation.
+func StingySizesInto(b *trace.Box, r trace.Resource, cfg Config, dst []float64) []float64 {
 	capacity := b.CPUCapGHz
 	if r == trace.RAM {
 		capacity = b.RAMCapGB
 	}
 	m := len(b.VMs)
-	sizes := make([]float64, m)
+	if cap(dst) < m {
+		dst = make([]float64, m)
+	}
+	dst = dst[:m]
 	var sum float64
 	for v := 0; v < m; v++ {
-		hist := b.VMs[v].Demand(r)
-		if cfg.TrainWindows > 0 && len(hist) > cfg.TrainWindows {
-			hist = hist.Slice(0, cfg.TrainWindows)
+		// Peak demand, computed inline as usage×capacity/100 —
+		// VM.Demand would allocate a scaled copy per call.
+		usage := b.VMs[v].Usage(r)
+		scale := b.VMs[v].Capacity(r) / 100
+		end := len(usage)
+		if cfg.TrainWindows > 0 && cfg.TrainWindows < end {
+			end = cfg.TrainWindows
 		}
-		sizes[v] = hist.Max()
-		if sizes[v] < minLimit {
-			sizes[v] = minLimit
+		peak := minLimit
+		if end > 0 {
+			// Mirrors timeseries.Series.Max on the scaled series: the
+			// first sample seeds the max (NaN there poisons it, NaN
+			// later is skipped by the > comparison).
+			peak = usage[0] * scale
+			for j := 1; j < end; j++ {
+				if d := usage[j] * scale; d > peak {
+					peak = d
+				}
+			}
+			if peak < minLimit {
+				peak = minLimit
+			}
 		}
-		sum += sizes[v]
+		dst[v] = peak
+		sum += peak
 	}
 	if sum > capacity && sum > 0 {
 		f := capacity / sum
-		for v := range sizes {
-			sizes[v] *= f
+		for v := range dst {
+			dst[v] *= f
 		}
 	}
+	return dst
+}
+
+// stingyRun is the fallback sizing for one resource of a box: the
+// stingy peak-demand allocation (StingySizesInto) plus its ticket
+// evaluation. Tickets are evaluated over the horizon when the trace is
+// long enough; a box degraded for a short trace reports zero tickets
+// rather than inventing an evaluation window.
+func stingyRun(b *trace.Box, r trace.Resource, cfg Config) *BoxRun {
+	m := len(b.VMs)
+	sizes := StingySizesInto(b, r, cfg, nil)
 	run := &BoxRun{Resource: r, Sizes: sizes}
 	if cfg.TrainWindows > 0 && cfg.Horizon > 0 {
 		for v := 0; v < m; v++ {

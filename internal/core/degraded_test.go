@@ -111,3 +111,117 @@ func TestRunDegradedDoesNotMaskBadConfig(t *testing.T) {
 		t.Fatalf("results = %v, want a single nil entry", results)
 	}
 }
+
+// TestStingySizesIntoMatchesFallback pins the exported safe-allocation
+// kernel to the degraded path it was extracted from: same box, same
+// config, bit-identical sizes — and a reused destination buffer is
+// allocation-free without changing a single value.
+func TestStingySizesIntoMatchesFallback(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 1, Days: 3, SamplesPerDay: 32, Seed: 9, GapFraction: 1e-9,
+	})
+	b := &tr.Boxes[0]
+	cfg := fastConfig(tr.SamplesPerDay)
+	cfg.Degraded = true
+	res := degradedResult(b, cfg, ErrShortTrace)
+	for _, rc := range []struct {
+		r   trace.Resource
+		run *BoxRun
+	}{{trace.CPU, res.CPU}, {trace.RAM, res.RAM}} {
+		got := StingySizesInto(b, rc.r, cfg, nil)
+		if len(got) != len(rc.run.Sizes) {
+			t.Fatalf("%v: %d sizes, want %d", rc.r, len(got), len(rc.run.Sizes))
+		}
+		for v := range got {
+			if got[v] != rc.run.Sizes[v] {
+				t.Fatalf("%v vm %d: StingySizesInto %v != fallback %v", rc.r, v, got[v], rc.run.Sizes[v])
+			}
+		}
+	}
+
+	dst := StingySizesInto(b, trace.CPU, cfg, nil)
+	want := append([]float64(nil), dst...)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = StingySizesInto(b, trace.CPU, cfg, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("reused StingySizesInto allocates %.1f objects/op, want 0", allocs)
+	}
+	for v := range want {
+		if dst[v] != want[v] {
+			t.Fatalf("vm %d: reused-buffer size %v != %v", v, dst[v], want[v])
+		}
+	}
+}
+
+// TestStingyFallbackEvictedWindow covers the ring-evicted box: the
+// remaining history is shorter than even the training window, so the
+// pipeline must degrade cleanly and the fallback must size from the
+// samples that survive — never invent data, never return zero sizes.
+func TestStingyFallbackEvictedWindow(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{
+		Boxes: 1, Days: 3, SamplesPerDay: 32, Seed: 10, GapFraction: 1e-9,
+	})
+	spd := tr.SamplesPerDay
+	b := &tr.Boxes[0]
+	cfg := fastConfig(spd)
+	cfg.Degraded = true
+	keep := cfg.TrainWindows / 2 // eviction ate past the window start
+	cripple(b, keep)
+
+	p, err := NewPipeline(spd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Step(b)
+	if !errors.Is(err, ErrShortTrace) {
+		t.Fatalf("err = %v, want ErrShortTrace", err)
+	}
+	if res == nil || !res.Degraded {
+		t.Fatalf("res = %+v, want degraded fallback", res)
+	}
+	for _, rc := range []struct {
+		r   trace.Resource
+		run *BoxRun
+		cap float64
+	}{{trace.CPU, res.CPU, b.CPUCapGHz}, {trace.RAM, res.RAM, b.RAMCapGB}} {
+		if rc.run == nil || len(rc.run.Sizes) != len(b.VMs) {
+			t.Fatalf("%v: fallback run %+v", rc.r, rc.run)
+		}
+		var sum float64
+		for v, s := range rc.run.Sizes {
+			if s <= 0 {
+				t.Errorf("%v size[%d] = %v, want positive", rc.r, v, s)
+			}
+			// The peak is over the surviving samples only.
+			peak := b.VMs[v].Demand(rc.r).Slice(0, keep).Max()
+			if peak < minLimit {
+				peak = minLimit
+			}
+			if s > peak*(1+1e-9) {
+				t.Errorf("%v size[%d] = %v exceeds surviving peak %v", rc.r, v, s, peak)
+			}
+			sum += s
+		}
+		if sum > rc.cap*(1+1e-9) {
+			t.Errorf("%v sizes sum %v exceed capacity %v", rc.r, sum, rc.cap)
+		}
+		// Too short to evaluate: no invented ticket counts.
+		if rc.run.TicketsBefore != 0 || rc.run.TicketsAfter != 0 {
+			t.Errorf("%v: evicted-window fallback invented tickets %d/%d",
+				rc.r, rc.run.TicketsBefore, rc.run.TicketsAfter)
+		}
+	}
+
+	// A fully evicted box (zero samples) floors every VM at minLimit.
+	empty := *b
+	empty.VMs = append([]trace.VM(nil), b.VMs...)
+	for v := range empty.VMs {
+		empty.VMs[v].CPU = empty.VMs[v].CPU.Slice(0, 0)
+	}
+	for v, s := range StingySizesInto(&empty, trace.CPU, cfg, nil) {
+		if s != minLimit {
+			t.Errorf("empty history vm %d: size %v, want minLimit %v", v, s, minLimit)
+		}
+	}
+}

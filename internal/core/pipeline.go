@@ -119,6 +119,7 @@ type Pipeline struct {
 	driftStreak   int    // consecutive windows breaching the MAPE growth bound
 	researchNext  bool   // drift detected; next stageSearch must re-search
 	researchCause string // Reason* constant behind researchNext ("" when unset)
+	severeDrift   bool   // last observation breached twice the growth bound
 
 	lastResearch bool     // whether the most recent step ran a full search
 	lastDecision Decision // typed record of the most recent step's choice
@@ -152,6 +153,15 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // LastResearch reports whether the most recent step ran a full
 // signature search (vs a refit of the retained set).
 func (p *Pipeline) LastResearch() bool { return p.lastResearch }
+
+// SevereDrift reports whether the most recent step's observed error
+// breached TWICE the ReusePolicy drift bound — the immediate-research
+// signal from observe, exposed so the trust-blending controller can
+// floor its forecast weight the moment the predictor falls apart
+// rather than waiting for the rolling error to catch up. It is a
+// per-step signal: the next observation within bounds clears it.
+// Always false with reuse disabled (there is no drift baseline).
+func (p *Pipeline) SevereDrift() bool { return p.severeDrift }
 
 // Signatures returns the retained signature set (nil before the first
 // step). The slice is the pipeline's own copy; callers must not
@@ -318,6 +328,7 @@ func (p *Pipeline) observe(pred *BoxPrediction) {
 	if !p.cfg.Reuse.Enabled || pred.MAPE == nil {
 		return
 	}
+	p.severeDrift = false
 	m, _ := timeseries.MeanStd(pred.MAPE)
 	if math.IsNaN(m) || math.IsInf(m, 0) {
 		return
@@ -332,6 +343,7 @@ func (p *Pipeline) observe(pred *BoxPrediction) {
 	case m > 2*bound:
 		p.researchNext = true
 		p.researchCause = ReasonDriftMAPE
+		p.severeDrift = true
 	case m > bound:
 		p.driftStreak++
 		if p.driftStreak >= 2 {
@@ -421,6 +433,7 @@ func (p *Pipeline) ResetModel() {
 	p.driftStreak = 0
 	p.researchNext = false
 	p.researchCause = ""
+	p.severeDrift = false
 	p.roller = nil
 	if p.bank != nil {
 		p.bank.Reset()

@@ -34,11 +34,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"atm/internal/control"
 	"atm/internal/core"
 	"atm/internal/obs"
 	"atm/internal/parallel"
@@ -116,6 +118,14 @@ type Config struct {
 	// actuation failure). A nil Events keeps the step path
 	// zero-overhead.
 	Events *obs.EventLog
+	// Control configures the trust-parameterized robust controller:
+	// when Enabled, every non-degraded plan is blended toward the
+	// stingy worst-case-safe allocation under a per-box trust λ adapted
+	// from the scoring board's rolling forecast error (see
+	// internal/control). The zero value leaves plans untouched — and a
+	// controller pinned at λ=1 publishes bit-identical plans to a
+	// controller-free engine.
+	Control control.Config
 }
 
 // Plan is the engine's published outcome of a box's most recent step:
@@ -143,6 +153,13 @@ type Plan struct {
 	Reason   string `json:"reason,omitempty"`
 	// Degraded marks a stingy-fallback plan.
 	Degraded bool `json:"degraded"`
+	// Lambda is the forecast trust the robust controller blended this
+	// plan with (1 = pure forecast, 0 = pure reactive peak-demand);
+	// BlendReason is the control.Reason* constant behind it. Both are
+	// zero when the controller is disabled — Lambda is meaningful only
+	// when BlendReason is set.
+	Lambda      float64 `json:"lambda,omitempty"`
+	BlendReason string  `json:"blend_reason,omitempty"`
 	// Shard and Pass locate the scheduling pass that produced the plan.
 	Shard int    `json:"shard"`
 	Pass  uint64 `json:"pass,omitempty"`
@@ -191,6 +208,10 @@ type Engine struct {
 	// instrumentation.
 	board *score.Board
 
+	// ctl is the trust-parameterized robust controller (nil unless
+	// Config.Control.Enabled).
+	ctl *control.Controller
+
 	// running counts live Run scheduler loops, one per shard; the
 	// readiness probe requires all of them.
 	running atomic.Int32
@@ -221,6 +242,9 @@ func New(store *state.Store, cfg Config) (*Engine, error) {
 		shards:   make([]engineShard, store.Shards()),
 		passHist: make([]*obs.Histogram, store.Shards()),
 		board:    score.NewBoard(store.Shards(), cfg.Core),
+	}
+	if cfg.Control.Enabled {
+		e.ctl = control.New(store.Shards(), cfg.Control)
 	}
 	for i := range e.shards {
 		e.shards[i].boxes = make(map[string]*boxRun)
@@ -484,6 +508,24 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, shard int, pass u
 			}
 			continue
 		}
+		// Robust control: judge the forecast on what the board had seen
+		// BEFORE this step plus this step's own realized error, then
+		// blend the plan toward the stingy safe allocation under the
+		// resulting trust. Runs before scoring (the board must score the
+		// published sizes) and before actuation.
+		var ctlDec control.Decision
+		if e.ctl != nil {
+			o := control.Observation{
+				Degraded:    res.Degraded,
+				SevereDrift: br.pipe.SevereDrift(),
+			}
+			o.RollingMAPE, o.RollingN, _ = e.board.MAPE(id)
+			if m := res.MeanMAPE(); !math.IsNaN(m) && !math.IsInf(m, 0) {
+				o.StepMAPE, o.HaveStep = m, true
+			}
+			ctlDec = e.ctl.Update(id, shard, o)
+			e.ctl.Blend(id, shard, wb, res, e.cfg.Core, ctlDec.Lambda)
+		}
 		// Score the step against realized demand before publication:
 		// the scorecard is always on and allocation-free after the
 		// box's first step.
@@ -506,6 +548,9 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, shard int, pass u
 		}
 		deltaVMs := planDelta(br.plan, res)
 		planInto(br.plan, id, step, res, dec, shard, pass, traceID)
+		if e.ctl != nil {
+			br.plan.Lambda, br.plan.BlendReason = ctlDec.Lambda, ctlDec.Reason
+		}
 		br.decision = dec
 		br.lastErr = err
 		if e.cfg.KeepResults {
@@ -527,6 +572,9 @@ func (e *Engine) stepBox(ctx context.Context, sh *engineShard, shard int, pass u
 			}
 			if m := res.MeanMAPE(); m == m { // NaN-safe for degraded boxes
 				ev.MeanMAPE = m
+			}
+			if e.ctl != nil {
+				ev.Lambda, ev.BlendReason = ctlDec.Lambda, ctlDec.Reason
 			}
 			if applyErr != nil {
 				ev.Err = applyErr.Error()
@@ -575,6 +623,7 @@ func planInto(p *Plan, id string, step int, res *core.BoxResult, dec core.Decisi
 	p.Research = dec.Research
 	p.Reason = dec.Reason
 	p.Degraded = res.Degraded
+	p.Lambda, p.BlendReason = 0, "" // controller-owned; set by the caller when enabled
 	p.Shard = shard
 	p.Pass = pass
 	p.TraceID = traceID

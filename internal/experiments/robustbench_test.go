@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"atm/internal/trace"
+)
+
+// TestRobustBench runs the trust sweep end to end and checks the
+// tentpole's acceptance bounds: stationary λ=1 parity with the
+// controller-free pipeline, and adaptive trust within tolerance of the
+// better pure strategy on every adversary family.
+func TestRobustBench(t *testing.T) {
+	r, err := RobustBench(Options{})
+	if err != nil {
+		t.Fatalf("RobustBench: %v", err)
+	}
+	if want := len(trace.Adversaries()); len(r.Families) != want {
+		t.Fatalf("families = %d, want %d", len(r.Families), want)
+	}
+	if !r.StationaryParity {
+		t.Error("λ=1 diverged from the controller-free pipeline on the stationary trace")
+	}
+	if !r.AllAdaptiveOK {
+		t.Error("adaptive trust outside tolerance on some family")
+	}
+	wantCells := len(robustFixedLambdas) + 1
+	for _, fam := range r.Families {
+		if len(fam.Cells) != wantCells {
+			t.Fatalf("%s: %d cells, want %d", fam.Family, len(fam.Cells), wantCells)
+		}
+		adaptive := fam.Cells[wantCells-1]
+		if adaptive.Mode != "adaptive" || adaptive.Lambda != -1 {
+			t.Fatalf("%s: last cell %+v is not the adaptive run", fam.Family, adaptive)
+		}
+		if !fam.AdaptiveOK {
+			t.Errorf("%s: adaptive %d vs endpoint %d (+%d)",
+				fam.Family, adaptive.TicketsAfter, fam.EndpointTickets, fam.Tolerance)
+		}
+		if adaptive.MeanLambda < 0 || adaptive.MeanLambda > 1 {
+			t.Errorf("%s: adaptive mean λ = %v", fam.Family, adaptive.MeanLambda)
+		}
+		// λ=1 never blends; λ<1 modes blend every non-degraded step.
+		pinnedFull := fam.Cells[wantCells-2]
+		if pinnedFull.Lambda != 1 || pinnedFull.BlendedSteps != 0 {
+			t.Errorf("%s: λ=1 cell blended %d steps", fam.Family, pinnedFull.BlendedSteps)
+		}
+		if zero := fam.Cells[0]; zero.BlendedSteps != r.Steps-zero.DegradedSteps {
+			t.Errorf("%s: λ=0 blended %d of %d steps", fam.Family, zero.BlendedSteps, r.Steps)
+		}
+	}
+	if tbl := r.Render(); len(tbl.Rows) != wantCells*len(r.Families) {
+		t.Errorf("table rows = %d, want %d", len(tbl.Rows), wantCells*len(r.Families))
+	}
+	svg, err := r.RenderSVG()
+	if err != nil || !strings.Contains(svg, "<svg") {
+		t.Errorf("RenderSVG: %v", err)
+	}
+}

@@ -59,6 +59,12 @@ type Event struct {
 	// DeltaVMs counts VMs whose CPU or RAM target changed vs the box's
 	// previous published plan (the full VM count on the first plan).
 	DeltaVMs int `json:"delta_vms,omitempty"`
+	// Lambda is the forecast trust the robust controller blended the
+	// plan with; BlendReason is the control.Reason* constant behind it.
+	// Both are absent when the controller is disabled — Lambda is
+	// meaningful only when BlendReason is set.
+	Lambda      float64 `json:"lambda,omitempty"`
+	BlendReason string  `json:"blend_reason,omitempty"`
 	// TraceID links the event to the step's span tree ("" with tracing
 	// off).
 	TraceID string `json:"trace_id,omitempty"`

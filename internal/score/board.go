@@ -251,6 +251,26 @@ func (b *Board) scoreSizing(c *card, res *core.BoxResult) {
 	underUnits.Add(under)
 }
 
+// MAPE returns the box's rolling forecast error — the mean realized
+// MAPE over its last n scored steps (n ≤ RollingWindow) — reporting
+// ok=false when the box has never been observed or has no scored
+// (non-degraded) step yet. Unlike Snapshot it copies no Card, so the
+// call is allocation-free: it sits on the engine's step path, where
+// the trust-blending controller reads it every step.
+func (b *Board) MAPE(id string) (mape float64, n int, ok bool) {
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		if c, found := sh.boxes[id]; found {
+			mape, n = c.RollingMAPE, c.RollingN
+			sh.mu.Unlock()
+			return mape, n, n > 0
+		}
+		sh.mu.Unlock()
+	}
+	return 0, 0, false
+}
+
 // Snapshot returns a copy of the box's scorecard, reporting false when
 // the box has never been observed.
 func (b *Board) Snapshot(id string) (Card, bool) {

@@ -1,0 +1,70 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"atm/internal/core"
+	"atm/internal/trace"
+)
+
+// degradedOnly builds a stingy-fallback result: realized tickets but no
+// forecast to score.
+func degradedOnly(box *trace.Box) *core.BoxResult {
+	return &core.BoxResult{
+		Box:      box,
+		Degraded: true,
+		CPU:      &core.BoxRun{Sizes: []float64{4}, TicketsAfter: 1},
+		RAM:      &core.BoxRun{Sizes: []float64{4}},
+	}
+}
+
+func TestBoardMAPEAccessor(t *testing.T) {
+	b := NewBoard(4, scoreConfig())
+	box := synthBox(25)
+
+	if _, _, ok := b.MAPE("box-1"); ok {
+		t.Fatal("MAPE of never-observed box reported ok")
+	}
+
+	// A degraded-only box exists on the board but carries no forecast
+	// to score — the accessor must not report a usable error for it.
+	b.Observe("box-1", 2, degradedOnly(box))
+	if _, n, ok := b.MAPE("box-1"); ok || n != 0 {
+		t.Fatalf("MAPE after degraded-only step = (n=%d, ok=%v), want (0, false)", n, ok)
+	}
+
+	b.Observe("box-1", 2, synthResult(box, 0.10))
+	b.Observe("box-1", 2, synthResult(box, 0.30))
+	m, n, ok := b.MAPE("box-1")
+	if !ok || n != 2 {
+		t.Fatalf("MAPE = (n=%d, ok=%v), want (2, true)", n, ok)
+	}
+	if math.Abs(m-0.20) > 1e-12 {
+		t.Fatalf("rolling MAPE = %v, want 0.20", m)
+	}
+
+	// The accessor must agree with the full Snapshot.
+	card, _ := b.Snapshot("box-1")
+	if m != card.RollingMAPE || n != card.RollingN {
+		t.Fatalf("MAPE (%v, %d) disagrees with Snapshot (%v, %d)",
+			m, n, card.RollingMAPE, card.RollingN)
+	}
+}
+
+// TestBoardMAPEAllocFree is the allocgate companion of
+// TestBoardObserveAllocFree: the accessor sits on the engine's step
+// path next to Observe and must not allocate either.
+func TestBoardMAPEAllocFree(t *testing.T) {
+	b := NewBoard(2, scoreConfig())
+	box := synthBox(50)
+	b.Observe("box-1", 1, synthResult(box, 0.1))
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := b.MAPE("box-1"); !ok {
+			t.Fatal("MAPE lost the box")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Board.MAPE allocates %.1f objects/op, want 0", allocs)
+	}
+}

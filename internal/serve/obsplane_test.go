@@ -101,11 +101,35 @@ func TestEventsEndpoint(t *testing.T) {
 		t.Fatal("no plan event for the planned box")
 	}
 
-	// Bad n is rejected.
-	w = httptest.NewRecorder()
-	svc.EventsHandler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/events?n=zero", nil))
-	if w.Code != http.StatusBadRequest {
-		t.Fatalf("bad n status = %d, want 400", w.Code)
+	// n= validation: anything that is not a positive integer is a 400
+	// with a JSON error body; valid values (and an absent n) are 200.
+	for _, tc := range []struct {
+		n    string
+		code int
+	}{
+		{"zero", http.StatusBadRequest},
+		{"-1", http.StatusBadRequest},
+		{"0", http.StatusBadRequest},
+		{"1.5", http.StatusBadRequest},
+		{"", http.StatusOK},
+		{"1", http.StatusOK},
+		{"500", http.StatusOK},
+	} {
+		target := "/v1/events"
+		if tc.n != "" {
+			target += "?n=" + tc.n
+		}
+		w = httptest.NewRecorder()
+		svc.EventsHandler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, target, nil))
+		if w.Code != tc.code {
+			t.Fatalf("n=%q status = %d, want %d", tc.n, w.Code, tc.code)
+		}
+		if tc.code == http.StatusBadRequest {
+			var body map[string]string
+			if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body["error"] == "" {
+				t.Fatalf("n=%q error body = %q (err %v), want JSON error", tc.n, w.Body, err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"atm/internal/timeseries"
+)
+
+// Adversary names a forecast-hostile perturbation family applied on
+// top of a generated trace. The families are the three canonical ways
+// a learned forecast goes wrong in production — the workload changes
+// for good (regime change), the workload spikes without precedent
+// (flash crowd), or the telemetry itself lies (poisoning) — and they
+// are what the robustness benchmark sweeps the trust controller
+// against.
+type Adversary string
+
+const (
+	// AdversaryNone leaves the trace untouched — the stationary
+	// control arm every robustness sweep needs.
+	AdversaryNone Adversary = "stationary"
+	// AdversaryRegimeChange permanently rewrites the workload from
+	// Start on: the within-day pattern is rotated by half a day and
+	// amplified, with a level lift on top. Seasonal predictors keep
+	// forecasting the old day shape until their training history
+	// refills with post-change samples.
+	AdversaryRegimeChange Adversary = "regime_change"
+	// AdversaryFlashCrowd overlays a sustained multiplicative surge,
+	// correlated across every VM of the box: a sharp ramp to a
+	// multiple of the baseline, held for over a day, then released.
+	// No training history anticipates the onset.
+	AdversaryFlashCrowd Adversary = "flash_crowd"
+	// AdversaryPoisoning deflates the telemetry for one day — the
+	// monitoring pipeline under-reports usage (agent bug, unit
+	// regression, or an actor gaming the sizer). Demand-following
+	// forecasts trained on the poisoned day under-predict the real
+	// load that follows; the stingy peak survives on the uncorrupted
+	// remainder of the training window.
+	AdversaryPoisoning Adversary = "poisoning"
+)
+
+// Adversary tuning. Exported so the benchmark tables can print the
+// exact perturbation they measured.
+const (
+	// RegimeGain amplifies the rotated day shape; RegimeLiftCPU /
+	// RegimeLiftRAM add a flat utilization-percent level on top.
+	RegimeGain    = 1.3
+	RegimeLiftCPU = 12.0
+	RegimeLiftRAM = 8.0
+	// FlashAmpCPU / FlashAmpRAM are the surge peaks as multiples of
+	// baseline (CPU doubles); FlashRampFrac and FlashHoldDays shape
+	// the ramp (fraction of a day) and the hold (days).
+	FlashAmpCPU   = 1.0
+	FlashAmpRAM   = 0.5
+	FlashRampFrac = 0.25
+	FlashHoldDays = 1.5
+	// PoisonFactor scales usage during the poisoned day.
+	PoisonFactor = 0.35
+)
+
+// AdversaryConfig parameterizes an adversarial overlay.
+type AdversaryConfig struct {
+	// Family selects the perturbation ("" and AdversaryNone are
+	// no-ops).
+	Family Adversary
+	// Start is the sample index where the perturbation begins. It
+	// should sit past the initial training window so the adversary
+	// hits a warmed-up model, not the cold start.
+	Start int
+	// SamplesPerDay anchors the within-day structure (rotation width,
+	// surge duration, poisoned span).
+	SamplesPerDay int
+	// Seed drives the per-VM jitter; overlays are fully deterministic
+	// in (Seed, Family, Start, SamplesPerDay).
+	Seed int64
+}
+
+// ApplyAdversary mutates the box's usage series in place with the
+// configured perturbation. Gap (NaN) samples stay NaN — the overlay
+// arithmetic propagates them and the clamps pass them through. Pre-
+// Start samples are never touched, so the model's initial training
+// history is exactly the stationary trace's.
+func ApplyAdversary(b *Box, cfg AdversaryConfig) error {
+	switch cfg.Family {
+	case "", AdversaryNone:
+		return nil
+	case AdversaryRegimeChange, AdversaryFlashCrowd, AdversaryPoisoning:
+	default:
+		return fmt.Errorf("trace: unknown adversary family %q", cfg.Family)
+	}
+	if cfg.SamplesPerDay <= 0 {
+		return fmt.Errorf("trace: adversary needs samples-per-day, got %d", cfg.SamplesPerDay)
+	}
+	n := 0
+	if len(b.VMs) > 0 {
+		n = len(b.VMs[0].CPU)
+	}
+	if cfg.Start < 0 || cfg.Start >= n {
+		return fmt.Errorf("trace: adversary start %d outside trace [0,%d)", cfg.Start, n)
+	}
+	for v := range b.VMs {
+		// Independent per-VM stream, like Generate's per-box streams:
+		// VM v perturbs identically regardless of the others.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(v)*9_461))
+		vm := &b.VMs[v]
+		switch cfg.Family {
+		case AdversaryRegimeChange:
+			regimeChange(vm.CPU, cfg, rng, clampCPU, RegimeLiftCPU)
+			regimeChange(vm.RAM, cfg, rng, clampRAM, RegimeLiftRAM)
+		case AdversaryFlashCrowd:
+			// One surge trajectory per VM pair of series: CPU and RAM
+			// surge together (a real crowd hits both), RAM at half
+			// amplitude.
+			jitter := 0.85 + 0.3*rng.Float64()
+			flashCrowd(vm.CPU, cfg, clampCPU, FlashAmpCPU*jitter)
+			flashCrowd(vm.RAM, cfg, clampRAM, FlashAmpRAM*jitter)
+		case AdversaryPoisoning:
+			poison(vm.CPU, cfg, clampCPU)
+			poison(vm.RAM, cfg, clampRAM)
+		}
+	}
+	return nil
+}
+
+// regimeChange rewrites u from Start on: the sample half a day "ago"
+// (in the original, pre-mutation series) becomes the new value,
+// amplified by RegimeGain plus a per-VM jittered level lift — a
+// permanent phase rotation with a higher operating point.
+func regimeChange(u timeseries.Series, cfg AdversaryConfig, rng *rand.Rand, clamp func(float64) float64, lift float64) {
+	if len(u) == 0 {
+		return
+	}
+	orig := append(timeseries.Series(nil), u...)
+	shift := cfg.SamplesPerDay / 2
+	lift *= 0.8 + 0.4*rng.Float64()
+	for i := cfg.Start; i < len(u); i++ {
+		j := i - shift
+		if j < 0 {
+			j += len(orig)
+		}
+		u[i] = clamp(RegimeGain*orig[j] + lift)
+	}
+}
+
+// flashCrowd multiplies u by a correlated surge profile: linear ramp
+// over FlashRampFrac of a day, hold at 1+amp for FlashHoldDays, then
+// instant release.
+func flashCrowd(u timeseries.Series, cfg AdversaryConfig, clamp func(float64) float64, amp float64) {
+	ramp := int(FlashRampFrac * float64(cfg.SamplesPerDay))
+	if ramp < 1 {
+		ramp = 1
+	}
+	hold := int(FlashHoldDays * float64(cfg.SamplesPerDay))
+	end := cfg.Start + ramp + hold
+	if end > len(u) {
+		end = len(u)
+	}
+	for i := cfg.Start; i < end; i++ {
+		f := 1.0
+		if i-cfg.Start < ramp {
+			f = float64(i-cfg.Start+1) / float64(ramp)
+		}
+		u[i] = clamp(u[i] * (1 + amp*f))
+	}
+}
+
+// poison deflates one day of telemetry starting at Start.
+func poison(u timeseries.Series, cfg AdversaryConfig, clamp func(float64) float64) {
+	end := cfg.Start + cfg.SamplesPerDay
+	if end > len(u) {
+		end = len(u)
+	}
+	for i := cfg.Start; i < end; i++ {
+		u[i] = clamp(u[i] * PoisonFactor)
+	}
+}
+
+// Adversaries lists every family, stationary first — the order the
+// robustness benchmark sweeps and its tables print.
+func Adversaries() []Adversary {
+	return []Adversary{AdversaryNone, AdversaryRegimeChange, AdversaryFlashCrowd, AdversaryPoisoning}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func adversaryBox(t *testing.T) (*Box, int) {
+	t.Helper()
+	tr := Generate(GenConfig{Boxes: 3, Days: 6, SamplesPerDay: 24, Seed: 11})
+	gapFree := tr.GapFree()
+	if len(gapFree) == 0 {
+		t.Fatal("no gap-free box")
+	}
+	return gapFree[0], tr.SamplesPerDay
+}
+
+// cloneBox deep-copies the usage series so mutations are observable.
+func cloneBox(b *Box) *Box {
+	out := *b
+	out.VMs = append([]VM(nil), b.VMs...)
+	for i := range out.VMs {
+		out.VMs[i].CPU = append([]float64(nil), b.VMs[i].CPU...)
+		out.VMs[i].RAM = append([]float64(nil), b.VMs[i].RAM...)
+	}
+	return &out
+}
+
+func TestApplyAdversaryValidates(t *testing.T) {
+	b, spd := adversaryBox(t)
+	if err := ApplyAdversary(b, AdversaryConfig{Family: "nonsense", Start: 0, SamplesPerDay: spd}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if err := ApplyAdversary(b, AdversaryConfig{Family: AdversaryPoisoning, Start: -1, SamplesPerDay: spd}); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := ApplyAdversary(b, AdversaryConfig{Family: AdversaryPoisoning, Start: 0, SamplesPerDay: 0}); err == nil {
+		t.Fatal("zero samples-per-day accepted")
+	}
+}
+
+func TestApplyAdversaryFamilies(t *testing.T) {
+	base, spd := adversaryBox(t)
+	start := 2 * spd
+	n := len(base.VMs[0].CPU)
+
+	for _, fam := range []Adversary{AdversaryNone, AdversaryRegimeChange, AdversaryFlashCrowd, AdversaryPoisoning} {
+		t.Run(string(fam), func(t *testing.T) {
+			got := cloneBox(base)
+			cfg := AdversaryConfig{Family: fam, Start: start, SamplesPerDay: spd, Seed: 5}
+			if err := ApplyAdversary(got, cfg); err != nil {
+				t.Fatalf("ApplyAdversary: %v", err)
+			}
+
+			// Determinism: a second application to a fresh clone is
+			// bit-identical.
+			again := cloneBox(base)
+			if err := ApplyAdversary(again, cfg); err != nil {
+				t.Fatal(err)
+			}
+			changed := false
+			for v := range got.VMs {
+				for i := 0; i < n; i++ {
+					if got.VMs[v].CPU[i] != again.VMs[v].CPU[i] || got.VMs[v].RAM[i] != again.VMs[v].RAM[i] {
+						t.Fatalf("vm %d sample %d: nondeterministic overlay", v, i)
+					}
+					// Pre-start history is sacrosanct.
+					if i < start && got.VMs[v].CPU[i] != base.VMs[v].CPU[i] {
+						t.Fatalf("vm %d sample %d: pre-start sample mutated", v, i)
+					}
+					if got.VMs[v].CPU[i] != base.VMs[v].CPU[i] {
+						changed = true
+					}
+					// Clamps hold for every family.
+					if u := got.VMs[v].CPU[i]; !math.IsNaN(u) && (u < 0.5 || u > 170) {
+						t.Fatalf("vm %d sample %d: CPU %v outside clamp", v, i, u)
+					}
+					if u := got.VMs[v].RAM[i]; !math.IsNaN(u) && (u < 0.5 || u > 120) {
+						t.Fatalf("vm %d sample %d: RAM %v outside clamp", v, i, u)
+					}
+				}
+			}
+			if fam == AdversaryNone && changed {
+				t.Fatal("stationary overlay changed the trace")
+			}
+			if fam != AdversaryNone && !changed {
+				t.Fatal("adversary left the trace untouched")
+			}
+		})
+	}
+}
+
+// TestPoisoningDeflates: the poisoned day under-reports and everything
+// outside it is untouched.
+func TestPoisoningDeflates(t *testing.T) {
+	base, spd := adversaryBox(t)
+	start := 2 * spd
+	got := cloneBox(base)
+	if err := ApplyAdversary(got, AdversaryConfig{Family: AdversaryPoisoning, Start: start, SamplesPerDay: spd}); err != nil {
+		t.Fatal(err)
+	}
+	u, orig := got.VMs[0].CPU, base.VMs[0].CPU
+	for i := start; i < start+spd; i++ {
+		want := orig[i] * PoisonFactor
+		if want < 0.5 {
+			want = 0.5
+		}
+		if u[i] != want {
+			t.Fatalf("sample %d: poisoned = %v, want %v", i, u[i], want)
+		}
+	}
+	for i := start + spd; i < len(u); i++ {
+		if u[i] != orig[i] {
+			t.Fatalf("sample %d after poisoned day mutated", i)
+		}
+	}
+}
+
+// TestFlashCrowdSurges: values inside the hold window rise (up to the
+// clamp), and the surge releases afterwards.
+func TestFlashCrowdSurges(t *testing.T) {
+	base, spd := adversaryBox(t)
+	start := 2 * spd
+	got := cloneBox(base)
+	if err := ApplyAdversary(got, AdversaryConfig{Family: AdversaryFlashCrowd, Start: start, SamplesPerDay: spd, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	u, orig := got.VMs[0].CPU, base.VMs[0].CPU
+	ramp := int(FlashRampFrac * float64(spd))
+	hold := int(FlashHoldDays * float64(spd))
+	for i := start + ramp; i < start+ramp+hold && i < len(u); i++ {
+		if u[i] < orig[i] {
+			t.Fatalf("sample %d: surge lowered usage (%v < %v)", i, u[i], orig[i])
+		}
+	}
+	for i := start + ramp + hold; i < len(u); i++ {
+		if u[i] != orig[i] {
+			t.Fatalf("sample %d: surge did not release", i)
+		}
+	}
+}
