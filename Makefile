@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard obsbench obsguard robustbench robustguard metrics-lint loadsmoke allocgate microbench tracebench chaos serve
+.PHONY: build vet test race verify cover bench resizebench rollingbench benchguard ingestbench ingestguard obsbench obsguard robustbench robustguard metrics-lint loadsmoke allocgate microbench tracebench chaos conformance whatif serve
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/score/... ./internal/control/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmload/...
+	$(GO) test -race ./internal/parallel/... ./internal/cluster/... ./internal/resize/... ./internal/regress/... ./internal/experiments/... ./internal/core/... ./internal/obs/... ./internal/score/... ./internal/control/... ./internal/resilience/... ./internal/actuator/... ./internal/state/... ./internal/engine/... ./internal/serve/... ./cmd/atmd/... ./cmd/atmcli/... ./cmd/atmload/...
 
 verify: build vet test race
 
@@ -29,6 +29,22 @@ verify: build vet test race
 # deterministic — a failure here is a real bug, not flake.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Flaky|Breaker|Retry|Apply|Partial|Rollback|Degraded|Panic' ./internal/resilience/... ./internal/actuator/... ./internal/core/... ./internal/parallel/...
+
+# Backend-conformance suite under the race detector: the same
+# transactional, classification and chaos scenarios (30% seeded fault
+# rate) against every actuation backend — cgroups daemon over HTTP,
+# the Kubernetes in-place resize fake, the simulated testbed cluster
+# and the in-process registry. Seeded, so a failure is a bug.
+conformance:
+	$(GO) test -race -count=1 -v -run 'Conformance' ./internal/actuator/conformance/
+
+# Dry-run smoke: proves `atmcli apply -dry-run` and the engine's
+# DryRun mode perform zero mutating calls, measured by counting fake
+# backends at both the HTTP layer and the Backend interface.
+whatif:
+	$(GO) test -count=1 -v -run 'TestApplyDryRunZeroWrites' ./cmd/atmcli/
+	$(GO) test -count=1 -v -run 'TestEngineDryRunZeroWrites' ./internal/engine/
+	$(GO) test -count=1 -v -run 'TestWhatIfRoute' ./internal/serve/
 
 # Full-suite coverage profile plus the total percentage on stdout; CI
 # uploads coverage.out as an artifact.

@@ -4,15 +4,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"atm/internal/actuator"
+	"atm/internal/actuator/policy"
 	"atm/internal/core"
 	"atm/internal/predict"
 	"atm/internal/resilience"
 	"atm/internal/spatial"
 	"atm/internal/trace"
+)
+
+// Apply exit codes. Scripts branch on these: 0 is a fully clean round,
+// 1 means at least one box failed hard (possibly left dirty), 2 is an
+// operator error (bad flags, unreadable policy), and 3 is the
+// "survived but not clean" band — every box either applied, rolled
+// back atomically, or shipped the stingy degraded fallback.
+const (
+	exitOK      = 0
+	exitFailed  = 1
+	exitUsage   = 2
+	exitPartial = 3
 )
 
 // applyOpts carries the actuation flags of the apply subcommand.
@@ -22,19 +36,54 @@ type applyOpts struct {
 	breakerThreshold int
 	timeout          time.Duration
 	threshold        float64
+	policyFile       string
+	dryRun           bool
 }
 
-// applyRun runs the ATM pipeline over the whole trace in degraded mode
-// and pushes every box's resize decision to the hypervisor daemon
-// through the retried, breaker-guarded client. Boxes whose models fail
-// ship the stingy fallback; boxes whose actuation fails partway are
-// rolled back to their pre-push limits. The exit status is 0 only when
-// no box was left un-actuated or dirty.
+// applyRun is the os.Exit shim around applyMain.
 func applyRun(tr *trace.Trace, o applyOpts) {
+	os.Exit(applyMain(tr, o, os.Stdout, os.Stderr))
+}
+
+// applyMain runs the ATM pipeline over the whole trace in degraded
+// mode and pushes every box's resize decision to the hypervisor daemon
+// through the retried, breaker-guarded client — with -policy, through
+// the operator's clamp/rate rails first. Boxes whose models fail ship
+// the stingy fallback; boxes whose actuation fails partway are rolled
+// back to their pre-push limits. With -dry-run nothing is written:
+// each box's what-if actuation plan is computed (reads only) and
+// summarized instead.
+func applyMain(tr *trace.Trace, o applyOpts, stdout, stderr io.Writer) int {
 	if o.daemon == "" {
-		fmt.Fprintln(os.Stderr, "atmcli: apply requires -daemon")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "atmcli: apply requires -daemon")
+		return exitUsage
 	}
+	client, cerr := actuator.NewClient(o.daemon, nil)
+	if cerr != nil {
+		fmt.Fprintf(stderr, "atmcli: %v\n", cerr)
+		return exitUsage
+	}
+	var pc policy.Config
+	if o.policyFile != "" {
+		var err error
+		if pc, err = policy.Load(o.policyFile); err != nil {
+			fmt.Fprintf(stderr, "atmcli: %v\n", err)
+			return exitUsage
+		}
+	}
+	// Backend composition, innermost out: raw client, policy rails in
+	// front of every write, then retry + breaker on the outside so a
+	// rate-limited (429) write is retried with backoff like any other
+	// transient fault.
+	var backend actuator.Backend = client
+	if o.policyFile != "" {
+		backend = policy.NewGuard(backend, pc)
+	}
+	rc := actuator.NewResilientBackend(backend, actuator.ResilientConfig{
+		Retry:   resilience.Policy{MaxAttempts: o.retries},
+		Breaker: resilience.BreakerConfig{FailureThreshold: o.breakerThreshold},
+	})
+
 	spd := tr.SamplesPerDay
 	cfg := core.Config{
 		Spatial:  spatial.Config{Method: spatial.MethodCBC},
@@ -56,13 +105,12 @@ func applyRun(tr *trace.Trace, o applyOpts) {
 	defer cancel()
 	results, runErr := core.RunContext(ctx, boxes, spd, cfg)
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "atmcli: degraded boxes:\n%v\n", runErr)
+		fmt.Fprintf(stderr, "atmcli: degraded boxes:\n%v\n", runErr)
 	}
 
-	rc := actuator.NewResilient(actuator.NewClient(o.daemon, nil), actuator.ResilientConfig{
-		Retry:   resilience.Policy{MaxAttempts: o.retries},
-		Breaker: resilience.BreakerConfig{FailureThreshold: o.breakerThreshold},
-	})
+	if o.dryRun {
+		return applyDryRun(ctx, rc, pc, results, stdout, stderr)
+	}
 
 	var applied, degraded, rolledBack, failed int
 	for _, res := range results {
@@ -80,15 +128,58 @@ func applyRun(tr *trace.Trace, o applyOpts) {
 			applied++
 		case errors.As(err, &pe) && pe.RolledBackClean():
 			rolledBack++
-			fmt.Fprintf(os.Stderr, "atmcli: %s rolled back: %v\n", res.Box.ID, err)
+			fmt.Fprintf(stderr, "atmcli: %s rolled back: %v\n", res.Box.ID, err)
 		default:
 			failed++
-			fmt.Fprintf(os.Stderr, "atmcli: %s FAILED: %v\n", res.Box.ID, err)
+			fmt.Fprintf(stderr, "atmcli: %s FAILED: %v\n", res.Box.ID, err)
 		}
 	}
-	fmt.Printf("applied %d/%d boxes (%d degraded to stingy fallback), %d rolled back, %d failed; breaker %v\n",
+	fmt.Fprintf(stdout, "applied %d/%d boxes (%d degraded to stingy fallback), %d rolled back, %d failed; breaker %v\n",
 		applied, len(results), degraded, rolledBack, failed, rc.Breaker().State())
-	if failed > 0 {
-		os.Exit(1)
+	switch {
+	case failed > 0:
+		fmt.Fprintf(stderr, "atmcli: apply FAILED: %d of %d boxes not actuated (exit %d)\n",
+			failed, len(results), exitFailed)
+		return exitFailed
+	case rolledBack > 0 || degraded > 0:
+		fmt.Fprintf(stderr, "atmcli: apply partial: %d rolled back, %d degraded to stingy fallback (exit %d)\n",
+			rolledBack, degraded, exitPartial)
+		return exitPartial
 	}
+	return exitOK
+}
+
+// applyDryRun prints each box's what-if actuation plan — what an apply
+// round would write, clamp or refuse — without a single mutating call:
+// building the plans issues only GetLimits reads against the daemon.
+func applyDryRun(ctx context.Context, b actuator.Backend, pc policy.Config, results []*core.BoxResult, stdout, stderr io.Writer) int {
+	var boxesPlanned, writes, rejects, clamped, failed int
+	for _, res := range results {
+		if res == nil || res.CPU == nil || res.RAM == nil {
+			failed++
+			continue
+		}
+		vms := make([]string, len(res.Box.VMs))
+		for v := range res.Box.VMs {
+			vms[v] = res.Box.VMs[v].ID
+		}
+		plan := policy.WhatIf(ctx, b, pc, res.Box.ID, vms, res.CPU.Sizes, res.RAM.Sizes)
+		boxesPlanned++
+		writes += plan.Writes
+		rejects += plan.Rejects
+		for _, row := range plan.Rows {
+			if len(row.Violations) > 0 && row.Action != policy.ActionReject {
+				clamped++
+			}
+		}
+		fmt.Fprintf(stdout, "%s: %d writes, %d rejects (%d VMs)\n",
+			res.Box.ID, plan.Writes, plan.Rejects, len(plan.Rows))
+	}
+	fmt.Fprintf(stdout, "dry-run: %d boxes planned, %d writes, %d clamped, %d rejects, %d failed; nothing written\n",
+		boxesPlanned, writes, clamped, rejects, failed)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "atmcli: dry-run: %d boxes produced no plan (exit %d)\n", failed, exitFailed)
+		return exitFailed
+	}
+	return exitOK
 }

@@ -11,6 +11,7 @@
 //	atmcli culprits -trace trace.csv [-threshold 0.6] [-top 10]
 //	atmcli apply    -trace trace.csv -daemon http://host:8023 [-retries 4]
 //	                [-breaker-threshold 5] [-timeout 10m] [-threshold 0.6]
+//	                [-policy rails.json] [-dry-run]
 //	atmcli stream   -trace trace.csv -daemon http://host:8023 [-rate 100]
 //	                [-batch 8] [-boxes 4] [-timeout 10m]
 //	atmcli inspect  -daemon http://host:8023 -id box-0003
@@ -19,6 +20,12 @@
 // state — the latest plan, the research/refit decision behind it, the
 // forecast scorecard, recent decision events and the last step's span
 // tree.
+//
+// apply exits 0 on a fully clean round, 1 when any box failed hard, 2
+// on operator error, and 3 when the round survived but was not clean
+// (boxes rolled back atomically or degraded to the stingy fallback).
+// -policy interposes clamp/rate rails before every write; -dry-run
+// prints the per-box what-if plans without a single mutating call.
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 	daemon := fs.String("daemon", "", "atmd base URL (for 'apply' and 'stream')")
 	retries := fs.Int("retries", 4, "SetLimits attempts per VM (for 'apply')")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures before the circuit opens (for 'apply')")
+	policyFile := fs.String("policy", "", "JSON policy file with min/max/step clamps and write rate limits (for 'apply')")
+	dryRun := fs.Bool("dry-run", false, "compute and print per-box what-if actuation plans without writing (for 'apply')")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline for the apply/stream round")
 	rate := fs.Float64("rate", 0, "ticks per second to replay (for 'stream'; 0 = full speed)")
 	batch := fs.Int("batch", 8, "ticks per ingestion POST (for 'stream')")
@@ -86,6 +95,8 @@ func main() {
 			breakerThreshold: *breakerThreshold,
 			timeout:          *timeout,
 			threshold:        *threshold,
+			policyFile:       *policyFile,
+			dryRun:           *dryRun,
 		})
 	case "stream":
 		streamRun(tr, streamOpts{

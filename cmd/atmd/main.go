@@ -33,9 +33,19 @@
 //	                             {"boxes": [{"id": "...", "box": {...}, "samples": [...]}]}
 //	                             with per-box error reporting
 //	GET  /v1/boxes/<id>/plan     latest resize plan for the box
+//	GET  /v1/boxes/<id>/whatif   dry-run actuation plan: per-VM writes,
+//	                             policy clamps and rejections the latest
+//	                             plan would produce, computed without
+//	                             touching the cgroup registry
 //	GET  /v1/boxes/<id>/debug    step state, last decision, forecast
 //	                             scorecard, events and span tree
 //	GET  /v1/events              decision-event tail (?box=, ?n=)
+//
+// -actuate pushes plans into this daemon's own cgroup registry through
+// the transactional apply path; -policy FILE interposes min/max/step
+// clamps and write rate limits in front of every write; -dry-run keeps
+// the engine plan-only (whatif still answers) no matter what else is
+// set.
 //
 // -events FILE appends every decision event as one JSON line; -spans
 // FILE does the same for spans with size-based rotation
@@ -121,6 +131,8 @@ func main() {
 	flag.BoolVar(&sc.reuse, "reuse", false, "serve: reuse signature sets across windows (refit until drift)")
 	flag.BoolVar(&sc.robust, "control", false, "serve: blend plans toward the worst-case-safe allocation under drift-adaptive forecast trust")
 	flag.BoolVar(&sc.actuate, "actuate", false, "serve: push plans into this daemon's cgroup registry")
+	flag.BoolVar(&sc.dryRun, "dry-run", false, "serve: plan-only — publish plans and answer whatif, never write limits")
+	flag.StringVar(&sc.policyFile, "policy", "", "serve: JSON policy file with min/max/step clamps and write rate limits (requires -actuate or -dry-run)")
 	flag.IntVar(&sc.workers, "workers", 0, "serve: engine worker-pool size (0 = one per core)")
 	flag.IntVar(&sc.history, "history", 0, "serve: samples retained per series (0 = 2*(train+horizon))")
 	flag.IntVar(&sc.shards, "shards", 0, "serve: state-store shard count (0 = default)")
@@ -151,8 +163,8 @@ func main() {
 			os.Exit(2)
 		}
 		svc.Start()
-		log.Printf("atmd: streaming service on (train=%d horizon=%d spd=%d reuse=%v actuate=%v history=%d shards=%d)",
-			sc.train, sc.horizon, sc.spd, sc.reuse, sc.actuate, cfg.History, svc.Store().Shards())
+		log.Printf("atmd: streaming service on (train=%d horizon=%d spd=%d reuse=%v actuate=%v dry-run=%v policy=%q history=%d shards=%d)",
+			sc.train, sc.horizon, sc.spd, sc.reuse, sc.actuate, sc.dryRun, sc.policyFile, cfg.History, svc.Store().Shards())
 	}
 
 	srv := &http.Server{

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 
+	"atm/internal/actuator"
+	"atm/internal/actuator/policy"
 	"atm/internal/control"
 	"atm/internal/core"
 	"atm/internal/engine"
@@ -18,6 +20,8 @@ type serveConfig struct {
 	threshold, epsilon  float64
 	reuse, actuate      bool
 	robust              bool
+	dryRun              bool
+	policyFile          string
 	workers, history    int
 	shards              int
 	maxBody             int64
@@ -26,8 +30,10 @@ type serveConfig struct {
 }
 
 // build turns the flag bundle into a serve.Config, defaulting history
-// to two full pipeline windows.
-func (c serveConfig) build(setter core.LimitSetter) (serve.Config, error) {
+// to two full pipeline windows. backend is the actuation target wired
+// in when -actuate (writes) or -dry-run (what-if reads only) ask for
+// one — for this daemon, its own cgroup registry.
+func (c serveConfig) build(backend actuator.Backend) (serve.Config, error) {
 	if c.train <= 0 || c.horizon <= 0 || c.spd <= 0 {
 		return serve.Config{}, fmt.Errorf("atmd: -train, -horizon and -spd must be positive")
 	}
@@ -52,8 +58,21 @@ func (c serveConfig) build(setter core.LimitSetter) (serve.Config, error) {
 		// decision event and debug snapshot).
 		cfg.Control = control.Config{Enabled: true}
 	}
-	if c.actuate {
-		cfg.Setter = setter
+	if c.actuate || c.dryRun {
+		// Backend (not the legacy Setter) so policy rails compose in
+		// front and the what-if route can read current limits.
+		cfg.Backend = backend
+	}
+	cfg.DryRun = c.dryRun
+	if c.policyFile != "" {
+		if cfg.Backend == nil {
+			return serve.Config{}, fmt.Errorf("atmd: -policy requires -actuate or -dry-run")
+		}
+		pc, err := policy.Load(c.policyFile)
+		if err != nil {
+			return serve.Config{}, fmt.Errorf("atmd: -policy: %w", err)
+		}
+		cfg.Policy = &pc
 	}
 	history := c.history
 	if history <= 0 {

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -289,5 +291,65 @@ func TestServiceDrain(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("drain did not complete")
+	}
+}
+
+// TestServeConfigBuild pins how the actuation flags compose into the
+// engine config: -actuate and -dry-run wire the registry in as a
+// Backend, -policy loads rails from disk and refuses to stand alone.
+func TestServeConfigBuild(t *testing.T) {
+	base := serveConfig{train: 64, horizon: 32, spd: 32, threshold: 0.6, epsilon: 0.1}
+	reg := actuator.NewRegistry()
+
+	plain, err := base.build(reg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if plain.Engine.Backend != nil || plain.Engine.Setter != nil {
+		t.Error("plain build wired an actuation target")
+	}
+
+	act := base
+	act.actuate = true
+	cfg, err := act.build(reg)
+	if err != nil {
+		t.Fatalf("build -actuate: %v", err)
+	}
+	if cfg.Engine.Backend == nil || cfg.Engine.DryRun {
+		t.Error("-actuate should set Backend without DryRun")
+	}
+
+	dry := base
+	dry.dryRun = true
+	cfg, err = dry.build(reg)
+	if err != nil {
+		t.Fatalf("build -dry-run: %v", err)
+	}
+	if cfg.Engine.Backend == nil || !cfg.Engine.DryRun {
+		t.Error("-dry-run should set Backend and DryRun")
+	}
+
+	pol := base
+	pol.policyFile = filepath.Join(t.TempDir(), "policy.json")
+	if err := os.WriteFile(pol.policyFile,
+		[]byte(`{"mode":"reject","rules":[{"match":"*","max_cpu_ghz":2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pol.build(reg); err == nil {
+		t.Error("-policy without -actuate/-dry-run accepted, want error")
+	}
+	pol.dryRun = true
+	cfg, err = pol.build(reg)
+	if err != nil {
+		t.Fatalf("build -policy -dry-run: %v", err)
+	}
+	if cfg.Engine.Policy == nil || cfg.Engine.Policy.Mode != "reject" || len(cfg.Engine.Policy.Rules) != 1 {
+		t.Errorf("policy not loaded: %+v", cfg.Engine.Policy)
+	}
+
+	bad := pol
+	bad.policyFile = filepath.Join(t.TempDir(), "missing.json")
+	if _, err := bad.build(reg); err == nil {
+		t.Error("missing policy file accepted, want error")
 	}
 }

@@ -29,7 +29,10 @@ func main() {
 	cluster := testbed.DefaultTopology()
 	daemon := httptest.NewServer(cluster.Limits.Handler())
 	defer daemon.Close()
-	client := actuator.NewClient(daemon.URL, daemon.Client())
+	client, err := actuator.NewClient(daemon.URL, daemon.Client())
+	if err != nil {
+		log.Fatalf("actuator client: %v", err)
+	}
 	ctrl := testbed.NewDefaultController(client)
 	managed, err := cluster.Run(windows, ctrl)
 	if err != nil {

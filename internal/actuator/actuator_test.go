@@ -104,7 +104,16 @@ func newTestDaemon(t *testing.T) (*Client, *Registry) {
 	r := NewRegistry()
 	srv := httptest.NewServer(r.Handler())
 	t.Cleanup(srv.Close)
-	return NewClient(srv.URL, srv.Client()), r
+	return mustClient(t, srv.URL, srv.Client()), r
+}
+
+func mustClient(t *testing.T, base string, httpc *http.Client) *Client {
+	t.Helper()
+	c, err := NewClient(base, httpc)
+	if err != nil {
+		t.Fatalf("NewClient(%q) = %v", base, err)
+	}
+	return c
 }
 
 func TestClientRoundTrip(t *testing.T) {

@@ -1,6 +1,7 @@
 package actuator
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -95,6 +96,34 @@ func (a *AuditLog) History(id string) []Change {
 	}
 	return out
 }
+
+// SetLimits adapts Set to the Backend write path, so an audited
+// registry can stand wherever a Backend is expected.
+func (a *AuditLog) SetLimits(ctx context.Context, id string, l Limits) error {
+	return a.Set(id, l)
+}
+
+// GetLimits reads through to the underlying registry (reads are not
+// audited).
+func (a *AuditLog) GetLimits(ctx context.Context, id string) (Limits, error) {
+	return a.reg.GetLimits(ctx, id)
+}
+
+// DeleteGroup adapts Delete to the Backend write path.
+func (a *AuditLog) DeleteGroup(ctx context.Context, id string) error {
+	a.Delete(id)
+	return nil
+}
+
+// Capabilities reports the underlying registry's capability set under
+// the audited name.
+func (a *AuditLog) Capabilities() Capabilities {
+	caps := a.reg.Capabilities()
+	caps.Name = "audited-registry"
+	return caps
+}
+
+var _ Backend = (*AuditLog)(nil)
 
 // LastChange returns the most recent change for the cgroup and whether
 // one is retained.

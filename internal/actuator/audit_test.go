@@ -1,6 +1,8 @@
 package actuator
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -107,5 +109,125 @@ func TestAuditLogConcurrent(t *testing.T) {
 		if hist[i].Seq <= hist[i-1].Seq {
 			t.Fatalf("sequence not increasing at %d", i)
 		}
+	}
+}
+
+// TestAuditLogBackendAdapters drives the audit log through the Backend
+// interface: writes and deletes arriving via SetLimits/DeleteGroup
+// must be recorded exactly like direct Set/Delete calls, reads must
+// not be, and the capability descriptor must identify the wrapper.
+func TestAuditLogBackendAdapters(t *testing.T) {
+	log := NewAuditLog(NewRegistry(), 0)
+	var b Backend = log
+	ctx := context.Background()
+	if err := b.SetLimits(ctx, "vm-1", Limits{CPUGHz: 1, RAMGB: 2}); err != nil {
+		t.Fatalf("SetLimits: %v", err)
+	}
+	if _, err := b.GetLimits(ctx, "vm-1"); err != nil {
+		t.Fatalf("GetLimits: %v", err)
+	}
+	if _, err := b.GetLimits(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetLimits(ghost) = %v, want ErrNotFound", err)
+	}
+	if err := b.DeleteGroup(ctx, "vm-1"); err != nil {
+		t.Fatalf("DeleteGroup: %v", err)
+	}
+	// Idempotent delete: no error, no audit entry.
+	if err := b.DeleteGroup(ctx, "vm-1"); err != nil {
+		t.Fatalf("repeat DeleteGroup: %v", err)
+	}
+	hist := log.History("vm-1")
+	if len(hist) != 2 || hist[0].Deleted || !hist[1].Deleted {
+		t.Fatalf("history = %+v, want one create + one delete", hist)
+	}
+	if caps := b.Capabilities(); caps.Name != "audited-registry" || !caps.Snapshot {
+		t.Errorf("capabilities = %+v", caps)
+	}
+}
+
+// TestAuditLogConcurrentMixedWriters hammers one log with concurrent
+// setters and deleters while a tiny cap forces constant truncation:
+// the retained tail must stay a contiguous, strictly-sequenced suffix
+// of the change stream, and its last entry per cgroup must agree with
+// the registry's final state.
+func TestAuditLogConcurrentMixedWriters(t *testing.T) {
+	reg := NewRegistry()
+	const cap = 16
+	log := NewAuditLog(reg, cap)
+	ids := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ids[w%len(ids)]
+			for j := 0; j < 100; j++ {
+				if w%2 == 0 {
+					_ = log.Set(id, Limits{CPUGHz: float64(j + 1), RAMGB: 1})
+				} else if j%5 == 0 {
+					log.Delete(id)
+				} else {
+					_ = log.Set(id, Limits{CPUGHz: 0.5, RAMGB: float64(j + 1)})
+				}
+				// Concurrent readers race the truncation path.
+				log.History("")
+				log.LastChange(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hist := log.History("")
+	if len(hist) != cap {
+		t.Fatalf("retained %d entries, want the cap %d", len(hist), cap)
+	}
+	// Truncation keeps the newest suffix, so sequence numbers are
+	// consecutive — a gap would mean a lost or reordered entry.
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Seq != hist[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d: %d -> %d", i, hist[i-1].Seq, hist[i].Seq)
+		}
+	}
+	// The globally-last change per cgroup (when retained) must match
+	// the registry: mutation and record happen under one lock.
+	for _, id := range ids {
+		last, ok := log.LastChange(id)
+		if !ok {
+			continue
+		}
+		got, err := reg.Get(id)
+		switch {
+		case last.Deleted && err == nil:
+			t.Errorf("%s: last change is a delete but registry has %+v", id, got)
+		case !last.Deleted && err != nil:
+			t.Errorf("%s: last change is a set but registry says %v", id, err)
+		case !last.Deleted && got != last.New:
+			t.Errorf("%s: registry %+v != last recorded %+v", id, got, last.New)
+		}
+	}
+}
+
+// TestAuditLogTruncatedHistoryQueries pins the reader-side behavior on
+// a truncated log: per-id history only surfaces retained entries, and
+// ids whose whole history rotated out report no changes at all.
+func TestAuditLogTruncatedHistoryQueries(t *testing.T) {
+	log := NewAuditLog(NewRegistry(), 4)
+	if err := log.Set("old", Limits{CPUGHz: 1, RAMGB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := log.Set("new", Limits{CPUGHz: float64(i + 1), RAMGB: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := log.History("old"); len(got) != 0 {
+		t.Errorf("rotated-out id still reports history: %+v", got)
+	}
+	if _, ok := log.LastChange("old"); ok {
+		t.Error("rotated-out id still reports a last change")
+	}
+	hist := log.History("new")
+	if len(hist) != 4 || hist[0].Seq != 4 || hist[3].New.CPUGHz != 6 {
+		t.Errorf("truncated history wrong: %+v", hist)
 	}
 }

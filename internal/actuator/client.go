@@ -39,14 +39,32 @@ type Client struct {
 }
 
 // NewClient returns a client for the daemon at base (e.g.
-// "http://hypervisor-7:8080"). Trailing slashes on base are stripped,
-// so path joins never emit "//cgroups/...". httpClient may be nil to
-// use a default client with DefaultTimeout.
-func NewClient(base string, httpClient *http.Client) *Client {
+// "http://hypervisor-7:8080"). The base URL is validated eagerly: an
+// empty string, a missing http/https scheme or a missing host are
+// rejected here, where the operator typo is still attached to its
+// flag, instead of surfacing later as a confusing per-request
+// transport error ("unsupported protocol scheme \"\"") in the middle
+// of an apply round. Trailing slashes on base are stripped, so path
+// joins never emit "//cgroups/...". httpClient may be nil to use a
+// default client with DefaultTimeout.
+func NewClient(base string, httpClient *http.Client) (*Client, error) {
+	if strings.TrimSpace(base) == "" {
+		return nil, errors.New("actuator: empty daemon base URL")
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("actuator: daemon base URL %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("actuator: daemon base URL %q: scheme must be http or https, got %q", base, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("actuator: daemon base URL %q: missing host", base)
+	}
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}, nil
 }
 
 // instrumented wraps one daemon call with latency/outcome metrics and
@@ -73,6 +91,12 @@ func (c *Client) instrumented(ctx context.Context, op, id string, fn func(ctx co
 // Failures are *Error values classified transient/terminal.
 func (c *Client) SetLimits(ctx context.Context, id string, l Limits) error {
 	return c.instrumented(ctx, "set_limits", id, func(ctx context.Context) error {
+		// Validate before marshaling: the daemon would answer 400, and a
+		// NaN limit would otherwise die in json.Marshal with an
+		// unclassified (hence retried) error.
+		if err := l.Validate(); err != nil {
+			return &Error{Op: "set_limits", ID: id, Status: http.StatusBadRequest, Err: err}
+		}
 		body, err := json.Marshal(l)
 		if err != nil {
 			return fmt.Errorf("actuator: marshal limits: %w", err)

@@ -1,0 +1,78 @@
+package conformance
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"atm/internal/actuator"
+	"atm/internal/actuator/kube"
+	"atm/internal/testbed"
+)
+
+// ids is the provisioned inventory every factory prepares, with the
+// same initial limits, so all backends face identical scenarios.
+var ids = []string{"vm-a", "vm-b", "vm-c", "vm-d"}
+
+const (
+	initCPU = 7.2
+	initRAM = 4
+)
+
+// TestCgroupsDaemonConformance runs the suite against the real HTTP
+// client talking to an httptest daemon — the paper's hypervisor-daemon
+// deployment shape.
+func TestCgroupsDaemonConformance(t *testing.T) {
+	Run(t, func(t *testing.T) *Target {
+		reg := actuator.NewRegistry()
+		for _, id := range ids {
+			if err := reg.Set(id, actuator.Limits{CPUGHz: initCPU, RAMGB: initRAM}); err != nil {
+				t.Fatalf("provision %s: %v", id, err)
+			}
+		}
+		srv := httptest.NewServer(reg.Handler())
+		t.Cleanup(srv.Close)
+		c, err := actuator.NewClient(srv.URL, srv.Client())
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		return &Target{Backend: c, IDs: append([]string(nil), ids...), UnknownID: "ghost"}
+	})
+}
+
+// TestKubernetesConformance runs the suite against the in-place pod
+// resize backend over the fake clientset: ids become Guaranteed pods.
+func TestKubernetesConformance(t *testing.T) {
+	Run(t, func(t *testing.T) *Target {
+		pods := make([]*kube.Pod, len(ids))
+		for i, id := range ids {
+			pods[i] = kube.GuaranteedPod(id, int64(initCPU*1000), int64(initRAM)<<30)
+		}
+		b := kube.New(kube.NewFake(pods...), kube.Config{Namespace: "conformance"})
+		return &Target{Backend: b, IDs: append([]string(nil), ids...), UnknownID: "ghost"}
+	})
+}
+
+// TestTestbedConformance runs the suite against the simulated
+// MediaWiki cluster's backend; the provisioned ids are real topology
+// VMs, whose default limits match the other factories' provisioning.
+func TestTestbedConformance(t *testing.T) {
+	Run(t, func(t *testing.T) *Target {
+		c := testbed.DefaultTopology()
+		vms := []string{"wiki-one-apache-1", "wiki-one-apache-2", "wiki-one-mysql-1", "wiki-two-apache-1"}
+		return &Target{Backend: c.Backend(), IDs: vms, UnknownID: "ghost"}
+	})
+}
+
+// TestRegistryConformance runs the suite against the bare in-process
+// registry — the engine's default in-memory actuation target.
+func TestRegistryConformance(t *testing.T) {
+	Run(t, func(t *testing.T) *Target {
+		reg := actuator.NewRegistry()
+		for _, id := range ids {
+			if err := reg.Set(id, actuator.Limits{CPUGHz: initCPU, RAMGB: initRAM}); err != nil {
+				t.Fatalf("provision %s: %v", id, err)
+			}
+		}
+		return &Target{Backend: reg, IDs: append([]string(nil), ids...), UnknownID: "ghost"}
+	})
+}

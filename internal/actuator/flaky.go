@@ -63,3 +63,78 @@ func (f *FlakySetter) Stats() (calls, failures int) {
 	defer f.mu.Unlock()
 	return f.calls, f.failures
 }
+
+// FlakyBackend injects seeded transient failures in front of a full
+// Backend — the conformance suite's chaos source for in-process
+// backends (kube fake, testbed, registry) that never cross HTTP and so
+// cannot use resilience.ChaosTransport. Mutations (SetLimits,
+// DeleteGroup) fail with 503 before touching the target; reads pass
+// through untouched so snapshot/rollback sees true state.
+type FlakyBackend struct {
+	target Backend
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	prob     float64
+	calls    int
+	failures int
+}
+
+// NewFlakyBackend wraps target, failing each mutating call with
+// probability prob under the seeded schedule.
+func NewFlakyBackend(target Backend, prob float64, seed int64) *FlakyBackend {
+	return &FlakyBackend{
+		target: target,
+		prob:   prob,
+		rng:    rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15)),
+	}
+}
+
+// inject decides one mutation's fate under the seeded schedule.
+func (f *FlakyBackend) inject(op, id string) error {
+	f.mu.Lock()
+	f.calls++
+	fail := f.rng.Float64() < f.prob
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+	if fail {
+		return &Error{Op: op, ID: id, Status: http.StatusServiceUnavailable,
+			Err: errors.New("flaky: injected failure")}
+	}
+	return nil
+}
+
+// SetLimits forwards unless the schedule injects a failure first.
+func (f *FlakyBackend) SetLimits(ctx context.Context, id string, l Limits) error {
+	if err := f.inject("set_limits", id); err != nil {
+		return err
+	}
+	return f.target.SetLimits(ctx, id, l)
+}
+
+// GetLimits always forwards: chaos targets the write path.
+func (f *FlakyBackend) GetLimits(ctx context.Context, id string) (Limits, error) {
+	return f.target.GetLimits(ctx, id)
+}
+
+// DeleteGroup forwards unless the schedule injects a failure first.
+func (f *FlakyBackend) DeleteGroup(ctx context.Context, id string) error {
+	if err := f.inject("delete_group", id); err != nil {
+		return err
+	}
+	return f.target.DeleteGroup(ctx, id)
+}
+
+// Capabilities forwards to the wrapped backend.
+func (f *FlakyBackend) Capabilities() Capabilities { return f.target.Capabilities() }
+
+// Stats returns the total mutating-call and injected-failure counts.
+func (f *FlakyBackend) Stats() (calls, failures int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.failures
+}
+
+var _ Backend = (*FlakyBackend)(nil)

@@ -1,0 +1,238 @@
+package kube
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"atm/internal/actuator"
+)
+
+// PodClient is the thin slice of a Kubernetes clientset the backend
+// needs: read a pod, patch its resize subresource, delete it. The Fake
+// implements it in-memory; a production adapter would wrap client-go's
+// PodInterface behind the same three calls.
+type PodClient interface {
+	Get(ctx context.Context, name string) (*Pod, error)
+	Resize(ctx context.Context, name string, resources map[string]ResourceRequirements) (*Pod, error)
+	Delete(ctx context.Context, name string) error
+}
+
+// Config parameterizes the Kubernetes backend.
+type Config struct {
+	// Namespace labels the instance in Capabilities and errors.
+	Namespace string
+	// CoreGHz converts the planner's CPU-GHz limits into millicores:
+	// one core is worth CoreGHz of planned capacity. Zero selects 1.0
+	// (1 GHz ≡ 1000m).
+	CoreGHz float64
+	// Container names the container to resize inside each pod; empty
+	// targets the pod's first container (the single-container common
+	// case).
+	Container string
+	// AllowRestart permits resizes of resources whose container policy
+	// is RestartContainer. Off by default: the planner resizes every
+	// window, and a workload that restarts on every window's memory
+	// step is strictly worse than an unresized one.
+	AllowRestart bool
+}
+
+// Backend actuates limits onto pods via in-place resize. It maps the
+// actuator's (id, Limits) vocabulary onto (pod, container resources):
+// id is the pod name, CPUGHz becomes a millicore limit, RAMGB a byte
+// limit. Two guard rails run before every write: the QoS class the pod
+// was admitted with must be preserved (Kubernetes forbids resize from
+// changing it, and a Guaranteed → Burstable demotion silently costs
+// the pod its eviction protection), and a resize that would restart
+// the container is rejected unless Config.AllowRestart opted in.
+type Backend struct {
+	c   PodClient
+	cfg Config
+}
+
+// New returns a Backend over the client.
+func New(c PodClient, cfg Config) *Backend {
+	if cfg.CoreGHz <= 0 {
+		cfg.CoreGHz = 1.0
+	}
+	return &Backend{c: c, cfg: cfg}
+}
+
+const bytesPerGB = 1 << 30
+
+func (b *Backend) cpuMilli(ghz float64) int64 {
+	return int64(math.Round(ghz / b.cfg.CoreGHz * 1000))
+}
+
+func (b *Backend) cpuGHz(milli int64) float64 {
+	return float64(milli) / 1000 * b.cfg.CoreGHz
+}
+
+func memBytes(gb float64) int64 { return int64(math.Round(gb * bytesPerGB)) }
+func memGB(bytes int64) float64 { return float64(bytes) / bytesPerGB }
+
+// wrap converts client errors into classified actuator errors: a
+// missing pod is terminal ErrNotFound (this backend cannot conjure
+// targets — CreateOnSet is false); an error already classified passes
+// through; anything else (transport) stays transient.
+func wrap(op, id string, err error) error {
+	var ae *actuator.Error
+	if errors.As(err, &ae) {
+		return err
+	}
+	if errors.Is(err, ErrPodNotFound) {
+		return &actuator.Error{Op: op, ID: id, Status: http.StatusNotFound,
+			Err: fmt.Errorf("%q: %w", id, actuator.ErrNotFound)}
+	}
+	return &actuator.Error{Op: op, ID: id, Err: err}
+}
+
+// reject builds the terminal (422) error the guard rails return: the
+// write is refused before it reaches the API server, and retrying the
+// identical request cannot succeed.
+func reject(op, id, format string, args ...any) error {
+	return &actuator.Error{Op: op, ID: id, Status: http.StatusUnprocessableEntity,
+		Err: fmt.Errorf(format, args...)}
+}
+
+// SetLimits resizes pod id's target container in place.
+func (b *Backend) SetLimits(ctx context.Context, id string, l actuator.Limits) error {
+	const op = "set_limits"
+	if err := l.Validate(); err != nil {
+		return &actuator.Error{Op: op, ID: id, Status: http.StatusBadRequest, Err: err}
+	}
+	pod, err := b.c.Get(ctx, id)
+	if err != nil {
+		return wrap(op, id, err)
+	}
+	target, ok := pod.Container(b.cfg.Container)
+	if !ok {
+		return reject(op, id, "pod %q has no container %q", id, b.cfg.Container)
+	}
+
+	classBefore := QOSOf(pod)
+	desired := target.Resources.Clone()
+	if desired.Limits == nil {
+		desired.Limits = ResourceList{}
+	}
+	desired.Limits[ResourceCPU] = b.cpuMilli(l.CPUGHz)
+	desired.Limits[ResourceMemory] = memBytes(l.RAMGB)
+	if classBefore == Guaranteed {
+		// Guaranteed is requests == limits; moving both together is the
+		// only resize that preserves the class.
+		desired.Requests = desired.Limits.Clone()
+	} else {
+		// Burstable: keep requests where the operator set them, but a
+		// request above the new limit is invalid — cap it.
+		for r, lim := range desired.Limits {
+			if req, hasReq := desired.Requests[r]; hasReq && req > lim {
+				desired.Requests[r] = lim
+			}
+		}
+	}
+
+	// Guard rail 1: restart policy. Only resources that actually change
+	// can trigger a restart.
+	if !b.cfg.AllowRestart {
+		for _, r := range []ResourceName{ResourceCPU, ResourceMemory} {
+			changed := target.Resources.Limits[r] != desired.Limits[r] ||
+				target.Resources.Requests[r] != desired.Requests[r]
+			if changed && target.RestartPolicyFor(r) == RestartContainer {
+				return reject(op, id,
+					"resize of %s would restart container %q (policy RestartContainer); enable AllowRestart to permit",
+					r, target.Name)
+			}
+		}
+	}
+
+	// Guard rail 2: QoS class immutability. Compute the class the pod
+	// would have after the patch and refuse any transition.
+	after := pod.Clone()
+	ac, _ := after.Container(b.cfg.Container)
+	ac.Resources = desired
+	if classAfter := QOSOf(after); classAfter != classBefore {
+		return reject(op, id,
+			"resize would change pod %q QoS class %s -> %s; class is immutable under in-place resize",
+			id, classBefore, classAfter)
+	}
+
+	_, err = b.c.Resize(ctx, id, map[string]ResourceRequirements{target.Name: desired})
+	if err != nil {
+		return wrap(op, id, err)
+	}
+	return nil
+}
+
+// GetLimits reads the target container's limits back in planner units.
+// A pod without both CPU and memory limits (Burstable without limits,
+// BestEffort) has no meaningful limits to report and returns a
+// terminal error rather than zeros that would fail validation
+// downstream.
+func (b *Backend) GetLimits(ctx context.Context, id string) (actuator.Limits, error) {
+	const op = "get_limits"
+	pod, err := b.c.Get(ctx, id)
+	if err != nil {
+		return actuator.Limits{}, wrap(op, id, err)
+	}
+	target, ok := pod.Container(b.cfg.Container)
+	if !ok {
+		return actuator.Limits{}, reject(op, id, "pod %q has no container %q", id, b.cfg.Container)
+	}
+	cpu, hasCPU := target.Resources.Limits[ResourceCPU]
+	mem, hasMem := target.Resources.Limits[ResourceMemory]
+	if !hasCPU || !hasMem {
+		return actuator.Limits{}, reject(op, id,
+			"pod %q container %q has no cpu+memory limits to read", id, target.Name)
+	}
+	return actuator.Limits{CPUGHz: b.cpuGHz(cpu), RAMGB: memGB(mem)}, nil
+}
+
+// DeleteGroup deletes the pod. Deleting a pod that is already gone
+// succeeds, matching the idempotent delete semantics of the other
+// backends.
+func (b *Backend) DeleteGroup(ctx context.Context, id string) error {
+	const op = "delete_group"
+	if err := b.c.Delete(ctx, id); err != nil {
+		if errors.Is(err, ErrPodNotFound) {
+			return nil
+		}
+		return wrap(op, id, err)
+	}
+	return nil
+}
+
+// Capabilities describes the backend: full snapshot/delete support,
+// but SetLimits cannot create pods, and the in-place guarantee holds
+// only while restart-demanding resizes are being rejected.
+func (b *Backend) Capabilities() actuator.Capabilities {
+	return actuator.Capabilities{
+		Name:        "kubernetes",
+		Endpoint:    b.cfg.Namespace,
+		Snapshot:    true,
+		Delete:      true,
+		CreateOnSet: false,
+		InPlace:     !b.cfg.AllowRestart,
+	}
+}
+
+var _ actuator.Backend = (*Backend)(nil)
+
+// GuaranteedPod builds a single-container Guaranteed pod with
+// NotRequired resize policies — the fixture shape shared by the
+// backend's own tests and the conformance suite.
+func GuaranteedPod(name string, cpuMilli, memoryBytes int64) *Pod {
+	rl := ResourceList{ResourceCPU: cpuMilli, ResourceMemory: memoryBytes}
+	return &Pod{
+		Name: name,
+		Containers: []Container{{
+			Name:      "app",
+			Resources: ResourceRequirements{Requests: rl.Clone(), Limits: rl.Clone()},
+			ResizePolicy: []ContainerResizePolicy{
+				{ResourceName: ResourceCPU, RestartPolicy: NotRequired},
+				{ResourceName: ResourceMemory, RestartPolicy: NotRequired},
+			},
+		}},
+	}
+}

@@ -1,0 +1,149 @@
+package kube
+
+import (
+	"context"
+	"sync"
+)
+
+// Action records one call against the Fake, in the client-go
+// clientset-fake idiom: tests assert on the recorded action stream and
+// inject failures through reactors keyed on it.
+type Action struct {
+	// Verb is "get", "resize" or "delete".
+	Verb string
+	// Pod is the target pod name.
+	Pod string
+}
+
+// Reactor intercepts an action before the Fake's default behavior.
+// Returning handled=true short-circuits with err (nil to swallow the
+// call); handled=false falls through to the next reactor and finally
+// the object store.
+type Reactor func(a Action) (handled bool, err error)
+
+// Fake is an in-memory PodClient double modeled on the client-go fake
+// clientset: a deep-copying object store, an action log, and
+// prependable reactors for fault injection. Safe for concurrent use.
+type Fake struct {
+	mu       sync.Mutex
+	pods     map[string]*Pod
+	actions  []Action
+	reactors []Reactor
+}
+
+// NewFake returns a Fake seeded with the given pods (deep-copied).
+func NewFake(pods ...*Pod) *Fake {
+	f := &Fake{pods: make(map[string]*Pod, len(pods))}
+	for _, p := range pods {
+		f.pods[p.Name] = p.Clone()
+	}
+	return f
+}
+
+// PrependReactor installs a reactor ahead of any existing ones,
+// matching the client-go ordering (last prepended runs first).
+func (f *Fake) PrependReactor(r Reactor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reactors = append([]Reactor{r}, f.reactors...)
+}
+
+// Actions returns a copy of the recorded action stream.
+func (f *Fake) Actions() []Action {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Action(nil), f.actions...)
+}
+
+// Writes counts recorded mutating actions (resize + delete).
+func (f *Fake) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, a := range f.actions {
+		if a.Verb != "get" {
+			n++
+		}
+	}
+	return n
+}
+
+// react records the action and runs the reactor chain under f.mu.
+func (f *Fake) react(a Action) (handled bool, err error) {
+	f.actions = append(f.actions, a)
+	for _, r := range f.reactors {
+		if handled, err = r(a); handled {
+			return true, err
+		}
+	}
+	return false, nil
+}
+
+// Get returns a deep copy of the named pod.
+func (f *Fake) Get(ctx context.Context, name string) (*Pod, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if handled, err := f.react(Action{Verb: "get", Pod: name}); handled {
+		return nil, err
+	}
+	p, ok := f.pods[name]
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	return p.Clone(), nil
+}
+
+// Resize patches per-container resources on the named pod — the fake's
+// stand-in for PATCH .../pods/{name}/resize. Containers absent from
+// resources keep their current values. Like the kubelet, it bumps
+// RestartCount on any patched container whose resize policy demands a
+// restart for a resource that actually changed, and increments the pod
+// Generation.
+func (f *Fake) Resize(ctx context.Context, name string, resources map[string]ResourceRequirements) (*Pod, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if handled, err := f.react(Action{Verb: "resize", Pod: name}); handled {
+		return nil, err
+	}
+	p, ok := f.pods[name]
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	for i := range p.Containers {
+		c := &p.Containers[i]
+		rr, ok := resources[c.Name]
+		if !ok {
+			continue
+		}
+		restart := false
+		for _, r := range []ResourceName{ResourceCPU, ResourceMemory} {
+			if c.Resources.Limits[r] != rr.Limits[r] || c.Resources.Requests[r] != rr.Requests[r] {
+				if c.RestartPolicyFor(r) == RestartContainer {
+					restart = true
+				}
+			}
+		}
+		c.Resources = rr.Clone()
+		if restart {
+			c.RestartCount++
+		}
+	}
+	p.Generation++
+	return p.Clone(), nil
+}
+
+// Delete removes the named pod.
+func (f *Fake) Delete(ctx context.Context, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if handled, err := f.react(Action{Verb: "delete", Pod: name}); handled {
+		return err
+	}
+	if _, ok := f.pods[name]; !ok {
+		return &NotFoundError{Name: name}
+	}
+	delete(f.pods, name)
+	return nil
+}
+
+var _ PodClient = (*Fake)(nil)

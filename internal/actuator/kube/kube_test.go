@@ -1,0 +1,278 @@
+package kube
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"testing"
+
+	"atm/internal/actuator"
+)
+
+func TestQOSOf(t *testing.T) {
+	rl := func(cpu, mem int64) ResourceList {
+		out := ResourceList{}
+		if cpu > 0 {
+			out[ResourceCPU] = cpu
+		}
+		if mem > 0 {
+			out[ResourceMemory] = mem
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		pod  *Pod
+		want QOSClass
+	}{
+		{"guaranteed", GuaranteedPod("p", 1000, 1<<30), Guaranteed},
+		{"besteffort", &Pod{Name: "p", Containers: []Container{{Name: "app"}}}, BestEffort},
+		{"burstable_requests_only", &Pod{Name: "p", Containers: []Container{{
+			Name: "app", Resources: ResourceRequirements{Requests: rl(500, 0)},
+		}}}, Burstable},
+		{"burstable_requests_below_limits", &Pod{Name: "p", Containers: []Container{{
+			Name: "app", Resources: ResourceRequirements{Requests: rl(500, 1<<29), Limits: rl(1000, 1<<30)},
+		}}}, Burstable},
+		{"burstable_one_container_unbounded", &Pod{Name: "p", Containers: []Container{
+			GuaranteedPod("p", 1000, 1<<30).Containers[0],
+			{Name: "sidecar"},
+		}}, Burstable},
+		{"burstable_missing_memory", &Pod{Name: "p", Containers: []Container{{
+			Name: "app", Resources: ResourceRequirements{Requests: rl(1000, 0), Limits: rl(1000, 0)},
+		}}}, Burstable},
+	}
+	for _, tc := range cases {
+		if got := QOSOf(tc.pod); got != tc.want {
+			t.Errorf("%s: QOSOf = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBackendRoundTripUnits(t *testing.T) {
+	f := NewFake(GuaranteedPod("vm-1", 1000, 4<<30))
+	b := New(f, Config{Namespace: "prod", CoreGHz: 2.4})
+	ctx := context.Background()
+
+	want := actuator.Limits{CPUGHz: 3.3, RAMGB: 2.5}
+	if err := b.SetLimits(ctx, "vm-1", want); err != nil {
+		t.Fatalf("SetLimits: %v", err)
+	}
+	got, err := b.GetLimits(ctx, "vm-1")
+	if err != nil {
+		t.Fatalf("GetLimits: %v", err)
+	}
+	if math.Abs(got.CPUGHz-want.CPUGHz) > 1e-9 || math.Abs(got.RAMGB-want.RAMGB) > 1e-9 {
+		t.Errorf("round trip = %+v, want ≈ %+v", got, want)
+	}
+
+	// The pod stayed Guaranteed: requests moved with limits.
+	pod, _ := f.Get(ctx, "vm-1")
+	if cls := QOSOf(pod); cls != Guaranteed {
+		t.Errorf("QoS after resize = %s, want Guaranteed", cls)
+	}
+	// 3.3 GHz at 2.4 GHz/core is 1375 millicores.
+	if milli := pod.Containers[0].Resources.Limits[ResourceCPU]; milli != 1375 {
+		t.Errorf("cpu limit = %dm, want 1375m", milli)
+	}
+	if pod.Containers[0].RestartCount != 0 {
+		t.Errorf("RestartCount = %d, want 0 (NotRequired policy is in-place)", pod.Containers[0].RestartCount)
+	}
+}
+
+func TestBackendMissingPodTerminalNotFound(t *testing.T) {
+	b := New(NewFake(), Config{})
+	ctx := context.Background()
+	err := b.SetLimits(ctx, "ghost", actuator.Limits{CPUGHz: 1, RAMGB: 1})
+	if !errors.Is(err, actuator.ErrNotFound) || !errors.Is(err, actuator.ErrTerminal) {
+		t.Errorf("SetLimits(ghost) = %v, want ErrNotFound and ErrTerminal", err)
+	}
+	if _, err := b.GetLimits(ctx, "ghost"); !errors.Is(err, actuator.ErrNotFound) {
+		t.Errorf("GetLimits(ghost) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBackendInvalidLimitsRejected(t *testing.T) {
+	f := NewFake(GuaranteedPod("vm-1", 1000, 1<<30))
+	b := New(f, Config{})
+	err := b.SetLimits(context.Background(), "vm-1", actuator.Limits{CPUGHz: -1, RAMGB: 1})
+	if !errors.Is(err, actuator.ErrTerminal) {
+		t.Fatalf("invalid limits err = %v, want terminal", err)
+	}
+	if f.Writes() != 0 {
+		t.Errorf("invalid limits reached the store: %d writes", f.Writes())
+	}
+}
+
+func TestBackendRestartPolicyGuard(t *testing.T) {
+	pod := GuaranteedPod("vm-1", 1000, 1<<30)
+	pod.Containers[0].ResizePolicy = []ContainerResizePolicy{
+		{ResourceName: ResourceCPU, RestartPolicy: NotRequired},
+		{ResourceName: ResourceMemory, RestartPolicy: RestartContainer},
+	}
+	ctx := context.Background()
+
+	// Default config refuses the memory resize before any write.
+	f := NewFake(pod)
+	b := New(f, Config{})
+	err := b.SetLimits(ctx, "vm-1", actuator.Limits{CPUGHz: 1, RAMGB: 2})
+	if !errors.Is(err, actuator.ErrTerminal) {
+		t.Fatalf("restart-demanding resize err = %v, want terminal", err)
+	}
+	if f.Writes() != 0 {
+		t.Errorf("rejected resize reached the store: %d writes", f.Writes())
+	}
+
+	// AllowRestart opts in; the fake's kubelet restarts the container.
+	f2 := NewFake(pod)
+	b2 := New(f2, Config{AllowRestart: true})
+	if err := b2.SetLimits(ctx, "vm-1", actuator.Limits{CPUGHz: 1, RAMGB: 2}); err != nil {
+		t.Fatalf("AllowRestart SetLimits: %v", err)
+	}
+	got, _ := f2.Get(ctx, "vm-1")
+	if got.Containers[0].RestartCount != 1 {
+		t.Errorf("RestartCount = %d, want 1", got.Containers[0].RestartCount)
+	}
+
+	// A CPU-only change under the same policy set is in-place and allowed
+	// even without AllowRestart.
+	f3 := NewFake(pod)
+	b3 := New(f3, Config{})
+	if err := b3.SetLimits(ctx, "vm-1", actuator.Limits{CPUGHz: 2, RAMGB: 1}); err != nil {
+		t.Fatalf("cpu-only resize: %v", err)
+	}
+	got3, _ := f3.Get(ctx, "vm-1")
+	if got3.Containers[0].RestartCount != 0 {
+		t.Errorf("cpu-only resize restarted the container")
+	}
+}
+
+func TestBackendQOSGuard(t *testing.T) {
+	ctx := context.Background()
+
+	// BestEffort pod: adding limits would promote it to Burstable.
+	be := &Pod{Name: "vm-1", Containers: []Container{{Name: "app"}}}
+	f := NewFake(be)
+	b := New(f, Config{})
+	err := b.SetLimits(ctx, "vm-1", actuator.Limits{CPUGHz: 1, RAMGB: 1})
+	if !errors.Is(err, actuator.ErrTerminal) {
+		t.Fatalf("BestEffort resize err = %v, want terminal", err)
+	}
+	if f.Writes() != 0 {
+		t.Errorf("QoS-violating resize reached the store: %d writes", f.Writes())
+	}
+
+	// Burstable pod whose requests would collide with the new limits:
+	// the resize must not flip it to Guaranteed.
+	bu := &Pod{Name: "vm-2", Containers: []Container{{
+		Name: "app",
+		Resources: ResourceRequirements{
+			Requests: ResourceList{ResourceCPU: 2000, ResourceMemory: 4 << 30},
+			Limits:   ResourceList{ResourceCPU: 4000, ResourceMemory: 8 << 30},
+		},
+	}}}
+	f2 := NewFake(bu)
+	b2 := New(f2, Config{})
+	// New limits equal to (capped) requests ⇒ would become Guaranteed.
+	err = b2.SetLimits(ctx, "vm-2", actuator.Limits{CPUGHz: 1, RAMGB: 1})
+	if !errors.Is(err, actuator.ErrTerminal) {
+		t.Fatalf("Burstable→Guaranteed resize err = %v, want terminal", err)
+	}
+
+	// A Burstable resize that stays Burstable is fine, and requests are
+	// capped at the new limits.
+	if err := b2.SetLimits(ctx, "vm-2", actuator.Limits{CPUGHz: 3, RAMGB: 6}); err != nil {
+		t.Fatalf("Burstable resize: %v", err)
+	}
+	got, _ := f2.Get(ctx, "vm-2")
+	res := got.Containers[0].Resources
+	if res.Limits[ResourceCPU] != 3000 || res.Requests[ResourceCPU] != 2000 {
+		t.Errorf("cpu = req %dm / lim %dm, want 2000m/3000m", res.Requests[ResourceCPU], res.Limits[ResourceCPU])
+	}
+	if res.Requests[ResourceMemory] != 4<<30 {
+		t.Errorf("memory request moved: %d", res.Requests[ResourceMemory])
+	}
+	if cls := QOSOf(got); cls != Burstable {
+		t.Errorf("QoS = %s, want Burstable", cls)
+	}
+}
+
+func TestBackendReactorInjection(t *testing.T) {
+	f := NewFake(GuaranteedPod("vm-1", 1000, 1<<30))
+	f.PrependReactor(func(a Action) (bool, error) {
+		if a.Verb == "resize" {
+			return true, &actuator.Error{Op: "set_limits", ID: a.Pod,
+				Status: http.StatusServiceUnavailable, Err: errors.New("apiserver overloaded")}
+		}
+		return false, nil
+	})
+	b := New(f, Config{})
+	err := b.SetLimits(context.Background(), "vm-1", actuator.Limits{CPUGHz: 1, RAMGB: 1})
+	if !errors.Is(err, actuator.ErrTransient) {
+		t.Errorf("injected 503 = %v, want transient", err)
+	}
+}
+
+func TestBackendDeleteIdempotent(t *testing.T) {
+	f := NewFake(GuaranteedPod("vm-1", 1000, 1<<30))
+	b := New(f, Config{})
+	ctx := context.Background()
+	if err := b.DeleteGroup(ctx, "vm-1"); err != nil {
+		t.Fatalf("DeleteGroup: %v", err)
+	}
+	if err := b.DeleteGroup(ctx, "vm-1"); err != nil {
+		t.Fatalf("second DeleteGroup: %v", err)
+	}
+	if _, err := b.GetLimits(ctx, "vm-1"); !errors.Is(err, actuator.ErrNotFound) {
+		t.Errorf("GetLimits after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFakeRecordsActions(t *testing.T) {
+	f := NewFake(GuaranteedPod("vm-1", 1000, 1<<30))
+	b := New(f, Config{})
+	ctx := context.Background()
+	_, _ = b.GetLimits(ctx, "vm-1")
+	_ = b.SetLimits(ctx, "vm-1", actuator.Limits{CPUGHz: 1, RAMGB: 1})
+	got := f.Actions()
+	want := []Action{{Verb: "get", Pod: "vm-1"}, {Verb: "get", Pod: "vm-1"}, {Verb: "resize", Pod: "vm-1"}}
+	if len(got) != len(want) {
+		t.Fatalf("actions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("action[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f.Writes() != 1 {
+		t.Errorf("Writes = %d, want 1", f.Writes())
+	}
+}
+
+func TestFakeGetReturnsCopy(t *testing.T) {
+	f := NewFake(GuaranteedPod("vm-1", 1000, 1<<30))
+	ctx := context.Background()
+	p, _ := f.Get(ctx, "vm-1")
+	p.Containers[0].Resources.Limits[ResourceCPU] = 99999
+	p2, _ := f.Get(ctx, "vm-1")
+	if p2.Containers[0].Resources.Limits[ResourceCPU] != 1000 {
+		t.Error("Get aliases store state")
+	}
+}
+
+func TestBackendCapabilities(t *testing.T) {
+	b := New(NewFake(), Config{Namespace: "prod"})
+	caps := b.Capabilities()
+	if caps.Name != "kubernetes" || caps.Endpoint != "prod" {
+		t.Errorf("caps identity = %+v", caps)
+	}
+	if caps.CreateOnSet {
+		t.Error("kubernetes backend must not advertise CreateOnSet")
+	}
+	if !caps.Snapshot || !caps.Delete || !caps.InPlace {
+		t.Errorf("caps = %+v, want snapshot+delete+inplace", caps)
+	}
+	if New(NewFake(), Config{AllowRestart: true}).Capabilities().InPlace {
+		t.Error("AllowRestart backend must not guarantee InPlace")
+	}
+}

@@ -1,0 +1,189 @@
+// Package kube actuates resize decisions onto Kubernetes pods through
+// the in-place pod resize subresource (KEP-1287), the deployment shape
+// where the paper's "boxes" are nodes and its "VMs" are pods. The
+// package carries a deliberately minimal mirror of the Kubernetes pod
+// resource model — just the fields the resize path reads — so the repo
+// stays dependency-free: Backend talks to a PodClient interface, tests
+// use the client-go-style Fake, and a production build would adapt a
+// real clientset behind the same three methods.
+package kube
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ResourceName names one schedulable resource, matching the Kubernetes
+// core/v1 names.
+type ResourceName string
+
+const (
+	// ResourceCPU is CPU, accounted in millicores.
+	ResourceCPU ResourceName = "cpu"
+	// ResourceMemory is memory, accounted in bytes.
+	ResourceMemory ResourceName = "memory"
+)
+
+// ResourceList maps resource names to integer quantities: millicores
+// for CPU, bytes for memory. Integer units make equality checks exact,
+// which the QoS-class computation depends on (Guaranteed requires
+// requests == limits, not requests ≈ limits).
+type ResourceList map[ResourceName]int64
+
+// Clone returns an independent copy (nil stays nil).
+func (rl ResourceList) Clone() ResourceList {
+	if rl == nil {
+		return nil
+	}
+	out := make(ResourceList, len(rl))
+	for k, v := range rl {
+		out[k] = v
+	}
+	return out
+}
+
+// ResourceRequirements is a container's requests/limits pair.
+type ResourceRequirements struct {
+	Requests ResourceList `json:"requests,omitempty"`
+	Limits   ResourceList `json:"limits,omitempty"`
+}
+
+// Clone returns an independent copy.
+func (rr ResourceRequirements) Clone() ResourceRequirements {
+	return ResourceRequirements{Requests: rr.Requests.Clone(), Limits: rr.Limits.Clone()}
+}
+
+// RestartPolicy says what a resize of one resource does to the
+// container, per its resize policy (core/v1 ResourceResizeRestartPolicy).
+type RestartPolicy string
+
+const (
+	// NotRequired: the kubelet applies the new quota in place.
+	NotRequired RestartPolicy = "NotRequired"
+	// RestartContainer: the container must be restarted to pick up the
+	// change (e.g. a JVM heap sized from memory limits at startup).
+	RestartContainer RestartPolicy = "RestartContainer"
+)
+
+// ContainerResizePolicy binds one resource to its restart behavior.
+type ContainerResizePolicy struct {
+	ResourceName  ResourceName  `json:"resourceName"`
+	RestartPolicy RestartPolicy `json:"restartPolicy"`
+}
+
+// Container is the slice of core/v1 Container the resize path needs.
+type Container struct {
+	Name         string                  `json:"name"`
+	Resources    ResourceRequirements    `json:"resources"`
+	ResizePolicy []ContainerResizePolicy `json:"resizePolicy,omitempty"`
+	// RestartCount mirrors the container status; the Fake increments
+	// it when a resize lands on a RestartContainer policy, so tests can
+	// prove NoRestart resizes really were in-place.
+	RestartCount int `json:"restartCount"`
+}
+
+// RestartPolicyFor returns the container's restart policy for one
+// resource. Kubernetes defaults a missing entry to NotRequired.
+func (c *Container) RestartPolicyFor(r ResourceName) RestartPolicy {
+	for _, p := range c.ResizePolicy {
+		if p.ResourceName == r {
+			return p.RestartPolicy
+		}
+	}
+	return NotRequired
+}
+
+// Pod is the slice of core/v1 Pod the resize path needs.
+type Pod struct {
+	Name       string      `json:"name"`
+	Namespace  string      `json:"namespace"`
+	Containers []Container `json:"containers"`
+	// Generation counts applied writes, standing in for
+	// metadata.resourceVersion.
+	Generation int64 `json:"generation"`
+}
+
+// Clone returns a deep copy, so Fake reads never alias store state.
+func (p *Pod) Clone() *Pod {
+	out := *p
+	out.Containers = make([]Container, len(p.Containers))
+	for i, c := range p.Containers {
+		c.Resources = c.Resources.Clone()
+		c.ResizePolicy = append([]ContainerResizePolicy(nil), c.ResizePolicy...)
+		out.Containers[i] = c
+	}
+	return &out
+}
+
+// Container returns the named container, or the first one when name is
+// empty (the single-container common case).
+func (p *Pod) Container(name string) (*Container, bool) {
+	if name == "" && len(p.Containers) > 0 {
+		return &p.Containers[0], true
+	}
+	for i := range p.Containers {
+		if p.Containers[i].Name == name {
+			return &p.Containers[i], true
+		}
+	}
+	return nil, false
+}
+
+// QOSClass is the pod's quality-of-service class, which Kubernetes
+// derives from resources at admission and forbids resize from changing.
+type QOSClass string
+
+const (
+	// Guaranteed: every container sets requests == limits for both CPU
+	// and memory. Evicted last; the class production databases run in.
+	Guaranteed QOSClass = "Guaranteed"
+	// Burstable: at least one request or limit set, but not Guaranteed.
+	Burstable QOSClass = "Burstable"
+	// BestEffort: no requests or limits anywhere. Evicted first.
+	BestEffort QOSClass = "BestEffort"
+)
+
+// QOSOf computes the pod's QoS class from its resources, following the
+// kubelet's qos.GetPodQOS rules restricted to CPU and memory. The
+// resize guard rail computes this before and after a proposed patch:
+// any class transition — most dangerously Guaranteed → Burstable,
+// which silently demotes a pod's eviction protection — is rejected
+// before the write.
+func QOSOf(p *Pod) QOSClass {
+	anySet := false
+	guaranteed := len(p.Containers) > 0
+	for i := range p.Containers {
+		res := &p.Containers[i].Resources
+		for _, r := range []ResourceName{ResourceCPU, ResourceMemory} {
+			req, hasReq := res.Requests[r]
+			lim, hasLim := res.Limits[r]
+			if hasReq || hasLim {
+				anySet = true
+			}
+			if !hasReq || !hasLim || req != lim || lim == 0 {
+				guaranteed = false
+			}
+		}
+	}
+	switch {
+	case !anySet:
+		return BestEffort
+	case guaranteed:
+		return Guaranteed
+	default:
+		return Burstable
+	}
+}
+
+// ErrPodNotFound matches "pod does not exist" errors from any
+// PodClient via errors.Is.
+var ErrPodNotFound = errors.New("pod not found")
+
+// NotFoundError reports a missing pod, carrying the name for
+// diagnostics.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("pod %q not found", e.Name) }
+
+// Is makes errors.Is(err, ErrPodNotFound) succeed.
+func (e *NotFoundError) Is(target error) bool { return target == ErrPodNotFound }

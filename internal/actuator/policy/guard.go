@@ -1,0 +1,172 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"atm/internal/actuator"
+	"atm/internal/obs"
+)
+
+// Guard-rail metrics: every clamp, rejection and throttle is an
+// instance of the policy layer overriding the model — exactly the
+// divergence an operator tuning trust in the planner wants plotted.
+var (
+	guardClamps = obs.Default().CounterVec("atm_policy_clamps_total",
+		"Writes adjusted by a policy rail, by field and rail kind.", "field", "kind")
+	guardRejects = obs.Default().Counter("atm_policy_rejections_total",
+		"Writes refused outright by reject-mode policy rails.")
+	guardThrottled = obs.Default().Counter("atm_policy_throttled_total",
+		"Mutating calls pushed back by the policy rate limit.")
+)
+
+// Guard enforces a policy Config in front of any actuation Backend:
+// mutating calls pass the token-bucket rate limit, SetLimits values
+// pass the min/max/step rails. Rail violations are either clamped to
+// the nearest legal value (ModeClamp) or refused with a terminal 422
+// (ModeReject) before the backend sees the write; rate-limit pushback
+// is a transient 429, so a Resilient wrapper above retries it with
+// backoff exactly like a daemon saying "slow down".
+type Guard struct {
+	b   actuator.Backend
+	cfg Config
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewGuard wraps b with cfg's rails. The config should already be
+// Validated (Parse/Load do); an invalid mode falls back to clamping.
+func NewGuard(b actuator.Backend, cfg Config) *Guard {
+	g := &Guard{b: b, cfg: cfg, now: time.Now}
+	if cfg.RatePerSec > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = math.Max(1, math.Ceil(cfg.RatePerSec))
+		}
+		g.tokens = burst
+	}
+	return g
+}
+
+// burst returns the effective bucket depth.
+func (g *Guard) burst() float64 {
+	if g.cfg.Burst > 0 {
+		return g.cfg.Burst
+	}
+	return math.Max(1, math.Ceil(g.cfg.RatePerSec))
+}
+
+// take consumes one rate-limit token, refilling by elapsed time. It
+// returns false when the bucket is empty.
+func (g *Guard) take() bool {
+	if g.cfg.RatePerSec <= 0 {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.now()
+	if !g.last.IsZero() {
+		g.tokens = math.Min(g.burst(), g.tokens+now.Sub(g.last).Seconds()*g.cfg.RatePerSec)
+	}
+	g.last = now
+	if g.tokens < 1 {
+		return false
+	}
+	g.tokens--
+	return true
+}
+
+// throttled builds the transient pushback error for a drained bucket.
+func throttled(op, id string) error {
+	guardThrottled.Inc()
+	return &actuator.Error{Op: op, ID: id, Status: http.StatusTooManyRequests,
+		Err: fmt.Errorf("policy: write rate limit exceeded")}
+}
+
+// SetLimits applies the rails, then forwards the (possibly clamped)
+// write.
+func (g *Guard) SetLimits(ctx context.Context, id string, l actuator.Limits) error {
+	const op = "set_limits"
+	if !g.take() {
+		return throttled(op, id)
+	}
+	applied, violations, err := g.railed(ctx, id, l)
+	if err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		if g.cfg.mode() == ModeReject {
+			guardRejects.Inc()
+			return &actuator.Error{Op: op, ID: id, Status: http.StatusUnprocessableEntity,
+				Err: fmt.Errorf("policy: write rejected: %s", describe(violations))}
+		}
+		for _, v := range violations {
+			guardClamps.With(v.Field, v.Kind).Inc()
+		}
+	}
+	return g.b.SetLimits(ctx, id, applied)
+}
+
+// railed runs one proposed write through Apply, reading the current
+// limits first when the matching rule has a step rail and the backend
+// can snapshot. A missing group has no baseline (the step rail is
+// skipped — min/max still bind); any other read failure propagates,
+// because a write whose step rail cannot be evaluated must not slip
+// through unchecked.
+func (g *Guard) railed(ctx context.Context, id string, l actuator.Limits) (actuator.Limits, []Violation, error) {
+	rule, ok := g.cfg.RuleFor(id)
+	if !ok {
+		return l, nil, nil
+	}
+	var current *actuator.Limits
+	if (rule.MaxStepCPUGHz > 0 || rule.MaxStepRAMGB > 0) && g.b.Capabilities().Snapshot {
+		cur, err := g.b.GetLimits(ctx, id)
+		switch {
+		case errors.Is(err, actuator.ErrNotFound):
+		case err != nil:
+			return l, nil, fmt.Errorf("policy: read current limits for step rail: %w", err)
+		default:
+			current = &cur
+		}
+	}
+	applied, violations := g.cfg.Apply(id, current, l)
+	return applied, violations, nil
+}
+
+// describe flattens violations into one error string.
+func describe(vs []Violation) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// GetLimits forwards: reads are never rate limited or railed.
+func (g *Guard) GetLimits(ctx context.Context, id string) (actuator.Limits, error) {
+	return g.b.GetLimits(ctx, id)
+}
+
+// DeleteGroup is a mutation: it pays a rate-limit token, then
+// forwards.
+func (g *Guard) DeleteGroup(ctx context.Context, id string) error {
+	const op = "delete_group"
+	if !g.take() {
+		return throttled(op, id)
+	}
+	return g.b.DeleteGroup(ctx, id)
+}
+
+// Capabilities forwards the wrapped backend's descriptor.
+func (g *Guard) Capabilities() actuator.Capabilities { return g.b.Capabilities() }
+
+var _ actuator.Backend = (*Guard)(nil)

@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"atm/internal/actuator"
+)
+
+// planMinLimit mirrors core.ApplyBox's floor on actuated capacities:
+// the plan must show the limits the real push would write, and the
+// push never writes a zero or denormal limit.
+const planMinLimit = 1e-3
+
+// Row actions.
+const (
+	// ActionResize: the group exists and would be rewritten.
+	ActionResize = "resize"
+	// ActionCreate: the group does not exist and the backend creates
+	// groups on first write.
+	ActionCreate = "create"
+	// ActionReject: the write would be refused — a reject-mode rail
+	// violation, a missing group the backend cannot create, or a
+	// current state that could not be read.
+	ActionReject = "reject"
+)
+
+// PlanRow is one VM's line in a what-if plan: what the model asked
+// for, what the rails would let through, and what the backend would do
+// with it.
+type PlanRow struct {
+	VM     string `json:"vm"`
+	Action string `json:"action"`
+	// Current is the group's present limits; nil when the group does
+	// not exist or could not be read.
+	Current *actuator.Limits `json:"current,omitempty"`
+	// Target is the model's raw ask (after the apply path's minimum
+	// floor, exactly as ApplyBox would compute it).
+	Target actuator.Limits `json:"target"`
+	// Applied is what the rails would actually write.
+	Applied actuator.Limits `json:"applied"`
+	// Violations are the rails the raw ask crossed.
+	Violations []Violation `json:"violations,omitempty"`
+	// Reason explains an ActionReject row.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Plan is the full dry-run actuation plan for one box: every row a
+// real apply would write, none of them written. Building a plan issues
+// only GetLimits reads against the backend.
+type Plan struct {
+	Box string `json:"box"`
+	// Backend describes the target the plan was computed against.
+	Backend actuator.Capabilities `json:"backend"`
+	// Mode is the policy violation mode in force.
+	Mode string `json:"mode"`
+	// Writes counts rows a real apply would mutate; Rejects counts
+	// rows it would refuse.
+	Writes  int       `json:"writes"`
+	Rejects int       `json:"rejects"`
+	Rows    []PlanRow `json:"rows"`
+}
+
+// WhatIf computes the per-VM actuation plan for one box without
+// mutating anything: for each VM it reads the current limits (when the
+// backend supports snapshots), floors the proposed sizes exactly as
+// ApplyBox would, runs them through the policy rails, and records the
+// outcome. cpu and ram are the per-VM proposed sizes, parallel to vms.
+func WhatIf(ctx context.Context, b actuator.Backend, cfg Config, boxID string, vms []string, cpu, ram []float64) Plan {
+	caps := b.Capabilities()
+	plan := Plan{Box: boxID, Backend: caps, Mode: cfg.mode(), Rows: make([]PlanRow, 0, len(vms))}
+	for i, id := range vms {
+		row := PlanRow{VM: id, Target: actuator.Limits{
+			CPUGHz: math.Max(pick(cpu, i), planMinLimit),
+			RAMGB:  math.Max(pick(ram, i), planMinLimit),
+		}}
+		exists := caps.CreateOnSet // without snapshot support, assume writable
+		if caps.Snapshot {
+			cur, err := b.GetLimits(ctx, id)
+			switch {
+			case errors.Is(err, actuator.ErrNotFound):
+				exists = false
+			case err != nil:
+				row.Action = ActionReject
+				row.Reason = "current limits unreadable: " + err.Error()
+				row.Applied = row.Target
+				plan.Rejects++
+				plan.Rows = append(plan.Rows, row)
+				continue
+			default:
+				exists = true
+				row.Current = &cur
+			}
+		}
+		row.Applied, row.Violations = cfg.Apply(id, row.Current, row.Target)
+		switch {
+		case len(row.Violations) > 0 && cfg.mode() == ModeReject:
+			row.Action = ActionReject
+			row.Reason = "policy: " + describe(row.Violations)
+			plan.Rejects++
+		case exists:
+			row.Action = ActionResize
+			plan.Writes++
+		case caps.CreateOnSet:
+			row.Action = ActionCreate
+			plan.Writes++
+		default:
+			row.Action = ActionReject
+			row.Reason = "group does not exist and backend cannot create on write"
+			plan.Rejects++
+		}
+		plan.Rows = append(plan.Rows, row)
+	}
+	return plan
+}
+
+// pick indexes a possibly short or nil sizes slice defensively.
+func pick(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}

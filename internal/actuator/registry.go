@@ -210,16 +210,27 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // SetLimits adapts the registry to the controller-facing interface
 // shared with Client, letting in-process callers skip HTTP. The
-// context is accepted for symmetry and ignored.
+// context is accepted for symmetry and ignored. Failures carry the
+// same typed classification the daemon would produce over HTTP (an
+// invalid write is a terminal 400), so retry and rollback policy is
+// backend-independent.
 func (r *Registry) SetLimits(_ context.Context, id string, l Limits) error {
-	return r.Set(id, l)
+	if err := r.Set(id, l); err != nil {
+		return &Error{Op: "set_limits", ID: id, Status: http.StatusBadRequest, Err: err}
+	}
+	return nil
 }
 
 // GetLimits adapts the registry to the controller-facing read
 // interface shared with Client, so transactional appliers can snapshot
-// in-process registries the same way they snapshot remote daemons.
+// in-process registries the same way they snapshot remote daemons. A
+// missing cgroup is a terminal 404 still matching ErrNotFound.
 func (r *Registry) GetLimits(_ context.Context, id string) (Limits, error) {
-	return r.Get(id)
+	l, err := r.Get(id)
+	if err != nil {
+		return Limits{}, &Error{Op: "get_limits", ID: id, Status: http.StatusNotFound, Err: err}
+	}
+	return l, nil
 }
 
 // DeleteGroup adapts the registry to the controller-facing delete

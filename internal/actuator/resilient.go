@@ -3,6 +3,7 @@ package actuator
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"atm/internal/resilience"
 )
@@ -15,26 +16,37 @@ type ResilientConfig struct {
 	// 4xx and an open breaker fail fast).
 	Retry resilience.Policy
 	// Breaker is the per-daemon circuit breaker config. Name defaults
-	// to the client's base URL; Failure defaults to IsRetryable so
-	// terminal responses — proof the daemon is alive — never trip the
+	// to the backend's endpoint (the client's base URL) or, failing
+	// that, its family name; Failure defaults to IsRetryable so
+	// terminal responses — proof the target is alive — never trip the
 	// circuit.
 	Breaker resilience.BreakerConfig
 }
 
-// Resilient decorates a Client with retry/backoff and a circuit
-// breaker, presenting the same four daemon operations. Controllers
-// hold one Resilient per hypervisor daemon, so a flapping daemon trips
+// Resilient decorates any actuation Backend with retry/backoff and a
+// circuit breaker, presenting the same Backend interface. Controllers
+// hold one Resilient per actuation target, so a flapping daemon trips
 // only its own breaker while the rest of the fleet actuates normally.
+// Because it wraps the Backend interface rather than a concrete
+// client, the same decorator guards the cgroups daemon, the
+// Kubernetes resize backend and the testbed simulator.
 type Resilient struct {
-	c       *Client
+	b       Backend
 	policy  resilience.Policy
 	breaker *resilience.Breaker
 }
 
-// NewResilient wraps c. The zero ResilientConfig gives 4 attempts with
-// 50ms–2s full-jitter backoff and a breaker that opens after 5
-// consecutive transient failures.
+// NewResilient wraps the cgroups-daemon client — the historical entry
+// point, kept for its dominant call sites. See NewResilientBackend
+// for the general form.
 func NewResilient(c *Client, cfg ResilientConfig) *Resilient {
+	return NewResilientBackend(c, cfg)
+}
+
+// NewResilientBackend wraps any Backend. The zero ResilientConfig
+// gives 4 attempts with 50ms–2s full-jitter backoff and a breaker
+// that opens after 5 consecutive transient failures.
+func NewResilientBackend(b Backend, cfg ResilientConfig) *Resilient {
 	p := cfg.Retry
 	if p.Retryable == nil {
 		p.Retryable = func(err error) bool {
@@ -43,18 +55,26 @@ func NewResilient(c *Client, cfg ResilientConfig) *Resilient {
 	}
 	bc := cfg.Breaker
 	if bc.Name == "" {
-		bc.Name = c.base
+		caps := b.Capabilities()
+		bc.Name = caps.Endpoint
+		if bc.Name == "" {
+			bc.Name = caps.Name
+		}
 	}
 	if bc.Failure == nil {
 		bc.Failure = IsRetryable
 	}
-	return &Resilient{c: c, policy: p, breaker: resilience.NewBreaker(bc)}
+	return &Resilient{b: b, policy: p, breaker: resilience.NewBreaker(bc)}
 }
 
 // Breaker exposes the underlying circuit breaker for state inspection.
 func (r *Resilient) Breaker() *resilience.Breaker { return r.breaker }
 
-// do routes one operation through retry → breaker → client. The
+// Capabilities forwards the wrapped backend's descriptor: resilience
+// changes delivery, never semantics.
+func (r *Resilient) Capabilities() Capabilities { return r.b.Capabilities() }
+
+// do routes one operation through retry → breaker → backend. The
 // breaker sits inside the retry loop so every attempt feeds its state
 // machine, and an open circuit fails the whole call fast (ErrOpen is
 // not retryable under the default policy).
@@ -64,19 +84,19 @@ func (r *Resilient) do(ctx context.Context, op string, fn func(ctx context.Conte
 	})
 }
 
-// SetLimits creates or updates a VM cgroup's limits, with retries.
+// SetLimits creates or updates a group's limits, with retries.
 func (r *Resilient) SetLimits(ctx context.Context, id string, l Limits) error {
 	return r.do(ctx, "set_limits", func(ctx context.Context) error {
-		return r.c.SetLimits(ctx, id, l)
+		return r.b.SetLimits(ctx, id, l)
 	})
 }
 
-// GetLimits reads a VM cgroup's limits, with retries. A 404 is
+// GetLimits reads a group's limits, with retries. A missing group is
 // terminal and surfaces as ErrNotFound immediately.
 func (r *Resilient) GetLimits(ctx context.Context, id string) (Limits, error) {
 	var out Limits
 	err := r.do(ctx, "get_limits", func(ctx context.Context) error {
-		l, err := r.c.GetLimits(ctx, id)
+		l, err := r.b.GetLimits(ctx, id)
 		out = l
 		return err
 	})
@@ -86,11 +106,17 @@ func (r *Resilient) GetLimits(ctx context.Context, id string) (Limits, error) {
 	return out, nil
 }
 
-// ListLimits reads the daemon's full cgroup tree, with retries.
+// ListLimits reads the target's full group tree, with retries. It
+// requires the wrapped backend to be a Lister (the cgroups daemon
+// is; the Kubernetes and testbed backends are not).
 func (r *Resilient) ListLimits(ctx context.Context) (map[string]Limits, error) {
+	lister, ok := r.b.(Lister)
+	if !ok {
+		return nil, fmt.Errorf("actuator: backend %q does not support list_limits", r.b.Capabilities().Name)
+	}
 	var out map[string]Limits
 	err := r.do(ctx, "list_limits", func(ctx context.Context) error {
-		m, err := r.c.ListLimits(ctx)
+		m, err := lister.ListLimits(ctx)
 		out = m
 		return err
 	})
@@ -100,9 +126,11 @@ func (r *Resilient) ListLimits(ctx context.Context) (map[string]Limits, error) {
 	return out, nil
 }
 
-// DeleteGroup removes a VM cgroup, with retries.
+// DeleteGroup removes a group, with retries.
 func (r *Resilient) DeleteGroup(ctx context.Context, id string) error {
 	return r.do(ctx, "delete_group", func(ctx context.Context) error {
-		return r.c.DeleteGroup(ctx, id)
+		return r.b.DeleteGroup(ctx, id)
 	})
 }
+
+var _ Backend = (*Resilient)(nil)

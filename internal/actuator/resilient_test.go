@@ -26,10 +26,35 @@ func fastRetry(attempts int) resilience.Policy {
 
 func TestNewClientNormalizesTrailingSlash(t *testing.T) {
 	for _, base := range []string{"http://h:8023", "http://h:8023/", "http://h:8023//"} {
-		c := NewClient(base, nil)
+		c := mustClient(t, base, nil)
 		if got, want := c.groupURL("vm-1"), "http://h:8023/cgroups/vm-1"; got != want {
 			t.Errorf("NewClient(%q).groupURL = %q, want %q", base, got, want)
 		}
+	}
+}
+
+func TestNewClientValidatesBaseURL(t *testing.T) {
+	cases := []struct {
+		name string
+		base string
+	}{
+		{"empty", ""},
+		{"whitespace", "   "},
+		{"no_scheme", "hypervisor-7:8080"},
+		{"bare_host", "hypervisor-7"},
+		{"wrong_scheme", "ftp://hypervisor-7:8080"},
+		{"scheme_only", "http://"},
+		{"unparseable", "http://h:8080/%zz\x7f"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if c, err := NewClient(tc.base, nil); err == nil {
+				t.Errorf("NewClient(%q) = %+v, want error", tc.base, c)
+			}
+		})
+	}
+	if _, err := NewClient("https://hypervisor-7:8080", nil); err != nil {
+		t.Errorf("NewClient(valid https) = %v, want nil", err)
 	}
 }
 
@@ -82,7 +107,7 @@ func TestClientTypedErrors(t *testing.T) {
 	}
 	// Dead server: transient transport error.
 	srv := httptest.NewServer(http.NotFoundHandler())
-	dead := NewClient(srv.URL, srv.Client())
+	dead := mustClient(t, srv.URL, srv.Client())
 	srv.Close()
 	if err := dead.SetLimits(ctx, "vm", Limits{CPUGHz: 1, RAMGB: 1}); !errors.Is(err, ErrTransient) {
 		t.Errorf("transport err = %v, want ErrTransient", err)
@@ -114,7 +139,7 @@ func flakyDaemon(t *testing.T, failN int) (*httptest.Server, *Registry, *int) {
 
 func TestResilientRetriesTransient(t *testing.T) {
 	srv, reg, calls := flakyDaemon(t, 2)
-	rc := NewResilient(NewClient(srv.URL, srv.Client()), ResilientConfig{
+	rc := NewResilient(mustClient(t, srv.URL, srv.Client()), ResilientConfig{
 		Retry:   fastRetry(4),
 		Breaker: resilience.BreakerConfig{Name: "t-resilient-retry", FailureThreshold: 10},
 	})
@@ -130,17 +155,37 @@ func TestResilientRetriesTransient(t *testing.T) {
 }
 
 func TestResilientTerminalNotRetried(t *testing.T) {
-	srv, _, calls := flakyDaemon(t, 0)
-	rc := NewResilient(NewClient(srv.URL, srv.Client()), ResilientConfig{
+	// A daemon that rejects every request as malformed: the 400 must
+	// reach the caller after exactly one attempt.
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	t.Cleanup(srv.Close)
+	rc := NewResilient(mustClient(t, srv.URL, srv.Client()), ResilientConfig{
 		Retry:   fastRetry(5),
 		Breaker: resilience.BreakerConfig{Name: "t-resilient-terminal"},
 	})
-	err := rc.SetLimits(context.Background(), "vm-1", Limits{CPUGHz: -5, RAMGB: 4})
+	err := rc.SetLimits(context.Background(), "vm-1", Limits{CPUGHz: 2, RAMGB: 4})
 	if !errors.Is(err, ErrTerminal) {
 		t.Fatalf("err = %v, want terminal", err)
 	}
-	if *calls != 1 {
-		t.Errorf("daemon saw %d calls, want 1 (4xx must not be retried)", *calls)
+	if calls != 1 {
+		t.Errorf("daemon saw %d calls, want 1 (4xx must not be retried)", calls)
+	}
+
+	// Invalid limits never even reach the daemon: the client rejects
+	// them terminally before building a request.
+	before := calls
+	if err := rc.SetLimits(context.Background(), "vm-1", Limits{CPUGHz: -5, RAMGB: 4}); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("invalid limits err = %v, want terminal", err)
+	}
+	if calls != before {
+		t.Errorf("invalid limits reached the daemon (%d calls)", calls-before)
 	}
 }
 
@@ -171,7 +216,7 @@ func TestResilientBreakerLifecycle(t *testing.T) {
 	now := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return clock }
 	advance := func(d time.Duration) { clockMu.Lock(); clock = clock.Add(d); clockMu.Unlock() }
 
-	rc := NewResilient(NewClient(srv.URL, srv.Client()), ResilientConfig{
+	rc := NewResilient(mustClient(t, srv.URL, srv.Client()), ResilientConfig{
 		Retry: fastRetry(3),
 		Breaker: resilience.BreakerConfig{
 			Name: "t-lifecycle", FailureThreshold: 3, OpenTimeout: 30 * time.Second, Now: now,

@@ -357,7 +357,11 @@ func TestChaosRoundTrip(t *testing.T) {
 	})
 	httpc := *srv.Client()
 	httpc.Transport = chaos
-	rc := actuator.NewResilient(actuator.NewClient(srv.URL, &httpc), actuator.ResilientConfig{
+	client, err := actuator.NewClient(srv.URL, &httpc)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	rc := actuator.NewResilient(client, actuator.ResilientConfig{
 		Retry: resilience.Policy{
 			MaxAttempts: 6,
 			Seed:        1,

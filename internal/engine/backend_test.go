@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"atm/internal/actuator"
+	"atm/internal/actuator/policy"
+	"atm/internal/state"
+	"atm/internal/trace"
+)
+
+// backendFixture builds a store + engine over a generated box with the
+// given actuation wiring, replays the trace and returns the counting
+// wrapper around the registry target.
+func backendFixture(t *testing.T, mutate func(*Config)) (*actuator.Registry, *actuator.CountingBackend, *Engine, *trace.Box) {
+	t.Helper()
+	b, spd := genBox(29)
+	core := fastConfig(spd, false)
+	st, err := state.NewStore(core.TrainWindows + 2*core.Horizon)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	reg := actuator.NewRegistry()
+	cb := actuator.NewCountingBackend(reg)
+	cfg := Config{Core: core, SamplesPerDay: spd, Backend: cb}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(st, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	replay(t, e, st, b)
+	return reg, cb, e, b
+}
+
+// TestEngineBackendActuates wires an actuator.Backend (not the legacy
+// Setter) into the engine and requires published plans to land in the
+// target: the registry must hold exactly the latest plan's sizes.
+func TestEngineBackendActuates(t *testing.T) {
+	reg, cb, e, b := backendFixture(t, nil)
+	if cb.Writes() == 0 {
+		t.Fatal("backend saw no writes despite Config.Backend")
+	}
+	plan, ok := e.Plan(b.ID)
+	if !ok {
+		t.Fatal("no plan published")
+	}
+	snap := reg.Snapshot()
+	if len(snap) != len(b.VMs) {
+		t.Fatalf("registry holds %d cgroups, want %d", len(snap), len(b.VMs))
+	}
+	// ApplyBox floors actuated sizes at its minimum limit; mirror it.
+	floor := func(x float64) float64 {
+		if x < 1e-3 {
+			return 1e-3
+		}
+		return x
+	}
+	for v := range b.VMs {
+		l := snap[b.VMs[v].ID]
+		if l.CPUGHz != floor(plan.CPUSizes[v]) || l.RAMGB != floor(plan.RAMSizes[v]) {
+			t.Errorf("vm %s: registry (%v,%v) != plan (%v,%v)",
+				b.VMs[v].ID, l.CPUGHz, l.RAMGB, plan.CPUSizes[v], plan.RAMSizes[v])
+		}
+	}
+}
+
+// TestEngineDryRunZeroWrites keeps the backend configured but flips
+// DryRun: plans must still publish while the backend sees zero
+// mutating calls — the engine-level proof behind `atmd -dry-run`.
+func TestEngineDryRunZeroWrites(t *testing.T) {
+	reg, cb, e, b := backendFixture(t, func(c *Config) { c.DryRun = true })
+	if _, ok := e.Plan(b.ID); !ok {
+		t.Fatal("dry-run engine published no plan")
+	}
+	if n := cb.Writes(); n != 0 {
+		t.Fatalf("dry-run backend saw %d writes, want 0", n)
+	}
+	if len(reg.Snapshot()) != 0 {
+		t.Fatal("dry-run engine mutated the registry")
+	}
+	if !e.DryRun() {
+		t.Fatal("DryRun() = false")
+	}
+}
+
+// TestEnginePolicyClamps interposes a policy config between engine and
+// backend: every actuated CPU limit must respect the rail, proving the
+// guard sits in front of the transactional apply path.
+func TestEnginePolicyClamps(t *testing.T) {
+	const maxCPU = 0.5
+	pc := policy.Config{Rules: []policy.Rule{{Match: "*", MaxCPUGHz: maxCPU}}}
+	reg, cb, e, b := backendFixture(t, func(c *Config) { c.Policy = &pc })
+	if cb.Writes() == 0 {
+		t.Fatal("no writes reached the backend")
+	}
+	for vm, l := range reg.Snapshot() {
+		if l.CPUGHz > maxCPU {
+			t.Errorf("vm %s: cpu %v exceeds policy max %v", vm, l.CPUGHz, maxCPU)
+		}
+	}
+	if got, ok := e.PolicyConfig(); !ok || len(got.Rules) != 1 {
+		t.Fatalf("PolicyConfig() = (%+v, %v), want the configured rails", got, ok)
+	}
+	if _, ok := e.Plan(b.ID); !ok {
+		t.Fatal("no plan published")
+	}
+}
+
+// TestEngineBackendConfigValidation pins the Config invariants:
+// Backend and Setter are mutually exclusive, Policy needs Backend.
+func TestEngineBackendConfigValidation(t *testing.T) {
+	_, spd := genBox(31)
+	core := fastConfig(spd, false)
+	st, err := state.NewStore(core.TrainWindows + 2*core.Horizon)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	reg := actuator.NewRegistry()
+	if _, err := New(st, Config{Core: core, SamplesPerDay: spd, Backend: reg, Setter: reg}); err == nil {
+		t.Error("Backend+Setter accepted, want error")
+	}
+	if _, err := New(st, Config{Core: core, SamplesPerDay: spd, Policy: &policy.Config{}}); err == nil {
+		t.Error("Policy without Backend accepted, want error")
+	}
+}

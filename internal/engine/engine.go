@@ -40,6 +40,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atm/internal/actuator"
+	"atm/internal/actuator/policy"
 	"atm/internal/control"
 	"atm/internal/core"
 	"atm/internal/obs"
@@ -87,7 +89,25 @@ type Config struct {
 	// transactional core.ApplyBox push (snapshot, apply, rollback on
 	// partial failure). Wrap it in actuator.Resilient for retry +
 	// circuit breaking. A nil Setter leaves the engine plan-only.
+	// Mutually exclusive with Backend.
 	Setter core.LimitSetter
+	// Backend, when non-nil, is the pluggable actuation target plans
+	// are pushed to — the cgroups-daemon client, the Kubernetes
+	// in-place resize backend, the testbed simulator, or any other
+	// actuator.Backend (wrap it in actuator.NewResilientBackend for
+	// retry + circuit breaking first). Unlike the legacy Setter field
+	// it also powers the what-if route: the serve layer reads current
+	// limits through it to build dry-run plans. Mutually exclusive
+	// with Setter.
+	Backend actuator.Backend
+	// Policy, when non-nil, applies the operator's min/max/step clamps
+	// and write rate limits (actuator/policy) in front of Backend
+	// before any write. Requires Backend.
+	Policy *policy.Config
+	// DryRun keeps the engine plan-only even with a Backend or Setter
+	// configured: every plan publishes, the what-if route works, and
+	// nothing is ever written to the actuation target.
+	DryRun bool
 	// Poll is the fallback scan interval used when no ingest
 	// notification arrives; <= 0 selects one second.
 	Poll time.Duration
@@ -233,6 +253,27 @@ func New(store *state.Store, cfg Config) (*Engine, error) {
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = time.Second
+	}
+	// Compose the effective actuation path. Backend is the pluggable
+	// route: policy rails wrap it first (so every write — engine apply
+	// or rollback — passes the same clamps), and the result feeds the
+	// unchanged transactional Setter path. DryRun severs the write path
+	// entirely while keeping Backend readable for what-if plans.
+	if cfg.Backend != nil && cfg.Setter != nil {
+		return nil, errors.New("engine: Backend and Setter are mutually exclusive")
+	}
+	if cfg.Policy != nil && cfg.Backend == nil {
+		return nil, errors.New("engine: Policy requires Backend")
+	}
+	if cfg.Backend != nil {
+		var b actuator.Backend = cfg.Backend
+		if cfg.Policy != nil {
+			b = policy.NewGuard(b, *cfg.Policy)
+		}
+		cfg.Setter = b
+	}
+	if cfg.DryRun {
+		cfg.Setter = nil
 	}
 	// Fleet fan-out owns the parallelism; per-box work stays inline.
 	cfg.Core.Workers = 1
@@ -674,6 +715,25 @@ func (e *Engine) Plan(id string) (Plan, bool) {
 	p.RAMSizes = append([]float64(nil), br.plan.RAMSizes...)
 	return p, true
 }
+
+// Backend returns the configured actuation backend, or nil when the
+// engine runs plan-only or through the legacy Setter field. The serve
+// layer uses it to answer what-if queries; writes still go through the
+// policy-guarded transactional path composed in New.
+func (e *Engine) Backend() actuator.Backend { return e.cfg.Backend }
+
+// PolicyConfig returns the policy rails in force and whether any were
+// configured.
+func (e *Engine) PolicyConfig() (policy.Config, bool) {
+	if e.cfg.Policy == nil {
+		return policy.Config{}, false
+	}
+	return *e.cfg.Policy, true
+}
+
+// DryRun reports whether the engine is pinned plan-only despite a
+// configured actuation target.
+func (e *Engine) DryRun() bool { return e.cfg.DryRun }
 
 // Steps returns how many rolling steps have fired for the box.
 func (e *Engine) Steps(id string) int {

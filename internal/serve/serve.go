@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atm/internal/actuator/policy"
 	"atm/internal/engine"
 	"atm/internal/obs"
 	"atm/internal/state"
@@ -297,6 +298,10 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 //	                             box from the body's "box" meta on
 //	                             first contact)
 //	GET  /v1/boxes/{id}/plan     latest resize plan for the box
+//	GET  /v1/boxes/{id}/whatif   dry-run actuation plan: what applying
+//	                             the latest plan would write per VM
+//	                             after policy rails, without touching
+//	                             the backend
 //	GET  /v1/boxes/{id}/debug    step state, last decision, forecast
 //	                             scorecard, recent events and the
 //	                             last step's span tree
@@ -320,6 +325,12 @@ func (s *Service) Handler() http.Handler {
 				return
 			}
 			s.handlePlan(w, id)
+		case "whatif":
+			if r.Method != http.MethodGet {
+				jsonError(w, http.StatusMethodNotAllowed, "whatif is GET-only")
+				return
+			}
+			s.handleWhatIf(w, r, id)
 		case "debug":
 			if r.Method != http.MethodGet {
 				jsonError(w, http.StatusMethodNotAllowed, "debug is GET-only")
@@ -487,4 +498,38 @@ func (s *Service) handlePlan(w http.ResponseWriter, id string) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(plan)
+}
+
+// handleWhatIf serves GET /v1/boxes/{id}/whatif: the per-VM actuation
+// plan that applying the box's latest resize plan would produce —
+// current limits, policy-railed targets, creates and rejections —
+// computed against the configured backend with reads only. It answers
+// "what would the controller do to my box right now" without risking
+// a single write, including under Engine.DryRun.
+func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request, id string) {
+	b := s.engine.Backend()
+	if b == nil {
+		jsonError(w, http.StatusConflict,
+			"no actuation backend configured: whatif needs engine Config.Backend")
+		return
+	}
+	meta, err := s.store.Meta(id)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, "box %q not registered", id)
+		return
+	}
+	plan, ok := s.engine.Plan(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound,
+			"box %q has no plan yet: the first plan needs %d samples", id, s.engine.Need(0))
+		return
+	}
+	vms := make([]string, len(meta.VMs))
+	for i := range meta.VMs {
+		vms[i] = meta.VMs[i].ID
+	}
+	cfg, _ := s.engine.PolicyConfig()
+	wp := policy.WhatIf(r.Context(), b, cfg, id, vms, plan.CPUSizes, plan.RAMSizes)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(wp)
 }

@@ -174,7 +174,10 @@ func TestATMControllerOverHTTP(t *testing.T) {
 	c := DefaultTopology()
 	srv := httptest.NewServer(c.Limits.Handler())
 	defer srv.Close()
-	client := actuator.NewClient(srv.URL, srv.Client())
+	client, err := actuator.NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
 
 	ctrl := NewDefaultController(client)
 	m, err := c.Run(16, ctrl)
